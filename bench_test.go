@@ -1,0 +1,292 @@
+package distcfd
+
+// One benchmark per table/figure of the paper's evaluation (Fig. 3(a)
+// through 3(i)), plus ablation benches for the design choices called
+// out in DESIGN.md. Figure benches execute the same drivers as
+// cmd/cfdexp and report the figure's headline quantity as a custom
+// metric; shapes (who wins, by how much, where crossovers fall) are
+// asserted separately in internal/exp's tests.
+//
+// The bench scale defaults to 1/20 of the paper's dataset sizes so the
+// whole suite stays in tens of seconds; set DISTCFD_SCALE=1.0 to run
+// the full 800K/1.6M/2.7M-tuple experiments.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"testing"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/core"
+	"distcfd/internal/engine"
+	"distcfd/internal/exp"
+	"distcfd/internal/mining"
+	"distcfd/internal/partition"
+	"distcfd/internal/relation"
+	"distcfd/internal/remote"
+	"distcfd/internal/workload"
+)
+
+func benchConfig() exp.Config {
+	scale := 0.05
+	if s := os.Getenv("DISTCFD_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			scale = v
+		}
+	}
+	return exp.Config{Scale: scale, Seed: 42, ErrRate: 0.01}
+}
+
+// benchFigure runs one experiment driver per iteration and reports the
+// last row of the named columns as metrics.
+func benchFigure(b *testing.B, run func(exp.Config) (*exp.Series, error)) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	var last *exp.Series
+	for i := 0; i < b.N; i++ {
+		s, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = s
+	}
+	if last != nil {
+		for j, col := range last.Columns {
+			b.ReportMetric(last.Rows[len(last.Rows)-1][j], col+"@max-x")
+		}
+	}
+}
+
+func BenchmarkFig3aExp1CustSites(b *testing.B)    { benchFigure(b, exp.Exp1Cust) }
+func BenchmarkFig3bExp1XrefSites(b *testing.B)    { benchFigure(b, exp.Exp1Xref) }
+func BenchmarkFig3cExp2CustScale(b *testing.B)    { benchFigure(b, exp.Exp2) }
+func BenchmarkFig3dExp3TableauSize(b *testing.B)  { benchFigure(b, exp.Exp3) }
+func BenchmarkFig3eExp4Mining(b *testing.B)       { benchFigure(b, exp.Exp4) }
+func BenchmarkFig3fExp5ShipmentXref(b *testing.B) { benchFigure(b, exp.Exp5ShipXref) }
+func BenchmarkFig3gExp5TimeXref(b *testing.B)     { benchFigure(b, exp.Exp5TimeXref) }
+func BenchmarkFig3hExp5TimeCust(b *testing.B)     { benchFigure(b, exp.Exp5TimeCust) }
+func BenchmarkFig3iExp6CustScale(b *testing.B)    { benchFigure(b, exp.Exp6) }
+
+// BenchmarkCentralDetect measures the local `check` primitive — the
+// hash-group-by detector standing in for the SQL technique of [2] —
+// in tuples per second.
+func BenchmarkCentralDetect(b *testing.B) {
+	data := workload.Cust(workload.CustConfig{N: 100_000, Seed: 1, ErrRate: 0.01})
+	rule := workload.CustPatternCFD(255)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Detect(data, rule); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(data.Len())*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkAblationSigmaIndex compares σ pattern routing through the
+// per-mask hash index against the naive first-match scan, on the
+// 255-pattern CUST tableau (DESIGN.md ablation 3/4 substrate).
+func BenchmarkAblationSigmaIndex(b *testing.B) {
+	rule := workload.CustPatternCFD(255)
+	spec, err := core.SpecFromCFD(rule)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := workload.Cust(workload.CustConfig{N: 20_000, Seed: 1, ErrRate: 0.01})
+	xi, err := data.Schema().Indices(spec.X)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]string, data.Len())
+	for i, t := range data.Tuples() {
+		rows[i] = t.Project(xi)
+	}
+	b.Run("hash-index", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range rows {
+				_ = spec.Assign(r)
+			}
+		}
+	})
+	b.Run("linear-scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range rows {
+				for l, p := range spec.Patterns {
+					if cfd.MatchAll(r, p) {
+						_ = l
+						break
+					}
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationEncoding compares hash-group-by keys built from raw
+// strings against dictionary-interned IDs (DESIGN.md ablation 8).
+func BenchmarkAblationEncoding(b *testing.B) {
+	data := workload.Cust(workload.CustConfig{N: 50_000, Seed: 1, ErrRate: 0.01})
+	attrs := []string{"CC", "AC", "zip"}
+	idx, err := data.Schema().Indices(attrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("string-keys", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.GroupBy(data, attrs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dict-encoded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dict := relation.NewDict()
+			groups := make(map[[3]uint32][]int, 1024)
+			for ti, t := range data.Tuples() {
+				var key [3]uint32
+				for j, c := range idx {
+					key[j] = dict.ID(t[c])
+				}
+				groups[key] = append(groups[key], ti)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMiningShipment quantifies the Section IV-B mining
+// optimization: tuples shipped with and without it on the Exp-4
+// workload (reported as metrics; runtime is the preprocessing cost).
+func BenchmarkAblationMiningShipment(b *testing.B) {
+	data := workload.XRefHuman(50_000, 3)
+	h, err := partition.ByAttribute(data, "source")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.Predicates = nil
+	cl, err := core.FromHorizontal(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rule := workload.XRefMiningFD()
+	var plain, mined int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := core.DetectSingle(cl, rule, core.PatDetectS, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := core.DetectSingle(cl, rule, core.PatDetectS, core.Options{MineTheta: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, mined = p.ShippedTuples, m.ShippedTuples
+	}
+	b.ReportMetric(float64(plain), "shipped-plain")
+	b.ReportMetric(float64(mined), "shipped-mined")
+}
+
+// BenchmarkClosedPatternMining measures the miner itself.
+func BenchmarkClosedPatternMining(b *testing.B) {
+	data := workload.XRefHuman(100_000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mining.ClosedPatterns(data, []string{"external_db", "info_type"}, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPCOverhead contrasts a full PatDetectS run on in-process
+// sites against identical sites served over loopback TCP.
+func BenchmarkRPCOverhead(b *testing.B) {
+	data := workload.Cust(workload.CustConfig{N: 10_000, Seed: 1, ErrRate: 0.01})
+	h, err := partition.Uniform(data, 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rule := workload.CustPatternCFD(64)
+	b.Run("in-process", func(b *testing.B) {
+		cl, err := core.FromHorizontal(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DetectSingle(cl, rule, core.PatDetectS, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("loopback-tcp", func(b *testing.B) {
+		addrs := make([]string, h.N())
+		for i, frag := range h.Fragments {
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			site := core.NewSite(i, frag, relation.True())
+			go func() { _ = remote.Serve(lis, site, h.Schema) }()
+			defer lis.Close()
+			addrs[i] = lis.Addr().String()
+		}
+		sites, schema, err := remote.Dial(addrs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl, err := core.NewCluster(schema, sites)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DetectSingle(cl, rule, core.PatDetectS, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkVerticalRefinement measures exact vs greedy refinement on
+// the Example 7 instance.
+func BenchmarkVerticalRefinement(b *testing.B) {
+	cfds := workload.EMPCFDs()
+	frag := workload.EMPVerticalAttrSets()
+	withKey := make([][]string, len(frag))
+	for i, f := range frag {
+		withKey[i] = append([]string{"id"}, f...)
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := MinimumRefinement(cfds, withKey, 20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = GreedyRefinement(cfds, withKey)
+		}
+	})
+}
+
+// BenchmarkParseRules measures the rule-file parser.
+func BenchmarkParseRules(b *testing.B) {
+	text := ""
+	for i := 0; i < 50; i++ {
+		text += fmt.Sprintf("r%d: [CC, AC, zip] -> [city] : (44, %02d, _ || _), (31, %02d, _ || _)\n", i, i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseCFD(fmt.Sprintf("q: [a,b] -> [c] : (%d, _ || x)", i%100)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

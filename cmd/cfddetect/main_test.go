@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"distcfd/internal/relation"
+	"distcfd/internal/workload"
+)
+
+// TestCLIEndToEnd builds the binaries and drives the documented
+// workflow: generate data, detect violations, both centralized and
+// distributed.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	build := func(pkg, name string) string {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, pkg)
+		cmd.Dir = "../.."
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, b)
+		}
+		return out
+	}
+	detect := build("./cmd/cfddetect", "cfddetect")
+
+	// Write the EMP data and rules.
+	dataPath := filepath.Join(dir, "emp.csv")
+	f, err := os.Create(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relation.WriteCSV(f, workload.EMPData()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rulesPath := filepath.Join(dir, "emp.cfd")
+	rules := `phi1: [CC, zip] -> [street] : (44, _ || _), (31, _ || _)
+phi3: [CC, AC] -> [city] : (44, 131 || EDI), (01, 908 || MH)
+`
+	if err := os.WriteFile(rulesPath, []byte(rules), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sites := range []string{"1", "3"} {
+		var out bytes.Buffer
+		cmd := exec.Command(detect,
+			"-data", dataPath, "-rules", rulesPath, "-key", "id",
+			"-sites", sites, "-algo", "pats")
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("cfddetect -sites %s: %v\n%s", sites, err, out.String())
+		}
+		text := out.String()
+		for _, want := range []string{
+			"phi1: 2 violating pattern(s)",
+			"phi3: 2 violating pattern(s)",
+			"44, EH4 8LE",
+			"44, 131",
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("-sites %s output missing %q:\n%s", sites, want, text)
+			}
+		}
+	}
+
+	// Error paths.
+	if err := exec.Command(detect, "-rules", rulesPath).Run(); err == nil {
+		t.Error("missing -data should fail")
+	}
+	if err := exec.Command(detect, "-data", dataPath, "-rules", rulesPath, "-algo", "bogus").Run(); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}

@@ -1,0 +1,81 @@
+// Command cfdexp runs the paper's experiments (Figures 3(a)–3(i)) and
+// prints the regenerated series.
+//
+//	cfdexp                  # all nine panels at 1/10 scale
+//	cfdexp -fig 3e          # just the mining experiment
+//	cfdexp -scale 1.0       # the paper's full 800K/1.6M/2.7M sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"distcfd/internal/exp"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to run: 3a…3i or all")
+		scale   = flag.Float64("scale", 0.1, "fraction of the paper's dataset sizes")
+		seed    = flag.Int64("seed", 42, "generation/partitioning seed")
+		errRate = flag.Float64("err", 0.01, "injected inconsistency rate")
+		csvDir  = flag.String("csv", "", "also write each series as CSV into this directory")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Scale: *scale, Seed: *seed, ErrRate: *errRate}
+	fmt.Printf("distcfd experiment harness — scale %.3g, seed %d\n\n", *scale, *seed)
+	start := time.Now()
+	var series []*exp.Series
+	names := []string{}
+	if *fig == "all" {
+		all, err := exp.RunAll(cfg, os.Stdout)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		series = all
+		for _, e := range exp.All() {
+			names = append(names, e.Name)
+		}
+	} else {
+		want := strings.TrimPrefix(*fig, "3")
+		for _, e := range exp.All() {
+			if e.Name == "3"+want || e.Name == *fig {
+				s, err := e.Run(cfg)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				s.Print(os.Stdout)
+				series = append(series, s)
+				names = append(names, e.Name)
+			}
+		}
+		if len(series) == 0 {
+			fatalf("unknown figure %q (use 3a…3i)", *fig)
+		}
+	}
+	if *csvDir != "" {
+		for i, s := range series {
+			path := filepath.Join(*csvDir, "fig"+names[i]+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := s.WriteCSV(f); err != nil {
+				fatalf("writing %s: %v", path, err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	fmt.Printf("total: %v\n", time.Since(start))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cfdexp: "+format+"\n", args...)
+	os.Exit(1)
+}

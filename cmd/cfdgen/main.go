@@ -1,0 +1,81 @@
+// Command cfdgen generates the datasets of the paper's experiments as
+// CSV, plus matching CFD rule files.
+//
+// Usage:
+//
+//	cfdgen -dataset cust -n 100000 -seed 7 -err 0.01 -o cust.csv [-rules cust.cfd]
+//	cfdgen -dataset xref -n 100000 -o xref.csv
+//	cfdgen -dataset emp -o emp.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/relation"
+	"distcfd/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "cust", "cust | xref | xrefh | emp")
+		n       = flag.Int("n", 100000, "number of tuples (cust/xref)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		errRate = flag.Float64("err", 0.01, "injected inconsistency rate")
+		out     = flag.String("o", "", "output CSV path (default stdout)")
+		rules   = flag.String("rules", "", "also write the dataset's CFD rules to this path")
+	)
+	flag.Parse()
+
+	var (
+		data *relation.Relation
+		cfds []*cfd.CFD
+	)
+	switch *dataset {
+	case "cust":
+		data = workload.Cust(workload.CustConfig{N: *n, Seed: *seed, ErrRate: *errRate})
+		cfds = append(workload.CustOverlappingCFDs(255, 128), workload.CustStreetCFD())
+	case "xref":
+		data = workload.XRef(workload.XRefConfig{N: *n, Seed: *seed, ErrRate: *errRate})
+		cfds = []*cfd.CFD{workload.XRefCFD(), workload.XRefCFD2()}
+	case "xrefh":
+		data = workload.XRefHuman(*n, *seed)
+		cfds = []*cfd.CFD{workload.XRefMiningFD()}
+	case "emp":
+		data = workload.EMPData()
+		cfds = workload.EMPCFDs()
+	default:
+		fatalf("unknown dataset %q", *dataset)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := relation.WriteCSV(w, data); err != nil {
+		fatalf("writing CSV: %v", err)
+	}
+	if *rules != "" {
+		f, err := os.Create(*rules)
+		if err != nil {
+			fatalf("creating %s: %v", *rules, err)
+		}
+		defer f.Close()
+		for _, c := range cfds {
+			fmt.Fprintln(f, cfd.Format(c))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d tuples (%s)\n", data.Len(), *dataset)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cfdgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command cfdsite serves one horizontal fragment as a detection site
+// over net/rpc/TCP. A driver (cfddetect -remote, or any program using
+// distcfd.NewRemoteCluster) coordinates any number of such sites.
+//
+//	cfdsite -data frag0.csv -key id -id 0 -listen 127.0.0.1:7001
+//
+// The optional -pred flag declares the fragment predicate Fi for the
+// Section IV-A pruning, e.g. -pred "title=MTS,CC=44" (conjunction of
+// equalities).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"distcfd/internal/core"
+	"distcfd/internal/relation"
+	"distcfd/internal/remote"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "CSV fragment file")
+		key      = flag.String("key", "", "key attribute (optional)")
+		id       = flag.Int("id", 0, "site ID (must match position in the driver's address list)")
+		listen   = flag.String("listen", "127.0.0.1:0", "listen address")
+		predSpec = flag.String("pred", "", "fragment predicate, e.g. \"title=MTS,CC=44\"")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fatalf("-data is required")
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var keys []string
+	if *key != "" {
+		keys = []string{*key}
+	}
+	data, err := relation.ReadCSV(f, "data", keys...)
+	f.Close()
+	if err != nil {
+		fatalf("reading data: %v", err)
+	}
+	pred := relation.True()
+	if *predSpec != "" {
+		var atoms []relation.Atom
+		for _, part := range strings.Split(*predSpec, ",") {
+			kv := strings.SplitN(part, "=", 2)
+			if len(kv) != 2 {
+				fatalf("bad predicate atom %q", part)
+			}
+			atoms = append(atoms, relation.Eq(strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])))
+		}
+		pred = relation.And(atoms...)
+	}
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("site %d serving %d tuples on %s\n", *id, data.Len(), lis.Addr())
+	site := core.NewSite(*id, data, pred)
+	if err := remote.Serve(lis, site, data.Schema()); err != nil {
+		fatalf("serve: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cfdsite: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,237 @@
+// Package distcfd is the public API of the library: detecting
+// violations of conditional functional dependencies (CFDs) in
+// relations that are horizontally or vertically fragmented across
+// sites, implementing Fan, Geerts, Ma, Müller — "Detecting
+// Inconsistencies in Distributed Data" (ICDE 2010).
+//
+// The facade re-exports the stable types of the internal packages via
+// aliases and adds convenience constructors, so applications only
+// import this package:
+//
+//	data, _ := distcfd.ReadCSV(f, "orders", "id")
+//	rules, _ := distcfd.ParseRules(strings.NewReader(`
+//	    city_rule: [CC, AC] -> [city] : (44, 131 || EDI)
+//	    street_fd: [CC, zip] -> [street]`))
+//	part, _ := distcfd.PartitionUniform(data, 4, 7)
+//	cluster, _ := distcfd.NewCluster(part)
+//	res, _ := distcfd.Detect(cluster, rules[1], distcfd.PatDetectRT, distcfd.Options{})
+//	fmt.Println(res.Patterns) // Vioπ: the violating LHS patterns
+//
+// See the examples/ directory for complete programs and DESIGN.md for
+// the paper-to-package map.
+package distcfd
+
+import (
+	"io"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/core"
+	"distcfd/internal/dist"
+	"distcfd/internal/partition"
+	"distcfd/internal/relation"
+	"distcfd/internal/remote"
+	"distcfd/internal/vertical"
+)
+
+// Data model.
+type (
+	// Schema is a relation schema (name, attributes, key).
+	Schema = relation.Schema
+	// Tuple is one row.
+	Tuple = relation.Tuple
+	// Relation is an in-memory instance of a schema.
+	Relation = relation.Relation
+	// Predicate is a conjunctive selection predicate (fragment
+	// predicate Fi).
+	Predicate = relation.Predicate
+)
+
+// Dependencies.
+type (
+	// CFD is a conditional functional dependency (X → Y, Tp).
+	CFD = cfd.CFD
+	// PatternTuple is one row of a CFD's pattern tableau.
+	PatternTuple = cfd.PatternTuple
+	// FD is a plain functional dependency over attribute names.
+	FD = cfd.FD
+)
+
+// Wildcard is the unnamed variable '_' in pattern tableaux.
+const Wildcard = cfd.Wildcard
+
+// Partitioning.
+type (
+	// Horizontal is a horizontal partition (D1,…,Dn), Di = σFi(D).
+	Horizontal = partition.Horizontal
+	// Vertical is a vertical partition (D1,…,Dn), Di = πXi(D).
+	Vertical = partition.Vertical
+)
+
+// Detection.
+type (
+	// Cluster is the set of sites the detection algorithms run on.
+	Cluster = core.Cluster
+	// SiteAPI is a single site's operation surface (local or remote).
+	SiteAPI = core.SiteAPI
+	// Site is the in-process SiteAPI implementation.
+	Site = core.Site
+	// Algorithm selects CTRDetect / PatDetectS / PatDetectRT.
+	Algorithm = core.Algorithm
+	// Options tunes a detection run (cost model, mining threshold).
+	Options = core.Options
+	// SingleResult reports a single-CFD run.
+	SingleResult = core.SingleResult
+	// SetResult reports a multi-CFD run.
+	SetResult = core.SetResult
+	// CostModel is the paper's response-time model cost(D,Σ,M).
+	CostModel = dist.CostModel
+	// Metrics records tuple shipments.
+	Metrics = dist.Metrics
+)
+
+// Algorithms of Section IV-B.
+const (
+	// CTRDetect ships all relevant tuples to a single coordinator.
+	CTRDetect = core.CTRDetect
+	// PatDetectS uses per-pattern coordinators minimizing shipment.
+	PatDetectS = core.PatDetectS
+	// PatDetectRT uses per-pattern coordinators minimizing modeled
+	// response time.
+	PatDetectRT = core.PatDetectRT
+)
+
+// NewSchema builds a schema; key attributes are optional.
+func NewSchema(name string, attrs []string, key ...string) (*Schema, error) {
+	return relation.NewSchema(name, attrs, key...)
+}
+
+// NewRelation creates an empty relation over the schema.
+func NewRelation(s *Schema) *Relation { return relation.New(s) }
+
+// ReadCSV loads a relation from CSV (header row = attribute names).
+func ReadCSV(r io.Reader, name string, key ...string) (*Relation, error) {
+	return relation.ReadCSV(r, name, key...)
+}
+
+// WriteCSV writes a relation as CSV with a header row.
+func WriteCSV(w io.Writer, rel *Relation) error { return relation.WriteCSV(w, rel) }
+
+// ParseCFD parses one CFD in the rule syntax, e.g.
+// `r1: [CC, zip] -> [street] : (44, _ || _)`.
+func ParseCFD(s string) (*CFD, error) { return cfd.Parse(s) }
+
+// ParseRules parses a rule file (one CFD per line, # comments).
+func ParseRules(r io.Reader) ([]*CFD, error) { return cfd.ParseSet(r) }
+
+// FormatCFD renders a CFD in the rule syntax.
+func FormatCFD(c *CFD) string { return cfd.Format(c) }
+
+// NewFD builds the CFD encoding a traditional FD X → Y.
+func NewFD(name string, x, y []string) (*CFD, error) { return cfd.NewFD(name, x, y) }
+
+// PartitionUniform splits a relation into n near-equal fragments
+// (shuffled when seed ≥ 0).
+func PartitionUniform(d *Relation, n int, seed int64) (*Horizontal, error) {
+	return partition.Uniform(d, n, seed)
+}
+
+// PartitionByAttribute creates one fragment per distinct value of attr
+// with predicates attr = v.
+func PartitionByAttribute(d *Relation, attr string) (*Horizontal, error) {
+	return partition.ByAttribute(d, attr)
+}
+
+// PartitionByPredicates splits a relation by fragment predicates;
+// every tuple must satisfy exactly one.
+func PartitionByPredicates(d *Relation, preds []Predicate) (*Horizontal, error) {
+	return partition.ByPredicates(d, preds)
+}
+
+// PartitionVertical projects the relation onto attribute sets (the key
+// is added to each fragment automatically).
+func PartitionVertical(d *Relation, attrSets [][]string) (*Vertical, error) {
+	return partition.VerticalByAttrs(d, attrSets)
+}
+
+// NewCluster builds an in-process cluster from a horizontal partition.
+func NewCluster(h *Horizontal) (*Cluster, error) { return core.FromHorizontal(h) }
+
+// NewRemoteCluster connects to cfdsite servers (position in addrs =
+// site ID) and builds a cluster running over TCP.
+func NewRemoteCluster(addrs []string) (*Cluster, error) {
+	sites, schema, err := remote.Dial(addrs)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCluster(schema, sites)
+}
+
+// Detect finds Vioπ(φ, D) over the cluster with the chosen algorithm.
+func Detect(cl *Cluster, c *CFD, algo Algorithm, opt Options) (*SingleResult, error) {
+	return core.DetectSingle(cl, c, algo, opt)
+}
+
+// DetectSet finds Vioπ for a CFD set; clustered=true merges CFDs with
+// LHS containment (ClustDetect), otherwise they run one by one
+// (SeqDetect).
+func DetectSet(cl *Cluster, cs []*CFD, algo Algorithm, opt Options, clustered bool) (*SetResult, error) {
+	if clustered {
+		return core.ClustDetect(cl, cs, algo, opt)
+	}
+	return core.SeqDetect(cl, cs, algo, opt)
+}
+
+// DetectCentral finds the violation patterns of a CFD in an
+// unpartitioned relation (the SQL technique of [2]).
+func DetectCentral(d *Relation, c *CFD) (*Relation, error) {
+	cl, err := NewCluster(&Horizontal{Schema: d.Schema(), Fragments: []*Relation{d}})
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.DetectSingle(cl, c, PatDetectS, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Patterns, nil
+}
+
+// Vertical partitioning analysis (Section V).
+
+// VerticalOptions configures vertical detection.
+type VerticalOptions = vertical.Options
+
+// VerticalResult reports a vertical detection run.
+type VerticalResult = vertical.DetectResult
+
+// Augmentation lists attributes added per fragment by a refinement.
+type Augmentation = vertical.Augmentation
+
+// DependencyPreserving reports whether the fragment attribute sets
+// preserve Σ (Proposition 7: equivalent to every CFD being locally
+// checkable on every instance).
+func DependencyPreserving(cs []*CFD, fragments [][]string) bool {
+	return vertical.Preserved(cfd.NormalizeSet(cs), fragments)
+}
+
+// MinimumRefinement finds a smallest augmentation making the partition
+// dependency preserving (exact search; NP-hard per Theorem 8, so the
+// candidate count is capped — use GreedyRefinement beyond it).
+func MinimumRefinement(cs []*CFD, fragments [][]string, maxCandidates int) (Augmentation, error) {
+	return vertical.ExactMinimumRefinement(cfd.NormalizeSet(cs), fragments, maxCandidates)
+}
+
+// GreedyRefinement finds a (not necessarily minimum) preserving
+// augmentation greedily.
+func GreedyRefinement(cs []*CFD, fragments [][]string) Augmentation {
+	return vertical.GreedyRefinement(cfd.NormalizeSet(cs), fragments)
+}
+
+// DetectVertical finds Vioπ for CFDs over a vertical partition,
+// shipping columns (optionally semijoin-reduced) as needed.
+func DetectVertical(v *Vertical, cs []*CFD, opt VerticalOptions) (*VerticalResult, error) {
+	return vertical.Detect(v, cs, opt)
+}
+
+// DefaultCostModel returns the calibrated response-time model used by
+// the experiment harness.
+func DefaultCostModel() CostModel { return dist.DefaultCostModel() }

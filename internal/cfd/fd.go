@@ -1,0 +1,158 @@
+package cfd
+
+import (
+	"sort"
+	"strings"
+)
+
+// FD is a plain functional dependency X → Y over attribute names,
+// used by the vertical-partitioning machinery (Section V) where the
+// paper's intractability results already hold for traditional FDs.
+type FD struct {
+	X []string
+	Y []string
+}
+
+// FDString renders the FD as X -> Y.
+func (f FD) String() string {
+	return strings.Join(f.X, ",") + " -> " + strings.Join(f.Y, ",")
+}
+
+// EmbeddedFD returns the FD X → Y embedded in the CFD (Section II-A).
+func (c *CFD) EmbeddedFD() FD {
+	return FD{X: append([]string(nil), c.X...), Y: append([]string(nil), c.Y...)}
+}
+
+// AttrSet is a set of attribute names.
+type AttrSet map[string]struct{}
+
+// NewAttrSet builds a set from names.
+func NewAttrSet(names ...string) AttrSet {
+	s := make(AttrSet, len(names))
+	for _, n := range names {
+		s[n] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts names into the set.
+func (s AttrSet) Add(names ...string) {
+	for _, n := range names {
+		s[n] = struct{}{}
+	}
+}
+
+// Has reports membership.
+func (s AttrSet) Has(n string) bool {
+	_, ok := s[n]
+	return ok
+}
+
+// HasAll reports whether every name is a member.
+func (s AttrSet) HasAll(names []string) bool {
+	for _, n := range names {
+		if !s.Has(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies the set.
+func (s AttrSet) Clone() AttrSet {
+	out := make(AttrSet, len(s))
+	for n := range s {
+		out[n] = struct{}{}
+	}
+	return out
+}
+
+// Sorted returns the members in lexicographic order.
+func (s AttrSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for n := range s {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Closure computes the attribute closure X⁺ of x under the FDs,
+// using the standard fixpoint algorithm.
+func Closure(x []string, fds []FD) AttrSet {
+	closure := NewAttrSet(x...)
+	changed := true
+	for changed {
+		changed = false
+		for _, f := range fds {
+			if closure.HasAll(f.X) {
+				for _, a := range f.Y {
+					if !closure.Has(a) {
+						closure.Add(a)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// ImpliesFD reports whether fds ⊨ f, via attribute closure.
+func ImpliesFD(fds []FD, f FD) bool {
+	return Closure(f.X, fds).HasAll(f.Y)
+}
+
+// ProjectFDs computes the projection π_Z(F): a cover of all FDs X → A
+// with X ∪ {A} ⊆ Z implied by fds. This is the classical (worst-case
+// exponential in |Z|) subset-closure algorithm; it is only invoked on
+// the small per-fragment attribute sets of vertical partitions.
+// The returned cover lists, for every non-empty X ⊆ Z, the FD
+// X → (X⁺ ∩ Z) \ X when the right side is non-empty, skipping subsets
+// whose closure adds nothing.
+func ProjectFDs(fds []FD, z []string) []FD {
+	var out []FD
+	n := len(z)
+	if n == 0 {
+		return nil
+	}
+	if n > 20 {
+		// Safety valve: 2^20 subsets is the supported ceiling; vertical
+		// fragments in this library are far smaller.
+		panic("cfd: ProjectFDs called with more than 20 attributes")
+	}
+	for mask := 1; mask < (1 << n); mask++ {
+		var x []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				x = append(x, z[i])
+			}
+		}
+		cl := Closure(x, fds)
+		var y []string
+		for _, a := range z {
+			if cl.Has(a) && !NewAttrSet(x...).Has(a) {
+				y = append(y, a)
+			}
+		}
+		if len(y) > 0 {
+			out = append(out, FD{X: x, Y: y})
+		}
+	}
+	return out
+}
+
+// EquivalentFDSets reports whether two FD sets imply each other.
+func EquivalentFDSets(a, b []FD) bool {
+	for _, f := range a {
+		if !ImpliesFD(b, f) {
+			return false
+		}
+	}
+	for _, f := range b {
+		if !ImpliesFD(a, f) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,177 @@
+package cfd
+
+import (
+	"sort"
+	"strings"
+)
+
+// Normalized is a CFD in the normal form of Section IV-A: a single RHS
+// attribute A and a single pattern tuple, (X → A, tp). Every CFD
+// (X → Y, Tp) is equivalent to the set of Normalized CFDs obtained by
+// projecting each tableau row onto each Y attribute.
+type Normalized struct {
+	// Parent names the CFD this normalized unit came from.
+	Parent string
+	// PatternIndex is the row of the parent tableau this unit encodes.
+	PatternIndex int
+	// X is the LHS attribute list.
+	X []string
+	// A is the single RHS attribute.
+	A string
+	// TpX is the pattern over X (constants or Wildcard), aligned with X.
+	TpX []string
+	// TpA is the pattern entry for A: a constant (constant CFD) or
+	// Wildcard (variable CFD).
+	TpA string
+}
+
+// IsConstant reports whether the normalized CFD is a constant CFD
+// (tp[A] is a constant). A single tuple can violate a constant CFD, so
+// by Proposition 5 constant CFDs are always locally checkable in
+// horizontal fragments.
+func (n *Normalized) IsConstant() bool { return n.TpA != Wildcard }
+
+// IsVariable reports whether tp[A] is the wildcard.
+func (n *Normalized) IsVariable() bool { return n.TpA == Wildcard }
+
+// LHSWildcards counts wildcards in TpX.
+func (n *Normalized) LHSWildcards() int {
+	c := 0
+	for _, v := range n.TpX {
+		if v == Wildcard {
+			c++
+		}
+	}
+	return c
+}
+
+// Key is a canonical identity string for deduplication.
+func (n *Normalized) Key() string {
+	return strings.Join(n.X, ",") + "->" + n.A + ":" + strings.Join(n.TpX, ",") + "||" + n.TpA
+}
+
+// String renders the normalized CFD.
+func (n *Normalized) String() string {
+	return "([" + strings.Join(n.X, ", ") + "] -> " + n.A +
+		", (" + strings.Join(n.TpX, ", ") + " || " + n.TpA + "))"
+}
+
+// Clone deep-copies the normalized CFD.
+func (n *Normalized) Clone() *Normalized {
+	return &Normalized{
+		Parent:       n.Parent,
+		PatternIndex: n.PatternIndex,
+		X:            append([]string(nil), n.X...),
+		A:            n.A,
+		TpX:          append([]string(nil), n.TpX...),
+		TpA:          n.TpA,
+	}
+}
+
+// Normalize splits the CFD into its equivalent set of Normalized CFDs:
+// one per (pattern tuple, Y attribute) pair, deduplicated.
+func (c *CFD) Normalize() []*Normalized {
+	var out []*Normalized
+	seen := map[string]bool{}
+	for pi, tp := range c.Tp {
+		for yi, a := range c.Y {
+			n := &Normalized{
+				Parent:       c.Name,
+				PatternIndex: pi,
+				X:            c.X,
+				A:            a,
+				TpX:          tp.LHS,
+				TpA:          tp.RHS[yi],
+			}
+			if k := n.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// ReduceConstant rewrites a constant CFD into the equivalent constant
+// CFD with no wildcard in the pattern tuple ([2], cited in Section
+// IV-A): LHS attributes whose pattern entry is the wildcard impose no
+// condition when the RHS is a constant, so they are dropped. Variable
+// CFDs are returned unchanged.
+func (n *Normalized) ReduceConstant() *Normalized {
+	if !n.IsConstant() {
+		return n
+	}
+	var xs, ps []string
+	for i, v := range n.TpX {
+		if v != Wildcard {
+			xs = append(xs, n.X[i])
+			ps = append(ps, v)
+		}
+	}
+	return &Normalized{
+		Parent:       n.Parent,
+		PatternIndex: n.PatternIndex,
+		X:            xs,
+		A:            n.A,
+		TpX:          ps,
+		TpA:          n.TpA,
+	}
+}
+
+// SplitConstantVariable normalizes the CFD and partitions the result
+// into constant CFDs (reduced to wildcard-free form) and variable CFDs.
+func (c *CFD) SplitConstantVariable() (constant, variable []*Normalized) {
+	for _, n := range c.Normalize() {
+		if n.IsConstant() {
+			constant = append(constant, n.ReduceConstant())
+		} else {
+			variable = append(variable, n)
+		}
+	}
+	return constant, variable
+}
+
+// VariableView returns the CFD restricted to pattern rows and RHS
+// entries that are variable (wildcard RHS), regrouped per pattern row:
+// the per-pattern detection algorithms of Section IV-B operate on this
+// view. The result has the same X and Y; pattern rows whose RHS
+// entries are all constants are dropped. If no variable part remains,
+// ok is false.
+func (c *CFD) VariableView() (view *CFD, ok bool) {
+	var rows []PatternTuple
+	for _, tp := range c.Tp {
+		hasVar := false
+		for _, v := range tp.RHS {
+			if v == Wildcard {
+				hasVar = true
+				break
+			}
+		}
+		if hasVar {
+			rows = append(rows, tp.Clone())
+		}
+	}
+	if len(rows) == 0 {
+		return nil, false
+	}
+	return &CFD{Name: c.Name, X: c.X, Y: c.Y, Tp: rows}, true
+}
+
+// SortPatternsByGenerality orders the tableau rows so that rows with
+// fewer LHS wildcards come first (Section IV-B: "sort Tp as
+// (t¹p,…,tᵏp) such that if i<j then tⁱp has a less or equal number of
+// wildcards"). Ties are broken lexicographically on the LHS pattern for
+// determinism across sites, which the σ function requires.
+func (c *CFD) SortPatternsByGenerality() *CFD {
+	out := c.Clone()
+	sort.SliceStable(out.Tp, func(i, j int) bool {
+		wi, wj := out.Tp[i].LHSWildcards(), out.Tp[j].LHSWildcards()
+		if wi != wj {
+			return wi < wj
+		}
+		li := strings.Join(out.Tp[i].LHS, "\x1f")
+		lj := strings.Join(out.Tp[j].LHS, "\x1f")
+		return li < lj
+	})
+	return out
+}

@@ -1,0 +1,154 @@
+package cfd
+
+import (
+	"sort"
+
+	"distcfd/internal/relation"
+)
+
+// This file implements the violation semantics of Section II with the
+// naive quadratic algorithm. It is the reference oracle the fast
+// (hash-grouping) detector in internal/engine is tested against.
+//
+// Semantics note. The paper's formal definition of Vio(φ,D) reads:
+// t ∈ Vio iff ∃t′,tp with t[X]=t′[X] ≍ tp[X] and (t[Y]≠t′[Y] or
+// t[Y]=t′[Y] ̸≍ tp[Y]). Read literally, the first disjunct would also
+// flag a tuple that *complies* with a constant pattern whenever some
+// other tuple mismatches it (in Fig. 1, t1 would be flagged through
+// t2). The paper's own Example 1 ("the violations consist of t2–t6, t8
+// and t9") and Example 4 ("t2 and t3 (individually) violate ψ1 …; no
+// other violations exist") exclude such tuples, as does the SQL
+// detection technique of [2] the paper builds on. We therefore follow
+// the normal-form semantics the paper actually uses:
+//
+//   - constant unit (X→A, tp), tp[A] a constant: t violates iff
+//     t[X] ≍ tp[X] and t[A] ≠ tp[A] (single-tuple check);
+//   - variable unit (X→A, tp), tp[A] = '_': t violates iff there is a
+//     t′ with t[X] = t′[X] ≍ tp[X] and t[A] ≠ t′[A] (both sides of the
+//     witness pair are violations).
+//
+// Vio(φ,D) is the union over the normalized units of φ.
+
+// Satisfies reports whether D ⊨ φ.
+func Satisfies(d *relation.Relation, c *CFD) (bool, error) {
+	vio, err := NaiveViolations(d, c)
+	if err != nil {
+		return false, err
+	}
+	return len(vio) == 0, nil
+}
+
+// NaiveViolations computes Vio(φ, D) as the sorted list of tuple
+// indices in D, directly from the normal-form semantics above, in
+// O(|Tp|·|Y|·n²) time.
+func NaiveViolations(d *relation.Relation, c *CFD) ([]int, error) {
+	if err := c.Validate(d.Schema()); err != nil {
+		return nil, err
+	}
+	bad := make(map[int]struct{})
+	for _, unit := range c.Normalize() {
+		if err := naiveUnit(d, unit, bad); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]int, 0, len(bad))
+	for i := range bad {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func naiveUnit(d *relation.Relation, n *Normalized, bad map[int]struct{}) error {
+	xi, err := d.Schema().Indices(n.X)
+	if err != nil {
+		return err
+	}
+	aIdx, ok := d.Schema().Index(n.A)
+	if !ok {
+		return errAttr(d, n.A)
+	}
+	cnt := d.Len()
+	if n.IsConstant() {
+		for i := 0; i < cnt; i++ {
+			t := d.Tuple(i)
+			if MatchAll(t.Project(xi), n.TpX) && t[aIdx] != n.TpA {
+				bad[i] = struct{}{}
+			}
+		}
+		return nil
+	}
+	for i := 0; i < cnt; i++ {
+		ti := d.Tuple(i)
+		tix := ti.Project(xi)
+		if !MatchAll(tix, n.TpX) {
+			continue
+		}
+		for j := i + 1; j < cnt; j++ {
+			tj := d.Tuple(j)
+			if !tix.Equal(tj.Project(xi)) {
+				continue
+			}
+			if ti[aIdx] != tj[aIdx] {
+				bad[i] = struct{}{}
+				bad[j] = struct{}{}
+			}
+		}
+	}
+	return nil
+}
+
+func errAttr(d *relation.Relation, a string) error {
+	_, err := d.Schema().Indices([]string{a})
+	return err
+}
+
+// NaiveViolationsSet computes Vio(Σ, D) for a set of CFDs: the sorted
+// union of per-CFD violation indices.
+func NaiveViolationsSet(d *relation.Relation, cs []*CFD) ([]int, error) {
+	bad := make(map[int]struct{})
+	for _, c := range cs {
+		vio, err := NaiveViolations(d, c)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range vio {
+			bad[i] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(bad))
+	for i := range bad {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// VioPi builds Vioπ(φ,D) from violation indices: the distinct
+// projections of violating tuples onto X, null-padded to schema R
+// (Section II-C). The result is an instance of R.
+func VioPi(d *relation.Relation, c *CFD, vioIdx []int) (*relation.Relation, error) {
+	xi, err := d.Schema().Indices(c.X)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(d.Schema())
+	seen := map[string]struct{}{}
+	for _, i := range vioIdx {
+		t := d.Tuple(i)
+		k := t.Key(xi)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		padded := make(relation.Tuple, d.Schema().Arity())
+		for j := range padded {
+			padded[j] = relation.Null
+		}
+		for _, j := range xi {
+			padded[j] = t[j]
+		}
+		out.MustAppend(padded)
+	}
+	return out, nil
+}

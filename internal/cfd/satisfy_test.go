@@ -1,0 +1,155 @@
+package cfd
+
+import (
+	"testing"
+
+	"distcfd/internal/relation"
+)
+
+// TestExample1Violations reproduces Example 1 of the paper: the
+// violations of cfd1–cfd5 (≡ φ1–φ3) in D0 are exactly t2–t6, t8, t9.
+func TestExample1Violations(t *testing.T) {
+	d := empD0()
+
+	vio1, err := NaiveViolations(d, phi1())
+	if err != nil {
+		t.Fatalf("phi1: %v", err)
+	}
+	// t2–t5 (CC=44, zip=EH4 8LE, streets differ) and t8,t9 (CC=31).
+	wantIdx(t, "phi1", vio1, []int{1, 2, 3, 4, 7, 8})
+
+	vio2, err := NaiveViolations(d, phi2())
+	if err != nil {
+		t.Fatalf("phi2: %v", err)
+	}
+	wantIdx(t, "phi2 (D0 satisfies cfd3)", vio2, nil)
+
+	vio3, err := NaiveViolations(d, phi3())
+	if err != nil {
+		t.Fatalf("phi3: %v", err)
+	}
+	// t2, t3 violate cfd4; t6 violates cfd5.
+	wantIdx(t, "phi3", vio3, []int{1, 2, 5})
+
+	all, err := NaiveViolationsSet(d, []*CFD{phi1(), phi2(), phi3()})
+	if err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	// t2,t3,t4,t5,t6,t8,t9 — exactly the paper's answer.
+	wantIdx(t, "Σ", all, []int{1, 2, 3, 4, 5, 7, 8})
+}
+
+func wantIdx(t *testing.T, label string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: violations = %v, want %v", label, got, want)
+		return
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: violations = %v, want %v", label, got, want)
+			return
+		}
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	d := empD0()
+	ok, err := Satisfies(d, phi2())
+	if err != nil || !ok {
+		t.Errorf("D0 ⊨ phi2 expected, got %v, %v", ok, err)
+	}
+	ok, err = Satisfies(d, phi1())
+	if err != nil || ok {
+		t.Errorf("D0 ⊭ phi1 expected, got %v, %v", ok, err)
+	}
+}
+
+func TestSingleTupleConstantViolation(t *testing.T) {
+	// One tuple alone violates a constant CFD (Proposition 5 rationale).
+	s := relation.MustSchema("R", []string{"CC", "AC", "city"})
+	d := relation.MustFromRows(s, []string{"44", "131", "NYC"})
+	c := MustNew("c", []string{"CC", "AC"}, []string{"city"}, []PatternTuple{
+		{LHS: []string{"44", "131"}, RHS: []string{"EDI"}},
+	})
+	vio, err := NaiveViolations(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx(t, "single-tuple", vio, []int{0})
+}
+
+func TestEmptyRelationSatisfiesAll(t *testing.T) {
+	s := relation.MustSchema("R", []string{"a", "b"})
+	d := relation.New(s)
+	c, _ := NewFD("fd", []string{"a"}, []string{"b"})
+	ok, err := Satisfies(d, c)
+	if err != nil || !ok {
+		t.Errorf("empty relation must satisfy everything: %v %v", ok, err)
+	}
+}
+
+func TestViolationsErrorOnBadSchema(t *testing.T) {
+	s := relation.MustSchema("R", []string{"a", "b"})
+	d := relation.New(s)
+	c, _ := NewFD("fd", []string{"zz"}, []string{"b"})
+	if _, err := NaiveViolations(d, c); err == nil {
+		t.Error("expected schema validation error")
+	}
+}
+
+func TestVioPi(t *testing.T) {
+	d := empD0()
+	vio, err := NaiveViolations(d, phi1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := VioPi(d, phi1(), vio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two distinct violating X-patterns: (44, EH4 8LE) and (31, 1012 WR).
+	if pi.Len() != 2 {
+		t.Fatalf("Vioπ has %d rows, want 2: %v", pi.Len(), pi)
+	}
+	cc := pi.Schema().MustIndex("CC")
+	zip := pi.Schema().MustIndex("zip")
+	name := pi.Schema().MustIndex("name")
+	seen := map[string]bool{}
+	for _, tu := range pi.Tuples() {
+		seen[tu[cc]+"/"+tu[zip]] = true
+		if tu[name] != relation.Null {
+			t.Errorf("non-X attribute should be null, got %q", tu[name])
+		}
+	}
+	if !seen["44/EH4 8LE"] || !seen["31/1012 WR"] {
+		t.Errorf("Vioπ patterns = %v", seen)
+	}
+}
+
+// TestVioPiCompression reproduces the D1 discussion in Section II-C: K
+// tuples sharing a violating pattern compress to a single Vioπ row.
+func TestVioPiCompression(t *testing.T) {
+	s := relation.MustSchema("EMP2", []string{"CC", "title", "salary"})
+	d := relation.New(s)
+	d.MustAppend(relation.Tuple{"44", "MTS", "80k"})
+	const K = 25
+	for i := 0; i < K; i++ {
+		d.MustAppend(relation.Tuple{"44", "MTS", "85k"})
+	}
+	c, _ := NewFD("phi2", []string{"CC", "title"}, []string{"salary"})
+	vio, err := NaiveViolations(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vio) != K+1 {
+		t.Errorf("Vio has %d tuples, want %d", len(vio), K+1)
+	}
+	pi, err := VioPi(d, c, vio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.Len() != 1 {
+		t.Errorf("Vioπ has %d rows, want 1", pi.Len())
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"distcfd/internal/dist"
+)
+
+// Coordinator assignment strategies. lstat is indexed [site][block]:
+// lstat[i][l] = |H_i^l|, the number of site-i tuples in σ-block l.
+// Every strategy returns one coordinator site per block, or -1 for a
+// block empty at every site. Ties break toward the smallest site ID —
+// the paper's deterministic tiebreaker, which lets every site derive
+// the same assignment independently.
+
+// assignCTR implements CTRDetect's choice: the single site with the
+// largest total number of matching tuples coordinates every block.
+func assignCTR(lstat [][]int) []int {
+	n := len(lstat)
+	if n == 0 {
+		return nil
+	}
+	k := len(lstat[0])
+	best, bestTotal := 0, -1
+	for i := 0; i < n; i++ {
+		total := 0
+		for l := 0; l < k; l++ {
+			total += lstat[i][l]
+		}
+		if total > bestTotal {
+			best, bestTotal = i, total
+		}
+	}
+	coords := make([]int, k)
+	grand := 0
+	for l := 0; l < k; l++ {
+		colTotal := 0
+		for i := 0; i < n; i++ {
+			colTotal += lstat[i][l]
+		}
+		grand += colTotal
+		if colTotal == 0 {
+			coords[l] = -1
+		} else {
+			coords[l] = best
+		}
+	}
+	if grand == 0 {
+		for l := range coords {
+			coords[l] = -1
+		}
+	}
+	return coords
+}
+
+// assignPatS implements PatDetectS: per pattern tuple, the coordinator
+// is the site holding the most matching tuples (it would otherwise
+// ship the largest number, so keeping them local minimizes costS).
+func assignPatS(lstat [][]int) []int {
+	n := len(lstat)
+	if n == 0 {
+		return nil
+	}
+	k := len(lstat[0])
+	coords := make([]int, k)
+	for l := 0; l < k; l++ {
+		best, bestCount := -1, 0
+		for i := 0; i < n; i++ {
+			if lstat[i][l] > bestCount {
+				best, bestCount = i, lstat[i][l]
+			}
+		}
+		coords[l] = best
+	}
+	return coords
+}
+
+// assignPatRT implements PatDetectRT: patterns are processed in the
+// (generality-sorted) tableau order; the l-th pattern is placed at the
+// site that increases the modeled response time costRS the least,
+// given the partial assignment λ_{l-1} (Section IV-B).
+func assignPatRT(lstat [][]int, fragSizes []int, cm dist.CostModel) []int {
+	n := len(lstat)
+	if n == 0 {
+		return nil
+	}
+	k := len(lstat[0])
+	coords := make([]int, k)
+	sent := make([]int64, n)
+	recv := make([]int64, n)
+	checkSizes := make([]int, n)
+	for l := 0; l < k; l++ {
+		total := 0
+		for i := 0; i < n; i++ {
+			total += lstat[i][l]
+		}
+		if total == 0 {
+			coords[l] = -1
+			continue
+		}
+		best, bestCount := -1, -1
+		bestCost := 0.0
+		candSent := make([]int64, n)
+		for m := 0; m < n; m++ {
+			copy(candSent, sent)
+			var incoming int64
+			for j := 0; j < n; j++ {
+				if j != m {
+					candSent[j] += int64(lstat[j][l])
+					incoming += int64(lstat[j][l])
+				}
+			}
+			for i := 0; i < n; i++ {
+				checkSizes[i] = fragSizes[i] + int(recv[i])
+			}
+			checkSizes[m] += int(incoming)
+			cost := cm.PlanResponseTime(candSent, checkSizes)
+			if best == -1 || cost < bestCost ||
+				(cost == bestCost && lstat[m][l] > bestCount) {
+				best, bestCost, bestCount = m, cost, lstat[m][l]
+			}
+		}
+		coords[l] = best
+		for j := 0; j < n; j++ {
+			if j != best {
+				sent[j] += int64(lstat[j][l])
+				recv[best] += int64(lstat[j][l])
+			}
+		}
+	}
+	return coords
+}
+
+// assign dispatches on the algorithm.
+func assign(algo Algorithm, lstat [][]int, fragSizes []int, cm dist.CostModel) []int {
+	switch algo {
+	case CTRDetect:
+		return assignCTR(lstat)
+	case PatDetectRT:
+		return assignPatRT(lstat, fragSizes, cm)
+	default:
+		return assignPatS(lstat)
+	}
+}
+
+// blocksBySite inverts a coordinator assignment: for each site, the
+// list of blocks it coordinates.
+func blocksBySite(coords []int, n int) [][]int {
+	out := make([][]int, n)
+	for l, c := range coords {
+		if c >= 0 {
+			out[c] = append(out[c], l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"distcfd/internal/dist"
+	"distcfd/internal/partition"
+	"distcfd/internal/relation"
+)
+
+// Cluster is a set of sites holding the horizontal fragments of one
+// relation, plus the fabric used to move tuples between them. All
+// detection algorithms run against a Cluster; sites may be in-process
+// (Site) or remote proxies, as long as they implement SiteAPI.
+type Cluster struct {
+	schema  *relation.Schema
+	sites   []SiteAPI
+	preds   []relation.Predicate
+	taskSeq atomic.Int64
+}
+
+// NewCluster assembles a cluster over sites sharing schema. Fragment
+// predicates are fetched once from the sites.
+func NewCluster(schema *relation.Schema, sites []SiteAPI) (*Cluster, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("core: cluster needs at least one site")
+	}
+	preds := make([]relation.Predicate, len(sites))
+	for i, s := range sites {
+		if s.ID() != i {
+			return nil, fmt.Errorf("core: site at position %d reports ID %d", i, s.ID())
+		}
+		p, err := s.Predicate()
+		if err != nil {
+			return nil, fmt.Errorf("core: fetching predicate of site %d: %w", i, err)
+		}
+		preds[i] = p
+	}
+	return &Cluster{schema: schema, sites: sites, preds: preds}, nil
+}
+
+// FromHorizontal builds an in-process cluster from a horizontal
+// partition: one local Site per fragment.
+func FromHorizontal(h *partition.Horizontal) (*Cluster, error) {
+	sites := make([]SiteAPI, h.N())
+	for i, frag := range h.Fragments {
+		pred := relation.True()
+		if len(h.Predicates) > i {
+			pred = h.Predicates[i]
+		}
+		sites[i] = NewSite(i, frag, pred)
+	}
+	return NewCluster(h.Schema, sites)
+}
+
+// N returns the number of sites.
+func (cl *Cluster) N() int { return len(cl.sites) }
+
+// Schema returns the relation schema shared by the fragments.
+func (cl *Cluster) Schema() *relation.Schema { return cl.schema }
+
+// Site returns site i.
+func (cl *Cluster) Site(i int) SiteAPI { return cl.sites[i] }
+
+// Predicates returns the fragment predicates (cached).
+func (cl *Cluster) Predicates() []relation.Predicate { return cl.preds }
+
+// newTask mints a cluster-unique task prefix.
+func (cl *Cluster) newTask(kind string) string {
+	return fmt.Sprintf("%s-%d", kind, cl.taskSeq.Add(1))
+}
+
+// parallel runs fn for every site concurrently — the paper's "at each
+// site Si, perform the following in parallel" — and returns the first
+// error.
+func (cl *Cluster) parallel(fn func(i int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(cl.sites))
+	for i := range cl.sites {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ship moves a batch from site `from` to site `to` under the task key,
+// recording it in metrics. Shipping to self is a no-op the algorithms
+// never request; it is rejected to catch bugs.
+func (cl *Cluster) ship(m *dist.Metrics, from, to int, task string, batch *relation.Relation) error {
+	if from == to {
+		return fmt.Errorf("core: site %d shipping to itself", from)
+	}
+	if batch.Len() == 0 {
+		return nil
+	}
+	m.ShipTuples(from, to, batch.Len(), dist.RelationBytes(batch))
+	return cl.sites[to].Deposit(task, batch)
+}
+
+// broadcastControl records the control-plane cost of site i sending
+// payloadBytes to every other site (the lstat exchange).
+func (cl *Cluster) broadcastControl(m *dist.Metrics, from int, payloadBytes int64) {
+	for to := range cl.sites {
+		if to != from {
+			m.Control(from, to, payloadBytes)
+		}
+	}
+}
+
+// fragmentSizes fetches |Di| for every site.
+func (cl *Cluster) fragmentSizes() ([]int, error) {
+	sizes := make([]int, cl.N())
+	err := cl.parallel(func(i int) error {
+		n, err := cl.sites[i].NumTuples()
+		if err != nil {
+			return err
+		}
+		sizes[i] = n
+		return nil
+	})
+	return sizes, err
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/dist"
+	"distcfd/internal/relation"
+)
+
+// SeqDetect detects violations of a CFD set by processing the CFDs one
+// by one with the chosen single-CFD algorithm (Section IV-C). The
+// paper pipelines the per-CFD phases so no site idles; the modeled
+// response time reported here is the sum of the per-CFD modeled times,
+// an upper bound on the pipelined schedule that is consistent across
+// algorithms and therefore comparable (Exp-5/Exp-6 compare SeqDetect
+// and ClustDetect under the same accounting).
+//
+// SeqDetect may ship the same tuple several times — once per CFD that
+// matches it — which is exactly the inefficiency ClustDetect removes.
+func SeqDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
+	if len(cfds) == 0 {
+		return nil, fmt.Errorf("core: SeqDetect with no CFDs")
+	}
+	opt = opt.withDefaults()
+	start := time.Now()
+	total := dist.NewMetrics(cl.N())
+	res := &SetResult{CFDs: cfds, Metrics: total}
+	for i, c := range cfds {
+		one, err := DetectSingle(cl, c, algo, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: SeqDetect cfd %d (%s): %w", i, c.Name, err)
+		}
+		total.Merge(one.Metrics)
+		res.ModeledTime += one.ModeledTime
+		res.PerCFD = append(res.PerCFD, one.Patterns)
+		res.Clusters = append(res.Clusters, []int{i})
+	}
+	res.ShippedTuples = total.TotalTuples()
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// ClustDetect detects violations of a CFD set by first clustering CFDs
+// whose LHS attribute sets are related by containment (X ⊆ X′ or
+// X′ ⊆ X, Section IV-C), then processing each cluster with a single
+// σ-partitioning over the shared attributes W = ∩ LHS: tuples are
+// shipped once per cluster — projected onto the union of the cluster's
+// attributes — instead of once per CFD, and each coordinator checks
+// every member CFD inside its blocks.
+func ClustDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
+	if len(cfds) == 0 {
+		return nil, fmt.Errorf("core: ClustDetect with no CFDs")
+	}
+	opt = opt.withDefaults()
+	start := time.Now()
+	total := dist.NewMetrics(cl.N())
+	res := &SetResult{
+		CFDs:    cfds,
+		Metrics: total,
+		PerCFD:  make([]*relation.Relation, len(cfds)),
+	}
+	clusters := clusterByLHS(cfds)
+	res.Clusters = clusters
+	for _, members := range clusters {
+		if len(members) == 1 {
+			one, err := DetectSingle(cl, cfds[members[0]], algo, opt)
+			if err != nil {
+				return nil, err
+			}
+			total.Merge(one.Metrics)
+			res.ModeledTime += one.ModeledTime
+			res.PerCFD[members[0]] = one.Patterns
+			continue
+		}
+		group := make([]*cfd.CFD, len(members))
+		for i, idx := range members {
+			group[i] = cfds[idx]
+		}
+		pats, modeled, m, err := detectCluster(cl, group, algo, opt)
+		if err != nil {
+			return nil, err
+		}
+		total.Merge(m)
+		res.ModeledTime += modeled
+		for i, idx := range members {
+			res.PerCFD[idx] = pats[i]
+		}
+	}
+	res.ShippedTuples = total.TotalTuples()
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// detectCluster processes one cluster of ≥2 CFDs with a shared
+// σ-partitioning on W = ∩ LHS.
+func detectCluster(cl *Cluster, group []*cfd.CFD, algo Algorithm, opt Options) ([]*relation.Relation, float64, *dist.Metrics, error) {
+	m := dist.NewMetrics(cl.N())
+	fragSizes, err := cl.fragmentSizes()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	for _, c := range group {
+		if err := c.Validate(cl.schema); err != nil {
+			return nil, 0, nil, err
+		}
+	}
+
+	// Constant units of every member, locally (Prop. 5).
+	constParts := make([][]*relation.Relation, len(group))
+	for ci, c := range group {
+		parts, err := detectConstantsEverywhere(cl, c)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		constParts[ci] = parts
+	}
+
+	// Variable views; members without one are constants-only.
+	views := make([]*cfd.CFD, 0, len(group))
+	viewIdx := make([]int, 0, len(group))
+	for ci, c := range group {
+		if v, ok := c.VariableView(); ok {
+			views = append(views, v)
+			viewIdx = append(viewIdx, ci)
+		}
+	}
+
+	out := make([]*relation.Relation, len(group))
+	for ci, c := range group {
+		ps, err := cl.schema.Project("viopi_"+c.Name, c.X)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		out[ci] = mergeDistinct(ps, constParts[ci])
+	}
+
+	modeled := 0.0
+	if len(views) > 0 {
+		w := sharedLHS(views)
+		if len(w) == 0 {
+			return nil, 0, nil, fmt.Errorf("core: cluster with empty shared LHS — clusterByLHS should prevent this")
+		}
+		spec, err := projectedSpec(w, views)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		pipe, err := runBlockPipeline(cl, spec, views, false, algo, opt, m, fragSizes)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		for vi, ci := range viewIdx {
+			merged := mergeDistinct(out[ci].Schema(), append([]*relation.Relation{out[ci]}, pipe.parts[vi]...))
+			out[ci] = merged
+		}
+		checkSizes := make([]int, cl.N())
+		for i := range checkSizes {
+			checkSizes[i] = fragSizes[i] + int(m.ReceivedBy(i))
+		}
+		modeled = opt.Cost.ResponseTime(m, checkSizes)
+	} else {
+		checkSizes := fragSizes
+		modeled = opt.Cost.ResponseTime(m, checkSizes)
+	}
+	for ci, c := range group {
+		if err := out[ci].SortBy(c.X...); err != nil {
+			return nil, 0, nil, err
+		}
+	}
+	return out, modeled, m, nil
+}
+
+// clusterByLHS groups CFD indices with union-find, merging two CFDs
+// when one's LHS attribute set contains the other's (the paper's
+// overlap condition). Containment is not transitive as a relation on
+// sets with a common superset — X1 ⊆ X3 and X2 ⊆ X3 do not make
+// X1 ∩ X2 non-empty — so union-find groups are post-split until every
+// cluster has a non-empty shared LHS W, which the shared σ spec needs.
+// Clusters are reported in first-member order.
+func clusterByLHS(cfds []*cfd.CFD) [][]int {
+	parent := make([]int, len(cfds))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for i := 0; i < len(cfds); i++ {
+		for j := i + 1; j < len(cfds); j++ {
+			if containsAll(cfds[i].X, cfds[j].X) || containsAll(cfds[j].X, cfds[i].X) {
+				union(i, j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	var order []int
+	for i := range cfds {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, splitForNonEmptyW(cfds, groups[r])...)
+	}
+	return out
+}
+
+// splitForNonEmptyW greedily subdivides a candidate cluster so every
+// part keeps a non-empty running LHS intersection.
+func splitForNonEmptyW(cfds []*cfd.CFD, members []int) [][]int {
+	var out [][]int
+	remaining := members
+	for len(remaining) > 0 {
+		cur := []int{remaining[0]}
+		w := append([]string(nil), cfds[remaining[0]].X...)
+		var rest []int
+		for _, idx := range remaining[1:] {
+			inter := intersectAttrs(w, cfds[idx].X)
+			if len(inter) > 0 {
+				cur = append(cur, idx)
+				w = inter
+			} else {
+				rest = append(rest, idx)
+			}
+		}
+		out = append(out, cur)
+		remaining = rest
+	}
+	return out
+}
+
+func intersectAttrs(a, b []string) []string {
+	set := make(map[string]bool, len(b))
+	for _, x := range b {
+		set[x] = true
+	}
+	var out []string
+	for _, x := range a {
+		if set[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func containsAll(super, sub []string) bool {
+	set := make(map[string]bool, len(super))
+	for _, a := range super {
+		set[a] = true
+	}
+	for _, a := range sub {
+		if !set[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// sharedLHS returns W = ∩ LHS over the views, ordered as in the view
+// with the fewest LHS attributes (deterministic).
+func sharedLHS(views []*cfd.CFD) []string {
+	smallest := views[0]
+	for _, v := range views[1:] {
+		if len(v.X) < len(smallest.X) {
+			smallest = v
+		}
+	}
+	var w []string
+	for _, a := range smallest.X {
+		inAll := true
+		for _, v := range views {
+			if !containsAll(v.X, []string{a}) {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			w = append(w, a)
+		}
+	}
+	return w
+}
+
+// projectedSpec builds the cluster σ spec: the union of every view's
+// tableau rows projected onto W, deduplicated and generality-sorted
+// (NewBlockSpec does both).
+func projectedSpec(w []string, views []*cfd.CFD) (*BlockSpec, error) {
+	var patterns [][]string
+	for _, v := range views {
+		pos := make([]int, len(w))
+		for i, a := range w {
+			for j, xa := range v.X {
+				if xa == a {
+					pos[i] = j
+					break
+				}
+			}
+		}
+		for _, tp := range v.Tp {
+			p := make([]string, len(w))
+			for i, j := range pos {
+				p[i] = tp.LHS[j]
+			}
+			patterns = append(patterns, p)
+		}
+	}
+	return NewBlockSpec(w, patterns)
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"distcfd/internal/cfd"
+	"distcfd/internal/dist"
+	"distcfd/internal/relation"
+)
+
+// pipelineOut carries the products of the shared σ-block pipeline:
+// statistics, the coordinator assignment, and per-CFD, per-site
+// violation-pattern relations.
+type pipelineOut struct {
+	lstat  [][]int
+	coords []int
+	// parts[ci][j] holds the X-patterns of detectCFDs[ci] found at
+	// coordinator site j (nil when j coordinated no blocks).
+	parts [][]*relation.Relation
+}
+
+// runBlockPipeline executes the common phases of Section IV-B/IV-C
+// over an already-built σ spec:
+//
+//  1. Fi ∧ Fφ pruning,
+//  2. parallel local statistics + exchange (control traffic),
+//  3. coordinator assignment per the algorithm's policy,
+//  4. parallel shipping of non-local blocks (each tuple at most once),
+//  5. parallel detection at the coordinators.
+//
+// With restrictSingle, detectCFDs must be a single CFD and each block
+// checks only its own pattern row (Lemma 6); otherwise every CFD's
+// full tableau is checked inside each block (the ClustDetect
+// coordinator step).
+func runBlockPipeline(cl *Cluster, spec *BlockSpec, detectCFDs []*cfd.CFD, restrictSingle bool,
+	algo Algorithm, opt Options, m *dist.Metrics, fragSizes []int) (*pipelineOut, error) {
+
+	prunedSite, prunedBlock := pruneMatrix(cl.preds, spec)
+
+	// Local statistics in parallel.
+	lstat := make([][]int, cl.N())
+	if err := cl.parallel(func(i int) error {
+		if prunedSite[i] {
+			lstat[i] = make([]int, spec.K())
+			return nil
+		}
+		s, err := cl.sites[i].SigmaStats(spec)
+		if err != nil {
+			return err
+		}
+		for l := range s {
+			if prunedBlock[i][l] {
+				s[l] = 0
+			}
+		}
+		lstat[i] = s
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Statistics exchange: involved sites broadcast their lstat vector.
+	for i := 0; i < cl.N(); i++ {
+		if !prunedSite[i] {
+			cl.broadcastControl(m, i, int64(8*spec.K()))
+		}
+	}
+
+	coords := assign(algo, lstat, fragSizes, opt.Cost)
+
+	// Shipping.
+	attrs := taskAttrs(spec, detectCFDs)
+	task := cl.newTask("blocks")
+	if err := cl.parallel(func(i int) error {
+		if prunedSite[i] {
+			return nil
+		}
+		var wanted []int
+		for l, coord := range coords {
+			if coord >= 0 && coord != i && lstat[i][l] > 0 {
+				wanted = append(wanted, l)
+			}
+		}
+		if len(wanted) == 0 {
+			return nil
+		}
+		batches, err := cl.sites[i].ExtractBlocksBatch(spec, attrs, wanted)
+		if err != nil {
+			return err
+		}
+		for _, l := range wanted {
+			if err := cl.ship(m, i, coords[l], BlockTask(task, l), batches[l]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Detection at the coordinators.
+	bySite := blocksBySite(coords, cl.N())
+	parts := make([][]*relation.Relation, len(detectCFDs))
+	for ci := range parts {
+		parts[ci] = make([]*relation.Relation, cl.N())
+	}
+	if err := cl.parallel(func(j int) error {
+		if len(bySite[j]) == 0 {
+			return nil
+		}
+		if restrictSingle {
+			pats, err := cl.sites[j].DetectAssignedSingle(task, spec, bySite[j], detectCFDs[0])
+			if err != nil {
+				return err
+			}
+			parts[0][j] = pats
+			return nil
+		}
+		perCFD, err := cl.sites[j].DetectAssignedSet(task, spec, bySite[j], detectCFDs)
+		if err != nil {
+			return err
+		}
+		for ci := range detectCFDs {
+			parts[ci][j] = perCFD[ci]
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return &pipelineOut{lstat: lstat, coords: coords, parts: parts}, nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/dist"
+	"distcfd/internal/relation"
+)
+
+// Algorithm selects a single-CFD detection algorithm of Section IV-B.
+type Algorithm int
+
+const (
+	// CTRDetect ships all relevant tuples to one coordinator chosen by
+	// total matching count (the central/naive approach).
+	CTRDetect Algorithm = iota
+	// PatDetectS designates a coordinator per pattern tuple, minimizing
+	// total data shipment.
+	PatDetectS
+	// PatDetectRT designates a coordinator per pattern tuple with the
+	// greedy response-time heuristic.
+	PatDetectRT
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case CTRDetect:
+		return "CTRDetect"
+	case PatDetectS:
+		return "PatDetectS"
+	case PatDetectRT:
+		return "PatDetectRT"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options tune a detection run.
+type Options struct {
+	// Cost is the response-time model; the zero value selects
+	// dist.DefaultCostModel().
+	Cost dist.CostModel
+	// MineTheta, when positive, enables the Section IV-B mining
+	// preprocessing for CFDs whose variable patterns are all-wildcard
+	// (traditional FDs): each site mines closed frequent LHS patterns
+	// with support ≥ MineTheta·|Di|, and σ partitions on the merged
+	// patterns plus a catch-all wildcard row.
+	MineTheta float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cost == (dist.CostModel{}) {
+		o.Cost = dist.DefaultCostModel()
+	}
+	return o
+}
+
+// SingleResult reports one single-CFD detection run.
+type SingleResult struct {
+	// CFD is the dependency checked.
+	CFD *cfd.CFD
+	// Algorithm that produced this result.
+	Algorithm Algorithm
+	// Patterns is Vioπ(φ,D) as distinct X-tuples.
+	Patterns *relation.Relation
+	// Vio is Vioπ(φ,D) padded to the full schema R (Section II-C).
+	Vio *relation.Relation
+	// Spec is the σ-partitioning used for the variable part (nil when
+	// the CFD is constant-only and was checked locally).
+	Spec *BlockSpec
+	// Coordinators holds the coordinator site per block (-1 = empty
+	// block, no coordinator needed). For CTRDetect all entries agree.
+	Coordinators []int
+	// Metrics records every shipment of the run.
+	Metrics *dist.Metrics
+	// ShippedTuples is |M|, the total tuple shipments.
+	ShippedTuples int64
+	// CheckSizes[i] = |D'_i| = |Di| + tuples received by site i.
+	CheckSizes []int
+	// ModeledTime is cost(D, Σ, M) under Options.Cost.
+	ModeledTime float64
+	// WallTime is the measured wall-clock of the in-process run.
+	WallTime time.Duration
+	// LocalOnly reports that no shipment was needed (Proposition 5
+	// and/or Fi ∧ Fφ pruning).
+	LocalOnly bool
+	// MinedPatterns counts pattern tuples contributed by the mining
+	// preprocessing (0 when mining was off or not applicable).
+	MinedPatterns int
+}
+
+// SetResult reports a multi-CFD detection run (SeqDetect/ClustDetect).
+type SetResult struct {
+	// CFDs are the dependencies checked.
+	CFDs []*cfd.CFD
+	// PerCFD holds Vioπ per CFD as distinct X-tuples, aligned with CFDs.
+	PerCFD []*relation.Relation
+	// Metrics aggregates all shipments of the run.
+	Metrics *dist.Metrics
+	// ShippedTuples is the total |M| across all CFDs.
+	ShippedTuples int64
+	// ModeledTime sums the per-phase modeled response times.
+	ModeledTime float64
+	// WallTime is the measured wall-clock of the whole run.
+	WallTime time.Duration
+	// Clusters lists, for ClustDetect, the CFD index groups processed
+	// together; for SeqDetect each CFD is its own cluster.
+	Clusters [][]int
+}
+
+// padPatterns converts an X-tuple pattern relation into the Vioπ form:
+// an instance of the full schema with nulls outside X.
+func padPatterns(schema *relation.Schema, x []string, pats *relation.Relation) (*relation.Relation, error) {
+	xi, err := schema.Indices(x)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(schema)
+	for _, t := range pats.Tuples() {
+		row := make(relation.Tuple, schema.Arity())
+		for j := range row {
+			row[j] = relation.Null
+		}
+		for j, col := range xi {
+			row[col] = t[j]
+		}
+		out.MustAppend(row)
+	}
+	return out, nil
+}
+
+// mergeDistinct unions X-tuple relations into a fresh relation with
+// the given schema, dropping duplicates, preserving first-seen order.
+func mergeDistinct(schema *relation.Schema, parts []*relation.Relation) *relation.Relation {
+	out := relation.New(schema)
+	seen := map[string]struct{}{}
+	var all []int
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if all == nil {
+			all = make([]int, schema.Arity())
+			for i := range all {
+				all[i] = i
+			}
+		}
+		for _, t := range p.Tuples() {
+			k := t.Key(all)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.MustAppend(t)
+		}
+	}
+	return out
+}

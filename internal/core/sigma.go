@@ -1,0 +1,262 @@
+// Package core implements the paper's contribution: the distributed
+// CFD violation detection algorithms of Section IV — CTRDetect,
+// PatDetectS and PatDetectRT for a single CFD, SeqDetect and
+// ClustDetect for CFD sets — together with the local-validation rules
+// (constant CFDs, Fi ∧ Fφ pruning), the σ tuple-partitioning function
+// of Lemma 6, per-site statistics exchange, and the frequent-pattern
+// mining preprocessing step for wildcard-heavy CFDs.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/relation"
+)
+
+// BlockSpec describes a σ-partitioning of tuples: LHS attributes X and
+// an ordered list of LHS patterns (already sorted by generality,
+// fewest wildcards first). σ(t) is the index of the first pattern
+// matched by t[X], or -1 when t matches none. Identical BlockSpecs are
+// computed independently at every site, so the ordering must be — and
+// is — deterministic.
+type BlockSpec struct {
+	X        []string
+	Patterns [][]string
+
+	idxOnce sync.Once
+	idx     []maskGroup
+}
+
+// maskGroup indexes all patterns sharing a wildcard mask: the constant
+// positions and a hash from the constants at those positions to the
+// smallest (most specific, first-match) pattern index. σ then costs
+// one lookup per distinct mask instead of a scan over all patterns.
+type maskGroup struct {
+	positions []int
+	lookup    map[string]int
+}
+
+// NewBlockSpec builds a spec from a CFD's LHS and tableau, sorting the
+// patterns by generality (Section IV-B) with a deterministic
+// tiebreaker.
+func NewBlockSpec(x []string, patterns [][]string) (*BlockSpec, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("core: block spec with empty X")
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("core: block spec with no patterns")
+	}
+	for i, p := range patterns {
+		if len(p) != len(x) {
+			return nil, fmt.Errorf("core: pattern %d arity %d, want %d", i, len(p), len(x))
+		}
+	}
+	sorted := make([][]string, len(patterns))
+	for i, p := range patterns {
+		sorted[i] = append([]string(nil), p...)
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		wi, wj := countWildcards(sorted[i]), countWildcards(sorted[j])
+		if wi != wj {
+			return wi < wj
+		}
+		return strings.Join(sorted[i], "\x1f") < strings.Join(sorted[j], "\x1f")
+	})
+	// Deduplicate identical patterns (they would form empty blocks).
+	dedup := sorted[:0]
+	seen := map[string]bool{}
+	for _, p := range sorted {
+		k := strings.Join(p, "\x1f")
+		if !seen[k] {
+			seen[k] = true
+			dedup = append(dedup, p)
+		}
+	}
+	return &BlockSpec{X: append([]string(nil), x...), Patterns: dedup}, nil
+}
+
+// NewBlockSpecOrdered builds a spec keeping the caller's pattern
+// order (deduplicated), for callers that already computed a
+// deterministic better-than-generality order — the ranked mined
+// patterns of the Section IV-B preprocessing. The order must still be
+// consistent with σ's first-match semantics at every site, which holds
+// because the order is a pure function of the (deterministically
+// merged) pattern list.
+func NewBlockSpecOrdered(x []string, patterns [][]string) (*BlockSpec, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("core: block spec with empty X")
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("core: block spec with no patterns")
+	}
+	var dedup [][]string
+	seen := map[string]bool{}
+	for i, p := range patterns {
+		if len(p) != len(x) {
+			return nil, fmt.Errorf("core: pattern %d arity %d, want %d", i, len(p), len(x))
+		}
+		k := strings.Join(p, "\x1f")
+		if !seen[k] {
+			seen[k] = true
+			dedup = append(dedup, append([]string(nil), p...))
+		}
+	}
+	return &BlockSpec{X: append([]string(nil), x...), Patterns: dedup}, nil
+}
+
+// SpecFromCFD builds the BlockSpec of a CFD's pattern tableau.
+func SpecFromCFD(c *cfd.CFD) (*BlockSpec, error) {
+	pats := make([][]string, len(c.Tp))
+	for i, tp := range c.Tp {
+		pats[i] = tp.LHS
+	}
+	return NewBlockSpec(c.X, pats)
+}
+
+func countWildcards(p []string) int {
+	n := 0
+	for _, v := range p {
+		if v == cfd.Wildcard {
+			n++
+		}
+	}
+	return n
+}
+
+// K returns the number of patterns (blocks).
+func (s *BlockSpec) K() int { return len(s.Patterns) }
+
+// Assign computes σ(t) for a single projected tuple value vector
+// aligned with s.X: the first (most specific) matching pattern index,
+// or -1. Uses a per-wildcard-mask hash index built on first use.
+func (s *BlockSpec) Assign(xvals []string) int {
+	s.idxOnce.Do(s.buildIndex)
+	best := -1
+	for _, g := range s.idx {
+		var key string
+		if len(g.positions) == 1 {
+			key = xvals[g.positions[0]]
+		} else {
+			var b strings.Builder
+			for i, p := range g.positions {
+				if i > 0 {
+					b.WriteByte(0x1f)
+				}
+				b.WriteString(xvals[p])
+			}
+			key = b.String()
+		}
+		if l, ok := g.lookup[key]; ok && (best == -1 || l < best) {
+			best = l
+		}
+	}
+	return best
+}
+
+func (s *BlockSpec) buildIndex() {
+	groups := map[string]*maskGroup{}
+	var order []string
+	for l, p := range s.Patterns {
+		var positions []int
+		for i, v := range p {
+			if v != cfd.Wildcard {
+				positions = append(positions, i)
+			}
+		}
+		maskKey := fmt.Sprint(positions)
+		g, ok := groups[maskKey]
+		if !ok {
+			g = &maskGroup{positions: positions, lookup: map[string]int{}}
+			groups[maskKey] = g
+			order = append(order, maskKey)
+		}
+		parts := make([]string, len(positions))
+		for i, pos := range positions {
+			parts[i] = p[pos]
+		}
+		key := strings.Join(parts, "\x1f")
+		if _, seen := g.lookup[key]; !seen {
+			g.lookup[key] = l // patterns are sorted: first wins
+		}
+	}
+	for _, k := range order {
+		s.idx = append(s.idx, *groups[k])
+	}
+}
+
+// AssignAll computes σ for every tuple of the fragment, returning the
+// block index per tuple (-1 = unmatched) and the per-block counts
+// lstat[l].
+func (s *BlockSpec) AssignAll(frag *relation.Relation) ([]int, []int, error) {
+	xi, err := frag.Schema().Indices(s.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	assign := make([]int, frag.Len())
+	counts := make([]int, s.K())
+	buf := make([]string, len(xi))
+	for i, t := range frag.Tuples() {
+		for j, c := range xi {
+			buf[j] = t[c]
+		}
+		l := s.Assign(buf)
+		assign[i] = l
+		if l >= 0 {
+			counts[l]++
+		}
+	}
+	return assign, counts, nil
+}
+
+// PatternPredicate builds Fφ for pattern l: the conjunction of
+// X_j = constant over the pattern's constant entries, used for the
+// Fi ∧ Fφ pruning of Section IV-A.
+func (s *BlockSpec) PatternPredicate(l int) relation.Predicate {
+	var atoms []relation.Atom
+	for j, v := range s.Patterns[l] {
+		if v != cfd.Wildcard {
+			atoms = append(atoms, relation.Eq(s.X[j], v))
+		}
+	}
+	return relation.And(atoms...)
+}
+
+// RestrictCFD returns the CFD (X → Y, {t^l_p}) — c restricted to the
+// tableau rows whose LHS equals spec pattern l. Used by coordinators to
+// check exactly their block (Lemma 6). When the spec was mined (its
+// patterns do not come from c's tableau), the restriction keeps c's
+// rows that could match inside the block; for a single-row FD this is
+// the row itself.
+func (s *BlockSpec) RestrictCFD(c *cfd.CFD, l int) *cfd.CFD {
+	var rows []cfd.PatternTuple
+	for _, tp := range c.Tp {
+		if sameStrings(tp.LHS, s.Patterns[l]) {
+			rows = append(rows, tp.Clone())
+		}
+	}
+	if len(rows) == 0 {
+		// Mined spec: the block is a refinement of c's (more general)
+		// rows; detection within the block uses c's full tableau, which
+		// is correct because σ blocks never split an X-group.
+		return c
+	}
+	out := c.Clone()
+	out.Tp = rows
+	return out
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/dist"
+	"distcfd/internal/mining"
+	"distcfd/internal/relation"
+)
+
+// DetectSingle finds Vioπ(φ, D) over the cluster's horizontally
+// partitioned relation with the chosen algorithm, implementing
+// Section IV: constant units are checked locally at every site
+// (Proposition 5); variable patterns are σ-partitioned (Lemma 6),
+// statistics are exchanged, per-pattern coordinators are designated by
+// the algorithm's policy, each tuple's (X,Y)-projection is shipped at
+// most once to its block's coordinator, and coordinators detect their
+// blocks in parallel.
+func DetectSingle(cl *Cluster, c *cfd.CFD, algo Algorithm, opt Options) (*SingleResult, error) {
+	opt = opt.withDefaults()
+	start := time.Now()
+	if err := c.Validate(cl.schema); err != nil {
+		return nil, err
+	}
+	m := dist.NewMetrics(cl.N())
+	res := &SingleResult{CFD: c, Algorithm: algo, Metrics: m}
+
+	fragSizes, err := cl.fragmentSizes()
+	if err != nil {
+		return nil, err
+	}
+
+	// Constant units, locally at every site in parallel (Prop. 5).
+	constParts, err := detectConstantsEverywhere(cl, c)
+	if err != nil {
+		return nil, err
+	}
+
+	patternSchema, err := cl.schema.Project("viopi_"+c.Name, c.X)
+	if err != nil {
+		return nil, err
+	}
+
+	view, hasVariable := c.VariableView()
+	if !hasVariable {
+		res.Patterns = mergeDistinct(patternSchema, constParts)
+		res.LocalOnly = true
+		return finishSingle(cl, res, opt, fragSizes, start)
+	}
+
+	// σ spec — possibly instantiating wildcards with mined patterns.
+	spec, minedCount, err := buildSpec(cl, view, opt, m)
+	if err != nil {
+		return nil, err
+	}
+	res.Spec = spec
+	res.MinedPatterns = minedCount
+
+	out, err := runBlockPipeline(cl, spec, []*cfd.CFD{view}, true, algo, opt, m, fragSizes)
+	if err != nil {
+		return nil, err
+	}
+	res.Coordinators = out.coords
+	res.LocalOnly = m.TotalTuples() == 0
+	res.Patterns = mergeDistinct(patternSchema, append(constParts, out.parts[0]...))
+	return finishSingle(cl, res, opt, fragSizes, start)
+}
+
+// detectConstantsEverywhere runs the Proposition 5 local check of c's
+// constant units at every site in parallel.
+func detectConstantsEverywhere(cl *Cluster, c *cfd.CFD) ([]*relation.Relation, error) {
+	parts := make([]*relation.Relation, cl.N())
+	err := cl.parallel(func(i int) error {
+		pats, err := cl.sites[i].DetectConstantsLocal(c)
+		if err != nil {
+			return err
+		}
+		parts[i] = pats
+		return nil
+	})
+	return parts, err
+}
+
+func finishSingle(cl *Cluster, res *SingleResult, opt Options, fragSizes []int, start time.Time) (*SingleResult, error) {
+	if res.Patterns == nil {
+		res.Patterns = relation.New(mustPatternSchema(cl, res.CFD))
+	}
+	if err := res.Patterns.SortBy(res.CFD.X...); err != nil {
+		return nil, err
+	}
+	vio, err := padPatterns(cl.schema, res.CFD.X, res.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	res.Vio = vio
+	res.CheckSizes = make([]int, cl.N())
+	for i := range res.CheckSizes {
+		res.CheckSizes[i] = fragSizes[i] + int(res.Metrics.ReceivedBy(i))
+	}
+	res.ShippedTuples = res.Metrics.TotalTuples()
+	res.ModeledTime = opt.Cost.ResponseTime(res.Metrics, res.CheckSizes)
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+func mustPatternSchema(cl *Cluster, c *cfd.CFD) *relation.Schema {
+	s, err := cl.schema.Project("viopi_"+c.Name, c.X)
+	if err != nil {
+		panic(fmt.Sprintf("core: pattern schema for validated CFD: %v", err))
+	}
+	return s
+}
+
+// buildSpec derives the σ-partitioning for the variable view. When
+// mining is enabled and every LHS pattern is all-wildcard (the CFD is
+// effectively an FD), the sites mine closed frequent patterns which
+// replace the wildcard row, keeping a catch-all wildcard row last.
+func buildSpec(cl *Cluster, view *cfd.CFD, opt Options, m *dist.Metrics) (*BlockSpec, int, error) {
+	useMining := opt.MineTheta > 0 && cl.N() > 1 && allWildcardLHS(view)
+	if !useMining {
+		spec, err := SpecFromCFD(view)
+		return spec, 0, err
+	}
+	lists := make([][]mining.Pattern, cl.N())
+	if err := cl.parallel(func(i int) error {
+		ps, err := cl.sites[i].MineFrequent(view.X, opt.MineTheta)
+		if err != nil {
+			return err
+		}
+		lists[i] = ps
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	// Pattern exchange: each site broadcasts its mined patterns
+	// (control traffic, not tuple shipment).
+	for i, ps := range lists {
+		var bytes int64
+		for _, p := range ps {
+			for _, v := range p.Vals {
+				bytes += int64(len(v)) + 1
+			}
+			bytes += 8 // the support share
+		}
+		if bytes > 0 {
+			cl.broadcastControl(m, i, bytes)
+		}
+	}
+	// Concentration-ranked merge (see mining.MergeRanked): among
+	// equally general patterns, the one dense at a single site claims
+	// its tuples first, keeping that block local.
+	merged := mining.MergeRanked(lists...)
+	patterns := make([][]string, 0, len(merged)+1)
+	for _, p := range merged {
+		patterns = append(patterns, p.Vals)
+	}
+	wild := make([]string, len(view.X))
+	for i := range wild {
+		wild[i] = cfd.Wildcard
+	}
+	patterns = append(patterns, wild)
+	spec, err := NewBlockSpecOrdered(view.X, patterns)
+	if err != nil {
+		return nil, 0, err
+	}
+	return spec, len(merged), nil
+}
+
+func allWildcardLHS(c *cfd.CFD) bool {
+	for _, tp := range c.Tp {
+		for _, v := range tp.LHS {
+			if v != cfd.Wildcard {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pruneMatrix evaluates Fi ∧ Fφ satisfiability for every site and
+// pattern (Section IV-A). prunedSite[i] is true when site i is pruned
+// for every pattern; prunedBlock[i][l] prunes individual pairs.
+func pruneMatrix(preds []relation.Predicate, spec *BlockSpec) (prunedSite []bool, prunedBlock [][]bool) {
+	n := len(preds)
+	prunedSite = make([]bool, n)
+	prunedBlock = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		prunedBlock[i] = make([]bool, spec.K())
+		if preds[i].IsTrue() {
+			continue // unknown predicate: nothing provable
+		}
+		all := true
+		for l := 0; l < spec.K(); l++ {
+			if !preds[i].ConsistentWith(spec.PatternPredicate(l)) {
+				prunedBlock[i][l] = true
+			} else {
+				all = false
+			}
+		}
+		prunedSite[i] = all
+	}
+	return prunedSite, prunedBlock
+}

@@ -1,0 +1,450 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/engine"
+	"distcfd/internal/mining"
+	"distcfd/internal/relation"
+)
+
+// LocalInput tells a coordinator which of its own tuples participate
+// in a detection task, alongside whatever was deposited for the task.
+type LocalInput struct {
+	// Spec is the σ-partitioning in effect (nil for deposit-only tasks).
+	Spec *BlockSpec
+	// Block selects the local σ-block; BlockAllMatching means every
+	// tuple matching any pattern (the CTRDetect coordinator), and
+	// BlockNone means deposited tuples only.
+	Block int
+}
+
+// Sentinels for LocalInput.Block.
+const (
+	BlockAllMatching = -1
+	BlockNone        = -2
+)
+
+// SiteAPI is the complete set of operations the detection algorithms
+// ask of a site. Every method executes *at the site*: implementations
+// are the in-process Site below and the net/rpc client in
+// internal/remote. Only Deposit moves tuples between sites; everything
+// else returns counts, patterns, or (projections of) local data the
+// caller explicitly ships.
+type SiteAPI interface {
+	// ID is the site index (fragment Di resides at site Si).
+	ID() int
+	// NumTuples returns |Di|.
+	NumTuples() (int, error)
+	// Predicate returns the fragment predicate Fi (always-true when
+	// unknown).
+	Predicate() (relation.Predicate, error)
+	// SigmaStats returns lstat[l] = |H_i^l| for each pattern of spec.
+	SigmaStats(spec *BlockSpec) ([]int, error)
+	// ExtractBlock returns the local σ-block l projected onto attrs.
+	ExtractBlock(spec *BlockSpec, l int, attrs []string) (*relation.Relation, error)
+	// ExtractMatching returns all tuples matching any spec pattern,
+	// projected onto attrs (the CTRDetect shipment unit).
+	ExtractMatching(spec *BlockSpec, attrs []string) (*relation.Relation, error)
+	// ExtractBlocksBatch returns, in a single pass over the fragment,
+	// the σ-blocks listed in wanted, each projected onto attrs.
+	ExtractBlocksBatch(spec *BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error)
+	// Deposit buffers tuples shipped to this site under a task key.
+	Deposit(task string, batch *relation.Relation) error
+	// DetectTask runs local detection over the chosen local tuples plus
+	// all deposits for the task, for each CFD in cfds, returning the
+	// distinct violating X-patterns per CFD (aligned with cfds). The
+	// deposit buffer for the task is consumed.
+	DetectTask(task string, local LocalInput, cfds []*cfd.CFD) ([]*relation.Relation, error)
+	// DetectAssignedSingle detects, for every block l in blocks, the
+	// violations of c restricted to pattern l (Lemma 6) over the local
+	// block plus deposits under task keys BlockTask(taskPrefix, l),
+	// returning the union of distinct violating X-patterns. Deposits
+	// are consumed.
+	DetectAssignedSingle(taskPrefix string, spec *BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error)
+	// DetectAssignedSet is the ClustDetect coordinator step: for every
+	// assigned block it detects each CFD of cfds with its full tableau
+	// over the block plus deposits, returning per-CFD distinct
+	// violating X-patterns (aligned with cfds). Deposits are consumed.
+	DetectAssignedSet(taskPrefix string, spec *BlockSpec, blocks []int, cfds []*cfd.CFD) ([]*relation.Relation, error)
+	// DetectConstantsLocal checks the constant units of c against the
+	// local fragment only (Proposition 5), returning distinct violating
+	// X-patterns projected on c.X.
+	DetectConstantsLocal(c *cfd.CFD) (*relation.Relation, error)
+	// MineFrequent mines closed frequent LHS patterns over x with
+	// support ≥ theta·|Di| (Section IV-B wildcard optimization),
+	// reporting each pattern's relative support at this site.
+	MineFrequent(x []string, theta float64) ([]mining.Pattern, error)
+}
+
+// Site is the in-process SiteAPI: it owns one horizontal fragment and
+// executes all site-local computation. It is safe for the concurrent
+// use the parallel phases of the algorithms make of it.
+type Site struct {
+	id   int
+	frag *relation.Relation
+	pred relation.Predicate
+
+	mu       sync.Mutex
+	deposits map[string][]*relation.Relation
+}
+
+var _ SiteAPI = (*Site)(nil)
+
+// NewSite creates a site holding fragment frag with predicate pred.
+func NewSite(id int, frag *relation.Relation, pred relation.Predicate) *Site {
+	return &Site{
+		id:       id,
+		frag:     frag,
+		pred:     pred,
+		deposits: make(map[string][]*relation.Relation),
+	}
+}
+
+// ID returns the site index.
+func (s *Site) ID() int { return s.id }
+
+// NumTuples returns the local fragment size.
+func (s *Site) NumTuples() (int, error) { return s.frag.Len(), nil }
+
+// Predicate returns the fragment predicate.
+func (s *Site) Predicate() (relation.Predicate, error) { return s.pred, nil }
+
+// Fragment exposes the local fragment for in-process tests and local
+// tools; it is deliberately not part of SiteAPI.
+func (s *Site) Fragment() *relation.Relation { return s.frag }
+
+// SigmaStats computes lstat[l] = |H_i^l| per pattern.
+func (s *Site) SigmaStats(spec *BlockSpec) ([]int, error) {
+	_, counts, err := spec.AssignAll(s.frag)
+	return counts, err
+}
+
+// ExtractBlock returns σ-block l projected onto attrs.
+func (s *Site) ExtractBlock(spec *BlockSpec, l int, attrs []string) (*relation.Relation, error) {
+	if l < 0 || l >= spec.K() {
+		return nil, fmt.Errorf("core: site %d: block %d out of range [0,%d)", s.id, l, spec.K())
+	}
+	assign, _, err := spec.AssignAll(s.frag)
+	if err != nil {
+		return nil, err
+	}
+	return s.projectSelected(assign, func(b int) bool { return b == l }, attrs)
+}
+
+// ExtractMatching returns all σ-assigned tuples projected onto attrs.
+func (s *Site) ExtractMatching(spec *BlockSpec, attrs []string) (*relation.Relation, error) {
+	assign, _, err := spec.AssignAll(s.frag)
+	if err != nil {
+		return nil, err
+	}
+	return s.projectSelected(assign, func(b int) bool { return b >= 0 }, attrs)
+}
+
+func (s *Site) projectSelected(assign []int, keep func(int) bool, attrs []string) (*relation.Relation, error) {
+	idx, err := s.frag.Schema().Indices(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := s.frag.Schema().Project(s.frag.Schema().Name()+"_ship", attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(ps)
+	for i, t := range s.frag.Tuples() {
+		if keep(assign[i]) {
+			out.MustAppend(t.Project(idx))
+		}
+	}
+	return out, nil
+}
+
+// BlockTask derives the deposit key for block l of a run.
+func BlockTask(taskPrefix string, l int) string {
+	return fmt.Sprintf("%s/b%d", taskPrefix, l)
+}
+
+// ExtractBlocksBatch extracts several σ-blocks in one fragment pass.
+func (s *Site) ExtractBlocksBatch(spec *BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error) {
+	assign, _, err := spec.AssignAll(s.frag)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := s.frag.Schema().Indices(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := s.frag.Schema().Project(s.frag.Schema().Name()+"_ship", attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]*relation.Relation, len(wanted))
+	for _, l := range wanted {
+		if l < 0 || l >= spec.K() {
+			return nil, fmt.Errorf("core: site %d: block %d out of range [0,%d)", s.id, l, spec.K())
+		}
+		out[l] = relation.New(ps)
+	}
+	for i, t := range s.frag.Tuples() {
+		if r, ok := out[assign[i]]; ok {
+			r.MustAppend(t.Project(idx))
+		}
+	}
+	return out, nil
+}
+
+// DetectAssignedSingle runs the per-pattern coordinator step of
+// PatDetectS/PatDetectRT for all blocks assigned to this site.
+func (s *Site) DetectAssignedSingle(taskPrefix string, spec *BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error) {
+	attrs := taskAttrs(spec, []*cfd.CFD{c})
+	locals, err := s.ExtractBlocksBatch(spec, attrs, blocks)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := s.frag.Schema().Project("viopi_"+c.Name, c.X)
+	if err != nil {
+		return nil, err
+	}
+	union := relation.New(ps)
+	seen := map[string]struct{}{}
+	for _, l := range blocks {
+		merged := locals[l]
+		for _, dep := range s.takeDeposits(BlockTask(taskPrefix, l)) {
+			if err := merged.AppendAll(dep); err != nil {
+				return nil, err
+			}
+		}
+		restricted := spec.RestrictCFD(c, l)
+		pats, err := engine.ViolationPatterns(merged, restricted)
+		if err != nil {
+			return nil, err
+		}
+		appendDistinct(union, pats, seen)
+	}
+	return union, nil
+}
+
+// DetectAssignedSet runs the ClustDetect coordinator step: each CFD's
+// full tableau is checked inside every assigned block.
+func (s *Site) DetectAssignedSet(taskPrefix string, spec *BlockSpec, blocks []int, cfds []*cfd.CFD) ([]*relation.Relation, error) {
+	if len(cfds) == 0 {
+		return nil, fmt.Errorf("core: site %d: DetectAssignedSet with no CFDs", s.id)
+	}
+	attrs := taskAttrs(spec, cfds)
+	locals, err := s.ExtractBlocksBatch(spec, attrs, blocks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*relation.Relation, len(cfds))
+	seens := make([]map[string]struct{}, len(cfds))
+	for i, c := range cfds {
+		ps, err := s.frag.Schema().Project("viopi_"+c.Name, c.X)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = relation.New(ps)
+		seens[i] = map[string]struct{}{}
+	}
+	for _, l := range blocks {
+		merged := locals[l]
+		for _, dep := range s.takeDeposits(BlockTask(taskPrefix, l)) {
+			if err := merged.AppendAll(dep); err != nil {
+				return nil, err
+			}
+		}
+		for ci, c := range cfds {
+			pats, err := engine.ViolationPatterns(merged, c)
+			if err != nil {
+				return nil, err
+			}
+			appendDistinct(out[ci], pats, seens[ci])
+		}
+	}
+	return out, nil
+}
+
+// appendDistinct appends pats rows not already recorded in seen.
+func appendDistinct(dst, pats *relation.Relation, seen map[string]struct{}) {
+	all := make([]int, pats.Schema().Arity())
+	for i := range all {
+		all[i] = i
+	}
+	for _, t := range pats.Tuples() {
+		k := t.Key(all)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		dst.MustAppend(t)
+	}
+}
+
+// Deposit buffers a shipped batch under the task key.
+func (s *Site) Deposit(task string, batch *relation.Relation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deposits[task] = append(s.deposits[task], batch)
+	return nil
+}
+
+func (s *Site) takeDeposits(task string) []*relation.Relation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.deposits[task]
+	delete(s.deposits, task)
+	return out
+}
+
+// DetectTask assembles the task input (local selection ∪ deposits) and
+// finds the distinct violating X-patterns of each CFD in it.
+func (s *Site) DetectTask(task string, local LocalInput, cfds []*cfd.CFD) ([]*relation.Relation, error) {
+	if len(cfds) == 0 {
+		return nil, fmt.Errorf("core: site %d: DetectTask with no CFDs", s.id)
+	}
+	// The working schema is the shipped projection schema when deposits
+	// exist, else the local projection; all CFD attributes must be in it.
+	var parts []*relation.Relation
+	switch local.Block {
+	case BlockNone:
+	case BlockAllMatching:
+		if local.Spec == nil {
+			return nil, fmt.Errorf("core: site %d: BlockAllMatching without spec", s.id)
+		}
+		attrs := taskAttrs(local.Spec, cfds)
+		r, err := s.ExtractMatching(local.Spec, attrs)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, r)
+	default:
+		if local.Spec == nil {
+			return nil, fmt.Errorf("core: site %d: block %d without spec", s.id, local.Block)
+		}
+		attrs := taskAttrs(local.Spec, cfds)
+		r, err := s.ExtractBlock(local.Spec, local.Block, attrs)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, r)
+	}
+	parts = append(parts, s.takeDeposits(task)...)
+	if len(parts) == 0 {
+		return emptyPatternRelations(s.frag.Schema(), cfds)
+	}
+	working := parts[0]
+	for _, p := range parts[1:] {
+		if p.Schema().Arity() != working.Schema().Arity() {
+			return nil, fmt.Errorf("core: site %d: task %q mixes arities %d and %d",
+				s.id, task, working.Schema().Arity(), p.Schema().Arity())
+		}
+	}
+	merged := relation.NewWithCapacity(working.Schema(), totalLen(parts))
+	for _, p := range parts {
+		if err := merged.AppendAll(p); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*relation.Relation, len(cfds))
+	for ci, c := range cfds {
+		pats, err := engine.ViolationPatterns(merged, c)
+		if err != nil {
+			return nil, err
+		}
+		out[ci] = pats
+	}
+	return out, nil
+}
+
+// DetectConstantsLocal checks c's constant units against the local
+// fragment (no shipment, Proposition 5), reporting distinct violating
+// X-patterns over c.X.
+func (s *Site) DetectConstantsLocal(c *cfd.CFD) (*relation.Relation, error) {
+	consts, _ := c.SplitConstantVariable()
+	xi, err := s.frag.Schema().Indices(c.X)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := s.frag.Schema().Project("viopi_"+c.Name, c.X)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(ps)
+	if len(consts) == 0 {
+		return out, nil
+	}
+	bad := make(map[int]struct{})
+	for _, u := range consts {
+		vio, err := engine.DetectUnit(s.frag, u)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range vio {
+			bad[i] = struct{}{}
+		}
+	}
+	seen := map[string]struct{}{}
+	for i := range bad {
+		t := s.frag.Tuple(i)
+		k := t.Key(xi)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.MustAppend(t.Project(xi))
+	}
+	if err := out.SortBy(c.X...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MineFrequent mines closed frequent LHS patterns over x with support
+// theta·|Di| at this site, with per-pattern relative supports.
+func (s *Site) MineFrequent(x []string, theta float64) ([]mining.Pattern, error) {
+	return mining.ClosedPatternsWithSupport(s.frag, x, theta)
+}
+
+func taskAttrs(spec *BlockSpec, cfds []*cfd.CFD) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(a string) {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, a := range spec.X {
+		add(a)
+	}
+	for _, c := range cfds {
+		for _, a := range c.X {
+			add(a)
+		}
+		for _, a := range c.Y {
+			add(a)
+		}
+	}
+	return out
+}
+
+func emptyPatternRelations(schema *relation.Schema, cfds []*cfd.CFD) ([]*relation.Relation, error) {
+	out := make([]*relation.Relation, len(cfds))
+	for i, c := range cfds {
+		ps, err := schema.Project("viopi_"+c.Name, c.X)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = relation.New(ps)
+	}
+	return out, nil
+}
+
+func totalLen(rs []*relation.Relation) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Len()
+	}
+	return n
+}

@@ -1,0 +1,15 @@
+package engine
+
+import "math"
+
+// CheckCost approximates the local violation-detection cost
+// check(D', φ) for a fragment of n tuples, as the paper does in
+// Section IV-B: the detection query is a single GROUP BY, so the cost
+// is modeled as |D'|·log(|D'|). The unit is abstract "work"; the cost
+// model in internal/dist combines it with shipment time.
+func CheckCost(n int) float64 {
+	if n <= 1 {
+		return float64(n)
+	}
+	return float64(n) * math.Log2(float64(n))
+}

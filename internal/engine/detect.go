@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"sort"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/relation"
+)
+
+// The fast detector. For each normalized unit (X→A, tp):
+//
+//   - constant unit: one scan; t violates iff t[X] ≍ tp[X] ∧ t[A]≠tp[A]
+//     (the Qc query of [2]);
+//   - variable unit: hash-group the tuples matching tp[X] by X; every
+//     tuple of a group with >1 distinct A-value violates (the Qv
+//     GROUP BY … HAVING COUNT(DISTINCT A)>1 query of [2]).
+//
+// Semantics match internal/cfd.NaiveViolations, which serves as the
+// test oracle.
+
+// DetectUnit returns the violation indices of one normalized CFD in d,
+// in ascending order.
+func DetectUnit(d *relation.Relation, n *cfd.Normalized) ([]int, error) {
+	bad := make(map[int]struct{})
+	if err := detectUnitInto(d, n, bad); err != nil {
+		return nil, err
+	}
+	return sortedKeys(bad), nil
+}
+
+func detectUnitInto(d *relation.Relation, n *cfd.Normalized, bad map[int]struct{}) error {
+	xi, err := d.Schema().Indices(n.X)
+	if err != nil {
+		return err
+	}
+	aIdxs, err := d.Schema().Indices([]string{n.A})
+	if err != nil {
+		return err
+	}
+	aIdx := aIdxs[0]
+
+	if n.IsConstant() {
+		for i, t := range d.Tuples() {
+			if matchesAt(t, xi, n.TpX) && t[aIdx] != n.TpA {
+				bad[i] = struct{}{}
+			}
+		}
+		return nil
+	}
+
+	// Variable unit: group matching tuples by X.
+	groups := make(map[string][]int)
+	firstVal := make(map[string]string)
+	mixed := make(map[string]bool)
+	for i, t := range d.Tuples() {
+		if !matchesAt(t, xi, n.TpX) {
+			continue
+		}
+		k := t.Key(xi)
+		groups[k] = append(groups[k], i)
+		v := t[aIdx]
+		if fv, ok := firstVal[k]; !ok {
+			firstVal[k] = v
+		} else if fv != v {
+			mixed[k] = true
+		}
+	}
+	for k := range mixed {
+		for _, i := range groups[k] {
+			bad[i] = struct{}{}
+		}
+	}
+	return nil
+}
+
+func matchesAt(t relation.Tuple, idx []int, pattern []string) bool {
+	for j, i := range idx {
+		p := pattern[j]
+		if p != cfd.Wildcard && t[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// Detect returns Vio(φ, d) as sorted tuple indices.
+func Detect(d *relation.Relation, c *cfd.CFD) ([]int, error) {
+	if err := c.Validate(d.Schema()); err != nil {
+		return nil, err
+	}
+	bad := make(map[int]struct{})
+	for _, n := range c.Normalize() {
+		if err := detectUnitInto(d, n, bad); err != nil {
+			return nil, err
+		}
+	}
+	return sortedKeys(bad), nil
+}
+
+// DetectSet returns Vio(Σ, d) as sorted tuple indices.
+func DetectSet(d *relation.Relation, cs []*cfd.CFD) ([]int, error) {
+	bad := make(map[int]struct{})
+	for _, c := range cs {
+		if err := c.Validate(d.Schema()); err != nil {
+			return nil, err
+		}
+		for _, n := range c.Normalize() {
+			if err := detectUnitInto(d, n, bad); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sortedKeys(bad), nil
+}
+
+// DetectPi returns Vioπ(φ, d): distinct violating X-patterns
+// null-padded to d's schema.
+func DetectPi(d *relation.Relation, c *cfd.CFD) (*relation.Relation, error) {
+	vio, err := Detect(d, c)
+	if err != nil {
+		return nil, err
+	}
+	return cfd.VioPi(d, c, vio)
+}
+
+// ViolationPatterns returns the distinct violating X-patterns of φ in d
+// as bare X-tuples (no null padding); the compact wire form shipped
+// back from coordinator sites.
+func ViolationPatterns(d *relation.Relation, c *cfd.CFD) (*relation.Relation, error) {
+	vio, err := Detect(d, c)
+	if err != nil {
+		return nil, err
+	}
+	xi, err := d.Schema().Indices(c.X)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := d.Schema().Project("viopi_"+c.Name, c.X)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(ps)
+	seen := map[string]struct{}{}
+	for _, i := range vio {
+		t := d.Tuple(i)
+		k := t.Key(xi)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.MustAppend(t.Project(xi))
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

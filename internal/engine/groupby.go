@@ -1,0 +1,72 @@
+// Package engine is a small relational execution engine: hash
+// group-by, hash join and semijoin over in-memory relations, plus the
+// fast CFD violation detector that plays the role of the SQL-based
+// detection queries of Fan et al. [2] — the `check(D, Σ)` step the
+// paper's cost model charges at every site.
+package engine
+
+import (
+	"distcfd/internal/relation"
+)
+
+// Groups is the result of a hash group-by: for each distinct key over
+// the grouping attributes, the indices of the member tuples in input
+// order.
+type Groups struct {
+	keys    []string
+	members map[string][]int
+}
+
+// GroupBy hash-partitions the relation on attrs.
+func GroupBy(d *relation.Relation, attrs []string) (*Groups, error) {
+	idx, err := d.Schema().Indices(attrs)
+	if err != nil {
+		return nil, err
+	}
+	g := &Groups{members: make(map[string][]int)}
+	for i, t := range d.Tuples() {
+		k := t.Key(idx)
+		if _, ok := g.members[k]; !ok {
+			g.keys = append(g.keys, k)
+		}
+		g.members[k] = append(g.members[k], i)
+	}
+	return g, nil
+}
+
+// Len returns the number of distinct groups.
+func (g *Groups) Len() int { return len(g.keys) }
+
+// Each calls fn for every group in first-seen order with the member
+// tuple indices. fn returning false stops the iteration.
+func (g *Groups) Each(fn func(key string, members []int) bool) {
+	for _, k := range g.keys {
+		if !fn(k, g.members[k]) {
+			return
+		}
+	}
+}
+
+// Members returns the member indices for a key (nil if absent).
+func (g *Groups) Members(key string) []int { return g.members[key] }
+
+// DistinctCount returns, for each group, the number of distinct values
+// of attribute a among the group's members. It is the core primitive
+// of variable-CFD detection: a group with more than one distinct
+// RHS value violates the embedded FD.
+func (g *Groups) DistinctCount(d *relation.Relation, a string) (map[string]int, error) {
+	idxs, err := d.Schema().Indices([]string{a})
+	if err != nil {
+		return nil, err
+	}
+	ai := idxs[0]
+	out := make(map[string]int, len(g.keys))
+	for _, k := range g.keys {
+		seen := map[string]struct{}{}
+		for _, i := range g.members[k] {
+			seen[d.Tuple(i)[ai]] = struct{}{}
+		}
+		out[k] = len(seen)
+	}
+	return out, nil
+}

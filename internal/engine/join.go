@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+
+	"distcfd/internal/relation"
+)
+
+// Join computes the natural key join of two vertical fragments: both
+// relations must carry the join attributes; the result schema is
+// left's attributes followed by right's non-join attributes. It is the
+// reconstruction operator D = ⋈ᵢ Dᵢ of Section II-B and the workhorse
+// of vertical-partition detection.
+func Join(left, right *relation.Relation, on []string, name string) (*relation.Relation, error) {
+	li, err := left.Schema().Indices(on)
+	if err != nil {
+		return nil, fmt.Errorf("engine: join left: %w", err)
+	}
+	ri, err := right.Schema().Indices(on)
+	if err != nil {
+		return nil, fmt.Errorf("engine: join right: %w", err)
+	}
+	// Result schema: all of left + right minus join attrs.
+	onSet := make(map[string]bool, len(on))
+	for _, a := range on {
+		onSet[a] = true
+	}
+	attrs := append([]string(nil), left.Schema().Attrs()...)
+	var rightKeep []int
+	for i, a := range right.Schema().Attrs() {
+		if !onSet[a] {
+			if left.Schema().HasAttr(a) {
+				return nil, fmt.Errorf("engine: join: attribute %q in both inputs but not a join key", a)
+			}
+			attrs = append(attrs, a)
+			rightKeep = append(rightKeep, i)
+		}
+	}
+	var key []string
+	key = append(key, left.Schema().Key()...)
+	outSchema, err := relation.NewSchema(name, attrs, key...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build hash table on the smaller input (right side here; callers
+	// put the bigger relation on the left).
+	ht := make(map[string][]int, right.Len())
+	for i, t := range right.Tuples() {
+		k := t.Key(ri)
+		ht[k] = append(ht[k], i)
+	}
+	out := relation.New(outSchema)
+	for _, lt := range left.Tuples() {
+		k := lt.Key(li)
+		for _, j := range ht[k] {
+			rt := right.Tuple(j)
+			row := make(relation.Tuple, 0, len(attrs))
+			row = append(row, lt...)
+			for _, ci := range rightKeep {
+				row = append(row, rt[ci])
+			}
+			out.MustAppend(row)
+		}
+	}
+	return out, nil
+}
+
+// JoinAll folds Join over fragments left to right; used to reconstruct
+// a vertically partitioned relation from all its fragments.
+func JoinAll(frags []*relation.Relation, on []string, name string) (*relation.Relation, error) {
+	if len(frags) == 0 {
+		return nil, fmt.Errorf("engine: JoinAll with no fragments")
+	}
+	acc := frags[0]
+	for i := 1; i < len(frags); i++ {
+		next, err := Join(acc, frags[i], on, name)
+		if err != nil {
+			return nil, err
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// SemiJoin returns the tuples of left whose key appears in right
+// (left ⋉ right on the given attributes). Shipping only the key column
+// and semijoining is the classical communication-reduction technique
+// the paper cites ([25]) for vertical detection.
+func SemiJoin(left, right *relation.Relation, on []string) (*relation.Relation, error) {
+	li, err := left.Schema().Indices(on)
+	if err != nil {
+		return nil, fmt.Errorf("engine: semijoin left: %w", err)
+	}
+	ri, err := right.Schema().Indices(on)
+	if err != nil {
+		return nil, fmt.Errorf("engine: semijoin right: %w", err)
+	}
+	keys := make(map[string]struct{}, right.Len())
+	for _, t := range right.Tuples() {
+		keys[t.Key(ri)] = struct{}{}
+	}
+	out := relation.New(left.Schema())
+	for _, t := range left.Tuples() {
+		if _, ok := keys[t.Key(li)]; ok {
+			out.MustAppend(t)
+		}
+	}
+	return out, nil
+}
+
+// Union concatenates relations sharing a schema arity; the
+// reconstruction operator D = ∪ᵢ Dᵢ for horizontal partitions.
+func Union(name string, frags ...*relation.Relation) (*relation.Relation, error) {
+	if len(frags) == 0 {
+		return nil, fmt.Errorf("engine: Union with no fragments")
+	}
+	out := relation.NewWithCapacity(frags[0].Schema(), totalLen(frags))
+	for _, f := range frags {
+		if err := out.AppendAll(f); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func totalLen(frags []*relation.Relation) int {
+	n := 0
+	for _, f := range frags {
+		n += f.Len()
+	}
+	return n
+}

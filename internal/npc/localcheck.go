@@ -1,0 +1,174 @@
+package npc
+
+import (
+	"fmt"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/engine"
+	"distcfd/internal/partition"
+	"distcfd/internal/relation"
+)
+
+// Shipment is one m(to, from, t) primitive: tuple index `Tuple` of
+// fragment `From` is copied to site `To`.
+type Shipment struct {
+	From, To, Tuple int
+}
+
+// LocallyCheckableAfter implements the Section III-A criterion at the
+// Vioπ level the paper's definition uses: after applying shipments M,
+// is Vioπ(φ, D) = ∪ᵢ Vioπ(φ, D′ᵢ) for every φ in Σ, where
+// D′ᵢ = Dᵢ ∪ M(i)?
+func LocallyCheckableAfter(h *partition.Horizontal, cs []*cfd.CFD, M []Shipment) (bool, error) {
+	full, err := h.Reconstruct()
+	if err != nil {
+		return false, err
+	}
+	// Build D'_i.
+	prime := make([]*relation.Relation, h.N())
+	for i, frag := range h.Fragments {
+		prime[i] = frag.Clone()
+	}
+	for _, s := range M {
+		if s.From < 0 || s.From >= h.N() || s.To < 0 || s.To >= h.N() {
+			return false, fmt.Errorf("npc: shipment %+v out of range", s)
+		}
+		if s.Tuple < 0 || s.Tuple >= h.Fragments[s.From].Len() {
+			return false, fmt.Errorf("npc: shipment %+v tuple out of range", s)
+		}
+		prime[s.To].MustAppend(h.Fragments[s.From].Tuple(s.Tuple))
+	}
+	for _, c := range cs {
+		global, err := engine.ViolationPatterns(full, c)
+		if err != nil {
+			return false, err
+		}
+		want := patternSet(global)
+		got := map[string]bool{}
+		for i := range prime {
+			local, err := engine.ViolationPatterns(prime[i], c)
+			if err != nil {
+				return false, err
+			}
+			for k := range patternSet(local) {
+				got[k] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false, nil
+		}
+		for k := range want {
+			if !got[k] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func patternSet(r *relation.Relation) map[string]bool {
+	idx := make([]int, r.Schema().Arity())
+	for i := range idx {
+		idx[i] = i
+	}
+	out := map[string]bool{}
+	for _, t := range r.Tuples() {
+		out[t.Key(idx)] = true
+	}
+	return out
+}
+
+// MinimumShipments finds, by exhaustive size-ascending search, a
+// smallest shipment set M (at most one destination per tuple) making
+// Σ locally checkable — the MHD optimum of Theorem 1 on micro
+// instances. Tuples matching no pattern of any CFD are pruned: they
+// cannot participate in a violation, so shipping them never helps.
+// The searched sizes are capped by maxSize (≤ 0 means no cap); the
+// candidate count per size is capped to keep micro instances micro.
+func MinimumShipments(h *partition.Horizontal, cs []*cfd.CFD, maxSize int) ([]Shipment, error) {
+	type slot struct{ frag, tuple int }
+	var slots []slot
+	for i, frag := range h.Fragments {
+		for t := 0; t < frag.Len(); t++ {
+			if tupleMatchesAny(h, frag.Tuple(t), cs) {
+				slots = append(slots, slot{i, t})
+			}
+		}
+	}
+	n := h.N()
+	if maxSize <= 0 || maxSize > len(slots) {
+		maxSize = len(slots)
+	}
+	if len(slots) > 16 || n > 4 {
+		return nil, fmt.Errorf("npc: instance too large for exhaustive search (%d relevant tuples, %d sites)", len(slots), n)
+	}
+	comb := make([]int, 0, maxSize)
+	var search func(start, remaining int) ([]Shipment, error)
+	// tryDest enumerates destination assignments for the chosen slots.
+	var tryDest func(chosen []int, pos int, m []Shipment) ([]Shipment, error)
+	tryDest = func(chosen []int, pos int, m []Shipment) ([]Shipment, error) {
+		if pos == len(chosen) {
+			ok, err := LocallyCheckableAfter(h, cs, m)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out := make([]Shipment, len(m)) // non-nil even when empty
+				copy(out, m)
+				return out, nil
+			}
+			return nil, nil
+		}
+		s := slots[chosen[pos]]
+		for to := 0; to < n; to++ {
+			if to == s.frag {
+				continue
+			}
+			res, err := tryDest(chosen, pos+1, append(m, Shipment{From: s.frag, To: to, Tuple: s.tuple}))
+			if err != nil || res != nil {
+				return res, err
+			}
+		}
+		return nil, nil
+	}
+	search = func(start, remaining int) ([]Shipment, error) {
+		if remaining == 0 {
+			return tryDest(comb, 0, nil)
+		}
+		for i := start; i <= len(slots)-remaining; i++ {
+			comb = append(comb, i)
+			res, err := search(i+1, remaining-1)
+			comb = comb[:len(comb)-1]
+			if err != nil || res != nil {
+				return res, err
+			}
+		}
+		return nil, nil
+	}
+	for size := 0; size <= maxSize; size++ {
+		res, err := search(0, size)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("npc: no shipment set of size ≤ %d found", maxSize)
+}
+
+func tupleMatchesAny(h *partition.Horizontal, t relation.Tuple, cs []*cfd.CFD) bool {
+	for _, c := range cs {
+		xi, err := h.Schema.Indices(c.X)
+		if err != nil {
+			continue
+		}
+		vals := t.Project(xi)
+		for _, tp := range c.Tp {
+			if cfd.MatchAll(vals, tp.LHS) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+package npc
+
+import (
+	"fmt"
+	"strconv"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/partition"
+	"distcfd/internal/relation"
+)
+
+// Executable forms of the paper's reductions. Theorem 8's reduction
+// (hitting set → minimum refinement) is verified exactly: the minimum
+// refinement size of the built instance equals the minimum hitting set
+// size. Theorems 1 and 3 build the appendix's instances (with the
+// polynomially scaled tuple groups; the original forces its budget
+// arithmetic through value *sizes*, which a tuple-count demonstrator
+// cannot reproduce) and verify their structural claims: violations
+// exist, the empty shipment is not locally sufficient, and a
+// cover-derived shipment set restores local checkability.
+
+// BuildMRPFromHittingSet constructs the Theorem 8 instance: schema
+// (key, A_x per element, E_i per subset); fragments Ri = {key} ∪
+// {A_x : x ∈ Ci} and R0 = {key, E_1…E_n}; Σ = {A_x ↔ A_y for all
+// pairs} ∪ {E_i → A_x for x ∈ Ci}. Returns Σ (normalized) and the
+// fragment attribute sets (R0 last, matching the proof's naming).
+func BuildMRPFromHittingSet(hs *HittingSet) ([]*cfd.Normalized, [][]string, error) {
+	if hs.M <= 0 || len(hs.Subsets) == 0 {
+		return nil, nil, fmt.Errorf("npc: degenerate hitting set instance")
+	}
+	aAttr := func(x int) string { return "A" + strconv.Itoa(x) }
+	eAttr := func(i int) string { return "E" + strconv.Itoa(i) }
+
+	var cs []*cfd.CFD
+	for x := 0; x < hs.M; x++ {
+		for y := 0; y < hs.M; y++ {
+			if x == y {
+				continue
+			}
+			f, err := cfd.NewFD(fmt.Sprintf("a%d_%d", x, y), []string{aAttr(x)}, []string{aAttr(y)})
+			if err != nil {
+				return nil, nil, err
+			}
+			cs = append(cs, f)
+		}
+	}
+	for i, sub := range hs.Subsets {
+		for _, x := range sub {
+			f, err := cfd.NewFD(fmt.Sprintf("e%d_%d", i, x), []string{eAttr(i)}, []string{aAttr(x)})
+			if err != nil {
+				return nil, nil, err
+			}
+			cs = append(cs, f)
+		}
+	}
+
+	var fragments [][]string
+	for _, sub := range hs.Subsets {
+		frag := []string{"key"}
+		seen := map[int]bool{}
+		for _, x := range sub {
+			if !seen[x] {
+				seen[x] = true
+				frag = append(frag, aAttr(x))
+			}
+		}
+		fragments = append(fragments, frag)
+	}
+	r0 := []string{"key"}
+	for i := range hs.Subsets {
+		r0 = append(r0, eAttr(i))
+	}
+	fragments = append(fragments, r0)
+	return cfd.NormalizeSet(cs), fragments, nil
+}
+
+// MHDInstance is the Theorem 1 construction.
+type MHDInstance struct {
+	Sigma     []*cfd.CFD
+	Partition *partition.Horizontal
+	// VSite and USite are the indices of the V and U fragments; the
+	// subset fragments Di occupy 0…n-1.
+	VSite, USite int
+}
+
+// BuildMHDFromSetCover constructs the Theorem 1 instance over schema
+// (key, A1, A2, A3, Bu, B, N) with Σ = {A1→B, A2→B, A3→B, Bu→B}:
+// one single-tuple fragment Di per 3-element subset, a fragment V of
+// per-element tuples with B = b′, and a mirror fragment U with B = b.
+// Each element x contributes tuples (x,c,c|·), (c,x,c|·), (c,c,x|·)
+// to both V and U; each V tuple shares its Bu value with exactly its
+// U mirror, creating the Bu→B violations the budget argument rides on.
+func BuildMHDFromSetCover(sc *SetCover) (*MHDInstance, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	for i, s := range sc.Subsets {
+		if len(s) != 3 {
+			return nil, fmt.Errorf("npc: Theorem 1 needs 3-element subsets; subset %d has %d", i, len(s))
+		}
+	}
+	schema := relation.MustSchema("MHD",
+		[]string{"key", "A1", "A2", "A3", "Bu", "B", "N"}, "key")
+	el := func(x int) string { return "x" + strconv.Itoa(x) }
+	const (
+		cVal   = "c"
+		dVal   = "d"
+		bVal   = "b"
+		bPrime = "b'"
+	)
+	key := 0
+	nextKey := func() string {
+		key++
+		return strconv.Itoa(key)
+	}
+	n := len(sc.Subsets)
+	var frags []*relation.Relation
+	for i, s := range sc.Subsets {
+		f := relation.New(schema)
+		f.MustAppend(relation.Tuple{nextKey(), el(s[0]), el(s[1]), el(s[2]), dVal, bVal, strconv.Itoa(i + 1)})
+		frags = append(frags, f)
+	}
+	v := relation.New(schema)
+	u := relation.New(schema)
+	for x := 0; x < sc.M; x++ {
+		for pos := 0; pos < 3; pos++ {
+			row := []string{cVal, cVal, cVal}
+			row[pos] = el(x)
+			bu := fmt.Sprintf("u%d_%d", x, pos)
+			v.MustAppend(relation.Tuple{nextKey(), row[0], row[1], row[2], bu, bPrime, "0"})
+			u.MustAppend(relation.Tuple{nextKey(), row[0], row[1], row[2], bu, bVal, strconv.Itoa(n + 1)})
+		}
+	}
+	frags = append(frags, v, u)
+	h := &partition.Horizontal{Schema: schema, Fragments: frags}
+	sigma := []*cfd.CFD{
+		cfd.MustParse(`t1a1: [A1] -> [B]`),
+		cfd.MustParse(`t1a2: [A2] -> [B]`),
+		cfd.MustParse(`t1a3: [A3] -> [B]`),
+		cfd.MustParse(`t1bu: [Bu] -> [B]`),
+	}
+	return &MHDInstance{Sigma: sigma, Partition: h, VSite: n, USite: n + 1}, nil
+}
+
+// CoverShipments derives the proof's forward-direction shipment set
+// from a set cover: the Di tuple of every covering subset and the
+// whole U fragment move to the V site.
+func (inst *MHDInstance) CoverShipments(cover []int) []Shipment {
+	var m []Shipment
+	for _, si := range cover {
+		m = append(m, Shipment{From: si, To: inst.VSite, Tuple: 0})
+	}
+	uFrag := inst.Partition.Fragments[inst.USite]
+	for t := 0; t < uFrag.Len(); t++ {
+		m = append(m, Shipment{From: inst.USite, To: inst.VSite, Tuple: t})
+	}
+	return m
+}
+
+// MHRInstance is the Theorem 3 construction: schema (key, A, B) with
+// the single FD A → B, one fragment per subset holding (y, h) tuples
+// for y ∈ Ci and h ∈ [1, m], and a final fragment of (y, m+1) tuples.
+type MHRInstance struct {
+	Sigma     []*cfd.CFD
+	Partition *partition.Horizontal
+	LastSite  int
+}
+
+// BuildMHRFromSetCover constructs the Theorem 3 instance.
+func BuildMHRFromSetCover(sc *SetCover) (*MHRInstance, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	schema := relation.MustSchema("MHR", []string{"key", "A", "B"}, "key")
+	key := 0
+	nextKey := func() string {
+		key++
+		return strconv.Itoa(key)
+	}
+	var frags []*relation.Relation
+	for _, s := range sc.Subsets {
+		f := relation.New(schema)
+		for _, y := range s {
+			for h := 1; h <= sc.M; h++ {
+				f.MustAppend(relation.Tuple{nextKey(), "x" + strconv.Itoa(y), strconv.Itoa(h)})
+			}
+		}
+		frags = append(frags, f)
+	}
+	last := relation.New(schema)
+	for y := 0; y < sc.M; y++ {
+		last.MustAppend(relation.Tuple{nextKey(), "x" + strconv.Itoa(y), strconv.Itoa(sc.M + 1)})
+	}
+	frags = append(frags, last)
+	h := &partition.Horizontal{Schema: schema, Fragments: frags}
+	return &MHRInstance{
+		Sigma:     []*cfd.CFD{cfd.MustParse(`t3: [A] -> [B]`)},
+		Partition: h,
+		LastSite:  len(frags) - 1,
+	}, nil
+}

@@ -1,0 +1,253 @@
+// Package npc makes the paper's intractability results executable:
+// minimum set cover and hitting set (the reduction sources), exact and
+// greedy solvers for both, the instance constructions of Theorems 1, 3
+// and 8, a Vioπ-level local-checkability checker, and a brute-force
+// minimum-shipment solver for micro instances. The tests cross-check
+// the reductions against the exact solvers and show the Section IV
+// heuristics hitting the true optimum on the paper's running example.
+package npc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SetCover is an instance of minimum set cover: a universe {0,…,M-1}
+// and a collection of subsets. The decision problem (cover of size
+// ≤ K?) is NP-complete, and stays so when every subset has 3 elements
+// — the variant the paper reduces from.
+type SetCover struct {
+	M       int
+	Subsets [][]int
+}
+
+// Validate checks element ranges and coverage feasibility.
+func (sc *SetCover) Validate() error {
+	if sc.M <= 0 {
+		return fmt.Errorf("npc: empty universe")
+	}
+	covered := make([]bool, sc.M)
+	for si, s := range sc.Subsets {
+		for _, e := range s {
+			if e < 0 || e >= sc.M {
+				return fmt.Errorf("npc: subset %d has out-of-range element %d", si, e)
+			}
+			covered[e] = true
+		}
+	}
+	for e, ok := range covered {
+		if !ok {
+			return fmt.Errorf("npc: element %d not coverable", e)
+		}
+	}
+	return nil
+}
+
+func (sc *SetCover) masks() []uint64 {
+	out := make([]uint64, len(sc.Subsets))
+	for i, s := range sc.Subsets {
+		for _, e := range s {
+			out[i] |= 1 << uint(e)
+		}
+	}
+	return out
+}
+
+// GreedyCover returns the classical ln(m)-approximate cover: always
+// pick the subset covering the most uncovered elements.
+func (sc *SetCover) GreedyCover() []int {
+	masks := sc.masks()
+	full := uint64(1)<<uint(sc.M) - 1
+	var cover []int
+	covered := uint64(0)
+	for covered != full {
+		best, bestGain := -1, 0
+		for i, m := range masks {
+			gain := bits.OnesCount64(m &^ covered)
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			return nil // not coverable
+		}
+		cover = append(cover, best)
+		covered |= masks[best]
+	}
+	return cover
+}
+
+// ExactCover returns a minimum cover via dynamic programming over
+// universe bitmasks: O(2^M · |Subsets|). M is capped at 20.
+func (sc *SetCover) ExactCover() ([]int, error) {
+	if sc.M > 20 {
+		return nil, fmt.Errorf("npc: exact cover limited to M ≤ 20, got %d", sc.M)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	masks := sc.masks()
+	full := uint64(1)<<uint(sc.M) - 1
+	const inf = 1 << 30
+	dp := make([]int, full+1)
+	choice := make([]int, full+1)
+	prev := make([]uint64, full+1)
+	for m := uint64(1); m <= full; m++ {
+		dp[m] = inf
+		choice[m] = -1
+	}
+	for m := uint64(0); m < full; m++ {
+		if dp[m] == inf {
+			continue
+		}
+		for si, sm := range masks {
+			nm := m | sm
+			if nm != m && dp[m]+1 < dp[nm] {
+				dp[nm] = dp[m] + 1
+				choice[nm] = si
+				prev[nm] = m
+			}
+		}
+	}
+	if dp[full] == inf {
+		return nil, fmt.Errorf("npc: instance not coverable")
+	}
+	var cover []int
+	for m := full; m != 0; m = prev[m] {
+		cover = append(cover, choice[m])
+	}
+	return cover, nil
+}
+
+// IsCover verifies a candidate cover.
+func (sc *SetCover) IsCover(cover []int) bool {
+	covered := make([]bool, sc.M)
+	for _, si := range cover {
+		if si < 0 || si >= len(sc.Subsets) {
+			return false
+		}
+		for _, e := range sc.Subsets[si] {
+			covered[e] = true
+		}
+	}
+	for _, ok := range covered {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// HittingSet is an instance of minimum hitting set: pick the fewest
+// universe elements intersecting every subset. It is the dual of set
+// cover and the reduction source of Theorem 8.
+type HittingSet struct {
+	M       int
+	Subsets [][]int
+}
+
+// ExactHit returns a minimum hitting set by subset enumeration in
+// increasing size; M is capped at 20.
+func (hs *HittingSet) ExactHit() ([]int, error) {
+	if hs.M > 20 {
+		return nil, fmt.Errorf("npc: exact hitting set limited to M ≤ 20, got %d", hs.M)
+	}
+	subMasks := make([]uint64, len(hs.Subsets))
+	for i, s := range hs.Subsets {
+		for _, e := range s {
+			if e < 0 || e >= hs.M {
+				return nil, fmt.Errorf("npc: subset %d has out-of-range element %d", i, e)
+			}
+			subMasks[i] |= 1 << uint(e)
+		}
+		if subMasks[i] == 0 {
+			return nil, fmt.Errorf("npc: empty subset %d cannot be hit", i)
+		}
+	}
+	full := uint64(1) << uint(hs.M)
+	bestMask := uint64(0)
+	bestBits := hs.M + 1
+	for m := uint64(0); m < full; m++ {
+		b := bits.OnesCount64(m)
+		if b >= bestBits {
+			continue
+		}
+		ok := true
+		for _, sm := range subMasks {
+			if m&sm == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			bestMask, bestBits = m, b
+		}
+	}
+	if bestBits > hs.M {
+		return nil, fmt.Errorf("npc: no hitting set")
+	}
+	var out []int
+	for e := 0; e < hs.M; e++ {
+		if bestMask&(1<<uint(e)) != 0 {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// GreedyHit picks the element hitting the most unhit subsets.
+func (hs *HittingSet) GreedyHit() []int {
+	unhit := map[int]bool{}
+	for i := range hs.Subsets {
+		unhit[i] = true
+	}
+	var out []int
+	for len(unhit) > 0 {
+		counts := make([]int, hs.M)
+		for si := range unhit {
+			for _, e := range hs.Subsets[si] {
+				counts[e]++
+			}
+		}
+		best, bestCount := -1, 0
+		for e, c := range counts {
+			if c > bestCount {
+				best, bestCount = e, c
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		out = append(out, best)
+		for si := range unhit {
+			for _, e := range hs.Subsets[si] {
+				if e == best {
+					delete(unhit, si)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IsHit verifies a candidate hitting set.
+func (hs *HittingSet) IsHit(hit []int) bool {
+	set := map[int]bool{}
+	for _, e := range hit {
+		set[e] = true
+	}
+	for _, s := range hs.Subsets {
+		ok := false
+		for _, e := range s {
+			if set[e] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

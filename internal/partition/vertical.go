@@ -1,0 +1,122 @@
+package partition
+
+import (
+	"fmt"
+
+	"distcfd/internal/engine"
+	"distcfd/internal/relation"
+)
+
+// Vertical is a vertical partition (D1, …, Dn) of a relation D:
+// fragment i carries attribute set Xi (always including key(R)) and is
+// the projection πXi(D). Fragment i resides at site Si.
+type Vertical struct {
+	// Base is the schema of the original relation R.
+	Base *relation.Schema
+	// AttrSets are the Xi, key attributes included.
+	AttrSets [][]string
+	// Fragments are the projected instances, aligned with AttrSets.
+	Fragments []*relation.Relation
+}
+
+// N returns the number of fragments.
+func (v *Vertical) N() int { return len(v.Fragments) }
+
+// VerticalByAttrs builds a vertical partition from attribute sets.
+// Each set is augmented with key(R) if missing; together the sets must
+// cover attr(R); the base schema must declare a key (vertical
+// fragmentation without tuple identity cannot be reconstructed).
+func VerticalByAttrs(d *relation.Relation, attrSets [][]string) (*Vertical, error) {
+	base := d.Schema()
+	if len(base.Key()) == 0 {
+		return nil, fmt.Errorf("partition: vertical partitioning requires a key on %s", base.Name())
+	}
+	if len(attrSets) == 0 {
+		return nil, fmt.Errorf("partition: no attribute sets")
+	}
+	covered := map[string]bool{}
+	v := &Vertical{Base: base}
+	for i, set := range attrSets {
+		aug := augmentWithKey(base, set)
+		for _, a := range aug {
+			if !base.HasAttr(a) {
+				return nil, fmt.Errorf("partition: fragment %d attribute %q not in %s", i, a, base.Name())
+			}
+			covered[a] = true
+		}
+		frag, err := d.Project(fmt.Sprintf("%s_V%d", base.Name(), i+1), aug)
+		if err != nil {
+			return nil, err
+		}
+		v.AttrSets = append(v.AttrSets, aug)
+		v.Fragments = append(v.Fragments, frag)
+	}
+	for _, a := range base.Attrs() {
+		if !covered[a] {
+			return nil, fmt.Errorf("partition: attribute %q not covered by any fragment", a)
+		}
+	}
+	return v, nil
+}
+
+func augmentWithKey(base *relation.Schema, set []string) []string {
+	has := map[string]bool{}
+	for _, a := range set {
+		has[a] = true
+	}
+	out := []string{}
+	// Key attributes first, then the rest in given order.
+	for _, k := range base.Key() {
+		if !has[k] {
+			out = append(out, k)
+		}
+	}
+	return append(out, set...)
+}
+
+// Reconstruct computes ⋈ᵢ Dᵢ on the key.
+func (v *Vertical) Reconstruct() (*relation.Relation, error) {
+	joined, err := engine.JoinAll(v.Fragments, v.Base.Key(), v.Base.Name())
+	if err != nil {
+		return nil, err
+	}
+	// Restore the base attribute order.
+	return joined.Project(v.Base.Name(), v.Base.Attrs())
+}
+
+// Verify checks that the reconstruction equals the original.
+func (v *Vertical) Verify(original *relation.Relation) error {
+	rec, err := v.Reconstruct()
+	if err != nil {
+		return err
+	}
+	if !rec.SameTuples(original) {
+		return fmt.Errorf("partition: vertical reconstruction differs from original (%d vs %d tuples)",
+			rec.Len(), original.Len())
+	}
+	return nil
+}
+
+// FragmentFor returns the index of the first fragment whose attribute
+// set contains all of attrs, or -1: the site where a CFD over attrs is
+// locally checkable (Section II-C: Vio(φ, Di) is defined only when φ's
+// attributes all lie in Di).
+func (v *Vertical) FragmentFor(attrs []string) int {
+	for i, set := range v.AttrSets {
+		s := map[string]bool{}
+		for _, a := range set {
+			s[a] = true
+		}
+		all := true
+		for _, a := range attrs {
+			if !s[a] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,88 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV writes the relation as CSV with a header row of attribute
+// names.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema().Attrs()); err != nil {
+		return fmt.Errorf("relation: writing CSV header: %w", err)
+	}
+	for _, t := range r.Tuples() {
+		if err := cw.Write(t); err != nil {
+			return fmt.Errorf("relation: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a CSV stream whose first row is a header of attribute
+// names and returns the relation. name becomes the schema name; key
+// lists key attributes (must appear in the header).
+func ReadCSV(rd io.Reader, name string, key ...string) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	schema, err := NewSchema(name, header, key...)
+	if err != nil {
+		return nil, err
+	}
+	rel := New(schema)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV row: %w", err)
+		}
+		if err := rel.Append(Tuple(rec)); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// ReadCSVInto reads CSV data (with header) into a relation of an
+// existing schema; the header must list exactly the schema's attributes
+// in order.
+func ReadCSVInto(rd io.Reader, schema *Schema) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	if len(header) != schema.Arity() {
+		return nil, fmt.Errorf("relation: CSV header arity %d does not match schema %s arity %d",
+			len(header), schema.Name(), schema.Arity())
+	}
+	for i, a := range schema.Attrs() {
+		if header[i] != a {
+			return nil, fmt.Errorf("relation: CSV header column %d is %q, schema %s expects %q",
+				i, header[i], schema.Name(), a)
+		}
+	}
+	rel := New(schema)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV row: %w", err)
+		}
+		if err := rel.Append(Tuple(rec)); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}

@@ -1,0 +1,57 @@
+package relation
+
+// Dict interns string values to dense uint32 identifiers. The engine
+// uses it to dictionary-encode group-by keys: comparing and hashing
+// fixed-width IDs is substantially cheaper than hashing full strings,
+// which matters for the n·log n / hash-grouping `check` step the paper's
+// cost model charges at every site.
+//
+// A Dict is not safe for concurrent mutation; each site owns its own.
+type Dict struct {
+	ids  map[string]uint32
+	vals []string
+}
+
+// NewDict creates an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]uint32)}
+}
+
+// ID returns the identifier for v, interning it on first sight.
+func (d *Dict) ID(v string) uint32 {
+	if id, ok := d.ids[v]; ok {
+		return id
+	}
+	id := uint32(len(d.vals))
+	d.ids[v] = id
+	d.vals = append(d.vals, v)
+	return id
+}
+
+// Lookup returns the identifier for v without interning;
+// ok=false if v has never been seen.
+func (d *Dict) Lookup(v string) (uint32, bool) {
+	id, ok := d.ids[v]
+	return id, ok
+}
+
+// Val returns the string for identifier id.
+func (d *Dict) Val(id uint32) string { return d.vals[id] }
+
+// Len returns the number of distinct interned values.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// EncodeColumn interns one column of the relation, returning the ID
+// vector aligned with the relation's tuples.
+func (d *Dict) EncodeColumn(r *Relation, attr string) ([]uint32, error) {
+	i, err := r.Schema().Indices([]string{attr})
+	if err != nil {
+		return nil, err
+	}
+	col := i[0]
+	out := make([]uint32, r.Len())
+	for j, t := range r.Tuples() {
+		out[j] = d.ID(t[col])
+	}
+	return out, nil
+}

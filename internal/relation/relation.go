@@ -1,0 +1,202 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is an in-memory instance D of a schema R: an ordered bag of
+// tuples. It is the unit of storage at every site of the simulated
+// distributed system.
+type Relation struct {
+	schema *Schema
+	tuples []Tuple
+}
+
+// New creates an empty relation over schema s.
+func New(s *Schema) *Relation {
+	return &Relation{schema: s}
+}
+
+// NewWithCapacity creates an empty relation with preallocated capacity.
+func NewWithCapacity(s *Schema, n int) *Relation {
+	return &Relation{schema: s, tuples: make([]Tuple, 0, n)}
+}
+
+// FromTuples builds a relation from existing tuples (not copied).
+// Every tuple must match the schema arity.
+func FromTuples(s *Schema, ts []Tuple) (*Relation, error) {
+	for i, t := range ts {
+		if len(t) != s.Arity() {
+			return nil, fmt.Errorf("relation: tuple %d has arity %d, schema %s wants %d", i, len(t), s.Name(), s.Arity())
+		}
+	}
+	return &Relation{schema: s, tuples: ts}, nil
+}
+
+// MustFromRows builds a relation from row literals, panicking on arity
+// mismatch; intended for tests and examples.
+func MustFromRows(s *Schema, rows ...[]string) *Relation {
+	r := NewWithCapacity(s, len(rows))
+	for _, row := range rows {
+		if err := r.Append(Tuple(row)); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuple returns the i-th tuple. The caller must not modify it.
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Tuples returns the underlying tuple slice. The caller must not modify it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Append adds a tuple, validating arity.
+func (r *Relation) Append(t Tuple) error {
+	if len(t) != r.schema.Arity() {
+		return fmt.Errorf("relation: tuple arity %d does not match schema %s arity %d", len(t), r.schema.Name(), r.schema.Arity())
+	}
+	r.tuples = append(r.tuples, t)
+	return nil
+}
+
+// MustAppend adds a tuple and panics on arity mismatch.
+func (r *Relation) MustAppend(t Tuple) {
+	if err := r.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// AppendAll adds all tuples from o, which must share r's arity.
+func (r *Relation) AppendAll(o *Relation) error {
+	if o.schema.Arity() != r.schema.Arity() {
+		return fmt.Errorf("relation: cannot append %s (arity %d) to %s (arity %d)",
+			o.schema.Name(), o.schema.Arity(), r.schema.Name(), r.schema.Arity())
+	}
+	r.tuples = append(r.tuples, o.tuples...)
+	return nil
+}
+
+// Clone returns a deep copy (tuples copied too).
+func (r *Relation) Clone() *Relation {
+	out := NewWithCapacity(r.schema, r.Len())
+	for _, t := range r.tuples {
+		out.tuples = append(out.tuples, t.Clone())
+	}
+	return out
+}
+
+// Select returns a new relation with the tuples satisfying pred.
+// Tuples are shared, not copied.
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := New(r.schema)
+	for _, t := range r.tuples {
+		if pred(t) {
+			out.tuples = append(out.tuples, t)
+		}
+	}
+	return out
+}
+
+// Project returns the projection of r onto attrs, preserving duplicates
+// and input order. The result schema is named name.
+func (r *Relation) Project(name string, attrs []string) (*Relation, error) {
+	idx, err := r.schema.Indices(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := r.schema.Project(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := NewWithCapacity(ps, r.Len())
+	for _, t := range r.tuples {
+		out.tuples = append(out.tuples, t.Project(idx))
+	}
+	return out, nil
+}
+
+// DistinctProject is Project with duplicate elimination; first
+// occurrence order is preserved.
+func (r *Relation) DistinctProject(name string, attrs []string) (*Relation, error) {
+	idx, err := r.schema.Indices(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := r.schema.Project(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := New(ps)
+	seen := make(map[string]struct{}, r.Len())
+	for _, t := range r.tuples {
+		k := t.Key(idx)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.tuples = append(out.tuples, t.Project(idx))
+	}
+	return out, nil
+}
+
+// SortBy sorts tuples in place, lexicographically by the given attributes.
+func (r *Relation) SortBy(attrs ...string) error {
+	idx, err := r.schema.Indices(attrs)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(r.tuples, func(a, b int) bool {
+		ta, tb := r.tuples[a], r.tuples[b]
+		for _, j := range idx {
+			if ta[j] != tb[j] {
+				return ta[j] < tb[j]
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// SameTuples reports whether r and o contain the same multiset of tuples,
+// ignoring order. Schemas must have equal arity; attribute names are not
+// compared.
+func (r *Relation) SameTuples(o *Relation) bool {
+	if r.Len() != o.Len() {
+		return false
+	}
+	counts := make(map[string]int, r.Len())
+	for _, t := range r.tuples {
+		counts[strings.Join(t, "\x1f")]++
+	}
+	for _, t := range o.tuples {
+		k := strings.Join(t, "\x1f")
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as a small table; intended for examples
+// and debugging, not bulk output.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.schema.String())
+	b.WriteByte('\n')
+	for _, t := range r.tuples {
+		b.WriteString("  ")
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

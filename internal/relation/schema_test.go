@@ -1,0 +1,151 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func empSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("EMP",
+		[]string{"id", "name", "title", "CC", "AC", "phn", "street", "city", "zip", "salary"},
+		"id")
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema("R", nil); err == nil {
+		t.Error("expected error for empty attribute list")
+	}
+	if _, err := NewSchema("R", []string{"a", "a"}); err == nil {
+		t.Error("expected error for duplicate attribute")
+	}
+	if _, err := NewSchema("R", []string{"a", ""}); err == nil {
+		t.Error("expected error for empty attribute name")
+	}
+	if _, err := NewSchema("R", []string{"a"}, "b"); err == nil {
+		t.Error("expected error for key not in schema")
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := empSchema(t)
+	if s.Name() != "EMP" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.Arity() != 10 {
+		t.Errorf("Arity = %d, want 10", s.Arity())
+	}
+	if i, ok := s.Index("city"); !ok || i != 7 {
+		t.Errorf("Index(city) = %d,%v want 7,true", i, ok)
+	}
+	if _, ok := s.Index("nope"); ok {
+		t.Error("Index(nope) should be absent")
+	}
+	if !s.HasAttr("zip") || s.HasAttr("zap") {
+		t.Error("HasAttr wrong")
+	}
+	if !s.HasAll([]string{"CC", "AC"}) || s.HasAll([]string{"CC", "xx"}) {
+		t.Error("HasAll wrong")
+	}
+	if got := s.Key(); len(got) != 1 || got[0] != "id" {
+		t.Errorf("Key = %v", got)
+	}
+	if s.MustIndex("salary") != 9 {
+		t.Error("MustIndex(salary) != 9")
+	}
+}
+
+func TestSchemaMustIndexPanics(t *testing.T) {
+	s := empSchema(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex on missing attribute should panic")
+		}
+	}()
+	s.MustIndex("missing")
+}
+
+func TestSchemaIndices(t *testing.T) {
+	s := empSchema(t)
+	idx, err := s.Indices([]string{"CC", "zip", "street"})
+	if err != nil {
+		t.Fatalf("Indices: %v", err)
+	}
+	want := []int{3, 8, 6}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Errorf("Indices[%d] = %d, want %d", i, idx[i], want[i])
+		}
+	}
+	if _, err := s.Indices([]string{"CC", "bogus"}); err == nil {
+		t.Error("expected error for unknown attribute")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := empSchema(t)
+	ps, err := s.Project("EMP_V2", []string{"id", "CC", "AC", "phn"})
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if ps.Arity() != 4 || ps.Name() != "EMP_V2" {
+		t.Errorf("projected schema = %v", ps)
+	}
+	if got := ps.Key(); len(got) != 1 || got[0] != "id" {
+		t.Errorf("projected key = %v, want [id]", got)
+	}
+	// Projection dropping the key loses the key.
+	ps2, err := s.Project("NOKEY", []string{"CC", "AC"})
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if len(ps2.Key()) != 0 {
+		t.Errorf("projected key = %v, want empty", ps2.Key())
+	}
+	if _, err := s.Project("BAD", []string{"nope"}); err == nil {
+		t.Error("expected error projecting unknown attribute")
+	}
+}
+
+func TestSchemaEqualAndSameAttrs(t *testing.T) {
+	a := MustSchema("R", []string{"x", "y"}, "x")
+	b := MustSchema("R", []string{"x", "y"}, "x")
+	c := MustSchema("R", []string{"y", "x"}, "x")
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different attribute order should not be Equal")
+	}
+	if !a.SameAttrs(c) {
+		t.Error("same attribute sets should be SameAttrs")
+	}
+	d := MustSchema("R", []string{"x", "z"})
+	if a.SameAttrs(d) {
+		t.Error("different attribute sets should not be SameAttrs")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema("R", []string{"a", "b"}, "a")
+	str := s.String()
+	if !strings.Contains(str, "a*") || !strings.Contains(str, "R(") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestSortedAttrs(t *testing.T) {
+	s := MustSchema("R", []string{"c", "a", "b"})
+	got := s.SortedAttrs()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("SortedAttrs = %v", got)
+	}
+	// original untouched
+	if s.Attrs()[0] != "c" {
+		t.Error("SortedAttrs mutated the schema")
+	}
+}

@@ -1,0 +1,56 @@
+package relation
+
+import "strings"
+
+// Tuple is a row of a relation: one string value per schema attribute,
+// positionally aligned with Schema.Attrs.
+type Tuple []string
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	return append(Tuple(nil), t...)
+}
+
+// Equal reports positional equality of two tuples.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the sub-tuple at the given positions (a fresh slice).
+func (t Tuple) Project(idx []int) Tuple {
+	out := make(Tuple, len(idx))
+	for i, j := range idx {
+		out[i] = t[j]
+	}
+	return out
+}
+
+// Key joins the values at the given positions into a single string key
+// suitable for map grouping. The separator cannot appear in CSV data
+// loaded through this package.
+func (t Tuple) Key(idx []int) string {
+	if len(idx) == 1 {
+		return t[idx[0]]
+	}
+	var b strings.Builder
+	for i, j := range idx {
+		if i > 0 {
+			b.WriteByte(0x1f) // ASCII unit separator
+		}
+		b.WriteString(t[j])
+	}
+	return b.String()
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	return "(" + strings.Join(t, ", ") + ")"
+}

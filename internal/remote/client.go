@@ -1,0 +1,170 @@
+package remote
+
+import (
+	"fmt"
+	"net/rpc"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/core"
+	"distcfd/internal/mining"
+	"distcfd/internal/relation"
+)
+
+// RemoteSite is the client-side proxy implementing core.SiteAPI over a
+// net/rpc connection. Every call executes at the remote site.
+type RemoteSite struct {
+	id     int
+	client *rpc.Client
+	pred   relation.Predicate
+	size   int
+}
+
+var _ core.SiteAPI = (*RemoteSite)(nil)
+
+// Dial connects to site servers in order; the position in addrs is the
+// site ID the server must report. Returns the proxies and the schema
+// announced by the first site.
+func Dial(addrs []string) ([]core.SiteAPI, *relation.Schema, error) {
+	var schema *relation.Schema
+	sites := make([]core.SiteAPI, len(addrs))
+	for i, addr := range addrs {
+		client, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("remote: dialing site %d at %s: %w", i, addr, err)
+		}
+		var info InfoReply
+		if err := client.Call("Site.Info", struct{}{}, &info); err != nil {
+			return nil, nil, fmt.Errorf("remote: handshake with %s: %w", addr, err)
+		}
+		if info.ID != i {
+			return nil, nil, fmt.Errorf("remote: site at %s reports ID %d, expected %d", addr, info.ID, i)
+		}
+		if schema == nil {
+			s, err := SchemaFromWire(info.Schema)
+			if err != nil {
+				return nil, nil, err
+			}
+			schema = s
+		}
+		sites[i] = &RemoteSite{id: i, client: client, pred: info.Pred, size: info.NumTuples}
+	}
+	return sites, schema, nil
+}
+
+// ID returns the site index.
+func (r *RemoteSite) ID() int { return r.id }
+
+// NumTuples returns the fragment size captured at handshake.
+func (r *RemoteSite) NumTuples() (int, error) { return r.size, nil }
+
+// Predicate returns the fragment predicate captured at handshake.
+func (r *RemoteSite) Predicate() (relation.Predicate, error) { return r.pred, nil }
+
+// SigmaStats forwards to the remote site.
+func (r *RemoteSite) SigmaStats(spec *core.BlockSpec) ([]int, error) {
+	var reply []int
+	err := r.client.Call("Site.SigmaStats", SpecArgs{Spec: spec}, &reply)
+	return reply, err
+}
+
+// ExtractBlock forwards to the remote site.
+func (r *RemoteSite) ExtractBlock(spec *core.BlockSpec, l int, attrs []string) (*relation.Relation, error) {
+	var reply WireRelation
+	if err := r.client.Call("Site.ExtractBlock", ExtractArgs{Spec: spec, Attrs: attrs, Block: l}, &reply); err != nil {
+		return nil, err
+	}
+	return FromWire(&reply)
+}
+
+// ExtractMatching forwards to the remote site.
+func (r *RemoteSite) ExtractMatching(spec *core.BlockSpec, attrs []string) (*relation.Relation, error) {
+	var reply WireRelation
+	if err := r.client.Call("Site.ExtractMatching", ExtractArgs{Spec: spec, Attrs: attrs}, &reply); err != nil {
+		return nil, err
+	}
+	return FromWire(&reply)
+}
+
+// ExtractBlocksBatch forwards to the remote site.
+func (r *RemoteSite) ExtractBlocksBatch(spec *core.BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error) {
+	var reply map[int]*WireRelation
+	if err := r.client.Call("Site.ExtractBlocksBatch",
+		ExtractArgs{Spec: spec, Attrs: attrs, Wanted: wanted}, &reply); err != nil {
+		return nil, err
+	}
+	out := make(map[int]*relation.Relation, len(reply))
+	for l, w := range reply {
+		rel, err := FromWire(w)
+		if err != nil {
+			return nil, err
+		}
+		out[l] = rel
+	}
+	return out, nil
+}
+
+// Deposit forwards a shipped batch to the remote site.
+func (r *RemoteSite) Deposit(task string, batch *relation.Relation) error {
+	return r.client.Call("Site.Deposit", DepositArgs{Task: task, Batch: ToWire(batch)}, &struct{}{})
+}
+
+// DetectTask forwards to the remote site.
+func (r *RemoteSite) DetectTask(task string, local core.LocalInput, cfds []*cfd.CFD) ([]*relation.Relation, error) {
+	var reply []*WireRelation
+	if err := r.client.Call("Site.DetectTask",
+		DetectTaskArgs{Task: task, Local: local, CFDs: cfds}, &reply); err != nil {
+		return nil, err
+	}
+	return fromWireSlice(reply)
+}
+
+// DetectAssignedSingle forwards to the remote site.
+func (r *RemoteSite) DetectAssignedSingle(taskPrefix string, spec *core.BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error) {
+	var reply WireRelation
+	if err := r.client.Call("Site.DetectAssignedSingle",
+		DetectAssignedArgs{TaskPrefix: taskPrefix, Spec: spec, Blocks: blocks, CFD: c}, &reply); err != nil {
+		return nil, err
+	}
+	return FromWire(&reply)
+}
+
+// DetectAssignedSet forwards to the remote site.
+func (r *RemoteSite) DetectAssignedSet(taskPrefix string, spec *core.BlockSpec, blocks []int, cfds []*cfd.CFD) ([]*relation.Relation, error) {
+	var reply []*WireRelation
+	if err := r.client.Call("Site.DetectAssignedSet",
+		DetectAssignedArgs{TaskPrefix: taskPrefix, Spec: spec, Blocks: blocks, CFDs: cfds}, &reply); err != nil {
+		return nil, err
+	}
+	return fromWireSlice(reply)
+}
+
+// DetectConstantsLocal forwards to the remote site.
+func (r *RemoteSite) DetectConstantsLocal(c *cfd.CFD) (*relation.Relation, error) {
+	var reply WireRelation
+	if err := r.client.Call("Site.DetectConstantsLocal", ConstantsArgs{CFD: c}, &reply); err != nil {
+		return nil, err
+	}
+	return FromWire(&reply)
+}
+
+// MineFrequent forwards to the remote site.
+func (r *RemoteSite) MineFrequent(x []string, theta float64) ([]mining.Pattern, error) {
+	var reply []mining.Pattern
+	err := r.client.Call("Site.MineFrequent", MineArgs{X: x, Theta: theta}, &reply)
+	return reply, err
+}
+
+// Close releases the connection.
+func (r *RemoteSite) Close() error { return r.client.Close() }
+
+func fromWireSlice(ws []*WireRelation) ([]*relation.Relation, error) {
+	out := make([]*relation.Relation, len(ws))
+	for i, w := range ws {
+		rel, err := FromWire(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rel
+	}
+	return out, nil
+}

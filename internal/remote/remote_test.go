@@ -1,0 +1,191 @@
+package remote
+
+import (
+	"net"
+	"testing"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/core"
+	"distcfd/internal/partition"
+	"distcfd/internal/relation"
+	"distcfd/internal/workload"
+)
+
+// startSites serves each fragment of the partition on a loopback TCP
+// listener and returns the addresses.
+func startSites(t *testing.T, h *partition.Horizontal) []string {
+	t.Helper()
+	addrs := make([]string, h.N())
+	for i := range h.Fragments {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := relation.True()
+		if len(h.Predicates) > i {
+			pred = h.Predicates[i]
+		}
+		site := core.NewSite(i, h.Fragments[i], pred)
+		go func() { _ = Serve(lis, site, h.Schema) }()
+		t.Cleanup(func() { lis.Close() })
+		addrs[i] = lis.Addr().String()
+	}
+	return addrs
+}
+
+func TestWireRelationRoundTrip(t *testing.T) {
+	d := workload.EMPData()
+	w := ToWire(d)
+	back, err := FromWire(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameTuples(d) || !back.Schema().Equal(d.Schema()) {
+		t.Error("wire round trip lost data")
+	}
+	if ToWire(nil) != nil {
+		t.Error("ToWire(nil) should be nil")
+	}
+	nilBack, err := FromWire(nil)
+	if err != nil || nilBack != nil {
+		t.Error("FromWire(nil) should be nil")
+	}
+}
+
+func TestWireSchemaRoundTrip(t *testing.T) {
+	s := workload.EMPSchema()
+	back, err := SchemaFromWire(SchemaToWire(s))
+	if err != nil || !back.Equal(s) {
+		t.Errorf("schema round trip: %v %v", back, err)
+	}
+}
+
+// TestRemoteClusterMatchesLocal runs every algorithm over real TCP
+// sites and compares against the in-process cluster, violation for
+// violation and shipment for shipment.
+func TestRemoteClusterMatchesLocal(t *testing.T) {
+	h, err := workload.EMPFig1bPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startSites(t, h)
+	sites, schema, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteCl, err := core.NewCluster(schema, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localCl, err := core.FromHorizontal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rule := range workload.EMPCFDs() {
+		for _, algo := range []core.Algorithm{core.CTRDetect, core.PatDetectS, core.PatDetectRT} {
+			remote, err := core.DetectSingle(remoteCl, rule, algo, core.Options{})
+			if err != nil {
+				t.Fatalf("%s/%v remote: %v", rule.Name, algo, err)
+			}
+			local, err := core.DetectSingle(localCl, rule, algo, core.Options{})
+			if err != nil {
+				t.Fatalf("%s/%v local: %v", rule.Name, algo, err)
+			}
+			if !remote.Patterns.SameTuples(local.Patterns) {
+				t.Errorf("%s/%v: remote patterns differ\nremote %v\nlocal %v",
+					rule.Name, algo, remote.Patterns, local.Patterns)
+			}
+			if remote.ShippedTuples != local.ShippedTuples {
+				t.Errorf("%s/%v: shipment %d != %d", rule.Name, algo,
+					remote.ShippedTuples, local.ShippedTuples)
+			}
+		}
+	}
+}
+
+// TestRemoteMultiCFD drives the multi-CFD algorithms over TCP.
+func TestRemoteMultiCFD(t *testing.T) {
+	h, err := workload.EMPFig1bPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startSites(t, h)
+	sites, schema, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := core.NewCluster(schema, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfds := workload.EMPCFDs()
+	seq, err := core.SeqDetect(cl, cfds, core.PatDetectS, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, err := core.ClustDetect(cl, cfds, core.PatDetectS, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := workload.EMPData()
+	for ci, c := range cfds {
+		vio, err := cfd.NaiveViolations(d, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xi, _ := d.Schema().Indices(c.X)
+		want := map[string]bool{}
+		for _, i := range vio {
+			want[d.Tuple(i).Key(xi)] = true
+		}
+		for label, got := range map[string]*relation.Relation{"seq": seq.PerCFD[ci], "clust": clu.PerCFD[ci]} {
+			if got.Len() != len(want) {
+				t.Errorf("%s %s: %d patterns, want %d", label, c.Name, got.Len(), len(want))
+			}
+		}
+	}
+}
+
+// TestRemoteMining exercises MineFrequent over RPC.
+func TestRemoteMining(t *testing.T) {
+	d := workload.XRef(workload.XRefConfig{N: 500, Seed: 3})
+	h, err := partition.Uniform(d, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startSites(t, h)
+	sites, schema, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := core.NewCluster(schema, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.DetectSingle(cl, workload.XRefMiningFD(), core.PatDetectS,
+		core.Options{MineTheta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinedPatterns == 0 {
+		t.Error("remote mining found no patterns at θ=0.1")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, _, err := Dial([]string{"127.0.0.1:1"}); err == nil {
+		t.Error("dialing a dead address should fail")
+	}
+	// Wrong ID: serve site 5 but dial it as position 0.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	s := relation.MustSchema("T", []string{"a"})
+	site := core.NewSite(5, relation.New(s), relation.True())
+	go func() { _ = Serve(lis, site, s) }()
+	if _, _, err := Dial([]string{lis.Addr().String()}); err == nil {
+		t.Error("ID mismatch should fail the handshake")
+	}
+}

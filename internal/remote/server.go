@@ -1,0 +1,221 @@
+package remote
+
+import (
+	"net"
+	"net/rpc"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/core"
+	"distcfd/internal/mining"
+	"distcfd/internal/relation"
+)
+
+// SiteService exposes a core.Site over net/rpc. Method names mirror
+// core.SiteAPI one-to-one.
+type SiteService struct {
+	site   *core.Site
+	schema *relation.Schema
+}
+
+// NewSiteService wraps a site for serving.
+func NewSiteService(site *core.Site, schema *relation.Schema) *SiteService {
+	return &SiteService{site: site, schema: schema}
+}
+
+// Serve registers the service and accepts connections until the
+// listener closes. It blocks.
+func Serve(lis net.Listener, site *core.Site, schema *relation.Schema) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Site", NewSiteService(site, schema)); err != nil {
+		return err
+	}
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// InfoReply answers the handshake.
+type InfoReply struct {
+	ID        int
+	NumTuples int
+	Pred      relation.Predicate
+	Schema    *WireSchema
+}
+
+// Info returns site identity, size, predicate and schema.
+func (s *SiteService) Info(_ struct{}, reply *InfoReply) error {
+	n, err := s.site.NumTuples()
+	if err != nil {
+		return err
+	}
+	pred, err := s.site.Predicate()
+	if err != nil {
+		return err
+	}
+	reply.ID = s.site.ID()
+	reply.NumTuples = n
+	reply.Pred = pred
+	reply.Schema = SchemaToWire(s.schema)
+	return nil
+}
+
+// SpecArgs carries a σ spec.
+type SpecArgs struct {
+	Spec *core.BlockSpec
+}
+
+// SigmaStats returns lstat for the spec.
+func (s *SiteService) SigmaStats(args SpecArgs, reply *[]int) error {
+	stats, err := s.site.SigmaStats(args.Spec)
+	if err != nil {
+		return err
+	}
+	*reply = stats
+	return nil
+}
+
+// ExtractArgs selects blocks and projection attributes.
+type ExtractArgs struct {
+	Spec   *core.BlockSpec
+	Attrs  []string
+	Block  int
+	Wanted []int
+}
+
+// ExtractBlock returns one σ-block.
+func (s *SiteService) ExtractBlock(args ExtractArgs, reply *WireRelation) error {
+	r, err := s.site.ExtractBlock(args.Spec, args.Block, args.Attrs)
+	if err != nil {
+		return err
+	}
+	*reply = *ToWire(r)
+	return nil
+}
+
+// ExtractMatching returns all matching tuples.
+func (s *SiteService) ExtractMatching(args ExtractArgs, reply *WireRelation) error {
+	r, err := s.site.ExtractMatching(args.Spec, args.Attrs)
+	if err != nil {
+		return err
+	}
+	*reply = *ToWire(r)
+	return nil
+}
+
+// ExtractBlocksBatch returns several blocks in one pass.
+func (s *SiteService) ExtractBlocksBatch(args ExtractArgs, reply *map[int]*WireRelation) error {
+	batches, err := s.site.ExtractBlocksBatch(args.Spec, args.Attrs, args.Wanted)
+	if err != nil {
+		return err
+	}
+	out := make(map[int]*WireRelation, len(batches))
+	for l, r := range batches {
+		out[l] = ToWire(r)
+	}
+	*reply = out
+	return nil
+}
+
+// DepositArgs carries a shipped batch.
+type DepositArgs struct {
+	Task  string
+	Batch *WireRelation
+}
+
+// Deposit buffers a batch under the task key.
+func (s *SiteService) Deposit(args DepositArgs, _ *struct{}) error {
+	r, err := FromWire(args.Batch)
+	if err != nil {
+		return err
+	}
+	return s.site.Deposit(args.Task, r)
+}
+
+// DetectTaskArgs parameterizes the CTR-style coordinator step.
+type DetectTaskArgs struct {
+	Task  string
+	Local core.LocalInput
+	CFDs  []*cfd.CFD
+}
+
+// DetectTask runs detection for the task.
+func (s *SiteService) DetectTask(args DetectTaskArgs, reply *[]*WireRelation) error {
+	pats, err := s.site.DetectTask(args.Task, args.Local, args.CFDs)
+	if err != nil {
+		return err
+	}
+	out := make([]*WireRelation, len(pats))
+	for i, p := range pats {
+		out[i] = ToWire(p)
+	}
+	*reply = out
+	return nil
+}
+
+// DetectAssignedArgs parameterizes the per-pattern coordinator steps.
+type DetectAssignedArgs struct {
+	TaskPrefix string
+	Spec       *core.BlockSpec
+	Blocks     []int
+	CFD        *cfd.CFD
+	CFDs       []*cfd.CFD
+}
+
+// DetectAssignedSingle runs the PatDetect coordinator step.
+func (s *SiteService) DetectAssignedSingle(args DetectAssignedArgs, reply *WireRelation) error {
+	pats, err := s.site.DetectAssignedSingle(args.TaskPrefix, args.Spec, args.Blocks, args.CFD)
+	if err != nil {
+		return err
+	}
+	*reply = *ToWire(pats)
+	return nil
+}
+
+// DetectAssignedSet runs the ClustDetect coordinator step.
+func (s *SiteService) DetectAssignedSet(args DetectAssignedArgs, reply *[]*WireRelation) error {
+	pats, err := s.site.DetectAssignedSet(args.TaskPrefix, args.Spec, args.Blocks, args.CFDs)
+	if err != nil {
+		return err
+	}
+	out := make([]*WireRelation, len(pats))
+	for i, p := range pats {
+		out[i] = ToWire(p)
+	}
+	*reply = out
+	return nil
+}
+
+// ConstantsArgs carries the CFD whose constant units to check.
+type ConstantsArgs struct {
+	CFD *cfd.CFD
+}
+
+// DetectConstantsLocal checks constant units locally (Prop. 5).
+func (s *SiteService) DetectConstantsLocal(args ConstantsArgs, reply *WireRelation) error {
+	pats, err := s.site.DetectConstantsLocal(args.CFD)
+	if err != nil {
+		return err
+	}
+	*reply = *ToWire(pats)
+	return nil
+}
+
+// MineArgs parameterizes frequent-pattern mining.
+type MineArgs struct {
+	X     []string
+	Theta float64
+}
+
+// MineFrequent mines closed frequent patterns at the site.
+func (s *SiteService) MineFrequent(args MineArgs, reply *[]mining.Pattern) error {
+	ps, err := s.site.MineFrequent(args.X, args.Theta)
+	if err != nil {
+		return err
+	}
+	*reply = ps
+	return nil
+}

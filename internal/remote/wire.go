@@ -1,0 +1,74 @@
+// Package remote runs detection over real sockets: each site is a
+// net/rpc server (cmd/cfdsite) hosting a core.Site, and RemoteSite is
+// the client-side core.SiteAPI proxy, so every algorithm in
+// internal/core works unchanged across processes. Tuple shipments in
+// this mode are relayed through the coordinator driver (source →
+// driver → destination); the shipment metrics still count each tuple
+// once, matching the paper's |M| accounting.
+package remote
+
+import (
+	"fmt"
+
+	"distcfd/internal/relation"
+)
+
+// WireRelation is the gob-encodable form of relation.Relation.
+type WireRelation struct {
+	Name   string
+	Attrs  []string
+	Key    []string
+	Tuples [][]string
+}
+
+// ToWire converts a relation for transport.
+func ToWire(r *relation.Relation) *WireRelation {
+	if r == nil {
+		return nil
+	}
+	w := &WireRelation{
+		Name:  r.Schema().Name(),
+		Attrs: r.Schema().Attrs(),
+		Key:   r.Schema().Key(),
+	}
+	w.Tuples = make([][]string, r.Len())
+	for i, t := range r.Tuples() {
+		w.Tuples[i] = t
+	}
+	return w
+}
+
+// FromWire rebuilds the relation.
+func FromWire(w *WireRelation) (*relation.Relation, error) {
+	if w == nil {
+		return nil, nil
+	}
+	schema, err := relation.NewSchema(w.Name, w.Attrs, w.Key...)
+	if err != nil {
+		return nil, fmt.Errorf("remote: rebuilding schema: %w", err)
+	}
+	rel := relation.NewWithCapacity(schema, len(w.Tuples))
+	for _, t := range w.Tuples {
+		if err := rel.Append(relation.Tuple(t)); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// WireSchema is the gob-encodable form of relation.Schema.
+type WireSchema struct {
+	Name  string
+	Attrs []string
+	Key   []string
+}
+
+// SchemaToWire converts a schema for transport.
+func SchemaToWire(s *relation.Schema) *WireSchema {
+	return &WireSchema{Name: s.Name(), Attrs: s.Attrs(), Key: s.Key()}
+}
+
+// SchemaFromWire rebuilds the schema.
+func SchemaFromWire(w *WireSchema) (*relation.Schema, error) {
+	return relation.NewSchema(w.Name, w.Attrs, w.Key...)
+}

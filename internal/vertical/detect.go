@@ -1,0 +1,246 @@
+package vertical
+
+import (
+	"fmt"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/dist"
+	"distcfd/internal/engine"
+	"distcfd/internal/partition"
+	"distcfd/internal/relation"
+)
+
+// Detection over vertical partitions. The paper defers its vertical
+// algorithms to a later report and points at semijoin-style join
+// optimization ([25]); this file implements the natural strategy:
+//
+//   - a CFD embedded in one fragment is checked there, no shipment
+//     (the Proposition 7 local case);
+//   - otherwise the fragment carrying most of the CFD's attributes is
+//     the target; every other fragment owning a needed attribute ships
+//     π_{key ∪ owned}(Dj), the target reconstructs by key join and
+//     runs the centralized detector;
+//   - with the semijoin option, a source fragment first drops rows
+//     whose owned X-attributes already mismatch every pattern's
+//     constants — such rows cannot match any tp[X] and thus cannot
+//     participate in a violation — which cuts shipment on selective
+//     tableaux.
+type DetectResult struct {
+	// PerCFD holds Vioπ per CFD as distinct X-tuples.
+	PerCFD []*relation.Relation
+	// Local flags CFDs that were checked without shipment.
+	Local []bool
+	// Targets is the site each CFD was evaluated at.
+	Targets []int
+	// Metrics records shipments between fragment sites.
+	Metrics *dist.Metrics
+	// ShippedTuples is |M|.
+	ShippedTuples int64
+}
+
+// Options for vertical detection.
+type Options struct {
+	// SemiJoin enables the constant-pattern row filter on sources.
+	SemiJoin bool
+}
+
+// Detect finds Vioπ for every CFD over the vertically partitioned
+// relation, shipping columns between fragment sites as needed.
+func Detect(v *partition.Vertical, cs []*cfd.CFD, opt Options) (*DetectResult, error) {
+	res := &DetectResult{
+		Metrics: dist.NewMetrics(v.N()),
+		PerCFD:  make([]*relation.Relation, len(cs)),
+		Local:   make([]bool, len(cs)),
+		Targets: make([]int, len(cs)),
+	}
+	for ci, c := range cs {
+		if err := c.Validate(v.Base); err != nil {
+			return nil, err
+		}
+		pats, target, local, err := detectOne(v, c, opt, res.Metrics)
+		if err != nil {
+			return nil, fmt.Errorf("vertical: cfd %s: %w", c.Name, err)
+		}
+		res.PerCFD[ci] = pats
+		res.Local[ci] = local
+		res.Targets[ci] = target
+	}
+	res.ShippedTuples = res.Metrics.TotalTuples()
+	return res, nil
+}
+
+func detectOne(v *partition.Vertical, c *cfd.CFD, opt Options, m *dist.Metrics) (*relation.Relation, int, bool, error) {
+	need := append(append([]string(nil), c.X...), c.Y...)
+
+	// Fully embedded: local check at that fragment.
+	if fi := v.FragmentFor(need); fi >= 0 {
+		pats, err := engine.ViolationPatterns(v.Fragments[fi], c)
+		return pats, fi, true, err
+	}
+
+	// Target: fragment owning the most needed attributes (ties to the
+	// smallest index).
+	target, owned := bestTarget(v, need)
+	key := v.Base.Key()
+
+	// Plan per-source shipments: each missing attribute comes from the
+	// first fragment carrying it.
+	missing := map[int][]string{} // source fragment -> attrs
+	for _, a := range need {
+		if owned.Has(a) {
+			continue
+		}
+		src := -1
+		for fi, set := range v.AttrSets {
+			if fi == target {
+				continue
+			}
+			if cfd.NewAttrSet(set...).Has(a) {
+				src = fi
+				break
+			}
+		}
+		if src < 0 {
+			return nil, 0, false, fmt.Errorf("attribute %q not in any fragment", a)
+		}
+		already := false
+		for _, b := range missing[src] {
+			if b == a {
+				already = true
+			}
+		}
+		if !already {
+			missing[src] = append(missing[src], a)
+		}
+		owned.Add(a) // now planned
+	}
+
+	// Semijoin preparation: candidate keys at the target are the rows
+	// whose target-owned X attributes match some pattern's constants.
+	// Shipping that key list to a source lets it drop rows that cannot
+	// reconstruct into a pattern-matching tuple — worthwhile only when
+	// the keys plus the filtered rows undercut a full column shipment,
+	// which the 2·|keys| < |Dsrc| guard approximates (the filtered
+	// batch is at most |keys| rows under a key join).
+	var candidateKeys *relation.Relation
+	if opt.SemiJoin {
+		ck, err := targetCandidateKeys(v, target, c, key)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		candidateKeys = ck
+	}
+
+	working := v.Fragments[target]
+	for src, attrs := range missing {
+		shipAttrs := append(append([]string(nil), key...), attrs...)
+		batch, err := v.Fragments[src].Project(fmt.Sprintf("ship_%d_%d", src, target), shipAttrs)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if opt.SemiJoin {
+			// Source-side constant filter: free, no extra traffic.
+			batch = filterByPatterns(batch, c, attrs)
+			// Target-side key semijoin when selective enough.
+			if candidateKeys != nil && 2*candidateKeys.Len() < batch.Len() {
+				m.ShipTuples(target, src, candidateKeys.Len(), dist.RelationBytes(candidateKeys))
+				batch, err = engine.SemiJoin(batch, candidateKeys, key)
+				if err != nil {
+					return nil, 0, false, err
+				}
+			}
+		}
+		m.ShipTuples(src, target, batch.Len(), dist.RelationBytes(batch))
+		joined, err := engine.Join(working, batch, key, working.Schema().Name())
+		if err != nil {
+			return nil, 0, false, err
+		}
+		working = joined
+	}
+	pats, err := engine.ViolationPatterns(working, c)
+	return pats, target, false, err
+}
+
+// targetCandidateKeys returns the key list of target rows matching
+// some pattern's constants on the target-owned X attributes, or nil
+// when no X attribute with a constant lives at the target (no
+// selectivity to exploit).
+func targetCandidateKeys(v *partition.Vertical, target int, c *cfd.CFD, key []string) (*relation.Relation, error) {
+	frag := v.Fragments[target]
+	hasConstX := false
+	for xi, a := range c.X {
+		if !frag.Schema().HasAttr(a) {
+			continue
+		}
+		for _, tp := range c.Tp {
+			if tp.LHS[xi] != cfd.Wildcard {
+				hasConstX = true
+			}
+		}
+	}
+	if !hasConstX {
+		return nil, nil
+	}
+	owned := frag.Schema().Attrs()
+	matching := filterByPatterns(frag, c, owned)
+	return matching.DistinctProject("keys", key)
+}
+
+func bestTarget(v *partition.Vertical, need []string) (int, cfd.AttrSet) {
+	best, bestCount := 0, -1
+	var bestOwned cfd.AttrSet
+	for fi, set := range v.AttrSets {
+		s := cfd.NewAttrSet(set...)
+		cnt := 0
+		for _, a := range need {
+			if s.Has(a) {
+				cnt++
+			}
+		}
+		if cnt > bestCount {
+			best, bestCount, bestOwned = fi, cnt, s
+		}
+	}
+	return best, bestOwned.Clone()
+}
+
+// filterByPatterns drops rows whose shipped X-attributes mismatch the
+// constants of every pattern tuple; they cannot match any tp[X].
+func filterByPatterns(batch *relation.Relation, c *cfd.CFD, shipped []string) *relation.Relation {
+	// Positions of shipped attrs within c.X.
+	type probe struct {
+		col  int // column in batch
+		xPos int // position in c.X
+	}
+	var probes []probe
+	for _, a := range shipped {
+		for xi, xa := range c.X {
+			if xa == a {
+				col, ok := batch.Schema().Index(a)
+				if ok {
+					probes = append(probes, probe{col, xi})
+				}
+			}
+		}
+	}
+	if len(probes) == 0 {
+		return batch // no X attrs shipped: no filtering possible
+	}
+	// A row survives if some pattern's constants agree on all probes.
+	return batch.Select(func(t relation.Tuple) bool {
+		for _, tp := range c.Tp {
+			ok := true
+			for _, p := range probes {
+				pv := tp.LHS[p.xPos]
+				if pv != cfd.Wildcard && t[p.col] != pv {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,188 @@
+package vertical
+
+import (
+	"fmt"
+	"sort"
+
+	"distcfd/internal/cfd"
+)
+
+// The minimum refinement problem (Section V): given Σ and a vertical
+// partition, find the smallest augmentation Z = (Z1,…,Zn) — attributes
+// added to fragments — making the refined partition dependency
+// preserving. Theorem 8 shows the problem NP-hard (reduction from
+// hitting set), so this file provides an exact search for small
+// instances and a greedy heuristic for the rest.
+
+// Augmentation lists the attributes to add to each fragment, aligned
+// with the partition's fragment order.
+type Augmentation [][]string
+
+// Size is |Z|: the total number of added attributes.
+func (z Augmentation) Size() int {
+	n := 0
+	for _, zi := range z {
+		n += len(zi)
+	}
+	return n
+}
+
+// Apply returns the refined fragment attribute sets.
+func (z Augmentation) Apply(fragments [][]string) [][]string {
+	out := make([][]string, len(fragments))
+	for i, frag := range fragments {
+		set := cfd.NewAttrSet(frag...)
+		out[i] = append([]string(nil), frag...)
+		for _, a := range z[i] {
+			if !set.Has(a) {
+				set.Add(a)
+				out[i] = append(out[i], a)
+			}
+		}
+	}
+	return out
+}
+
+// candidate is one (fragment, attribute) addition.
+type candidate struct {
+	frag int
+	attr string
+}
+
+// candidates enumerates the useful additions: attributes of Σ's
+// universe missing from each fragment. Attributes outside Σ's universe
+// can never affect preservation.
+func candidates(sigma []*cfd.Normalized, fragments [][]string) []candidate {
+	universe := attrUniverse(sigma, nil)
+	var out []candidate
+	for fi, frag := range fragments {
+		have := cfd.NewAttrSet(frag...)
+		for _, a := range universe {
+			if !have.Has(a) {
+				out = append(out, candidate{fi, a})
+			}
+		}
+	}
+	return out
+}
+
+// ExactMinimumRefinement finds a minimum-size augmentation by
+// breadth-first search over addition subsets, in increasing size.
+// It is exponential in the candidate count (Theorem 8 says no better
+// exact bound is likely) and refuses instances with more than
+// maxCandidates candidates.
+func ExactMinimumRefinement(sigma []*cfd.Normalized, fragments [][]string, maxCandidates int) (Augmentation, error) {
+	if maxCandidates <= 0 {
+		maxCandidates = 20
+	}
+	if Preserved(sigma, fragments) {
+		return emptyAug(len(fragments)), nil
+	}
+	cands := candidates(sigma, fragments)
+	if len(cands) > maxCandidates {
+		return nil, fmt.Errorf("vertical: %d candidates exceed the exact-search ceiling %d; use GreedyRefinement",
+			len(cands), maxCandidates)
+	}
+	// Enumerate subsets in order of popcount.
+	type masked struct {
+		mask int
+		bits int
+	}
+	var order []masked
+	for mask := 1; mask < 1<<len(cands); mask++ {
+		order = append(order, masked{mask, popcount(mask)})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].bits != order[j].bits {
+			return order[i].bits < order[j].bits
+		}
+		return order[i].mask < order[j].mask
+	})
+	for _, om := range order {
+		z := emptyAug(len(fragments))
+		for b := 0; b < len(cands); b++ {
+			if om.mask&(1<<b) != 0 {
+				z[cands[b].frag] = append(z[cands[b].frag], cands[b].attr)
+			}
+		}
+		if Preserved(sigma, z.Apply(fragments)) {
+			return z, nil
+		}
+	}
+	// Adding everything everywhere always preserves (every fragment
+	// becomes the full universe), so this is unreachable.
+	return nil, fmt.Errorf("vertical: no refinement found — candidates incomplete")
+}
+
+// GreedyRefinement finds a (not necessarily minimum) augmentation by
+// repeatedly adding the single (fragment, attribute) candidate that
+// maximizes the number of newly preserved Σ members, breaking ties by
+// fragment then attribute. It always terminates with a preserving
+// refinement.
+func GreedyRefinement(sigma []*cfd.Normalized, fragments [][]string) Augmentation {
+	z := emptyAug(len(fragments))
+	current := z.Apply(fragments)
+	unpreserved := unpreservedCount(sigma, current)
+	for unpreserved > 0 {
+		cands := candidates(sigma, current)
+		if len(cands) == 0 {
+			break // fragments already carry the full universe
+		}
+		best := -1
+		bestCount := -1
+		for ci, cand := range cands {
+			trial := addTo(current, cand)
+			cnt := unpreservedCount(sigma, trial)
+			if best == -1 || cnt < bestCount {
+				best, bestCount = ci, cnt
+			}
+		}
+		chosen := cands[best]
+		z[chosen.frag] = append(z[chosen.frag], chosen.attr)
+		current = addTo(current, chosen)
+		unpreserved = bestCount
+	}
+	for i := range z {
+		sort.Strings(z[i])
+	}
+	return z
+}
+
+func addTo(fragments [][]string, c candidate) [][]string {
+	out := make([][]string, len(fragments))
+	for i, f := range fragments {
+		if i == c.frag {
+			out[i] = append(append([]string(nil), f...), c.attr)
+		} else {
+			out[i] = f
+		}
+	}
+	return out
+}
+
+func unpreservedCount(sigma []*cfd.Normalized, fragments [][]string) int {
+	n := 0
+	for _, phi := range sigma {
+		if !PreservedFor(sigma, fragments, phi) {
+			n++
+		}
+	}
+	return n
+}
+
+func emptyAug(n int) Augmentation {
+	z := make(Augmentation, n)
+	for i := range z {
+		z[i] = []string{}
+	}
+	return z
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

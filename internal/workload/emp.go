@@ -1,0 +1,67 @@
+// Package workload provides the datasets and CFD rule sets of the
+// paper's examples and experiments: the EMP running example of Fig. 1,
+// a seeded CUST sales-records generator (the synthetic dataset of [2]
+// used in Exp-1/2/3/5/6), and a seeded XREF genome cross-reference
+// generator standing in for the Ensembl data of Exp-1/4/5 (see
+// DESIGN.md for the substitution rationale).
+package workload
+
+import (
+	"distcfd/internal/cfd"
+	"distcfd/internal/partition"
+	"distcfd/internal/relation"
+)
+
+// EMPSchema is the schema of Fig. 1(a).
+func EMPSchema() *relation.Schema {
+	return relation.MustSchema("EMP",
+		[]string{"id", "name", "title", "CC", "AC", "phn", "street", "city", "zip", "salary"},
+		"id")
+}
+
+// EMPData returns the instance D0 of Fig. 1(a).
+func EMPData() *relation.Relation {
+	return relation.MustFromRows(EMPSchema(),
+		[]string{"1", "Sam", "DMTS", "44", "131", "8765432", "Princess Str.", "EDI", "EH2 4HF", "95k"},
+		[]string{"2", "Mike", "MTS", "44", "131", "1234567", "Mayfield", "NYC", "EH4 8LE", "80k"},
+		[]string{"3", "Rick", "DMTS", "44", "131", "3456789", "Mayfield", "NYC", "EH4 8LE", "95k"},
+		[]string{"4", "Philip", "DMTS", "44", "131", "2909209", "Crichton", "EDI", "EH4 8LE", "95k"},
+		[]string{"5", "Adam", "VP", "44", "131", "7478626", "Mayfield", "EDI", "EH4 8LE", "200k"},
+		[]string{"6", "Joe", "MTS", "01", "908", "1416282", "Mtn Ave", "NYC", "07974", "110k"},
+		[]string{"7", "Bob", "DMTS", "01", "908", "2345678", "Mtn Ave", "MH", "07974", "150k"},
+		[]string{"8", "Jef", "DMTS", "31", "20", "8765432", "Muntplein", "AMS", "1012 WR", "90k"},
+		[]string{"9", "Steven", "MTS", "31", "20", "1425364", "Spuistraat", "AMS", "1012 WR", "75k"},
+		[]string{"10", "Bram", "MTS", "31", "10", "2536475", "Kruisplein", "ROT", "3012 CC", "75k"},
+	)
+}
+
+// EMPCFDs returns φ1, φ2, φ3 of Example 2 (equivalently cfd1–cfd5 of
+// Example 1).
+func EMPCFDs() []*cfd.CFD {
+	return []*cfd.CFD{
+		cfd.MustParse(`phi1: [CC, zip] -> [street] : (44, _ || _), (31, _ || _)`),
+		cfd.MustParse(`phi2: [CC, title] -> [salary]`),
+		cfd.MustParse(`phi3: [CC, AC] -> [city] : (44, 131 || EDI), (01, 908 || MH)`),
+	}
+}
+
+// EMPFig1bPartition returns the horizontal partition of Fig. 1(b):
+// DH1 (title=MTS), DH2 (title=DMTS), DH3 (title=VP).
+func EMPFig1bPartition() (*partition.Horizontal, error) {
+	return partition.ByPredicates(EMPData(), []relation.Predicate{
+		relation.And(relation.Eq("title", "MTS")),
+		relation.And(relation.Eq("title", "DMTS")),
+		relation.And(relation.Eq("title", "VP")),
+	})
+}
+
+// EMPVerticalAttrSets returns the Example 1 vertical partition:
+// DV1 (name/title/address), DV2 (phone), DV3 (salary); the key id is
+// added automatically by partition.VerticalByAttrs.
+func EMPVerticalAttrSets() [][]string {
+	return [][]string{
+		{"name", "title", "street", "city", "zip"},
+		{"CC", "AC", "phn"},
+		{"salary"},
+	}
+}

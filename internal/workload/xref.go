@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/relation"
+)
+
+// XREF stands in for the Ensembl genome cross-reference data of the
+// paper's experiments (see DESIGN.md): a 16-attribute relation whose
+// clean tuples satisfy per-(organism, object_type) canonical statuses
+// and per-(external_db, info_type) canonical priorities, with injected
+// errors. The external_db attribute is skewed and usable as the
+// fragmentation key of the xrefH mining experiment (Exp-4).
+
+// XRefConfig parameterizes the generator.
+type XRefConfig struct {
+	// N is the number of tuples.
+	N int
+	// Seed makes generation deterministic.
+	Seed int64
+	// ErrRate is the injected-error fraction (default 0.01).
+	ErrRate float64
+	// Organisms defaults to the paper's cow/dog/zebrafish trio; Exp-4
+	// uses []string{"human"}.
+	Organisms []string
+}
+
+// XRefSchema is the 16-attribute XREF schema.
+func XRefSchema() *relation.Schema {
+	return relation.MustSchema("XREF",
+		[]string{
+			"id", "dbname", "organism", "object_type", "object_status",
+			"external_db", "info_type", "info_text", "chromosome", "source",
+			"version", "priority", "release", "label", "synonyms", "description",
+		}, "id")
+}
+
+var (
+	xrefObjectTypes = []string{"gene", "transcript", "translation", "probe", "marker", "clone", "contig", "protein", "exon"}
+	xrefExternalDBs = []string{"uniprot", "refseq", "embl", "entrez", "go", "interpro", "hgnc"}
+	xrefInfoTypes   = []string{"DIRECT", "SEQUENCE_MATCH", "DEPENDENT", "PROJECTION", "COORDINATE_OVERLAP"}
+)
+
+func xrefStatus(org, otype string) string { return "status_" + org + "_" + otype }
+func xrefPriority(db, info string) string { return "prio_" + db + "_" + info }
+func xrefLabel(db, otype string) string   { return "lbl_" + db + "_" + otype }
+
+// XRef generates an XREF instance. Clean tuples satisfy:
+//   - (organism, object_type) determines object_status,
+//   - (external_db, info_type) determines priority,
+//   - (external_db, object_type) determines label,
+//
+// and errors flip object_status or priority. The source attribute
+// models the curation batch a row arrived in: 80% of a database's rows
+// come in through its own batch, the rest are scattered uniformly.
+// Partitioning by source (the "reference type" fragmentation of Exp-4)
+// therefore correlates with — but does not equal — external_db: the
+// (external_db, _) patterns sit near 77% support at their home
+// fragment, so mining finds them for θ ≲ 0.7 (large savings) and
+// nothing above (savings fade), the paper's Fig. 3(e) shape.
+func XRef(cfg XRefConfig) *relation.Relation {
+	if cfg.ErrRate == 0 {
+		cfg.ErrRate = 0.01
+	}
+	if len(cfg.Organisms) == 0 {
+		cfg.Organisms = []string{"cow", "dog", "zebrafish"}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rel := relation.NewWithCapacity(XRefSchema(), cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		org := cfg.Organisms[rng.Intn(len(cfg.Organisms))]
+		otype := xrefObjectTypes[rng.Intn(len(xrefObjectTypes))]
+		dbIdx := rng.Intn(len(xrefExternalDBs))
+		db := xrefExternalDBs[dbIdx]
+		info := xrefInfoTypes[rng.Intn(len(xrefInfoTypes))]
+		status := xrefStatus(org, otype)
+		prio := xrefPriority(db, info)
+		batch := dbIdx
+		if rng.Float64() > 0.8 {
+			batch = rng.Intn(len(xrefExternalDBs))
+		}
+		if rng.Float64() < cfg.ErrRate {
+			if rng.Intn(2) == 0 {
+				status = "WRONG_" + status
+			} else {
+				prio = "WRONG_" + prio
+			}
+		}
+		rel.MustAppend(relation.Tuple{
+			fmt.Sprintf("%d", i),
+			"ensembl",
+			org,
+			otype,
+			status,
+			db,
+			info,
+			fmt.Sprintf("info%04d", rng.Intn(5000)),
+			fmt.Sprintf("chr%d", 1+rng.Intn(30)),
+			fmt.Sprintf("batch%d", batch),
+			fmt.Sprintf("%d", 1+rng.Intn(9)),
+			prio,
+			fmt.Sprintf("r%d", 50+rng.Intn(10)),
+			xrefLabel(db, otype),
+			fmt.Sprintf("syn%04d", rng.Intn(8000)),
+			fmt.Sprintf("desc%05d", rng.Intn(20000)),
+		})
+	}
+	return rel
+}
+
+// XRefCFD is the Exp-1 representative rule: five attributes, 11
+// pattern tuples —
+//
+//	([organism, object_type, external_db, info_type] → [priority])
+//
+// with constants on (organism, object_type).
+func XRefCFD() *cfd.CFD {
+	var pats []cfd.PatternTuple
+	orgs := []string{"cow", "dog", "zebrafish"}
+	count := 0
+	for _, org := range orgs {
+		for _, otype := range xrefObjectTypes {
+			if count == 11 {
+				break
+			}
+			pats = append(pats, cfd.PatternTuple{
+				LHS: []string{org, otype, cfd.Wildcard, cfd.Wildcard},
+				RHS: []string{cfd.Wildcard},
+			})
+			count++
+		}
+	}
+	return cfd.MustNew("xref1",
+		[]string{"organism", "object_type", "external_db", "info_type"},
+		[]string{"priority"}, pats)
+}
+
+// XRefCFD2 is the Exp-5 companion: three attributes, 26 pattern
+// tuples, LHS a subset of XRefCFD's —
+//
+//	([organism, object_type] → [object_status])
+func XRefCFD2() *cfd.CFD {
+	var pats []cfd.PatternTuple
+	orgs := []string{"cow", "dog", "zebrafish"}
+	count := 0
+	for _, org := range orgs {
+		for _, otype := range xrefObjectTypes {
+			if count == 26 {
+				break
+			}
+			pats = append(pats, cfd.PatternTuple{
+				LHS: []string{org, otype},
+				RHS: []string{cfd.Wildcard},
+			})
+			count++
+		}
+	}
+	return cfd.MustNew("xref2",
+		[]string{"organism", "object_type"}, []string{"object_status"}, pats)
+}
+
+// XRefMiningFD is the Exp-4 rule: a traditional FD (all-wildcard
+// pattern) whose σ-partition degenerates without mining —
+//
+//	[external_db, info_type] → [priority]
+func XRefMiningFD() *cfd.CFD {
+	return cfd.MustParse(`xref_fd: [external_db, info_type] -> [priority]`)
+}
+
+// XRefHuman generates the xrefH stand-in: human-only data for the
+// mining experiment, partitioned by reference type (external_db) by
+// the caller.
+func XRefHuman(n int, seed int64) *relation.Relation {
+	return XRef(XRefConfig{N: n, Seed: seed, ErrRate: 0.005, Organisms: []string{"human"}})
+}
