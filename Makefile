@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci build vet test race bench bench-full
+
+# ci mirrors .github/workflows/ci.yml: a missing package, vet
+# regression, race, or broken benchmark can never land silently again.
+ci: build vet race bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs every benchmark once (smoke; all benchmarks live in the
+# root package); bench-full at the paper's dataset sizes.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+bench-full:
+	DISTCFD_SCALE=1.0 $(GO) test -run '^$$' -bench . .

@@ -30,12 +30,20 @@ func main() {
 		sites     = flag.Int("sites", 1, "number of simulated sites (1 = centralized)")
 		algoName  = flag.String("algo", "patrt", "ctr | pats | patrt")
 		clustered = flag.Bool("cluster", true, "merge overlapping CFDs (ClustDetect)")
+		parallel  = flag.Int("parallel", 0, "process CFD clusters concurrently with this many workers (0 = off, -1 = GOMAXPROCS)")
+		shipmat   = flag.Bool("shipmat", false, "print the per-site shipment matrix")
 		mineTheta = flag.Float64("mine", 0, "mining threshold θ for wildcard CFDs (0 = off)")
 		remote    = flag.String("remote", "", "comma-separated cfdsite addresses (overrides -data/-sites)")
 		seed      = flag.Int64("seed", 1, "partitioning seed")
 	)
 	flag.Parse()
 
+	if *parallel < -1 {
+		fatalf("-parallel must be -1 (GOMAXPROCS), 0 (off), or a worker count")
+	}
+	if *parallel != 0 && !*clustered {
+		fatalf("-parallel always merges overlapping CFDs; it cannot be combined with -cluster=false")
+	}
 	if *rulesPath == "" {
 		fatalf("-rules is required")
 	}
@@ -98,7 +106,15 @@ func main() {
 	}
 
 	opt := distcfd.Options{MineTheta: *mineTheta}
-	res, err := distcfd.DetectSet(cluster, rules, algo, opt, *clustered)
+	var res *distcfd.SetResult
+	if *parallel != 0 {
+		if *parallel > 0 {
+			opt.Workers = *parallel
+		}
+		res, err = distcfd.DetectSetParallel(cluster, rules, algo, opt)
+	} else {
+		res, err = distcfd.DetectSet(cluster, rules, algo, opt, *clustered)
+	}
 	if err != nil {
 		fatalf("detection: %v", err)
 	}
@@ -111,6 +127,9 @@ func main() {
 	}
 	fmt.Printf("\nshipped %d tuples; modeled response time %.3f; wall %v\n",
 		res.ShippedTuples, res.ModeledTime, res.WallTime)
+	if *shipmat {
+		fmt.Printf("\n%s", res.Metrics.Snapshot())
+	}
 }
 
 func displayName(name string, i int) string {

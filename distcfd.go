@@ -87,6 +87,10 @@ type (
 	CostModel = dist.CostModel
 	// Metrics records tuple shipments.
 	Metrics = dist.Metrics
+	// ShipmentReport is a point-in-time copy of a Metrics (per-site-pair
+	// shipment and control matrices plus totals), safe to read and
+	// render without synchronization.
+	ShipmentReport = dist.Report
 )
 
 // Algorithms of Section IV-B.
@@ -179,6 +183,15 @@ func DetectSet(cl *Cluster, cs []*CFD, algo Algorithm, opt Options, clustered bo
 		return core.ClustDetect(cl, cs, algo, opt)
 	}
 	return core.SeqDetect(cl, cs, algo, opt)
+}
+
+// DetectSetParallel finds Vioπ for a CFD set like DetectSet with
+// clustering, but processes independent CFD clusters concurrently
+// across a worker pool bounded by Options.Workers (0 = GOMAXPROCS).
+// The violation sets are identical to DetectSet's; only wall-clock
+// time differs.
+func DetectSetParallel(cl *Cluster, cs []*CFD, algo Algorithm, opt Options) (*SetResult, error) {
+	return core.ParDetect(cl, cs, algo, opt)
 }
 
 // DetectCentral finds the violation patterns of a CFD in an

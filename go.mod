@@ -1,0 +1,3 @@
+module distcfd
+
+go 1.24

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"distcfd/internal/cfd"
@@ -64,21 +67,7 @@ func ClustDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*Se
 	clusters := clusterByLHS(cfds)
 	res.Clusters = clusters
 	for _, members := range clusters {
-		if len(members) == 1 {
-			one, err := DetectSingle(cl, cfds[members[0]], algo, opt)
-			if err != nil {
-				return nil, err
-			}
-			total.Merge(one.Metrics)
-			res.ModeledTime += one.ModeledTime
-			res.PerCFD[members[0]] = one.Patterns
-			continue
-		}
-		group := make([]*cfd.CFD, len(members))
-		for i, idx := range members {
-			group[i] = cfds[idx]
-		}
-		pats, modeled, m, err := detectCluster(cl, group, algo, opt)
+		pats, modeled, m, err := runOneCluster(cl, cfds, members, algo, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -91,6 +80,106 @@ func ClustDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*Se
 	res.ShippedTuples = total.TotalTuples()
 	res.WallTime = time.Since(start)
 	return res, nil
+}
+
+// errParCanceled marks clusters ParDetect skipped after another
+// cluster failed; it never escapes ParDetect.
+var errParCanceled = errors.New("core: cluster skipped after earlier failure")
+
+// ParDetect detects violations of a CFD set with ClustDetect's
+// clustering but processes the clusters concurrently across a worker
+// pool bounded by Options.Workers. Clusters produced by clusterByLHS
+// are independent — they share no σ-partitioning, deposit keys are
+// cluster-unique (newTask), and every Site/Metrics operation is
+// internally synchronized — so the per-cluster work of ClustDetect can
+// overlap without changing any answer: the violation sets are
+// identical to SeqDetect's and ClustDetect's, and per-worker metrics
+// and modeled times are merged in deterministic cluster order, keeping
+// ModeledTime and the Metrics totals equal to ClustDetect's. Only
+// WallTime shrinks.
+func ParDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
+	if len(cfds) == 0 {
+		return nil, fmt.Errorf("core: ParDetect with no CFDs")
+	}
+	opt = opt.withDefaults()
+	start := time.Now()
+	clusters := clusterByLHS(cfds)
+
+	type clusterOut struct {
+		pats    []*relation.Relation // aligned with the cluster's members
+		modeled float64
+		m       *dist.Metrics
+		err     error
+	}
+	outs := make([]clusterOut, len(clusters))
+	sem := make(chan struct{}, opt.Workers)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for gi, members := range clusters {
+		wg.Add(1)
+		go func(gi int, members []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// Fail fast: once any cluster has errored, clusters that have
+			// not started yet are skipped instead of shipping tuples the
+			// caller will discard.
+			if failed.Load() {
+				outs[gi].err = errParCanceled
+				return
+			}
+			pats, modeled, m, err := runOneCluster(cl, cfds, members, algo, opt)
+			if err != nil {
+				failed.Store(true)
+			}
+			outs[gi] = clusterOut{pats: pats, modeled: modeled, m: m, err: err}
+		}(gi, members)
+	}
+	wg.Wait()
+
+	for _, out := range outs {
+		if out.err != nil && !errors.Is(out.err, errParCanceled) {
+			return nil, out.err
+		}
+	}
+
+	total := dist.NewMetrics(cl.N())
+	res := &SetResult{
+		CFDs:     cfds,
+		Metrics:  total,
+		PerCFD:   make([]*relation.Relation, len(cfds)),
+		Clusters: clusters,
+	}
+	for gi, out := range outs {
+		total.Merge(out.m)
+		res.ModeledTime += out.modeled
+		for i, idx := range clusters[gi] {
+			res.PerCFD[idx] = out.pats[i]
+		}
+	}
+	res.ShippedTuples = total.TotalTuples()
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// runOneCluster dispatches one clusterByLHS cluster — singletons via
+// DetectSingle, larger clusters via the shared-σ pipeline — returning
+// per-member patterns (aligned with members), the modeled time, and
+// the cluster's metrics. Shared by the ClustDetect loop and the
+// ParDetect workers so the dispatch logic cannot diverge.
+func runOneCluster(cl *Cluster, cfds []*cfd.CFD, members []int, algo Algorithm, opt Options) ([]*relation.Relation, float64, *dist.Metrics, error) {
+	if len(members) == 1 {
+		one, err := DetectSingle(cl, cfds[members[0]], algo, opt)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("core: cfd %s: %w", cfds[members[0]].Name, err)
+		}
+		return []*relation.Relation{one.Patterns}, one.ModeledTime, one.Metrics, nil
+	}
+	group := make([]*cfd.CFD, len(members))
+	for i, idx := range members {
+		group[i] = cfds[idx]
+	}
+	return detectCluster(cl, group, algo, opt)
 }
 
 // detectCluster processes one cluster of ≥2 CFDs with a shared

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"distcfd/internal/cfd"
@@ -48,11 +49,18 @@ type Options struct {
 	// with support ≥ MineTheta·|Di|, and σ partitions on the merged
 	// patterns plus a catch-all wildcard row.
 	MineTheta float64
+	// Workers bounds how many independent CFD clusters ParDetect
+	// processes concurrently; 0 selects runtime.GOMAXPROCS(0).
+	// SeqDetect and ClustDetect ignore it.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
 	if o.Cost == (dist.CostModel{}) {
 		o.Cost = dist.DefaultCostModel()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }

@@ -1,0 +1,75 @@
+package dist
+
+import (
+	"testing"
+)
+
+func TestDefaultCostModelIsSet(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm == (CostModel{}) {
+		t.Fatal("default model equals the zero value, breaking unset detection")
+	}
+	if cm.TransferRate <= 0 || cm.CheckWeight <= 0 {
+		t.Errorf("degenerate default model: %+v", cm)
+	}
+}
+
+func TestPlanResponseTimeNoShipment(t *testing.T) {
+	cm := DefaultCostModel()
+	// No shipment: latency and transfer are not charged, only the check.
+	got := cm.PlanResponseTime([]int64{0, 0}, int64sizes(100, 100))
+	onlyCheck := cm.CheckWeight * checkOf(100)
+	if got != onlyCheck {
+		t.Errorf("no-shipment cost = %v, want check-only %v", got, onlyCheck)
+	}
+}
+
+// int64sizes and checkOf keep the expectations readable.
+func int64sizes(ns ...int) []int { return ns }
+
+func checkOf(n int) float64 {
+	cm := CostModel{CheckWeight: 1}
+	return cm.PlanResponseTime(nil, []int{n})
+}
+
+func TestResponseTimeMonotonicity(t *testing.T) {
+	cm := DefaultCostModel()
+	base := cm.PlanResponseTime([]int64{100, 0}, []int{500, 500})
+
+	// More tuples sent by the busiest site → strictly more time.
+	if got := cm.PlanResponseTime([]int64{200, 0}, []int{500, 500}); got <= base {
+		t.Errorf("cost not increasing in max sent: %v <= %v", got, base)
+	}
+	// More sent by a non-maximal site, still under the max → unchanged
+	// (response time is driven by the busiest sender).
+	if got := cm.PlanResponseTime([]int64{100, 50}, []int{500, 500}); got != base {
+		t.Errorf("cost should depend only on the busiest sender: %v != %v", got, base)
+	}
+	// Larger biggest check → strictly more time.
+	if got := cm.PlanResponseTime([]int64{100, 0}, []int{1000, 500}); got <= base {
+		t.Errorf("cost not increasing in max check size: %v <= %v", got, base)
+	}
+	// Smaller non-maximal check → unchanged.
+	if got := cm.PlanResponseTime([]int64{100, 0}, []int{500, 100}); got != base {
+		t.Errorf("cost should depend only on the largest check: %v != %v", got, base)
+	}
+}
+
+func TestResponseTimeMatchesPlanOnRecordedMetrics(t *testing.T) {
+	cm := DefaultCostModel()
+	m := NewMetrics(3)
+	m.ShipTuples(0, 1, 40, 400)
+	m.ShipTuples(2, 1, 10, 100)
+	m.Control(0, 1, 8) // control traffic must not change the cost
+	sizes := []int{50, 100, 60}
+	if got, want := cm.ResponseTime(m, sizes), cm.PlanResponseTime([]int64{40, 0, 10}, sizes); got != want {
+		t.Errorf("ResponseTime = %v, PlanResponseTime = %v", got, want)
+	}
+}
+
+func TestZeroTransferRateDisablesTransferTerm(t *testing.T) {
+	cm := CostModel{Latency: 2, TransferRate: 0, CheckWeight: 0}
+	if got := cm.PlanResponseTime([]int64{1000}, []int{10}); got != 2 {
+		t.Errorf("free-bandwidth cost = %v, want latency only (2)", got)
+	}
+}

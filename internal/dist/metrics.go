@@ -1,0 +1,265 @@
+// Package dist is the distribution-accounting subsystem: the shipment
+// metrics every detection run records (data plane and control plane,
+// per site pair) and the response-time cost model cost(D, Σ, M) of
+// Section IV-B that turns a shipment plan into the paper's modeled
+// response time.
+//
+// A *Metrics is shared by the parallel phases of the algorithms —
+// every site records its shipments from its own goroutine — so all
+// recording and reading is internally synchronized and a *Metrics may
+// also be merged across concurrently running detections (ParDetect).
+package dist
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"distcfd/internal/relation"
+)
+
+// Metrics accumulates the data movement of one detection run over an
+// n-site cluster: a per-(from, to) matrix of tuple shipments with
+// their payload sizes, plus control-plane traffic (statistics and
+// mined-pattern broadcasts), which the paper accounts separately from
+// tuple shipment. The zero value is unusable; call NewMetrics.
+type Metrics struct {
+	mu sync.Mutex
+	n  int
+	// Flat [from*n+to] matrices.
+	tuples   []int64
+	bytes    []int64
+	ctlMsgs  []int64
+	ctlBytes []int64
+}
+
+// NewMetrics creates metrics for an n-site cluster. n may be zero (an
+// empty cluster records nothing).
+func NewMetrics(n int) *Metrics {
+	if n < 0 {
+		panic(fmt.Sprintf("dist: NewMetrics with %d sites", n))
+	}
+	return &Metrics{
+		n:        n,
+		tuples:   make([]int64, n*n),
+		bytes:    make([]int64, n*n),
+		ctlMsgs:  make([]int64, n*n),
+		ctlBytes: make([]int64, n*n),
+	}
+}
+
+// Sites returns the number of sites the metrics were created for.
+func (m *Metrics) Sites() int { return m.n }
+
+func (m *Metrics) idx(from, to int) int {
+	if from < 0 || from >= m.n || to < 0 || to >= m.n {
+		panic(fmt.Sprintf("dist: site pair (%d,%d) out of range [0,%d)", from, to, m.n))
+	}
+	return from*m.n + to
+}
+
+// ShipTuples records site `from` shipping n tuples totalling
+// payloadBytes to site `to` (data plane). Safe for concurrent use.
+func (m *Metrics) ShipTuples(from, to, n int, payloadBytes int64) {
+	i := m.idx(from, to)
+	m.mu.Lock()
+	m.tuples[i] += int64(n)
+	m.bytes[i] += payloadBytes
+	m.mu.Unlock()
+}
+
+// Control records one control-plane message of payloadBytes from site
+// `from` to site `to` (lstat vectors, mined patterns). Control traffic
+// is kept out of the tuple counts: the paper's cost model treats it as
+// negligible, but the accounting is reported. Safe for concurrent use.
+func (m *Metrics) Control(from, to int, payloadBytes int64) {
+	i := m.idx(from, to)
+	m.mu.Lock()
+	m.ctlMsgs[i]++
+	m.ctlBytes[i] += payloadBytes
+	m.mu.Unlock()
+}
+
+// ReceivedBy returns the number of tuples shipped to site i.
+func (m *Metrics) ReceivedBy(i int) int64 {
+	m.idx(i, i)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum int64
+	for from := 0; from < m.n; from++ {
+		sum += m.tuples[from*m.n+i]
+	}
+	return sum
+}
+
+// SentBy returns the number of tuples site i shipped away.
+func (m *Metrics) SentBy(i int) int64 {
+	m.idx(i, i)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum int64
+	for to := 0; to < m.n; to++ {
+		sum += m.tuples[i*m.n+to]
+	}
+	return sum
+}
+
+// SentBySite returns the per-site sent-tuple vector (the paper's |Mi|),
+// the quantity the response-time model charges transfer time for.
+func (m *Metrics) SentBySite() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int64, m.n)
+	for from := 0; from < m.n; from++ {
+		var sum int64
+		for to := 0; to < m.n; to++ {
+			sum += m.tuples[from*m.n+to]
+		}
+		out[from] = sum
+	}
+	return out
+}
+
+// TotalTuples returns |M|, the total tuple shipments of the run.
+func (m *Metrics) TotalTuples() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sum64(m.tuples)
+}
+
+// TotalBytes returns the total data-plane payload bytes.
+func (m *Metrics) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sum64(m.bytes)
+}
+
+// ControlMessages returns the total control-plane message count.
+func (m *Metrics) ControlMessages() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sum64(m.ctlMsgs)
+}
+
+// ControlBytes returns the total control-plane payload bytes.
+func (m *Metrics) ControlBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sum64(m.ctlBytes)
+}
+
+// Merge adds o's counters into m. Both metrics must cover the same
+// number of sites. o is snapshotted first, so merging never holds two
+// locks at once and o may still be recording.
+func (m *Metrics) Merge(o *Metrics) {
+	if o == nil {
+		return
+	}
+	if o.n != m.n {
+		panic(fmt.Sprintf("dist: merging metrics over %d sites into %d", o.n, m.n))
+	}
+	s := o.Snapshot()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for from := 0; from < m.n; from++ {
+		for to := 0; to < m.n; to++ {
+			i := from*m.n + to
+			m.tuples[i] += s.Tuples[from][to]
+			m.bytes[i] += s.Bytes[from][to]
+			m.ctlMsgs[i] += s.CtlMsgs[from][to]
+			m.ctlBytes[i] += s.CtlBytes[from][to]
+		}
+	}
+}
+
+// Report is a point-in-time copy of a Metrics, safe to read, range
+// over, and render without further synchronization (cmd tooling and
+// the experiment harness consume this form).
+type Report struct {
+	// Sites is the cluster size.
+	Sites int
+	// Tuples[from][to] counts tuples shipped from site from to site to.
+	Tuples [][]int64
+	// Bytes[from][to] is the matching payload size.
+	Bytes [][]int64
+	// CtlMsgs and CtlBytes are the control-plane matrices.
+	CtlMsgs  [][]int64
+	CtlBytes [][]int64
+	// TotalTuples is |M|; TotalBytes the data-plane payload total.
+	TotalTuples int64
+	TotalBytes  int64
+	// ControlMessages / ControlBytes total the control plane.
+	ControlMessages int64
+	ControlBytes    int64
+}
+
+// Snapshot copies the current counters into a Report.
+func (m *Metrics) Snapshot() Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := Report{
+		Sites:           m.n,
+		Tuples:          square(m.tuples, m.n),
+		Bytes:           square(m.bytes, m.n),
+		CtlMsgs:         square(m.ctlMsgs, m.n),
+		CtlBytes:        square(m.ctlBytes, m.n),
+		TotalTuples:     sum64(m.tuples),
+		TotalBytes:      sum64(m.bytes),
+		ControlMessages: sum64(m.ctlMsgs),
+		ControlBytes:    sum64(m.ctlBytes),
+	}
+	return r
+}
+
+// String renders the shipment matrix plus totals as an aligned table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shipment matrix (tuples, %d sites)\n", r.Sites)
+	fmt.Fprintf(&b, "%8s", "from\\to")
+	for to := 0; to < r.Sites; to++ {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("S%d", to))
+	}
+	b.WriteByte('\n')
+	for from := 0; from < r.Sites; from++ {
+		fmt.Fprintf(&b, "%8s", fmt.Sprintf("S%d", from))
+		for to := 0; to < r.Sites; to++ {
+			fmt.Fprintf(&b, " %8d", r.Tuples[from][to])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "total: %d tuples, %d bytes; control: %d messages, %d bytes\n",
+		r.TotalTuples, r.TotalBytes, r.ControlMessages, r.ControlBytes)
+	return b.String()
+}
+
+// RelationBytes estimates the wire payload of shipping a relation: the
+// sum of the value bytes plus one separator byte per value. Schema
+// metadata is not charged — the task key identifies it.
+func RelationBytes(r *relation.Relation) int64 {
+	if r == nil {
+		return 0
+	}
+	var b int64
+	for _, t := range r.Tuples() {
+		for _, v := range t {
+			b += int64(len(v)) + 1
+		}
+	}
+	return b
+}
+
+func sum64(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func square(flat []int64, n int) [][]int64 {
+	out := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = append([]int64(nil), flat[i*n:(i+1)*n]...)
+	}
+	return out
+}
