@@ -126,8 +126,14 @@ func BenchmarkAblationSigmaIndex(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationEncoding compares hash-group-by keys built from raw
-// strings against dictionary-interned IDs (DESIGN.md ablation 8).
+// BenchmarkAblationEncoding is DESIGN.md ablation 8, in two tiers.
+// The micro tier compares hash-group-by keys built from raw strings
+// against dictionary-interned IDs on a relation encoded from scratch
+// every iteration. The detect tier compares the full check(D, Σ)
+// primitive end to end: engine.DetectRows (the row-oriented string-key
+// reference) against engine.Detect (the columnar dictionary-encoded
+// default; its per-column vectors are cached on the relation, as in
+// the real pipeline).
 func BenchmarkAblationEncoding(b *testing.B) {
 	data := workload.Cust(workload.CustConfig{N: 50_000, Seed: 1, ErrRate: 0.01})
 	attrs := []string{"CC", "AC", "zip"}
@@ -138,8 +144,10 @@ func BenchmarkAblationEncoding(b *testing.B) {
 	b.Run("string-keys", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := engine.GroupBy(data, attrs); err != nil {
-				b.Fatal(err)
+			groups := make(map[string][]int, 1024)
+			for ti, t := range data.Tuples() {
+				k := t.Key(idx)
+				groups[k] = append(groups[k], ti)
 			}
 		}
 	})
@@ -154,6 +162,27 @@ func BenchmarkAblationEncoding(b *testing.B) {
 					key[j] = dict.ID(t[c])
 				}
 				groups[key] = append(groups[key], ti)
+			}
+		}
+	})
+	rules := []*cfd.CFD{
+		workload.CustPatternCFD(64),
+		workload.CustStreetCFD(),
+		cfd.MustParse(`a1: [street, city] -> [zip]`),
+	}
+	b.Run("detect-row-path", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.DetectSetRows(data, rules); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("detect-encoded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.DetectSet(data, rules); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})
@@ -224,6 +253,7 @@ func BenchmarkMultiCFDSeqVsPar(b *testing.B) {
 	}
 	rules := multiCFDBenchRules()
 	b.Run("SeqDetect", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.SeqDetect(cl, rules, core.PatDetectRT, core.Options{}); err != nil {
 				b.Fatal(err)
@@ -231,6 +261,7 @@ func BenchmarkMultiCFDSeqVsPar(b *testing.B) {
 		}
 	})
 	b.Run("ClustDetect", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.ClustDetect(cl, rules, core.PatDetectRT, core.Options{}); err != nil {
 				b.Fatal(err)
@@ -238,6 +269,7 @@ func BenchmarkMultiCFDSeqVsPar(b *testing.B) {
 		}
 	})
 	b.Run("ParDetect", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			// Through the facade, as applications call it.
 			if _, err := DetectSetParallel(cl, rules, PatDetectRT, Options{}); err != nil {
@@ -246,6 +278,7 @@ func BenchmarkMultiCFDSeqVsPar(b *testing.B) {
 		}
 	})
 	b.Run("ParDetect-8workers", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := DetectSetParallel(cl, rules, PatDetectRT, Options{Workers: 8}); err != nil {
 				b.Fatal(err)
@@ -286,6 +319,7 @@ func BenchmarkMultiCFDSeqVsParRemote(b *testing.B) {
 	}
 	rules := multiCFDBenchRules()
 	b.Run("SeqDetect", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.SeqDetect(cl, rules, core.PatDetectRT, core.Options{}); err != nil {
 				b.Fatal(err)
@@ -293,6 +327,7 @@ func BenchmarkMultiCFDSeqVsParRemote(b *testing.B) {
 		}
 	})
 	b.Run("ParDetect-6workers", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := DetectSetParallel(cl, rules, PatDetectRT, Options{Workers: 6}); err != nil {
 				b.Fatal(err)
@@ -327,6 +362,7 @@ func BenchmarkRPCOverhead(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.DetectSingle(cl, rule, core.PatDetectS, core.Options{}); err != nil {
@@ -354,6 +390,7 @@ func BenchmarkRPCOverhead(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.DetectSingle(cl, rule, core.PatDetectS, core.Options{}); err != nil {

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/partition"
+	"distcfd/internal/relation"
+	"distcfd/internal/workload"
+)
+
+func depositCount(s *Site) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.deposits)
+}
+
+func TestSiteAbortDrainsTaskDeposits(t *testing.T) {
+	s := NewSite(0, workload.EMPData(), relation.True())
+	batch := workload.EMPData()
+	for _, task := range []string{"run-1/b0", "run-1/b3", "run-1", "run-10/b0", "run-2/b1"} {
+		if err := s.Deposit(task, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Abort("run-1"); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	_, r10 := s.deposits["run-10/b0"]
+	_, r2 := s.deposits["run-2/b1"]
+	n := len(s.deposits)
+	s.mu.Unlock()
+	// run-1 and its block tasks drained; run-10 (a distinct task that
+	// merely shares a prefix string) and run-2 untouched.
+	if n != 2 || !r10 || !r2 {
+		t.Errorf("after abort: %d buffers remain, run-10 kept=%v run-2 kept=%v", n, r10, r2)
+	}
+	// Aborting an unknown task is a no-op.
+	if err := s.Abort("nothing"); err != nil {
+		t.Fatal(err)
+	}
+	if depositCount(s) != 2 {
+		t.Error("aborting an unknown task disturbed other buffers")
+	}
+}
+
+// failingSite wraps a Site so the coordinator detection step fails
+// after shipping has already deposited batches — the leak scenario of
+// the ROADMAP: without Abort the surviving sites keep the buffers of a
+// task key that will never be detected.
+type failingSite struct {
+	*Site
+	sawDeposits bool
+}
+
+var errInjected = errors.New("injected coordinator failure")
+
+func (f *failingSite) DetectAssignedSingle(string, *BlockSpec, []int, *cfd.CFD) (*relation.Relation, error) {
+	f.sawDeposits = f.sawDeposits || depositCount(f.Site) > 0
+	return nil, errInjected
+}
+
+func (f *failingSite) DetectAssignedSet(string, *BlockSpec, []int, []*cfd.CFD) ([]*relation.Relation, error) {
+	f.sawDeposits = f.sawDeposits || depositCount(f.Site) > 0
+	return nil, errInjected
+}
+
+func TestPipelineAbortsDepositsOnDetectFailure(t *testing.T) {
+	data := workload.Cust(workload.CustConfig{N: 2_000, Seed: 5, ErrRate: 0.05})
+	h, err := partition.Uniform(data, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := make([]*Site, h.N())
+	sites := make([]SiteAPI, h.N())
+	fail := (*failingSite)(nil)
+	for i, frag := range h.Fragments {
+		bare[i] = NewSite(i, frag, relation.True())
+		if i == 0 {
+			fail = &failingSite{Site: bare[i]}
+			sites[i] = fail
+		} else {
+			sites[i] = bare[i]
+		}
+	}
+	cl, err := NewCluster(h.Schema, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 16-block tableau spreads coordinators across the sites, so
+	// shipping deposits batches at several of them before detection,
+	// and site 0's failure leaves unconsumed buffers to the abort path.
+	rule := workload.CustPatternCFD(16)
+	_, err = DetectSingle(cl, rule, PatDetectS, Options{})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("expected the injected failure, got %v", err)
+	}
+	if !fail.sawDeposits {
+		t.Fatal("scenario did not deposit at the failing coordinator — the drain assertion would be vacuous")
+	}
+	for i, s := range bare {
+		if n := depositCount(s); n != 0 {
+			t.Errorf("site %d still buffers %d deposit tasks after failed run", i, n)
+		}
+	}
+	// The cluster stays usable: a healthy retry (all sites working)
+	// detects normally and leaves no residue either.
+	for i := range sites {
+		sites[i] = bare[i]
+	}
+	cl2, err := NewCluster(h.Schema, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DetectSingle(cl2, rule, PatDetectS, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range bare {
+		if n := depositCount(s); n != 0 {
+			t.Errorf("site %d holds %d leftover deposit tasks after a clean run", i, n)
+		}
+	}
+}

@@ -108,6 +108,17 @@ func (cl *Cluster) ship(m *dist.Metrics, from, to int, task string, batch *relat
 	return cl.sites[to].Deposit(task, batch)
 }
 
+// abortTask best-effort drains the task's deposit buffers at every
+// site after a failed run, so long-lived sites do not accumulate
+// batches no detection will ever consume (the task key is never
+// reused). Abort failures are ignored: the run already has its error.
+func (cl *Cluster) abortTask(task string) {
+	_ = cl.parallel(func(i int) error {
+		_ = cl.sites[i].Abort(task)
+		return nil
+	})
+}
+
 // broadcastControl records the control-plane cost of site i sending
 // payloadBytes to every other site (the lstat exchange).
 func (cl *Cluster) broadcastControl(m *dist.Metrics, from int, payloadBytes int64) {

@@ -65,7 +65,10 @@ func runBlockPipeline(cl *Cluster, spec *BlockSpec, detectCFDs []*cfd.CFD, restr
 
 	coords := assign(algo, lstat, fragSizes, opt.Cost)
 
-	// Shipping.
+	// Shipping. From here on the run owns deposit buffers at other
+	// sites: every error path must drain them (Abort), or repeated
+	// failed runs against long-lived sites grow memory without bound —
+	// task keys are never reused.
 	attrs := taskAttrs(spec, detectCFDs)
 	task := cl.newTask("blocks")
 	if err := cl.parallel(func(i int) error {
@@ -92,6 +95,7 @@ func runBlockPipeline(cl *Cluster, spec *BlockSpec, detectCFDs []*cfd.CFD, restr
 		}
 		return nil
 	}); err != nil {
+		cl.abortTask(task)
 		return nil, err
 	}
 
@@ -122,6 +126,9 @@ func runBlockPipeline(cl *Cluster, spec *BlockSpec, detectCFDs []*cfd.CFD, restr
 		}
 		return nil
 	}); err != nil {
+		// Coordinators consume deposits as they detect; a partial
+		// failure leaves the other coordinators' buffers behind.
+		cl.abortTask(task)
 		return nil, err
 	}
 	return &pipelineOut{lstat: lstat, coords: coords, parts: parts}, nil

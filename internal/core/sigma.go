@@ -8,6 +8,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -160,14 +161,17 @@ func (s *BlockSpec) Assign(xvals []string) int {
 func (s *BlockSpec) buildIndex() {
 	groups := map[string]*maskGroup{}
 	var order []string
+	var mk []byte
 	for l, p := range s.Patterns {
 		var positions []int
+		mk = mk[:0]
 		for i, v := range p {
 			if v != cfd.Wildcard {
 				positions = append(positions, i)
+				mk = binary.AppendUvarint(mk, uint64(i))
 			}
 		}
-		maskKey := fmt.Sprint(positions)
+		maskKey := string(mk)
 		g, ok := groups[maskKey]
 		if !ok {
 			g = &maskGroup{positions: positions, lookup: map[string]int{}}
@@ -188,25 +192,101 @@ func (s *BlockSpec) buildIndex() {
 	}
 }
 
+// encMaskGroup is a per-fragment compilation of one wildcard mask: the
+// constant positions (within s.X) and a hash from the packed column-ID
+// key at those positions to the smallest matching pattern index.
+// Patterns whose constants the fragment's dictionaries never interned
+// are dropped — they cannot match any local tuple.
+type encMaskGroup struct {
+	positions []int
+	lookup    map[string]int
+}
+
+// compileForEncoded resolves every pattern's constants against the
+// fragment's per-column dictionaries (aligned with s.X), yielding
+// integer-keyed mask groups.
+func (s *BlockSpec) compileForEncoded(dicts []*relation.Dict) []encMaskGroup {
+	groups := map[string]*encMaskGroup{}
+	var order []string
+	var mk, kb []byte
+	for l, p := range s.Patterns {
+		var positions []int
+		mk, kb = mk[:0], kb[:0]
+		resolved := true
+		for i, v := range p {
+			if v == cfd.Wildcard {
+				continue
+			}
+			positions = append(positions, i)
+			mk = binary.AppendUvarint(mk, uint64(i))
+			id, ok := dicts[i].Lookup(v)
+			if !ok {
+				resolved = false
+				break
+			}
+			kb = binary.LittleEndian.AppendUint32(kb, id)
+		}
+		if !resolved {
+			continue
+		}
+		maskKey := string(mk)
+		g, ok := groups[maskKey]
+		if !ok {
+			g = &encMaskGroup{positions: positions, lookup: map[string]int{}}
+			groups[maskKey] = g
+			order = append(order, maskKey)
+		}
+		if _, seen := g.lookup[string(kb)]; !seen {
+			g.lookup[string(kb)] = l // patterns are sorted: first wins
+		}
+	}
+	out := make([]encMaskGroup, 0, len(order))
+	for _, k := range order {
+		out = append(out, *groups[k])
+	}
+	return out
+}
+
 // AssignAll computes σ for every tuple of the fragment, returning the
 // block index per tuple (-1 = unmatched) and the per-block counts
-// lstat[l].
+// lstat[l]. It runs single-pass on the fragment's dictionary-encoded
+// columns: the tableau's constants are pre-encoded into each mask
+// group's lookup once per call, so routing a tuple is a handful of
+// integer map probes with no per-tuple string or buffer copies.
+// Semantics are identical to calling Assign on every X-projection.
 func (s *BlockSpec) AssignAll(frag *relation.Relation) ([]int, []int, error) {
 	xi, err := frag.Schema().Indices(s.X)
 	if err != nil {
 		return nil, nil, err
 	}
-	assign := make([]int, frag.Len())
+	e := frag.Encoded()
+	rows := e.Rows()
+	assign := make([]int, rows)
 	counts := make([]int, s.K())
-	buf := make([]string, len(xi))
-	for i, t := range frag.Tuples() {
-		for j, c := range xi {
-			buf[j] = t[c]
+	if rows == 0 {
+		return assign, counts, nil
+	}
+	cols := make([][]uint32, len(xi))
+	dicts := make([]*relation.Dict, len(xi))
+	for j, c := range xi {
+		cols[j], dicts[j] = e.Column(c)
+	}
+	egs := s.compileForEncoded(dicts)
+	var kb []byte
+	for i := 0; i < rows; i++ {
+		best := -1
+		for _, g := range egs {
+			kb = kb[:0]
+			for _, p := range g.positions {
+				kb = binary.LittleEndian.AppendUint32(kb, cols[p][i])
+			}
+			if l, ok := g.lookup[string(kb)]; ok && (best == -1 || l < best) {
+				best = l
+			}
 		}
-		l := s.Assign(buf)
-		assign[i] = l
-		if l >= 0 {
-			counts[l]++
+		assign[i] = best
+		if best >= 0 {
+			counts[best]++
 		}
 	}
 	return assign, counts, nil

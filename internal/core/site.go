@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"distcfd/internal/cfd"
@@ -53,6 +54,11 @@ type SiteAPI interface {
 	ExtractBlocksBatch(spec *BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error)
 	// Deposit buffers tuples shipped to this site under a task key.
 	Deposit(task string, batch *relation.Relation) error
+	// Abort drains every deposit buffered under taskKey itself or any
+	// of its BlockTask-derived keys, releasing the memory of a run
+	// that failed before detection consumed them. Aborting a task with
+	// no deposits is a no-op.
+	Abort(taskKey string) error
 	// DetectTask runs local detection over the chosen local tuples plus
 	// all deposits for the task, for each CFD in cfds, returning the
 	// distinct violating X-patterns per CFD (aligned with cfds). The
@@ -144,21 +150,16 @@ func (s *Site) ExtractMatching(spec *BlockSpec, attrs []string) (*relation.Relat
 }
 
 func (s *Site) projectSelected(assign []int, keep func(int) bool, attrs []string) (*relation.Relation, error) {
-	idx, err := s.frag.Schema().Indices(attrs)
-	if err != nil {
-		return nil, err
-	}
-	ps, err := s.frag.Schema().Project(s.frag.Schema().Name()+"_ship", attrs)
-	if err != nil {
-		return nil, err
-	}
-	out := relation.New(ps)
-	for i, t := range s.frag.Tuples() {
+	var rows []int
+	for i := range s.frag.Tuples() {
 		if keep(assign[i]) {
-			out.MustAppend(t.Project(idx))
+			rows = append(rows, i)
 		}
 	}
-	return out, nil
+	// ProjectRows derives the extract's encoded columns from the
+	// fragment's by remapping, so shipping and coordinator checks keep
+	// the fragment's interning.
+	return s.frag.ProjectRows(s.frag.Schema().Name()+"_ship", attrs, rows)
 }
 
 // BlockTask derives the deposit key for block l of a run.
@@ -172,25 +173,25 @@ func (s *Site) ExtractBlocksBatch(spec *BlockSpec, attrs []string, wanted []int)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := s.frag.Schema().Indices(attrs)
-	if err != nil {
-		return nil, err
-	}
-	ps, err := s.frag.Schema().Project(s.frag.Schema().Name()+"_ship", attrs)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[int]*relation.Relation, len(wanted))
+	rowsByBlock := make(map[int][]int, len(wanted))
 	for _, l := range wanted {
 		if l < 0 || l >= spec.K() {
 			return nil, fmt.Errorf("core: site %d: block %d out of range [0,%d)", s.id, l, spec.K())
 		}
-		out[l] = relation.New(ps)
+		rowsByBlock[l] = nil
 	}
-	for i, t := range s.frag.Tuples() {
-		if r, ok := out[assign[i]]; ok {
-			r.MustAppend(t.Project(idx))
+	for i := range s.frag.Tuples() {
+		if rows, ok := rowsByBlock[assign[i]]; ok {
+			rowsByBlock[assign[i]] = append(rows, i)
 		}
+	}
+	out := make(map[int]*relation.Relation, len(wanted))
+	for _, l := range wanted {
+		r, err := s.frag.ProjectRows(s.frag.Schema().Name()+"_ship", attrs, rowsByBlock[l])
+		if err != nil {
+			return nil, err
+		}
+		out[l] = r
 	}
 	return out, nil
 }
@@ -210,11 +211,9 @@ func (s *Site) DetectAssignedSingle(taskPrefix string, spec *BlockSpec, blocks [
 	union := relation.New(ps)
 	seen := map[string]struct{}{}
 	for _, l := range blocks {
-		merged := locals[l]
-		for _, dep := range s.takeDeposits(BlockTask(taskPrefix, l)) {
-			if err := merged.AppendAll(dep); err != nil {
-				return nil, err
-			}
+		merged, err := mergeWithDeposits(locals[l], s.takeDeposits(BlockTask(taskPrefix, l)))
+		if err != nil {
+			return nil, err
 		}
 		restricted := spec.RestrictCFD(c, l)
 		pats, err := engine.ViolationPatterns(merged, restricted)
@@ -248,11 +247,9 @@ func (s *Site) DetectAssignedSet(taskPrefix string, spec *BlockSpec, blocks []in
 		seens[i] = map[string]struct{}{}
 	}
 	for _, l := range blocks {
-		merged := locals[l]
-		for _, dep := range s.takeDeposits(BlockTask(taskPrefix, l)) {
-			if err := merged.AppendAll(dep); err != nil {
-				return nil, err
-			}
+		merged, err := mergeWithDeposits(locals[l], s.takeDeposits(BlockTask(taskPrefix, l)))
+		if err != nil {
+			return nil, err
 		}
 		for ci, c := range cfds {
 			pats, err := engine.ViolationPatterns(merged, c)
@@ -263,6 +260,22 @@ func (s *Site) DetectAssignedSet(taskPrefix string, spec *BlockSpec, blocks []in
 		}
 	}
 	return out, nil
+}
+
+// mergeWithDeposits unions the local block with the shipped batches.
+// Concat derives the merged relation's encoded columns from the parts'
+// (the local extract and every deposit arrive already encoded), so the
+// coordinator's check stays in ID space end-to-end. Arity mismatches
+// between local and shipped projections surface here, as they did when
+// the batches were appended.
+func mergeWithDeposits(local *relation.Relation, deps []*relation.Relation) (*relation.Relation, error) {
+	if len(deps) == 0 {
+		return local, nil
+	}
+	parts := make([]*relation.Relation, 0, len(deps)+1)
+	parts = append(parts, local)
+	parts = append(parts, deps...)
+	return relation.Concat(parts...)
 }
 
 // appendDistinct appends pats rows not already recorded in seen.
@@ -286,6 +299,19 @@ func (s *Site) Deposit(task string, batch *relation.Relation) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.deposits[task] = append(s.deposits[task], batch)
+	return nil
+}
+
+// Abort drains the deposit buffers of taskKey and all its block tasks.
+func (s *Site) Abort(taskKey string) error {
+	prefix := taskKey + "/"
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.deposits {
+		if k == taskKey || strings.HasPrefix(k, prefix) {
+			delete(s.deposits, k)
+		}
+	}
 	return nil
 }
 
@@ -340,11 +366,9 @@ func (s *Site) DetectTask(task string, local LocalInput, cfds []*cfd.CFD) ([]*re
 				s.id, task, working.Schema().Arity(), p.Schema().Arity())
 		}
 	}
-	merged := relation.NewWithCapacity(working.Schema(), totalLen(parts))
-	for _, p := range parts {
-		if err := merged.AppendAll(p); err != nil {
-			return nil, err
-		}
+	merged, err := relation.Concat(parts...)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]*relation.Relation, len(cfds))
 	for ci, c := range cfds {
@@ -439,12 +463,4 @@ func emptyPatternRelations(schema *relation.Schema, cfds []*cfd.CFD) ([]*relatio
 		out[i] = relation.New(ps)
 	}
 	return out, nil
-}
-
-func totalLen(rs []*relation.Relation) int {
-	n := 0
-	for _, r := range rs {
-		n += r.Len()
-	}
-	return n
 }

@@ -232,20 +232,18 @@ func (r Report) String() string {
 	return b.String()
 }
 
-// RelationBytes estimates the wire payload of shipping a relation: the
-// sum of the value bytes plus one separator byte per value. Schema
+// RelationBytes estimates the wire payload of shipping a relation as
+// the smaller of its two wire forms — the row form (value bytes plus
+// one separator byte per value) and the columnar dictionary-encoded
+// form (per-column dictionary payload plus four bytes per cell ID) —
+// matching the form remote.ToWire actually puts on the wire. Schema
 // metadata is not charged — the task key identifies it.
 func RelationBytes(r *relation.Relation) int64 {
 	if r == nil {
 		return 0
 	}
-	var b int64
-	for _, t := range r.Tuples() {
-		for _, v := range t {
-			b += int64(len(v)) + 1
-		}
-	}
-	return b
+	raw, encoded := r.Encoded().PayloadSizes()
+	return min(raw, encoded)
 }
 
 func sum64(xs []int64) int64 {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"sort"
 
 	"distcfd/internal/cfd"
@@ -15,20 +16,51 @@ import (
 //     tuple of a group with >1 distinct A-value violates (the Qv
 //     GROUP BY … HAVING COUNT(DISTINCT A)>1 query of [2]).
 //
+// Both scans run on the relation's columnar dictionary-encoded view
+// (relation.Encoded): pattern constants are resolved to column IDs
+// once per unit, matching is fixed-width integer comparison, and the
+// variable group-by keys on dense group IDs instead of per-tuple string
+// keys. DetectRows (rows.go) keeps the string-key reference path.
 // Semantics match internal/cfd.NaiveViolations, which serves as the
 // test oracle.
+
+// noGroup marks rows excluded from a variable unit's grouping (pattern
+// mismatch). Group IDs are dense, bounded by the row count, so the
+// sentinel can never collide.
+const noGroup = math.MaxUint32
+
+// detectScratch carries the reusable buffers of one detection call so
+// consecutive units (and CFDs, for DetectSet) do not reallocate them.
+type detectScratch struct {
+	gids  []uint32          // per-row group id, noGroup when unmatched
+	state []uint8           // per-group: 0 unseen, 1 single A, 2 mixed
+	first []uint32          // per-group first A id (valid when state≥1)
+	pair  map[uint64]uint32 // composite-key interner, cleared per fold
+}
+
+func (sc *detectScratch) groupBufs(num int) (state []uint8, first []uint32) {
+	if cap(sc.state) < num {
+		sc.state = make([]uint8, num)
+		sc.first = make([]uint32, num)
+	} else {
+		sc.state = sc.state[:num]
+		sc.first = sc.first[:num]
+		clear(sc.state)
+	}
+	return sc.state, sc.first
+}
 
 // DetectUnit returns the violation indices of one normalized CFD in d,
 // in ascending order.
 func DetectUnit(d *relation.Relation, n *cfd.Normalized) ([]int, error) {
 	bad := make(map[int]struct{})
-	if err := detectUnitInto(d, n, bad); err != nil {
+	if err := detectUnitInto(d, n, bad, &detectScratch{}); err != nil {
 		return nil, err
 	}
 	return sortedKeys(bad), nil
 }
 
-func detectUnitInto(d *relation.Relation, n *cfd.Normalized, bad map[int]struct{}) error {
+func detectUnitInto(d *relation.Relation, n *cfd.Normalized, bad map[int]struct{}, sc *detectScratch) error {
 	xi, err := d.Schema().Indices(n.X)
 	if err != nil {
 		return err
@@ -37,50 +69,161 @@ func detectUnitInto(d *relation.Relation, n *cfd.Normalized, bad map[int]struct{
 	if err != nil {
 		return err
 	}
-	aIdx := aIdxs[0]
+	e := d.Encoded()
+	rows := e.Rows()
+	if rows == 0 {
+		return nil
+	}
+
+	// Resolve the pattern's constants against each column's dictionary;
+	// a constant the fragment never interned matches no tuple at all.
+	type constCol struct {
+		col []uint32
+		id  uint32
+	}
+	var consts []constCol
+	var varCols [][]uint32
+	for j, p := range n.TpX {
+		if p == cfd.Wildcard {
+			col, _ := e.Column(xi[j])
+			varCols = append(varCols, col)
+			continue
+		}
+		col, dict := e.Column(xi[j])
+		id, ok := dict.Lookup(p)
+		if !ok {
+			return nil
+		}
+		consts = append(consts, constCol{col: col, id: id})
+	}
+	acol, adict := e.Column(aIdxs[0])
 
 	if n.IsConstant() {
-		for i, t := range d.Tuples() {
-			if matchesAt(t, xi, n.TpX) && t[aIdx] != n.TpA {
+		aID, aOK := adict.Lookup(n.TpA)
+		for i := 0; i < rows; i++ {
+			match := true
+			for _, c := range consts {
+				if c.col[i] != c.id {
+					match = false
+					break
+				}
+			}
+			if match && (!aOK || acol[i] != aID) {
 				bad[i] = struct{}{}
 			}
 		}
 		return nil
 	}
 
-	// Variable unit: group matching tuples by X.
-	groups := make(map[string][]int)
-	firstVal := make(map[string]string)
-	mixed := make(map[string]bool)
-	for i, t := range d.Tuples() {
-		if !matchesAt(t, xi, n.TpX) {
-			continue
+	// Variable unit. Among tuples matching the constants, the constant
+	// positions are all equal, so grouping by the wildcard positions
+	// alone partitions exactly like grouping by the full X projection.
+	if cap(sc.gids) < rows {
+		sc.gids = make([]uint32, rows)
+	}
+	gids := sc.gids[:rows]
+	num := 0
+	switch len(varCols) {
+	case 0:
+		// All-constant LHS with a variable RHS: one group.
+		for i := 0; i < rows; i++ {
+			gids[i] = noGroup
+			match := true
+			for _, c := range consts {
+				if c.col[i] != c.id {
+					match = false
+					break
+				}
+			}
+			if match {
+				gids[i] = 0
+			}
 		}
-		k := t.Key(xi)
-		groups[k] = append(groups[k], i)
-		v := t[aIdx]
-		if fv, ok := firstVal[k]; !ok {
-			firstVal[k] = v
-		} else if fv != v {
-			mixed[k] = true
+		num = 1
+	default:
+		first := varCols[0]
+		for i := 0; i < rows; i++ {
+			gids[i] = noGroup
+			match := true
+			for _, c := range consts {
+				if c.col[i] != c.id {
+					match = false
+					break
+				}
+			}
+			if match {
+				gids[i] = first[i]
+			}
+		}
+		num = dictLenFor(e, xi, n.TpX)
+		for _, col := range varCols[1:] {
+			num = sc.foldPairs(gids, col, rows)
 		}
 	}
-	for k := range mixed {
-		for _, i := range groups[k] {
+
+	state, firstA := sc.groupBufs(num)
+	for i := 0; i < rows; i++ {
+		g := gids[i]
+		if g == noGroup {
+			continue
+		}
+		switch state[g] {
+		case 0:
+			state[g] = 1
+			firstA[g] = acol[i]
+		case 1:
+			if acol[i] != firstA[g] {
+				state[g] = 2
+			}
+		}
+	}
+	for i := 0; i < rows; i++ {
+		if g := gids[i]; g != noGroup && state[g] == 2 {
 			bad[i] = struct{}{}
 		}
 	}
 	return nil
 }
 
-func matchesAt(t relation.Tuple, idx []int, pattern []string) bool {
-	for j, i := range idx {
-		p := pattern[j]
-		if p != cfd.Wildcard && t[i] != p {
-			return false
+// dictLenFor returns the dictionary size of the first wildcard column,
+// the group-ID bound when that column alone keys the grouping.
+func dictLenFor(e *relation.Encoded, xi []int, tpx []string) int {
+	for j, p := range tpx {
+		if p == cfd.Wildcard {
+			_, dict := e.Column(xi[j])
+			return dict.Len()
 		}
 	}
-	return true
+	return 1
+}
+
+// foldPairs is foldColumn (groupby.go) with the noGroup sentinel
+// skipped and the scratch interner reused: each (gid, col-ID) pair is
+// interned to a fresh dense ID, rows marked noGroup stay excluded.
+// Returns the new group count. The interner is exact — no hash
+// truncation — so distinct composites never collide.
+func (sc *detectScratch) foldPairs(gids []uint32, col []uint32, rows int) int {
+	if sc.pair == nil {
+		sc.pair = make(map[uint64]uint32, 256)
+	} else {
+		clear(sc.pair)
+	}
+	next := uint32(0)
+	for i := 0; i < rows; i++ {
+		g := gids[i]
+		if g == noGroup {
+			continue
+		}
+		k := uint64(g)<<32 | uint64(col[i])
+		id, ok := sc.pair[k]
+		if !ok {
+			id = next
+			next++
+			sc.pair[k] = id
+		}
+		gids[i] = id
+	}
+	return int(next)
 }
 
 // Detect returns Vio(φ, d) as sorted tuple indices.
@@ -89,8 +232,9 @@ func Detect(d *relation.Relation, c *cfd.CFD) ([]int, error) {
 		return nil, err
 	}
 	bad := make(map[int]struct{})
+	sc := &detectScratch{}
 	for _, n := range c.Normalize() {
-		if err := detectUnitInto(d, n, bad); err != nil {
+		if err := detectUnitInto(d, n, bad, sc); err != nil {
 			return nil, err
 		}
 	}
@@ -100,12 +244,13 @@ func Detect(d *relation.Relation, c *cfd.CFD) ([]int, error) {
 // DetectSet returns Vio(Σ, d) as sorted tuple indices.
 func DetectSet(d *relation.Relation, cs []*cfd.CFD) ([]int, error) {
 	bad := make(map[int]struct{})
+	sc := &detectScratch{}
 	for _, c := range cs {
 		if err := c.Validate(d.Schema()); err != nil {
 			return nil, err
 		}
 		for _, n := range c.Normalize() {
-			if err := detectUnitInto(d, n, bad); err != nil {
+			if err := detectUnitInto(d, n, bad, sc); err != nil {
 				return nil, err
 			}
 		}

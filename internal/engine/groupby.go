@@ -11,7 +11,9 @@ import (
 
 // Groups is the result of a hash group-by: for each distinct key over
 // the grouping attributes, the indices of the member tuples in input
-// order.
+// order. Keys keep the \x1f-joined string form for callers, but they
+// are materialized once per distinct group — the per-tuple work runs
+// on the relation's dictionary-encoded columns.
 type Groups struct {
 	keys    []string
 	members map[string][]int
@@ -23,15 +25,102 @@ func GroupBy(d *relation.Relation, attrs []string) (*Groups, error) {
 	if err != nil {
 		return nil, err
 	}
+	e := d.Encoded()
+	rows := e.Rows()
 	g := &Groups{members: make(map[string][]int)}
-	for i, t := range d.Tuples() {
-		k := t.Key(idx)
-		if _, ok := g.members[k]; !ok {
-			g.keys = append(g.keys, k)
+	if rows == 0 {
+		return g, nil
+	}
+
+	cols := make([][]uint32, len(idx))
+	dicts := make([]*relation.Dict, len(idx))
+	for j, c := range idx {
+		cols[j], dicts[j] = e.Column(c)
+	}
+	gids, num := groupIDs(cols, rows)
+
+	// First-seen order, one key string materialized per distinct group
+	// ID. Distinct ID groups whose string keys collide (multi-attribute
+	// keys with values containing the \x1f separator) are merged under
+	// the shared key, matching the historical string-key semantics.
+	slotByGid := make([]int32, num)
+	for i := range slotByGid {
+		slotByGid[i] = -1
+	}
+	var slotByKey map[string]int32
+	memb := make([][]int, 0, 16)
+	for i := 0; i < rows; i++ {
+		s := slotByGid[gids[i]]
+		if s < 0 {
+			k := d.Tuple(i).Key(idx)
+			if slotByKey == nil {
+				slotByKey = make(map[string]int32, 16)
+			}
+			if shared, ok := slotByKey[k]; ok {
+				s = shared
+			} else {
+				s = int32(len(g.keys))
+				g.keys = append(g.keys, k)
+				memb = append(memb, nil)
+				slotByKey[k] = s
+			}
+			slotByGid[gids[i]] = s
 		}
-		g.members[k] = append(g.members[k], i)
+		memb[s] = append(memb[s], i)
+	}
+	for s, k := range g.keys {
+		g.members[k] = memb[s]
 	}
 	return g, nil
+}
+
+// groupIDs computes a dense, exact group ID per row over the given
+// column vectors: single columns group on their dictionary IDs
+// directly, composites are pair-folded through an interning map (no
+// hash truncation, so distinct key tuples never share an ID).
+func groupIDs(cols [][]uint32, rows int) ([]uint32, int) {
+	gids := make([]uint32, rows)
+	copy(gids, cols[0])
+	num := maxID(cols[0]) + 1
+	if len(cols) == 1 {
+		return gids, num
+	}
+	stage := make(map[uint64]uint32, 256)
+	for _, col := range cols[1:] {
+		clear(stage)
+		num = foldColumn(gids, col, stage)
+	}
+	return gids, num
+}
+
+// foldColumn merges the next column into the running group IDs: each
+// (gid, col-ID) pair is interned to a fresh dense ID through stage,
+// which must be empty (or cleared) on entry. It is the shared exact
+// composite-key fold of GroupBy and the join index. Returns the new
+// group count.
+func foldColumn(gids []uint32, col []uint32, stage map[uint64]uint32) int {
+	next := uint32(0)
+	for i := range gids {
+		k := uint64(gids[i])<<32 | uint64(col[i])
+		id, ok := stage[k]
+		if !ok {
+			id = next
+			next++
+			stage[k] = id
+		}
+		gids[i] = id
+	}
+	return int(next)
+}
+
+func maxID(col []uint32) int {
+	m := uint32(0)
+	for _, id := range col {
+		if id > m {
+			m = id
+		}
+	}
+	return int(m)
 }
 
 // Len returns the number of distinct groups.
@@ -53,18 +142,20 @@ func (g *Groups) Members(key string) []int { return g.members[key] }
 // DistinctCount returns, for each group, the number of distinct values
 // of attribute a among the group's members. It is the core primitive
 // of variable-CFD detection: a group with more than one distinct
-// RHS value violates the embedded FD.
+// RHS value violates the embedded FD. Distinctness is computed over
+// dictionary IDs with a single seen-set reused across groups.
 func (g *Groups) DistinctCount(d *relation.Relation, a string) (map[string]int, error) {
 	idxs, err := d.Schema().Indices([]string{a})
 	if err != nil {
 		return nil, err
 	}
-	ai := idxs[0]
+	col, _ := d.Encoded().Column(idxs[0])
 	out := make(map[string]int, len(g.keys))
+	seen := make(map[uint32]struct{}, 16)
 	for _, k := range g.keys {
-		seen := map[string]struct{}{}
+		clear(seen)
 		for _, i := range g.members[k] {
-			seen[d.Tuple(i)[ai]] = struct{}{}
+			seen[col[i]] = struct{}{}
 		}
 		out[k] = len(seen)
 	}

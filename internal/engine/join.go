@@ -6,6 +6,89 @@ import (
 	"distcfd/internal/relation"
 )
 
+// joinIndex is the integer machinery shared by Join and SemiJoin: the
+// right side's join-key columns are folded to dense, exact key IDs,
+// and each left column's dictionary is translated into the right
+// side's ID space once per distinct value. Probing is then pure
+// integer work — no per-tuple string keys on either side.
+type joinIndex struct {
+	rgids  []uint32   // right row -> key id
+	num    int        // number of distinct right keys
+	trans  [][]uint32 // per join column: left dict id -> right dict id + 1 (0 = absent)
+	lcols  [][]uint32 // left join-key columns
+	stages []map[uint64]uint32
+}
+
+func newJoinIndex(left, right *relation.Relation, li, ri []int) *joinIndex {
+	le, re := left.Encoded(), right.Encoded()
+	ix := &joinIndex{}
+
+	rcols := make([][]uint32, len(ri))
+	rdicts := make([]*relation.Dict, len(ri))
+	for j, c := range ri {
+		rcols[j], rdicts[j] = re.Column(c)
+	}
+	ix.lcols = make([][]uint32, len(li))
+	ix.trans = make([][]uint32, len(li))
+	for j, c := range li {
+		lcol, ldict := le.Column(c)
+		ix.lcols[j] = lcol
+		// Dictionary membership is not row membership: a shared
+		// (ProjectRows) dictionary holds values its rows never carry,
+		// so the translation must be restricted to IDs occurring in
+		// the right column or probes would report phantom matches.
+		occurs := make([]bool, rdicts[j].Len())
+		for _, id := range rcols[j] {
+			occurs[id] = true
+		}
+		t := make([]uint32, ldict.Len())
+		for id := 0; id < ldict.Len(); id++ {
+			if rid, ok := rdicts[j].Lookup(ldict.Val(uint32(id))); ok && occurs[rid] {
+				t[id] = rid + 1
+			}
+		}
+		ix.trans[j] = t
+	}
+
+	// Fold the right key columns to dense IDs, keeping each stage's
+	// interner so left probes can walk the same path lookup-only.
+	rows := re.Rows()
+	ix.rgids = make([]uint32, rows)
+	copy(ix.rgids, rcols[0])
+	ix.num = maxID(rcols[0]) + 1
+	if rows == 0 {
+		ix.num = 0
+	}
+	for _, col := range rcols[1:] {
+		stage := make(map[uint64]uint32, 256)
+		ix.num = foldColumn(ix.rgids, col, stage)
+		ix.stages = append(ix.stages, stage)
+	}
+	return ix
+}
+
+// probe maps left row i to the right key-ID space; ok=false when the
+// left key does not occur on the right.
+func (ix *joinIndex) probe(i int) (uint32, bool) {
+	t := ix.trans[0][ix.lcols[0][i]]
+	if t == 0 {
+		return 0, false
+	}
+	g := t - 1
+	for j, stage := range ix.stages {
+		t := ix.trans[j+1][ix.lcols[j+1][i]]
+		if t == 0 {
+			return 0, false
+		}
+		id, ok := stage[uint64(g)<<32|uint64(t-1)]
+		if !ok {
+			return 0, false
+		}
+		g = id
+	}
+	return g, true
+}
+
 // Join computes the natural key join of two vertical fragments: both
 // relations must carry the join attributes; the result schema is
 // left's attributes followed by right's non-join attributes. It is the
@@ -43,17 +126,21 @@ func Join(left, right *relation.Relation, on []string, name string) (*relation.R
 		return nil, err
 	}
 
-	// Build hash table on the smaller input (right side here; callers
-	// put the bigger relation on the left).
-	ht := make(map[string][]int, right.Len())
-	for i, t := range right.Tuples() {
-		k := t.Key(ri)
-		ht[k] = append(ht[k], i)
+	if right.Len() == 0 || left.Len() == 0 {
+		return relation.New(outSchema), nil
+	}
+	ix := newJoinIndex(left, right, li, ri)
+	buckets := make([][]int, ix.num)
+	for i, g := range ix.rgids {
+		buckets[g] = append(buckets[g], i)
 	}
 	out := relation.New(outSchema)
-	for _, lt := range left.Tuples() {
-		k := lt.Key(li)
-		for _, j := range ht[k] {
+	for i, lt := range left.Tuples() {
+		g, ok := ix.probe(i)
+		if !ok {
+			continue
+		}
+		for _, j := range buckets[g] {
 			rt := right.Tuple(j)
 			row := make(relation.Tuple, 0, len(attrs))
 			row = append(row, lt...)
@@ -96,13 +183,15 @@ func SemiJoin(left, right *relation.Relation, on []string) (*relation.Relation, 
 	if err != nil {
 		return nil, fmt.Errorf("engine: semijoin right: %w", err)
 	}
-	keys := make(map[string]struct{}, right.Len())
-	for _, t := range right.Tuples() {
-		keys[t.Key(ri)] = struct{}{}
-	}
 	out := relation.New(left.Schema())
-	for _, t := range left.Tuples() {
-		if _, ok := keys[t.Key(li)]; ok {
+	if right.Len() == 0 || left.Len() == 0 {
+		return out, nil
+	}
+	// Every fold stage and translation entry comes from a right-side
+	// row, so a successful probe IS membership — no extra key set.
+	ix := newJoinIndex(left, right, li, ri)
+	for i, t := range left.Tuples() {
+		if _, ok := ix.probe(i); ok {
 			out.MustAppend(t)
 		}
 	}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"distcfd/internal/cfd"
+	"distcfd/internal/relation"
+)
+
+// The row-oriented reference detector: the original implementation of
+// the fast detector, grouping on \x1f-joined string keys built per
+// tuple via Tuple.Key. The engine's default path now runs on the
+// columnar dictionary-encoded view (detect.go); this form is kept as
+// the baseline of DESIGN.md ablation 8 and as the second leg of the
+// cross-representation equivalence tests.
+
+// DetectRows returns Vio(φ, d) as sorted tuple indices using the
+// row-oriented string-key path.
+func DetectRows(d *relation.Relation, c *cfd.CFD) ([]int, error) {
+	if err := c.Validate(d.Schema()); err != nil {
+		return nil, err
+	}
+	bad := make(map[int]struct{})
+	for _, n := range c.Normalize() {
+		if err := detectUnitIntoRows(d, n, bad); err != nil {
+			return nil, err
+		}
+	}
+	return sortedKeys(bad), nil
+}
+
+// DetectSetRows returns Vio(Σ, d) as sorted tuple indices using the
+// row-oriented string-key path.
+func DetectSetRows(d *relation.Relation, cs []*cfd.CFD) ([]int, error) {
+	bad := make(map[int]struct{})
+	for _, c := range cs {
+		if err := c.Validate(d.Schema()); err != nil {
+			return nil, err
+		}
+		for _, n := range c.Normalize() {
+			if err := detectUnitIntoRows(d, n, bad); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sortedKeys(bad), nil
+}
+
+func detectUnitIntoRows(d *relation.Relation, n *cfd.Normalized, bad map[int]struct{}) error {
+	xi, err := d.Schema().Indices(n.X)
+	if err != nil {
+		return err
+	}
+	aIdxs, err := d.Schema().Indices([]string{n.A})
+	if err != nil {
+		return err
+	}
+	aIdx := aIdxs[0]
+
+	if n.IsConstant() {
+		for i, t := range d.Tuples() {
+			if matchesAt(t, xi, n.TpX) && t[aIdx] != n.TpA {
+				bad[i] = struct{}{}
+			}
+		}
+		return nil
+	}
+
+	// Variable unit: group matching tuples by X.
+	groups := make(map[string][]int)
+	firstVal := make(map[string]string)
+	mixed := make(map[string]bool)
+	for i, t := range d.Tuples() {
+		if !matchesAt(t, xi, n.TpX) {
+			continue
+		}
+		k := t.Key(xi)
+		groups[k] = append(groups[k], i)
+		v := t[aIdx]
+		if fv, ok := firstVal[k]; !ok {
+			firstVal[k] = v
+		} else if fv != v {
+			mixed[k] = true
+		}
+	}
+	for k := range mixed {
+		for _, i := range groups[k] {
+			bad[i] = struct{}{}
+		}
+	}
+	return nil
+}
+
+func matchesAt(t relation.Tuple, idx []int, pattern []string) bool {
+	for j, i := range idx {
+		p := pattern[j]
+		if p != cfd.Wildcard && t[i] != p {
+			return false
+		}
+	}
+	return true
+}

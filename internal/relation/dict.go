@@ -1,5 +1,7 @@
 package relation
 
+import "fmt"
+
 // Dict interns string values to dense uint32 identifiers. The engine
 // uses it to dictionary-encode group-by keys: comparing and hashing
 // fixed-width IDs is substantially cheaper than hashing full strings,
@@ -15,6 +17,20 @@ type Dict struct {
 // NewDict creates an empty dictionary.
 func NewDict() *Dict {
 	return &Dict{ids: make(map[string]uint32)}
+}
+
+// NewDictFromVals builds a dictionary whose IDs follow the order of
+// vals — the wire form of a shipped column. Duplicate values are
+// rejected: they would make Lookup disagree with the ID vectors.
+func NewDictFromVals(vals []string) (*Dict, error) {
+	d := &Dict{ids: make(map[string]uint32, len(vals)), vals: vals}
+	for i, v := range vals {
+		if _, dup := d.ids[v]; dup {
+			return nil, fmt.Errorf("relation: dictionary value %q duplicated at ids %d and %d", v, d.ids[v], i)
+		}
+		d.ids[v] = uint32(i)
+	}
+	return d, nil
 }
 
 // ID returns the identifier for v, interning it on first sight.
@@ -40,6 +56,11 @@ func (d *Dict) Val(id uint32) string { return d.vals[id] }
 
 // Len returns the number of distinct interned values.
 func (d *Dict) Len() int { return len(d.vals) }
+
+// Vals returns the interned values ordered by ID. The caller must not
+// modify the slice; it is the dictionary payload of the encoded wire
+// form.
+func (d *Dict) Vals() []string { return d.vals }
 
 // EncodeColumn interns one column of the relation, returning the ID
 // vector aligned with the relation's tuples.

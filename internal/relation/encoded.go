@@ -1,0 +1,315 @@
+package relation
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Encoded is a columnar, dictionary-encoded view of a Relation: one
+// dense []uint32 ID vector per attribute, backed by a per-column Dict.
+// It is the engine's native representation for the hot paths — the
+// check(D, Σ) group-bys, σ-routing, joins and the wire form — where
+// comparing and hashing fixed-width IDs beats rebuilding string keys
+// per tuple (DESIGN.md ablation 8).
+//
+// Columns are built lazily, one at a time, on first use: an operation
+// touching only X ∪ A pays for exactly those attributes, and later
+// operations on the same relation reuse them. Construction is safe for
+// concurrent use — the parallel phases of the detection algorithms hit
+// one fragment's view from many goroutines — and a built column is
+// immutable: its Dict must only be read (Lookup/Val), never interned
+// into, after Column returns it.
+//
+// An Encoded snapshots the relation's tuple slice when created; the
+// owning Relation invalidates its cached view on mutation (Append,
+// AppendAll, SortBy), so a stale snapshot is never observed through
+// Relation.Encoded.
+type Encoded struct {
+	tuples []Tuple
+	arity  int
+
+	mu    sync.RWMutex
+	cols  [][]uint32
+	dicts []*Dict
+	// dense[i] records that column i's dictionary holds exactly the
+	// values occurring in the column. Derived views (ProjectRows) share
+	// their source's dictionary instead of re-interning — IDs stay
+	// valid but sparse — and compaction is deferred to the wire.
+	dense []bool
+}
+
+func newEncoded(tuples []Tuple, arity int) *Encoded {
+	return &Encoded{
+		tuples: tuples,
+		arity:  arity,
+		cols:   make([][]uint32, arity),
+		dicts:  make([]*Dict, arity),
+		dense:  make([]bool, arity),
+	}
+}
+
+// Rows returns the number of rows in the view.
+func (e *Encoded) Rows() int { return len(e.tuples) }
+
+// Arity returns the number of columns.
+func (e *Encoded) Arity() int { return e.arity }
+
+// Column returns attribute position i as an ID vector and its
+// dictionary, building both on first use. The returned slice and Dict
+// are shared and read-only.
+func (e *Encoded) Column(i int) ([]uint32, *Dict) {
+	e.mu.RLock()
+	col, dict := e.cols[i], e.dicts[i]
+	e.mu.RUnlock()
+	if col != nil {
+		return col, dict
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cols[i] == nil {
+		d := NewDict()
+		c := make([]uint32, len(e.tuples))
+		for j, t := range e.tuples {
+			c[j] = d.ID(t[i])
+		}
+		e.cols[i], e.dicts[i], e.dense[i] = c, d, true
+	}
+	return e.cols[i], e.dicts[i]
+}
+
+// PayloadSizes models the two wire forms of the relation: raw is the
+// row-oriented payload (value bytes plus one separator byte per value),
+// encoded the columnar form (each column's compacted dictionary
+// payload — only values the column actually holds — plus four bytes
+// per cell ID). Shippers pick the smaller form; the shipment metrics
+// charge the same quantity so reported bytes match the wire. The
+// computation is integer-only: distinctness runs over IDs, never by
+// re-hashing values.
+func (e *Encoded) PayloadSizes() (raw, encoded int64) {
+	for i := 0; i < e.arity; i++ {
+		col, dict := e.Column(i)
+		// Distinctness tracking sized to the smaller of the column and
+		// the dictionary: a small extract sharing a large source
+		// dictionary must not pay O(source distinct values) per call.
+		if len(col)*4 < dict.Len() {
+			seen := make(map[uint32]struct{}, len(col))
+			for _, id := range col {
+				l := int64(len(dict.Val(id))) + 1
+				raw += l
+				if _, dup := seen[id]; !dup {
+					seen[id] = struct{}{}
+					encoded += l
+				}
+			}
+		} else {
+			seen := make([]bool, dict.Len())
+			for _, id := range col {
+				l := int64(len(dict.Val(id))) + 1
+				raw += l
+				if !seen[id] {
+					seen[id] = true
+					encoded += l
+				}
+			}
+		}
+		encoded += 4 * int64(len(col))
+	}
+	return raw, encoded
+}
+
+// CompactColumns returns the wire form of every column: a dictionary
+// holding exactly the values present, with the ID vector rewritten
+// accordingly. Columns already dense are passed through unchanged;
+// sparse (shared-dictionary) columns are remapped here, the only place
+// the deferred compaction is paid.
+func (e *Encoded) CompactColumns() (dicts [][]string, cols [][]uint32) {
+	dicts = make([][]string, e.arity)
+	cols = make([][]uint32, e.arity)
+	for i := 0; i < e.arity; i++ {
+		col, dict := e.Column(i)
+		e.mu.RLock()
+		dense := e.dense[i]
+		e.mu.RUnlock()
+		if dense {
+			dicts[i], cols[i] = dict.Vals(), col
+			continue
+		}
+		d := NewDict()
+		rm := newRemapper(d, dict, len(col))
+		out := make([]uint32, len(col))
+		for k, id := range col {
+			out[k] = rm.remap(dict, id)
+		}
+		dicts[i], cols[i] = d.Vals(), out
+	}
+	return dicts, cols
+}
+
+// Encoded returns the relation's columnar dictionary-encoded view,
+// building it lazily on first use. Safe for concurrent readers; like
+// the rest of Relation, not safe against concurrent mutation.
+func (r *Relation) Encoded() *Encoded {
+	if e := r.enc.Load(); e != nil {
+		return e
+	}
+	e := newEncoded(r.tuples, r.schema.Arity())
+	if r.enc.CompareAndSwap(nil, e) {
+		return e
+	}
+	if w := r.enc.Load(); w != nil {
+		return w
+	}
+	return e
+}
+
+// invalidateEncoding drops the cached columnar view; every mutation of
+// the tuple set calls it.
+func (r *Relation) invalidateEncoding() {
+	r.enc.Store(nil)
+}
+
+// remapper re-encodes one source column's IDs into a fresh dense
+// dictionary: each distinct source ID hashes its value exactly once,
+// every further occurrence is a table or integer-map access. Small
+// inputs over large source dictionaries use a map so the remap never
+// allocates proportionally to a dictionary they barely touch.
+type remapper struct {
+	dst     *Dict
+	table   []uint32 // table mode: src id -> dst id
+	present []bool
+	m       map[uint32]uint32 // map mode
+}
+
+func newRemapper(dst *Dict, src *Dict, expected int) *remapper {
+	if expected*4 < src.Len() {
+		return &remapper{dst: dst, m: make(map[uint32]uint32, expected)}
+	}
+	return &remapper{dst: dst, table: make([]uint32, src.Len()), present: make([]bool, src.Len())}
+}
+
+func (m *remapper) remap(src *Dict, id uint32) uint32 {
+	if m.m != nil {
+		out, ok := m.m[id]
+		if !ok {
+			out = m.dst.ID(src.Val(id))
+			m.m[id] = out
+		}
+		return out
+	}
+	if !m.present[id] {
+		m.table[id] = m.dst.ID(src.Val(id))
+		m.present[id] = true
+	}
+	return m.table[id]
+}
+
+// ProjectRows returns a new relation holding the given rows of r (in
+// order) projected onto attrs, named name. Tuples are materialized as
+// usual, and the columnar encoded view is derived from r's by row
+// gathering: the extract shares the source dictionaries (IDs stay
+// valid, merely sparse), so extraction does no hashing at all.
+func (r *Relation) ProjectRows(name string, attrs []string, rows []int) (*Relation, error) {
+	idx, err := r.schema.Indices(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := r.schema.Project(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	e := r.Encoded()
+	out := NewWithCapacity(ps, len(rows))
+	for _, i := range rows {
+		out.tuples = append(out.tuples, r.tuples[i].Project(idx))
+	}
+	enc := newEncoded(out.tuples, len(idx))
+	for j, c := range idx {
+		srcCol, srcDict := e.Column(c)
+		col := make([]uint32, len(rows))
+		for k, i := range rows {
+			col[k] = srcCol[i]
+		}
+		enc.cols[j], enc.dicts[j] = col, srcDict
+	}
+	out.enc.Store(enc)
+	return out, nil
+}
+
+// Concat returns a relation holding every part's tuples in order under
+// parts[0]'s schema (parts must share its arity, like AppendAll), with
+// the encoded view derived by remapping each part's columns into
+// shared dictionaries — already-encoded parts contribute no per-cell
+// hashing, so merging shipped blocks stays in ID space.
+func Concat(parts ...*Relation) (*Relation, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("relation: Concat with no inputs")
+	}
+	schema := parts[0].schema
+	total := 0
+	for _, p := range parts {
+		if p.schema.Arity() != schema.Arity() {
+			return nil, fmt.Errorf("relation: cannot concat %s (arity %d) with %s (arity %d)",
+				p.schema.Name(), p.schema.Arity(), schema.Name(), schema.Arity())
+		}
+		total += p.Len()
+	}
+	out := NewWithCapacity(schema, total)
+	for _, p := range parts {
+		out.tuples = append(out.tuples, p.tuples...)
+	}
+	enc := newEncoded(out.tuples, schema.Arity())
+	for j := 0; j < schema.Arity(); j++ {
+		d := NewDict()
+		col := make([]uint32, 0, total)
+		for _, p := range parts {
+			pcol, pdict := p.Encoded().Column(j)
+			rm := newRemapper(d, pdict, len(pcol))
+			for _, id := range pcol {
+				col = append(col, rm.remap(pdict, id))
+			}
+		}
+		enc.cols[j], enc.dicts[j], enc.dense[j] = col, d, true
+	}
+	out.enc.Store(enc)
+	return out, nil
+}
+
+// FromColumns builds a relation from per-column dictionaries and ID
+// vectors — the columnar wire form — materializing tuples that share
+// the dictionary strings and installing the encoded view directly, so
+// a receiving site keeps working on the sender's interning.
+func FromColumns(s *Schema, dicts [][]string, cols [][]uint32, rows int) (*Relation, error) {
+	arity := s.Arity()
+	if len(cols) != arity || len(dicts) != arity {
+		return nil, fmt.Errorf("relation: columnar payload has %d/%d columns, schema %s wants %d",
+			len(cols), len(dicts), s.Name(), arity)
+	}
+	enc := newEncoded(nil, arity)
+	for j := range cols {
+		if len(cols[j]) != rows {
+			return nil, fmt.Errorf("relation: column %d has %d rows, header says %d", j, len(cols[j]), rows)
+		}
+		for i, id := range cols[j] {
+			if int(id) >= len(dicts[j]) {
+				return nil, fmt.Errorf("relation: column %d row %d: id %d outside dictionary of %d values",
+					j, i, id, len(dicts[j]))
+			}
+		}
+		d, err := NewDictFromVals(dicts[j])
+		if err != nil {
+			return nil, err
+		}
+		enc.cols[j], enc.dicts[j], enc.dense[j] = cols[j], d, true
+	}
+	out := NewWithCapacity(s, rows)
+	for i := 0; i < rows; i++ {
+		t := make(Tuple, arity)
+		for j := 0; j < arity; j++ {
+			t[j] = dicts[j][cols[j][i]]
+		}
+		out.tuples = append(out.tuples, t)
+	}
+	enc.tuples = out.tuples
+	out.enc.Store(enc)
+	return out, nil
+}

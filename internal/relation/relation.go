@@ -4,14 +4,19 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Relation is an in-memory instance D of a schema R: an ordered bag of
 // tuples. It is the unit of storage at every site of the simulated
-// distributed system.
+// distributed system. A Relation additionally caches a lazily built
+// columnar dictionary-encoded view (see Encoded); the cache is
+// invalidated by every mutation, so concurrent readers are safe but
+// mutation must not race with reads.
 type Relation struct {
 	schema *Schema
 	tuples []Tuple
+	enc    atomic.Pointer[Encoded]
 }
 
 // New creates an empty relation over schema s.
@@ -65,6 +70,7 @@ func (r *Relation) Append(t Tuple) error {
 		return fmt.Errorf("relation: tuple arity %d does not match schema %s arity %d", len(t), r.schema.Name(), r.schema.Arity())
 	}
 	r.tuples = append(r.tuples, t)
+	r.invalidateEncoding()
 	return nil
 }
 
@@ -82,6 +88,7 @@ func (r *Relation) AppendAll(o *Relation) error {
 			o.schema.Name(), o.schema.Arity(), r.schema.Name(), r.schema.Arity())
 	}
 	r.tuples = append(r.tuples, o.tuples...)
+	r.invalidateEncoding()
 	return nil
 }
 
@@ -163,6 +170,7 @@ func (r *Relation) SortBy(attrs ...string) error {
 		}
 		return false
 	})
+	r.invalidateEncoding()
 	return nil
 }
 

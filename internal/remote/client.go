@@ -33,8 +33,12 @@ func Dial(addrs []string) ([]core.SiteAPI, *relation.Schema, error) {
 			return nil, nil, fmt.Errorf("remote: dialing site %d at %s: %w", i, addr, err)
 		}
 		var info InfoReply
-		if err := client.Call("Site.Info", struct{}{}, &info); err != nil {
+		if err := client.Call(serviceName+".Info", struct{}{}, &info); err != nil {
 			return nil, nil, fmt.Errorf("remote: handshake with %s: %w", addr, err)
+		}
+		if info.Version != WireVersion {
+			return nil, nil, fmt.Errorf("remote: site at %s speaks wire version %d, this driver needs %d — restart the site with a matching cfdsite build",
+				addr, info.Version, WireVersion)
 		}
 		if info.ID != i {
 			return nil, nil, fmt.Errorf("remote: site at %s reports ID %d, expected %d", addr, info.ID, i)
@@ -63,14 +67,14 @@ func (r *RemoteSite) Predicate() (relation.Predicate, error) { return r.pred, ni
 // SigmaStats forwards to the remote site.
 func (r *RemoteSite) SigmaStats(spec *core.BlockSpec) ([]int, error) {
 	var reply []int
-	err := r.client.Call("Site.SigmaStats", SpecArgs{Spec: spec}, &reply)
+	err := r.client.Call(serviceName+".SigmaStats", SpecArgs{Spec: spec}, &reply)
 	return reply, err
 }
 
 // ExtractBlock forwards to the remote site.
 func (r *RemoteSite) ExtractBlock(spec *core.BlockSpec, l int, attrs []string) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.client.Call("Site.ExtractBlock", ExtractArgs{Spec: spec, Attrs: attrs, Block: l}, &reply); err != nil {
+	if err := r.client.Call(serviceName+".ExtractBlock", ExtractArgs{Spec: spec, Attrs: attrs, Block: l}, &reply); err != nil {
 		return nil, err
 	}
 	return FromWire(&reply)
@@ -79,7 +83,7 @@ func (r *RemoteSite) ExtractBlock(spec *core.BlockSpec, l int, attrs []string) (
 // ExtractMatching forwards to the remote site.
 func (r *RemoteSite) ExtractMatching(spec *core.BlockSpec, attrs []string) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.client.Call("Site.ExtractMatching", ExtractArgs{Spec: spec, Attrs: attrs}, &reply); err != nil {
+	if err := r.client.Call(serviceName+".ExtractMatching", ExtractArgs{Spec: spec, Attrs: attrs}, &reply); err != nil {
 		return nil, err
 	}
 	return FromWire(&reply)
@@ -88,7 +92,7 @@ func (r *RemoteSite) ExtractMatching(spec *core.BlockSpec, attrs []string) (*rel
 // ExtractBlocksBatch forwards to the remote site.
 func (r *RemoteSite) ExtractBlocksBatch(spec *core.BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error) {
 	var reply map[int]*WireRelation
-	if err := r.client.Call("Site.ExtractBlocksBatch",
+	if err := r.client.Call(serviceName+".ExtractBlocksBatch",
 		ExtractArgs{Spec: spec, Attrs: attrs, Wanted: wanted}, &reply); err != nil {
 		return nil, err
 	}
@@ -105,13 +109,18 @@ func (r *RemoteSite) ExtractBlocksBatch(spec *core.BlockSpec, attrs []string, wa
 
 // Deposit forwards a shipped batch to the remote site.
 func (r *RemoteSite) Deposit(task string, batch *relation.Relation) error {
-	return r.client.Call("Site.Deposit", DepositArgs{Task: task, Batch: ToWire(batch)}, &struct{}{})
+	return r.client.Call(serviceName+".Deposit", DepositArgs{Task: task, Batch: ToWire(batch)}, &struct{}{})
+}
+
+// Abort forwards the failed-run deposit cleanup to the remote site.
+func (r *RemoteSite) Abort(taskKey string) error {
+	return r.client.Call(serviceName+".Abort", AbortArgs{Task: taskKey}, &struct{}{})
 }
 
 // DetectTask forwards to the remote site.
 func (r *RemoteSite) DetectTask(task string, local core.LocalInput, cfds []*cfd.CFD) ([]*relation.Relation, error) {
 	var reply []*WireRelation
-	if err := r.client.Call("Site.DetectTask",
+	if err := r.client.Call(serviceName+".DetectTask",
 		DetectTaskArgs{Task: task, Local: local, CFDs: cfds}, &reply); err != nil {
 		return nil, err
 	}
@@ -121,7 +130,7 @@ func (r *RemoteSite) DetectTask(task string, local core.LocalInput, cfds []*cfd.
 // DetectAssignedSingle forwards to the remote site.
 func (r *RemoteSite) DetectAssignedSingle(taskPrefix string, spec *core.BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.client.Call("Site.DetectAssignedSingle",
+	if err := r.client.Call(serviceName+".DetectAssignedSingle",
 		DetectAssignedArgs{TaskPrefix: taskPrefix, Spec: spec, Blocks: blocks, CFD: c}, &reply); err != nil {
 		return nil, err
 	}
@@ -131,7 +140,7 @@ func (r *RemoteSite) DetectAssignedSingle(taskPrefix string, spec *core.BlockSpe
 // DetectAssignedSet forwards to the remote site.
 func (r *RemoteSite) DetectAssignedSet(taskPrefix string, spec *core.BlockSpec, blocks []int, cfds []*cfd.CFD) ([]*relation.Relation, error) {
 	var reply []*WireRelation
-	if err := r.client.Call("Site.DetectAssignedSet",
+	if err := r.client.Call(serviceName+".DetectAssignedSet",
 		DetectAssignedArgs{TaskPrefix: taskPrefix, Spec: spec, Blocks: blocks, CFDs: cfds}, &reply); err != nil {
 		return nil, err
 	}
@@ -141,7 +150,7 @@ func (r *RemoteSite) DetectAssignedSet(taskPrefix string, spec *core.BlockSpec, 
 // DetectConstantsLocal forwards to the remote site.
 func (r *RemoteSite) DetectConstantsLocal(c *cfd.CFD) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.client.Call("Site.DetectConstantsLocal", ConstantsArgs{CFD: c}, &reply); err != nil {
+	if err := r.client.Call(serviceName+".DetectConstantsLocal", ConstantsArgs{CFD: c}, &reply); err != nil {
 		return nil, err
 	}
 	return FromWire(&reply)
@@ -150,7 +159,7 @@ func (r *RemoteSite) DetectConstantsLocal(c *cfd.CFD) (*relation.Relation, error
 // MineFrequent forwards to the remote site.
 func (r *RemoteSite) MineFrequent(x []string, theta float64) ([]mining.Pattern, error) {
 	var reply []mining.Pattern
-	err := r.client.Call("Site.MineFrequent", MineArgs{X: x, Theta: theta}, &reply)
+	err := r.client.Call(serviceName+".MineFrequent", MineArgs{X: x, Theta: theta}, &reply)
 	return reply, err
 }
 

@@ -2,6 +2,8 @@ package remote
 
 import (
 	"net"
+	"net/rpc"
+	"strings"
 	"testing"
 
 	"distcfd/internal/cfd"
@@ -49,6 +51,93 @@ func TestWireRelationRoundTrip(t *testing.T) {
 	nilBack, err := FromWire(nil)
 	if err != nil || nilBack != nil {
 		t.Error("FromWire(nil) should be nil")
+	}
+}
+
+// TestWireRelationColumnarForm checks both wire forms: a repetitive
+// relation ships dictionary-encoded, a distinct-heavy one ships as
+// rows, and both round-trip exactly.
+func TestWireRelationColumnarForm(t *testing.T) {
+	s := relation.MustSchema("T", []string{"a", "b"})
+	repetitive := relation.New(s)
+	for i := 0; i < 200; i++ {
+		repetitive.MustAppend(relation.Tuple{"a long repeated value", "another long repeated value"})
+	}
+	w := ToWire(repetitive)
+	if w.Cols == nil || w.Tuples != nil {
+		t.Fatalf("repetitive relation should ship columnar, got Cols=%v Tuples=%d", w.Cols != nil, len(w.Tuples))
+	}
+	if w.Rows != repetitive.Len() {
+		t.Errorf("wire rows = %d, want %d", w.Rows, repetitive.Len())
+	}
+	back, err := FromWire(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameTuples(repetitive) || !back.Schema().Equal(repetitive.Schema()) {
+		t.Error("columnar round trip lost data")
+	}
+
+	distinct := relation.New(s)
+	distinct.MustAppend(relation.Tuple{"x", "y"})
+	distinct.MustAppend(relation.Tuple{"z", "w"})
+	if wd := ToWire(distinct); wd.Cols != nil {
+		t.Error("distinct-heavy relation should ship as rows")
+	}
+
+	// Corrupt columnar payloads must be rejected, not crash.
+	bad := *w
+	bad.Cols = [][]uint32{w.Cols[0]}
+	if _, err := FromWire(&bad); err == nil {
+		t.Error("column-count mismatch should fail")
+	}
+	bad = *w
+	bad.Cols = [][]uint32{append([]uint32(nil), w.Cols[0]...), append([]uint32(nil), w.Cols[1]...)}
+	bad.Cols[1][0] = 999
+	if _, err := FromWire(&bad); err == nil {
+		t.Error("out-of-range dictionary id should fail")
+	}
+}
+
+// TestRemoteAbortDrainsDeposits exercises the Abort RPC end to end: a
+// deposited batch no longer reaches a later DetectTask once aborted.
+func TestRemoteAbortDrainsDeposits(t *testing.T) {
+	h, err := workload.EMPFig1bPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startSites(t, h)
+	sites, _, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deposit the whole EMP instance (it contains violations of φ1)
+	// under a block task of "job", then abort "job".
+	batch := workload.EMPData()
+	if err := sites[0].Deposit("job/b0", batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := sites[0].Abort("job"); err != nil {
+		t.Fatal(err)
+	}
+	rules := workload.EMPCFDs()[:1]
+	pats, err := sites[0].DetectTask("job/b0", core.LocalInput{Block: core.BlockNone}, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pats[0].Len() != 0 {
+		t.Errorf("aborted deposit still produced %d violation patterns", pats[0].Len())
+	}
+	// Control: without the abort the same deposit does yield patterns.
+	if err := sites[0].Deposit("job2/b0", batch); err != nil {
+		t.Fatal(err)
+	}
+	pats, err = sites[0].DetectTask("job2/b0", core.LocalInput{Block: core.BlockNone}, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pats[0].Len() == 0 {
+		t.Error("control deposit produced no violation patterns — EMP/φ1 should violate")
 	}
 }
 
@@ -169,6 +258,50 @@ func TestRemoteMining(t *testing.T) {
 	}
 	if res.MinedPatterns == 0 {
 		t.Error("remote mining found no patterns at θ=0.1")
+	}
+}
+
+// OldProtocolService mimics a version-1 cfdsite: its Info reply has no
+// Version field, which gob-decodes as zero on the driver.
+type OldProtocolService struct{ schema *relation.Schema }
+
+type OldInfoReply struct {
+	ID        int
+	NumTuples int
+	Pred      relation.Predicate
+	Schema    *WireSchema
+}
+
+func (s *OldProtocolService) Info(_ struct{}, reply *OldInfoReply) error {
+	reply.Schema = SchemaToWire(s.schema)
+	return nil
+}
+
+// TestDialRejectsOldWireVersion pins the handshake guard: a stale site
+// speaking an older wire protocol must fail Dial loudly instead of
+// silently dropping columnar payloads mid-run.
+func TestDialRejectsOldWireVersion(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(serviceName, &OldProtocolService{schema: workload.EMPSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	_, _, err = Dial([]string{lis.Addr().String()})
+	if err == nil || !strings.Contains(err.Error(), "wire version") {
+		t.Errorf("dialing an old-protocol site should fail the version check, got %v", err)
 	}
 }
 

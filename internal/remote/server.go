@@ -26,7 +26,7 @@ func NewSiteService(site *core.Site, schema *relation.Schema) *SiteService {
 // listener closes. It blocks.
 func Serve(lis net.Listener, site *core.Site, schema *relation.Schema) error {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Site", NewSiteService(site, schema)); err != nil {
+	if err := srv.RegisterName(serviceName, NewSiteService(site, schema)); err != nil {
 		return err
 	}
 	for {
@@ -38,15 +38,18 @@ func Serve(lis net.Listener, site *core.Site, schema *relation.Schema) error {
 	}
 }
 
-// InfoReply answers the handshake.
+// InfoReply answers the handshake. Version is the server's
+// WireVersion; a peer running the version-1 protocol leaves it zero
+// (gob omits unknown fields), which Dial rejects.
 type InfoReply struct {
 	ID        int
 	NumTuples int
 	Pred      relation.Predicate
 	Schema    *WireSchema
+	Version   int
 }
 
-// Info returns site identity, size, predicate and schema.
+// Info returns site identity, size, predicate, schema and wire version.
 func (s *SiteService) Info(_ struct{}, reply *InfoReply) error {
 	n, err := s.site.NumTuples()
 	if err != nil {
@@ -56,6 +59,7 @@ func (s *SiteService) Info(_ struct{}, reply *InfoReply) error {
 	if err != nil {
 		return err
 	}
+	reply.Version = WireVersion
 	reply.ID = s.site.ID()
 	reply.NumTuples = n
 	reply.Pred = pred
@@ -133,6 +137,16 @@ func (s *SiteService) Deposit(args DepositArgs, _ *struct{}) error {
 		return err
 	}
 	return s.site.Deposit(args.Task, r)
+}
+
+// AbortArgs names the task whose deposits to drain.
+type AbortArgs struct {
+	Task string
+}
+
+// Abort drains the task's deposit buffers (failed-run cleanup).
+func (s *SiteService) Abort(args AbortArgs, _ *struct{}) error {
+	return s.site.Abort(args.Task)
 }
 
 // DetectTaskArgs parameterizes the CTR-style coordinator step.

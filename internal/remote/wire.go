@@ -13,15 +13,46 @@ import (
 	"distcfd/internal/relation"
 )
 
-// WireRelation is the gob-encodable form of relation.Relation.
+// WireVersion is the wire-protocol version, checked at the Dial
+// handshake. Gob silently drops fields the peer does not know, so a
+// version skew would not error on its own — it would silently decode
+// columnar payloads as empty relations and lose violations. Version 1
+// was the row-only protocol; version 2 added the columnar form and
+// Abort.
+//
+// The rpc service name carries the version too ("SiteV2"), so skew in
+// EITHER direction dies on the first call with a can't-find-service
+// error: an old driver against a new site (which the InfoReply check
+// alone could never catch — that check runs in the new driver) and a
+// new driver against an old site both fail loudly instead of silently
+// exchanging partially-decoded payloads.
+const WireVersion = 2
+
+const serviceName = "SiteV2"
+
+// WireRelation is the gob-encodable form of relation.Relation. It
+// carries exactly one of two payloads: the row form (Tuples), or the
+// columnar dictionary-encoded form (Dicts + Cols + Rows) — per-column
+// dictionaries with fixed-width ID vectors, which is what repetitive
+// detection shipments compress well under. ToWire picks whichever
+// models smaller on the wire (relation.Encoded.PayloadSizes), the same
+// quantity dist.RelationBytes charges, so the shipment metrics match
+// the shipped bytes.
 type WireRelation struct {
-	Name   string
-	Attrs  []string
-	Key    []string
+	Name  string
+	Attrs []string
+	Key   []string
+	// Row form: one string slice per tuple.
 	Tuples [][]string
+	// Columnar form: Dicts[j] lists column j's distinct values by ID,
+	// Cols[j][i] is row i's ID in column j, Rows the tuple count.
+	Dicts [][]string
+	Cols  [][]uint32
+	Rows  int
 }
 
-// ToWire converts a relation for transport.
+// ToWire converts a relation for transport, choosing the smaller of
+// the row and dictionary-encoded forms.
 func ToWire(r *relation.Relation) *WireRelation {
 	if r == nil {
 		return nil
@@ -31,6 +62,12 @@ func ToWire(r *relation.Relation) *WireRelation {
 		Attrs: r.Schema().Attrs(),
 		Key:   r.Schema().Key(),
 	}
+	e := r.Encoded()
+	if raw, enc := e.PayloadSizes(); enc < raw {
+		w.Rows = r.Len()
+		w.Dicts, w.Cols = e.CompactColumns()
+		return w
+	}
 	w.Tuples = make([][]string, r.Len())
 	for i, t := range r.Tuples() {
 		w.Tuples[i] = t
@@ -38,7 +75,7 @@ func ToWire(r *relation.Relation) *WireRelation {
 	return w
 }
 
-// FromWire rebuilds the relation.
+// FromWire rebuilds the relation from either wire form.
 func FromWire(w *WireRelation) (*relation.Relation, error) {
 	if w == nil {
 		return nil, nil
@@ -46,6 +83,16 @@ func FromWire(w *WireRelation) (*relation.Relation, error) {
 	schema, err := relation.NewSchema(w.Name, w.Attrs, w.Key...)
 	if err != nil {
 		return nil, fmt.Errorf("remote: rebuilding schema: %w", err)
+	}
+	if w.Cols != nil {
+		// The receiver adopts the shipped dictionaries as the
+		// relation's encoded view: the sender's interning survives the
+		// hop and the coordinator's check never re-hashes the values.
+		rel, err := relation.FromColumns(schema, w.Dicts, w.Cols, w.Rows)
+		if err != nil {
+			return nil, fmt.Errorf("remote: %w", err)
+		}
+		return rel, nil
 	}
 	rel := relation.NewWithCapacity(schema, len(w.Tuples))
 	for _, t := range w.Tuples {
