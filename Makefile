@@ -1,10 +1,20 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-full
+.PHONY: ci build vet test race bench bench-smoke bench-full examples
 
 # ci mirrors .github/workflows/ci.yml: a missing package, vet
-# regression, race, or broken benchmark can never land silently again.
-ci: build vet race bench-smoke
+# regression, race, broken example, or broken benchmark can never land
+# silently again.
+ci: build vet race examples bench-smoke
+
+# examples builds AND runs every examples/ program, so facade breakage
+# (the examples exercise the public API end to end, including the RPC
+# deployment mode over loopback) fails CI instead of rotting.
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== go run ./$$d"; \
+		$(GO) run ./$$d >/dev/null; \
+	done
 
 build:
 	$(GO) build ./...

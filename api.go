@@ -1,0 +1,273 @@
+package distcfd
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"distcfd/internal/core"
+	"distcfd/internal/remote"
+)
+
+// This file is the compiled-session API: Compile performs every Σ-side
+// computation once (validation, normalization, LHS-containment
+// clustering, σ block specs, pattern mining, pattern-schema
+// projections) and returns a long-lived Detector that serves any
+// number of concurrent Detect / DetectOne calls, each re-evaluating
+// only data-dependent state under its caller's context. It replaces
+// the positional (algo, Options, clustered) surface with functional
+// options; the old entry points remain as deprecated wrappers.
+
+// config collects the functional options of Compile.
+type config struct {
+	algo      Algorithm
+	opt       core.Options
+	clustered bool
+	timeout   *time.Duration // nil: leave the sites' budgets untouched
+}
+
+func defaultConfig() config {
+	return config{algo: PatDetectRT, clustered: true}
+}
+
+// Option configures Compile.
+type Option func(*config)
+
+// WithAlgorithm selects the single-CFD detection algorithm
+// (CTRDetect, PatDetectS, or PatDetectRT). Default: PatDetectRT, the
+// paper's response-time-optimizing variant.
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algo = a } }
+
+// WithWorkers bounds how many independent CFD clusters a Detect call
+// processes concurrently. 0 (the default) selects GOMAXPROCS; 1 runs
+// strictly sequentially. The violation sets, shipment totals, and
+// modeled time are identical at every worker count — only wall-clock
+// time changes.
+func WithWorkers(n int) Option { return func(c *config) { c.opt.Workers = n } }
+
+// WithCostModel replaces the calibrated response-time model used for
+// coordinator placement (PatDetectRT) and the reported modeled time.
+func WithCostModel(cm CostModel) Option { return func(c *config) { c.opt.Cost = cm } }
+
+// WithMineTheta enables the Section IV-B mining preprocessing for CFDs
+// whose variable patterns are all-wildcard (traditional FDs): at
+// compile time each site mines closed frequent LHS patterns with
+// support ≥ theta·|Di|, and σ partitions on the merged patterns plus a
+// catch-all wildcard row. Mining runs once per Compile, not per
+// Detect.
+func WithMineTheta(theta float64) Option { return func(c *config) { c.opt.MineTheta = theta } }
+
+// WithClustering controls whether CFDs whose LHS attribute sets are
+// related by containment are merged into shared-σ clusters
+// (ClustDetect, the default) or processed independently (SeqDetect).
+func WithClustering(on bool) Option { return func(c *config) { c.clustered = on } }
+
+// WithTimeout sets the per-RPC I/O budget applied to every remote site
+// of the cluster: a site that does not answer a call within d is
+// treated as failed instead of blocking the run forever. It has no
+// effect on in-process sites. The budget lives on the cluster's
+// connections, so it is shared by everything using the cluster;
+// WithTimeout(0) explicitly clears it, and Compile calls without the
+// option leave the current budget untouched. Deadlines for a whole
+// detection run are the caller's business — pass a
+// context.WithTimeout/WithDeadline ctx to Detect.
+func WithTimeout(d time.Duration) Option { return func(c *config) { c.timeout = &d } }
+
+// Detector is a compiled, long-lived detection session over a cluster
+// and a CFD set. It is immutable after Compile and safe for concurrent
+// use: every Detect call owns its run state, and the sites cache the
+// fragment-side routing across calls, so repeated detection costs only
+// the data-dependent work.
+type Detector struct {
+	cl   *Cluster
+	cfg  config
+	cfds []*CFD
+	plan *core.Plan
+
+	mu      sync.Mutex
+	singles map[int]*core.SinglePlan // lazily compiled per-CFD plans
+}
+
+// Compile performs all Σ-side work for detecting cfds over the
+// cluster — normalization, LHS-containment clustering, σ-routing
+// specs, pattern mining, dictionary-facing pattern resolution — and
+// returns a Detector that serves repeated Detect / DetectOne calls.
+//
+//	det, err := distcfd.Compile(cluster, rules,
+//	    distcfd.WithAlgorithm(distcfd.PatDetectRT),
+//	    distcfd.WithWorkers(8))
+//	...
+//	res, err := det.Detect(ctx) // as often as data changes
+func Compile(cl *Cluster, cfds []*CFD, opts ...Option) (*Detector, error) {
+	return CompileContext(context.Background(), cl, cfds, opts...)
+}
+
+// CompileContext is Compile under a context: compilation itself can
+// perform site work (the WithMineTheta mining preprocessing runs
+// against every site), so a cancelled or deadline-exceeded ctx aborts
+// it instead of blocking on an unresponsive cluster.
+func CompileContext(ctx context.Context, cl *Cluster, cfds []*CFD, opts ...Option) (*Detector, error) {
+	if cl == nil {
+		return nil, fmt.Errorf("distcfd: Compile with nil cluster")
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.timeout != nil {
+		for i := 0; i < cl.N(); i++ {
+			if s, ok := cl.Site(i).(interface{ SetCallTimeout(time.Duration) }); ok {
+				s.SetCallTimeout(*cfg.timeout)
+			}
+		}
+	}
+	plan, err := core.CompileSet(ctx, cl, cfds, cfg.algo, cfg.opt, cfg.clustered)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{
+		cl:      cl,
+		cfg:     cfg,
+		cfds:    cfds,
+		plan:    plan,
+		singles: make(map[int]*core.SinglePlan),
+	}, nil
+}
+
+// CFDs returns the compiled dependency set.
+func (d *Detector) CFDs() []*CFD { return d.cfds }
+
+// Result is the unified report of a Detect or DetectOne call.
+type Result struct {
+	// CFDs are the dependencies this run checked (the full compiled
+	// set for Detect, a single entry for DetectOne).
+	CFDs []*CFD
+	// PerCFD holds Vioπ per CFD as distinct X-tuples, aligned with CFDs.
+	PerCFD []*Relation
+	// Clusters lists the CFD index groups processed together.
+	Clusters [][]int
+	// Shipment is the run's per-site-pair shipment and control report.
+	Shipment ShipmentReport
+	// ShippedTuples is |M|, the total tuple shipments of the run.
+	ShippedTuples int64
+	// ModeledTime is cost(D, Σ, M) under the compiled cost model.
+	ModeledTime float64
+	// WallTime is the measured wall-clock of the run.
+	WallTime time.Duration
+}
+
+// Patterns returns the violating X-patterns of the named CFD, or nil
+// when the run did not include it.
+func (r *Result) Patterns(name string) *Relation {
+	for i, c := range r.CFDs {
+		if c.Name == name {
+			return r.PerCFD[i]
+		}
+	}
+	return nil
+}
+
+func fromSetResult(sr *core.SetResult) *Result {
+	return &Result{
+		CFDs:          sr.CFDs,
+		PerCFD:        sr.PerCFD,
+		Clusters:      sr.Clusters,
+		Shipment:      sr.Metrics.Snapshot(),
+		ShippedTuples: sr.ShippedTuples,
+		ModeledTime:   sr.ModeledTime,
+		WallTime:      sr.WallTime,
+	}
+}
+
+// Detect runs the compiled session once over the cluster's current
+// data, re-evaluating only data-dependent state (fragment sizes,
+// constant units, σ routing, shipping, coordinator checks). The
+// context cancels the run end to end: a cancelled or deadline-exceeded
+// Detect stops pending phases, and every site drains — and tombstones
+// — the run's deposit buffers, so no shipped batch outlives the call.
+func (d *Detector) Detect(ctx context.Context) (*Result, error) {
+	sr, err := d.plan.Detect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return fromSetResult(sr), nil
+}
+
+// DetectOne runs a single named CFD of the compiled set, reusing the
+// compiled artifacts (and, for CFDs the set plan processes as
+// singleton clusters, the very same per-CFD plan).
+func (d *Detector) DetectOne(ctx context.Context, name string) (*Result, error) {
+	idx := -1
+	for i, c := range d.cfds {
+		if c.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		var names []string
+		for _, c := range d.cfds {
+			names = append(names, c.Name)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("distcfd: no compiled CFD named %q (have %v)", name, names)
+	}
+	sp, err := d.singlePlan(ctx, idx)
+	if err != nil {
+		return nil, err
+	}
+	one, err := sp.Detect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		CFDs:          []*CFD{one.CFD},
+		PerCFD:        []*Relation{one.Patterns},
+		Clusters:      [][]int{{0}},
+		Shipment:      one.Metrics.Snapshot(),
+		ShippedTuples: one.ShippedTuples,
+		ModeledTime:   one.ModeledTime,
+		WallTime:      one.WallTime,
+	}, nil
+}
+
+func (d *Detector) singlePlan(ctx context.Context, idx int) (*core.SinglePlan, error) {
+	if sp := d.plan.SinglePlanFor(idx); sp != nil {
+		return sp, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if sp, ok := d.singles[idx]; ok {
+		return sp, nil
+	}
+	sp, err := core.CompileSingle(ctx, d.cl, d.cfds[idx], d.cfg.algo, d.cfg.opt)
+	if err != nil {
+		return nil, err
+	}
+	d.singles[idx] = sp
+	return sp, nil
+}
+
+// NewLocalCluster wraps an unpartitioned relation as a single-site
+// in-process cluster — the serving shape of the centralized SQL
+// technique of [2], useful for compiling a Detector over data that is
+// not fragmented.
+func NewLocalCluster(d *Relation) (*Cluster, error) {
+	return NewCluster(&Horizontal{Schema: d.Schema(), Fragments: []*Relation{d}})
+}
+
+// DialConfig tunes the client side of the wire: the per-site dial and
+// handshake budget and the per-RPC I/O timeout.
+type DialConfig = remote.DialConfig
+
+// NewRemoteClusterConfig is NewRemoteCluster with explicit dial and
+// per-call I/O timeouts (see DialConfig); position in addrs = site ID.
+func NewRemoteClusterConfig(addrs []string, cfg DialConfig) (*Cluster, error) {
+	sites, schema, err := remote.DialWithConfig(addrs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCluster(schema, sites)
+}

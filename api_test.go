@@ -1,0 +1,196 @@
+package distcfd
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"distcfd/internal/workload"
+)
+
+func compileTestCluster(t *testing.T) (*Cluster, []*CFD) {
+	t.Helper()
+	data := workload.EMPData()
+	rules, err := ParseRules(strings.NewReader(`
+phi1: [CC, zip] -> [street] : (44, _ || _), (31, _ || _)
+phi2: [CC, title] -> [salary]
+phi3: [CC, AC] -> [city] : (44, 131 || EDI), (01, 908 || MH)
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := PartitionUniform(data, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, rules
+}
+
+func samePatternSets(t *testing.T, label string, got, want []*Relation) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pattern relations, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].SameTuples(want[i]) {
+			t.Errorf("%s: cfd %d patterns differ\ngot %v\nwant %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCompileDetectMatchesOneShot: the compiled session returns the
+// same violations and accounting as the deprecated one-shot DetectSet,
+// across repeated and concurrent Detect calls.
+func TestCompileDetectMatchesOneShot(t *testing.T) {
+	cl, rules := compileTestCluster(t)
+	want, err := DetectSet(cl, rules, PatDetectRT, Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Compile(cl, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for k := 0; k < 3; k++ {
+		res, err := det.Detect(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePatternSets(t, "sequential", res.PerCFD, want.PerCFD)
+		if res.ShippedTuples != want.ShippedTuples {
+			t.Errorf("run %d: shipped %d, one-shot %d", k, res.ShippedTuples, want.ShippedTuples)
+		}
+		if res.ModeledTime != want.ModeledTime {
+			t.Errorf("run %d: modeled %v, one-shot %v", k, res.ModeledTime, want.ModeledTime)
+		}
+		if res.Shipment.TotalTuples != res.ShippedTuples {
+			t.Errorf("run %d: shipment report total %d != %d", k, res.Shipment.TotalTuples, res.ShippedTuples)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := det.Detect(ctx)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range res.PerCFD {
+				if !res.PerCFD[i].SameTuples(want.PerCFD[i]) {
+					t.Errorf("concurrent: cfd %d differs", i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDetectorDetectOne: single-rule serving matches the one-shot
+// single-CFD path, and unknown names fail helpfully.
+func TestDetectorDetectOne(t *testing.T) {
+	cl, rules := compileTestCluster(t)
+	det, err := Compile(cl, rules, WithAlgorithm(PatDetectS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, rule := range rules {
+		want, err := Detect(cl, rule, PatDetectS, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := det.DetectOne(ctx, rule.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.PerCFD[0].SameTuples(want.Patterns) {
+			t.Errorf("%s: DetectOne differs from one-shot Detect", rule.Name)
+		}
+		if got := res.Patterns(rule.Name); got == nil || !got.SameTuples(want.Patterns) {
+			t.Errorf("%s: Result.Patterns lookup failed", rule.Name)
+		}
+	}
+	if _, err := det.DetectOne(ctx, "no-such-rule"); err == nil ||
+		!strings.Contains(err.Error(), "no compiled CFD") {
+		t.Errorf("unknown rule: got %v", err)
+	}
+}
+
+// TestDetectorOptions: every option combination yields the same
+// violation sets (they tune strategy and placement, never answers).
+func TestDetectorOptions(t *testing.T) {
+	cl, rules := compileTestCluster(t)
+	want, err := DetectSet(cl, rules, PatDetectRT, Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, opts := range [][]Option{
+		{WithAlgorithm(CTRDetect)},
+		{WithAlgorithm(PatDetectS), WithWorkers(1)},
+		{WithClustering(false), WithWorkers(4)},
+		{WithCostModel(DefaultCostModel()), WithMineTheta(0.2)},
+	} {
+		det, err := Compile(cl, rules, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := det.Detect(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePatternSets(t, "options", res.PerCFD, want.PerCFD)
+	}
+}
+
+// TestDetectorContext: a dead context fails fast and leaves the
+// detector serviceable.
+func TestDetectorContext(t *testing.T) {
+	cl, rules := compileTestCluster(t)
+	det, err := Compile(cl, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := det.Detect(ctx); err == nil {
+		t.Error("cancelled context did not fail Detect")
+	}
+	if _, err := det.Detect(context.Background()); err != nil {
+		t.Errorf("detector unusable after cancelled call: %v", err)
+	}
+}
+
+// TestDetectCentralHonorsOptions: the fixed DetectCentral routes
+// through the compiled session and no longer discards options.
+func TestDetectCentralHonorsOptions(t *testing.T) {
+	d := workload.EMPData()
+	rule, err := ParseCFD(`phi3: [CC, AC] -> [city] : (44, 131 || EDI), (01, 908 || MH)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats, err := DetectCentral(d, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pats.Len() != 2 {
+		t.Errorf("central patterns = %d, want 2", pats.Len())
+	}
+	for _, algo := range []Algorithm{CTRDetect, PatDetectS, PatDetectRT} {
+		got, err := DetectCentral(d, rule, WithAlgorithm(algo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.SameTuples(pats) {
+			t.Errorf("%v: central result differs", algo)
+		}
+	}
+}

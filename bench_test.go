@@ -12,6 +12,7 @@ package distcfd
 // the full 800K/1.6M/2.7M-tuple experiments.
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"os"
@@ -330,6 +331,116 @@ func BenchmarkMultiCFDSeqVsParRemote(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := DetectSetParallel(cl, rules, PatDetectRT, Options{Workers: 6}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDetectorServe measures the plan-once/detect-many serving
+// path against equivalent one-shot calls: "oneshot" pays Σ validation,
+// clustering, spec construction (and, in the mining pair, per-call
+// frequent-pattern mining) on every iteration, while "compiled" runs a
+// Detector compiled once before the timer. Violation sets, shipment
+// totals, and modeled times are asserted identical up front, so the
+// delta is pure serving overhead.
+func BenchmarkDetectorServe(b *testing.B) {
+	ctx := context.Background()
+	// Serving-sized fragments: the always-on scenario is frequent
+	// checks over live data, where per-call Σ-side overhead is a
+	// visible fraction of the run (at bulk sizes the coordinator
+	// group-bys dominate both paths identically).
+	data := workload.Cust(workload.CustConfig{N: 5_000, Seed: 1, ErrRate: 0.01})
+	h, err := partition.Uniform(data, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := core.FromHorizontal(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rules := multiCFDBenchRules()
+
+	det, err := Compile(cl, rules, WithAlgorithm(PatDetectRT))
+	if err != nil {
+		b.Fatal(err)
+	}
+	wantSet, err := DetectSet(cl, rules, PatDetectRT, Options{}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gotSet, err := det.Detect(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range rules {
+		if !gotSet.PerCFD[i].SameTuples(wantSet.PerCFD[i]) {
+			b.Fatalf("cfd %d: compiled violations differ from one-shot", i)
+		}
+	}
+	if gotSet.ShippedTuples != wantSet.ShippedTuples || gotSet.ModeledTime != wantSet.ModeledTime {
+		b.Fatalf("compiled accounting differs: %d/%v vs %d/%v",
+			gotSet.ShippedTuples, gotSet.ModeledTime, wantSet.ShippedTuples, wantSet.ModeledTime)
+	}
+
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DetectSet(cl, rules, PatDetectRT, Options{}, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := det.Detect(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The mining pair: compilation absorbs the Section IV-B mining
+	// preprocessing, which the one-shot path repeats per call.
+	xref := workload.XRefHuman(30_000, 3)
+	hx, err := partition.ByAttribute(xref, "source")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hx.Predicates = nil
+	clx, err := core.FromHorizontal(hx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fd := []*cfd.CFD{workload.XRefMiningFD()}
+	detMine, err := Compile(clx, fd, WithAlgorithm(PatDetectS), WithMineTheta(0.1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	wantMine, err := DetectSet(clx, fd, PatDetectS, Options{MineTheta: 0.1}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gotMine, err := detMine.Detect(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !gotMine.PerCFD[0].SameTuples(wantMine.PerCFD[0]) ||
+		gotMine.ShippedTuples != wantMine.ShippedTuples {
+		b.Fatal("mined compiled run differs from one-shot")
+	}
+	b.Run("oneshot-mined", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DetectSet(clx, fd, PatDetectS, Options{MineTheta: 0.1}, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled-mined", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := detMine.Detect(ctx); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"distcfd"
@@ -35,6 +37,7 @@ func main() {
 		mineTheta = flag.Float64("mine", 0, "mining threshold θ for wildcard CFDs (0 = off)")
 		remote    = flag.String("remote", "", "comma-separated cfdsite addresses (overrides -data/-sites)")
 		seed      = flag.Int64("seed", 1, "partitioning seed")
+		timeout   = flag.Duration("timeout", 0, "per-RPC I/O timeout against remote sites (0 = none)")
 	)
 	flag.Parse()
 
@@ -75,7 +78,8 @@ func main() {
 	var cluster *distcfd.Cluster
 	switch {
 	case *remote != "":
-		cluster, err = distcfd.NewRemoteCluster(strings.Split(*remote, ","))
+		cluster, err = distcfd.NewRemoteClusterConfig(strings.Split(*remote, ","),
+			distcfd.DialConfig{CallTimeout: *timeout})
 		if err != nil {
 			fatalf("connecting: %v", err)
 		}
@@ -105,16 +109,28 @@ func main() {
 		fatalf("need -data or -remote")
 	}
 
-	opt := distcfd.Options{MineTheta: *mineTheta}
-	var res *distcfd.SetResult
-	if *parallel != 0 {
-		if *parallel > 0 {
-			opt.Workers = *parallel
-		}
-		res, err = distcfd.DetectSetParallel(cluster, rules, algo, opt)
-	} else {
-		res, err = distcfd.DetectSet(cluster, rules, algo, opt, *clustered)
+	// Compile the session once; ^C cancels the run end to end (every
+	// site drains the run's deposits before the process exits).
+	workers := 1
+	switch {
+	case *parallel < 0:
+		workers = 0 // GOMAXPROCS
+	case *parallel > 0:
+		workers = *parallel
 	}
+	det, err := distcfd.Compile(cluster, rules,
+		distcfd.WithAlgorithm(algo),
+		distcfd.WithClustering(*clustered),
+		distcfd.WithWorkers(workers),
+		distcfd.WithMineTheta(*mineTheta),
+		distcfd.WithTimeout(*timeout),
+	)
+	if err != nil {
+		fatalf("compile: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := det.Detect(ctx)
 	if err != nil {
 		fatalf("detection: %v", err)
 	}
@@ -128,7 +144,7 @@ func main() {
 	fmt.Printf("\nshipped %d tuples; modeled response time %.3f; wall %v\n",
 		res.ShippedTuples, res.ModeledTime, res.WallTime)
 	if *shipmat {
-		fmt.Printf("\n%s", res.Metrics.Snapshot())
+		fmt.Printf("\n%s", res.Shipment)
 	}
 }
 

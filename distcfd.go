@@ -4,9 +4,12 @@
 // sites, implementing Fan, Geerts, Ma, Müller — "Detecting
 // Inconsistencies in Distributed Data" (ICDE 2010).
 //
-// The facade re-exports the stable types of the internal packages via
-// aliases and adds convenience constructors, so applications only
-// import this package:
+// The central abstraction is the compiled detection session: Compile
+// performs all constraint-side work once — Σ normalization,
+// LHS-containment clustering, σ-routing block specs, pattern mining —
+// and returns a long-lived Detector serving any number of concurrent,
+// context-cancellable Detect calls, each re-evaluating only the
+// data-dependent state:
 //
 //	data, _ := distcfd.ReadCSV(f, "orders", "id")
 //	rules, _ := distcfd.ParseRules(strings.NewReader(`
@@ -14,14 +17,24 @@
 //	    street_fd: [CC, zip] -> [street]`))
 //	part, _ := distcfd.PartitionUniform(data, 4, 7)
 //	cluster, _ := distcfd.NewCluster(part)
-//	res, _ := distcfd.Detect(cluster, rules[1], distcfd.PatDetectRT, distcfd.Options{})
-//	fmt.Println(res.Patterns) // Vioπ: the violating LHS patterns
+//	det, _ := distcfd.Compile(cluster, rules,
+//	    distcfd.WithAlgorithm(distcfd.PatDetectRT))
+//	res, _ := det.Detect(ctx)                  // the whole rule set
+//	one, _ := det.DetectOne(ctx, "city_rule")  // a single rule
+//	fmt.Println(res.Patterns("street_fd"))     // Vioπ: violating LHS patterns
+//
+// The facade additionally re-exports the stable types of the internal
+// packages via aliases and adds convenience constructors, so
+// applications only import this package. The pre-session entry points
+// (Detect, DetectSet, DetectSetParallel) remain as deprecated
+// wrappers over the compiled path.
 //
 // See the examples/ directory for complete programs and DESIGN.md for
 // the paper-to-package map.
 package distcfd
 
 import (
+	"context"
 	"io"
 
 	"distcfd/internal/cfd"
@@ -171,6 +184,11 @@ func NewRemoteCluster(addrs []string) (*Cluster, error) {
 }
 
 // Detect finds Vioπ(φ, D) over the cluster with the chosen algorithm.
+//
+// Deprecated: Detect compiles and runs in one shot, repeating the
+// constraint-side work on every call. Use Compile with WithAlgorithm
+// and serve repeated traffic through Detector.Detect / DetectOne; this
+// wrapper remains for the full SingleResult (Vio, Spec, Coordinators).
 func Detect(cl *Cluster, c *CFD, algo Algorithm, opt Options) (*SingleResult, error) {
 	return core.DetectSingle(cl, c, algo, opt)
 }
@@ -178,6 +196,10 @@ func Detect(cl *Cluster, c *CFD, algo Algorithm, opt Options) (*SingleResult, er
 // DetectSet finds Vioπ for a CFD set; clustered=true merges CFDs with
 // LHS containment (ClustDetect), otherwise they run one by one
 // (SeqDetect).
+//
+// Deprecated: use Compile (WithClustering selects the strategy) and
+// Detector.Detect, which reuse the compiled plan across calls and
+// accept a context.
 func DetectSet(cl *Cluster, cs []*CFD, algo Algorithm, opt Options, clustered bool) (*SetResult, error) {
 	if clustered {
 		return core.ClustDetect(cl, cs, algo, opt)
@@ -190,22 +212,31 @@ func DetectSet(cl *Cluster, cs []*CFD, algo Algorithm, opt Options, clustered bo
 // across a worker pool bounded by Options.Workers (0 = GOMAXPROCS).
 // The violation sets are identical to DetectSet's; only wall-clock
 // time differs.
+//
+// Deprecated: use Compile with WithWorkers and Detector.Detect.
 func DetectSetParallel(cl *Cluster, cs []*CFD, algo Algorithm, opt Options) (*SetResult, error) {
 	return core.ParDetect(cl, cs, algo, opt)
 }
 
 // DetectCentral finds the violation patterns of a CFD in an
-// unpartitioned relation (the SQL technique of [2]).
-func DetectCentral(d *Relation, c *CFD) (*Relation, error) {
-	cl, err := NewCluster(&Horizontal{Schema: d.Schema(), Fragments: []*Relation{d}})
+// unpartitioned relation (the SQL technique of [2]), honoring any
+// functional options (algorithm, cost model, mining threshold).
+// Callers detecting repeatedly should Compile over NewLocalCluster
+// once instead of paying the session setup per call.
+func DetectCentral(d *Relation, c *CFD, opts ...Option) (*Relation, error) {
+	cl, err := NewLocalCluster(d)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.DetectSingle(cl, c, PatDetectS, Options{})
+	det, err := Compile(cl, []*CFD{c}, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return res.Patterns, nil
+	res, err := det.DetectOne(context.Background(), c.Name)
+	if err != nil {
+		return nil, err
+	}
+	return res.PerCFD[0], nil
 }
 
 // Vertical partitioning analysis (Section V).

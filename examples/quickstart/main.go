@@ -1,10 +1,12 @@
 // Quickstart: detect CFD violations in the paper's running example
 // (Fig. 1) using only the public distcfd API — load a relation, parse
-// data-quality rules, fragment the data across simulated sites, and
-// run the three detection algorithms.
+// data-quality rules, fragment the data across simulated sites,
+// compile a detection session once, and serve repeated detection
+// calls from it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -35,6 +37,7 @@ phi3: [CC, AC] -> [city] : (44, 131 || EDI), (01, 908 || MH)
 `
 
 func main() {
+	ctx := context.Background()
 	data, err := distcfd.ReadCSV(strings.NewReader(empCSV), "EMP", "id")
 	if err != nil {
 		log.Fatal(err)
@@ -56,28 +59,45 @@ func main() {
 		log.Fatal(err)
 	}
 
-	for _, rule := range rules {
-		fmt.Printf("── %s\n", distcfd.FormatCFD(rule))
-		for _, algo := range []distcfd.Algorithm{distcfd.CTRDetect, distcfd.PatDetectS, distcfd.PatDetectRT} {
-			res, err := distcfd.Detect(cluster, rule, algo, distcfd.Options{})
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("  %-12s shipped %d tuple(s), %d violating pattern(s)",
-				algo, res.ShippedTuples, res.Patterns.Len())
-			if res.LocalOnly {
-				fmt.Print("  [checked locally]")
-			}
-			fmt.Println()
+	// Compile once: Σ normalization, LHS clustering, σ-routing specs —
+	// all constraint-side work happens here, not per call. One compiled
+	// session per algorithm shows the shipment trade-offs.
+	for _, algo := range []distcfd.Algorithm{distcfd.CTRDetect, distcfd.PatDetectS, distcfd.PatDetectRT} {
+		det, err := distcfd.Compile(cluster, rules, distcfd.WithAlgorithm(algo))
+		if err != nil {
+			log.Fatal(err)
 		}
-		res, _ := distcfd.Detect(cluster, rule, distcfd.PatDetectS, distcfd.Options{})
-		for _, t := range res.Patterns.Tuples() {
+		res, err := det.Detect(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := 0
+		for _, pats := range res.PerCFD {
+			total += pats.Len()
+		}
+		fmt.Printf("%-12s shipped %2d tuple(s), %d violating pattern(s) across the rule set\n",
+			algo, res.ShippedTuples, total)
+	}
+
+	// The serving path: one long-lived session answers per-rule and
+	// whole-set queries, reusing the compiled plans every time.
+	det, err := distcfd.Compile(cluster, rules, distcfd.WithAlgorithm(distcfd.PatDetectS))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, rule := range rules {
+		one, err := det.DetectOne(ctx, rule.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("── %s\n", distcfd.FormatCFD(rule))
+		for _, t := range one.PerCFD[0].Tuples() {
 			fmt.Printf("    violating pattern: (%s)\n", strings.Join(t, ", "))
 		}
 	}
 
-	// The whole rule set at once, with overlapping CFDs merged.
-	set, err := distcfd.DetectSet(cluster, rules, distcfd.PatDetectRT, distcfd.Options{}, true)
+	set, err := det.Detect(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

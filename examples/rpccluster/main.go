@@ -1,16 +1,19 @@
 // RPC cluster: the multi-process deployment mode. This example spins
 // up three detection sites as real net/rpc TCP servers (in-process
 // here for convenience; cmd/cfdsite runs the identical server as a
-// standalone daemon), connects a driver with
-// distcfd.NewRemoteCluster, and runs the detection algorithms over
+// standalone daemon), connects a driver with timeouts configured,
+// compiles a detection session, and serves repeated queries over
 // actual sockets — statistics exchange, tuple shipment and coordinator
-// detection all cross the network.
+// detection all cross the network, and a hung site can stall a run
+// only up to the per-call I/O budget.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"distcfd"
 	"distcfd/internal/core"
@@ -38,20 +41,35 @@ func main() {
 		fmt.Printf("site %d: %d tuples on %s (%v)\n", i, frag.Len(), addrs[i], part.Predicates[i])
 	}
 
-	cluster, err := distcfd.NewRemoteCluster(addrs)
+	cluster, err := distcfd.NewRemoteClusterConfig(addrs, distcfd.DialConfig{
+		DialTimeout: 5 * time.Second,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()
 
+	// Compile once over the remote cluster; WithTimeout bounds every
+	// RPC so a wedged site fails the run instead of hanging it.
+	det, err := distcfd.Compile(cluster, workload.EMPCFDs(),
+		distcfd.WithAlgorithm(distcfd.PatDetectS),
+		distcfd.WithTimeout(10*time.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve per-rule queries from the session; each call may also carry
+	// its own deadline.
 	for _, rule := range workload.EMPCFDs() {
-		res, err := distcfd.Detect(cluster, rule, distcfd.PatDetectS, distcfd.Options{})
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		res, err := det.DetectOne(ctx, rule.Name)
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s over TCP: %d tuples shipped, %d violating pattern(s)\n",
-			rule.Name, res.ShippedTuples, res.Patterns.Len())
-		for _, t := range res.Patterns.Tuples() {
+			rule.Name, res.ShippedTuples, res.PerCFD[0].Len())
+		for _, t := range res.PerCFD[0].Tuples() {
 			fmt.Printf("  %v\n", t)
 		}
 	}

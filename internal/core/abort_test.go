@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"sync"
 	"testing"
 
 	"distcfd/internal/cfd"
@@ -10,17 +12,14 @@ import (
 	"distcfd/internal/workload"
 )
 
-func depositCount(s *Site) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.deposits)
-}
+func depositCount(s *Site) int { return s.PendingDeposits() }
 
 func TestSiteAbortDrainsTaskDeposits(t *testing.T) {
+	ctx := context.Background()
 	s := NewSite(0, workload.EMPData(), relation.True())
 	batch := workload.EMPData()
 	for _, task := range []string{"run-1/b0", "run-1/b3", "run-1", "run-10/b0", "run-2/b1"} {
-		if err := s.Deposit(task, batch); err != nil {
+		if err := s.Deposit(ctx, task, batch); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -46,10 +45,47 @@ func TestSiteAbortDrainsTaskDeposits(t *testing.T) {
 	}
 }
 
+// TestSiteCancelTombstonesTask pins the Cancel semantics: draining
+// like Abort, plus dropping deposits that arrive after the cancel —
+// the batch that was still in flight when the driver gave up.
+func TestSiteCancelTombstonesTask(t *testing.T) {
+	ctx := context.Background()
+	s := NewSite(0, workload.EMPData(), relation.True())
+	batch := workload.EMPData()
+	if err := s.Deposit(ctx, "run-1/b0", batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel("run-1"); err != nil {
+		t.Fatal(err)
+	}
+	if n := depositCount(s); n != 0 {
+		t.Fatalf("cancel left %d buffers", n)
+	}
+	// The late deposit of the cancelled run: dropped, no error (the
+	// driver that would consume it is gone).
+	if err := s.Deposit(ctx, "run-1/b7", batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deposit(ctx, "run-1", batch); err != nil {
+		t.Fatal(err)
+	}
+	if n := depositCount(s); n != 0 {
+		t.Errorf("late deposits for a cancelled task were buffered (%d)", n)
+	}
+	// Unrelated tasks — including ones sharing a name prefix — are
+	// unaffected.
+	if err := s.Deposit(ctx, "run-10/b0", batch); err != nil {
+		t.Fatal(err)
+	}
+	if depositCount(s) != 1 {
+		t.Error("cancel tombstone suppressed an unrelated task's deposit")
+	}
+}
+
 // failingSite wraps a Site so the coordinator detection step fails
 // after shipping has already deposited batches — the leak scenario of
-// the ROADMAP: without Abort the surviving sites keep the buffers of a
-// task key that will never be detected.
+// the ROADMAP: without the cancel-on-error drain the surviving sites
+// keep the buffers of a task key that will never be detected.
 type failingSite struct {
 	*Site
 	sawDeposits bool
@@ -57,12 +93,12 @@ type failingSite struct {
 
 var errInjected = errors.New("injected coordinator failure")
 
-func (f *failingSite) DetectAssignedSingle(string, *BlockSpec, []int, *cfd.CFD) (*relation.Relation, error) {
+func (f *failingSite) DetectAssignedSingle(context.Context, string, *BlockSpec, []int, *cfd.CFD) (*relation.Relation, error) {
 	f.sawDeposits = f.sawDeposits || depositCount(f.Site) > 0
 	return nil, errInjected
 }
 
-func (f *failingSite) DetectAssignedSet(string, *BlockSpec, []int, []*cfd.CFD) ([]*relation.Relation, error) {
+func (f *failingSite) DetectAssignedSet(context.Context, string, *BlockSpec, []int, []*cfd.CFD) ([]*relation.Relation, error) {
 	f.sawDeposits = f.sawDeposits || depositCount(f.Site) > 0
 	return nil, errInjected
 }
@@ -120,6 +156,126 @@ func TestPipelineAbortsDepositsOnDetectFailure(t *testing.T) {
 	for i, s := range bare {
 		if n := depositCount(s); n != 0 {
 			t.Errorf("site %d holds %d leftover deposit tasks after a clean run", i, n)
+		}
+	}
+}
+
+// cancellingSite wraps a Site so that the first deposit of the run —
+// i.e. mid-shipping-phase — cancels the driver's context after the
+// batch has landed. The landed batch is exactly the deposit a
+// cancelled run must not leak.
+type cancellingSite struct {
+	*Site
+	once   *sync.Once
+	cancel context.CancelFunc
+	landed *bool
+}
+
+func (c *cancellingSite) Deposit(_ context.Context, task string, batch *relation.Relation) error {
+	// Land the batch regardless of the (about to be cancelled) context,
+	// then pull the plug on the driver.
+	err := c.Site.Deposit(context.Background(), task, batch)
+	c.once.Do(func() {
+		*c.landed = true
+		c.cancel()
+	})
+	return err
+}
+
+// TestDetectCancelDuringShippingDrainsDeposits is the in-process half
+// of the cancellation satellite: a context cancelled mid-shipping must
+// leave zero buffered deposits on every site, because the pipeline
+// cancels its task everywhere before returning.
+func TestDetectCancelDuringShippingDrainsDeposits(t *testing.T) {
+	data := workload.Cust(workload.CustConfig{N: 2_000, Seed: 5, ErrRate: 0.05})
+	h, err := partition.Uniform(data, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	landed := false
+	bare := make([]*Site, h.N())
+	sites := make([]SiteAPI, h.N())
+	for i, frag := range h.Fragments {
+		bare[i] = NewSite(i, frag, relation.True())
+		sites[i] = &cancellingSite{Site: bare[i], once: &once, cancel: cancel, landed: &landed}
+	}
+	cl, err := NewCluster(h.Schema, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := workload.CustPatternCFD(16)
+	_, err = DetectSingleCtx(ctx, cl, rule, PatDetectS, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if !landed {
+		t.Fatal("no deposit landed before the cancel — the drain assertion would be vacuous")
+	}
+	for i, s := range bare {
+		if n := depositCount(s); n != 0 {
+			t.Errorf("site %d still buffers %d deposit tasks after cancelled run", i, n)
+		}
+	}
+	// The compiled plan stays serviceable after a cancelled run: the
+	// same cluster detects cleanly under a live context.
+	sp, err := CompileSingle(context.Background(), cl, rule, PatDetectS, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Detect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range bare {
+		if n := depositCount(s); n != 0 {
+			t.Errorf("site %d holds %d leftover deposit tasks after the post-cancel run", i, n)
+		}
+	}
+}
+
+// TestPlanDetectCancelAcrossWorkers cancels a multi-cluster parallel
+// run mid-flight: Detect must return the context error and every site
+// must end with zero buffered deposits.
+func TestPlanDetectCancelAcrossWorkers(t *testing.T) {
+	data := workload.Cust(workload.CustConfig{N: 2_000, Seed: 7, ErrRate: 0.05})
+	h, err := partition.Uniform(data, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	landed := false
+	bare := make([]*Site, h.N())
+	sites := make([]SiteAPI, h.N())
+	for i, frag := range h.Fragments {
+		bare[i] = NewSite(i, frag, relation.True())
+		sites[i] = &cancellingSite{Site: bare[i], once: &once, cancel: cancel, landed: &landed}
+	}
+	cl, err := NewCluster(h.Schema, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfds := []*cfd.CFD{
+		workload.CustPatternCFD(16),
+		cfd.MustParse(`i2: [name] -> [phn]`),
+		cfd.MustParse(`i4: [street, city] -> [zip]`),
+	}
+	p, err := CompileSet(context.Background(), cl, cfds, PatDetectS, Options{Workers: 3}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Detect(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if !landed {
+		t.Fatal("no deposit landed before the cancel")
+	}
+	for i, s := range bare {
+		if n := depositCount(s); n != 0 {
+			t.Errorf("site %d still buffers %d deposit tasks after cancelled parallel run", i, n)
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -15,9 +18,14 @@ import (
 // detection algorithms run against a Cluster; sites may be in-process
 // (Site) or remote proxies, as long as they implement SiteAPI.
 type Cluster struct {
-	schema  *relation.Schema
-	sites   []SiteAPI
-	preds   []relation.Predicate
+	schema *relation.Schema
+	sites  []SiteAPI
+	preds  []relation.Predicate
+	// nonce makes task keys unique across Cluster instances, not just
+	// within one: long-lived sites may serve many drivers, and since
+	// Cancel tombstones a task key, a second driver reusing "blocks-1"
+	// would otherwise have its deposits silently dropped.
+	nonce   string
 	taskSeq atomic.Int64
 }
 
@@ -38,7 +46,11 @@ func NewCluster(schema *relation.Schema, sites []SiteAPI) (*Cluster, error) {
 		}
 		preds[i] = p
 	}
-	return &Cluster{schema: schema, sites: sites, preds: preds}, nil
+	var nb [8]byte
+	if _, err := rand.Read(nb[:]); err != nil {
+		return nil, fmt.Errorf("core: minting cluster nonce: %w", err)
+	}
+	return &Cluster{schema: schema, sites: sites, preds: preds, nonce: hex.EncodeToString(nb[:])}, nil
 }
 
 // FromHorizontal builds an in-process cluster from a horizontal
@@ -67,22 +79,39 @@ func (cl *Cluster) Site(i int) SiteAPI { return cl.sites[i] }
 // Predicates returns the fragment predicates (cached).
 func (cl *Cluster) Predicates() []relation.Predicate { return cl.preds }
 
-// newTask mints a cluster-unique task prefix.
+// newTask mints a globally unique task prefix: the cluster nonce keeps
+// keys from different driver processes (or Cluster instances) against
+// the same long-lived sites from ever colliding.
 func (cl *Cluster) newTask(kind string) string {
-	return fmt.Sprintf("%s-%d", kind, cl.taskSeq.Add(1))
+	return fmt.Sprintf("%s-%s-%d", kind, cl.nonce, cl.taskSeq.Add(1))
 }
 
 // parallel runs fn for every site concurrently — the paper's "at each
 // site Si, perform the following in parallel" — and returns the first
 // error.
 func (cl *Cluster) parallel(fn func(i int) error) error {
+	return cl.parallelCtx(context.Background(), func(_ context.Context, i int) error {
+		return fn(i)
+	})
+}
+
+// parallelCtx is parallel with cancellation: a site's fn is skipped
+// when the context is already dead by the time its goroutine starts,
+// and every fn receives the context to propagate into site calls. The
+// call always waits for all started fns — an in-process phase never
+// leaves work running behind a cancelled driver.
+func (cl *Cluster) parallelCtx(ctx context.Context, fn func(ctx context.Context, i int) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(cl.sites))
 	for i := range cl.sites {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = fn(i)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = fn(ctx, i)
 		}(i)
 	}
 	wg.Wait()
@@ -97,7 +126,7 @@ func (cl *Cluster) parallel(fn func(i int) error) error {
 // ship moves a batch from site `from` to site `to` under the task key,
 // recording it in metrics. Shipping to self is a no-op the algorithms
 // never request; it is rejected to catch bugs.
-func (cl *Cluster) ship(m *dist.Metrics, from, to int, task string, batch *relation.Relation) error {
+func (cl *Cluster) ship(ctx context.Context, m *dist.Metrics, from, to int, task string, batch *relation.Relation) error {
 	if from == to {
 		return fmt.Errorf("core: site %d shipping to itself", from)
 	}
@@ -105,16 +134,18 @@ func (cl *Cluster) ship(m *dist.Metrics, from, to int, task string, batch *relat
 		return nil
 	}
 	m.ShipTuples(from, to, batch.Len(), dist.RelationBytes(batch))
-	return cl.sites[to].Deposit(task, batch)
+	return cl.sites[to].Deposit(ctx, task, batch)
 }
 
-// abortTask best-effort drains the task's deposit buffers at every
-// site after a failed run, so long-lived sites do not accumulate
-// batches no detection will ever consume (the task key is never
-// reused). Abort failures are ignored: the run already has its error.
-func (cl *Cluster) abortTask(task string) {
+// cancelTask best-effort cancels the task at every site after a failed
+// or cancelled run: deposits are drained and the task key tombstoned,
+// so even a batch that was still in flight when the driver gave up is
+// dropped on arrival instead of accumulating at a long-lived site
+// (task keys are never reused). Failures are ignored: the run already
+// has its error, and cleanup must proceed even under a dead context.
+func (cl *Cluster) cancelTask(task string) {
 	_ = cl.parallel(func(i int) error {
-		_ = cl.sites[i].Abort(task)
+		_ = cl.sites[i].Cancel(task)
 		return nil
 	})
 }

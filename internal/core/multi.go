@@ -1,16 +1,16 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"distcfd/internal/cfd"
-	"distcfd/internal/dist"
-	"distcfd/internal/relation"
 )
+
+// The multi-CFD entry points are one-shot forms of the compiled plan:
+// each compiles with CompileSet and runs once. They differ only in
+// clustering and worker count; the execution engine (Plan.Detect) is
+// shared, so the three schedules cannot diverge.
 
 // SeqDetect detects violations of a CFD set by processing the CFDs one
 // by one with the chosen single-CFD algorithm (Section IV-C). The
@@ -23,26 +23,21 @@ import (
 // SeqDetect may ship the same tuple several times — once per CFD that
 // matches it — which is exactly the inefficiency ClustDetect removes.
 func SeqDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
+	return SeqDetectCtx(context.Background(), cl, cfds, algo, opt)
+}
+
+// SeqDetectCtx is SeqDetect under a context.
+func SeqDetectCtx(ctx context.Context, cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
 	if len(cfds) == 0 {
 		return nil, fmt.Errorf("core: SeqDetect with no CFDs")
 	}
 	opt = opt.withDefaults()
-	start := time.Now()
-	total := dist.NewMetrics(cl.N())
-	res := &SetResult{CFDs: cfds, Metrics: total}
-	for i, c := range cfds {
-		one, err := DetectSingle(cl, c, algo, opt)
-		if err != nil {
-			return nil, fmt.Errorf("core: SeqDetect cfd %d (%s): %w", i, c.Name, err)
-		}
-		total.Merge(one.Metrics)
-		res.ModeledTime += one.ModeledTime
-		res.PerCFD = append(res.PerCFD, one.Patterns)
-		res.Clusters = append(res.Clusters, []int{i})
+	opt.Workers = 1
+	p, err := CompileSet(ctx, cl, cfds, algo, opt, false)
+	if err != nil {
+		return nil, err
 	}
-	res.ShippedTuples = total.TotalTuples()
-	res.WallTime = time.Since(start)
-	return res, nil
+	return p.Detect(ctx)
 }
 
 // ClustDetect detects violations of a CFD set by first clustering CFDs
@@ -53,38 +48,22 @@ func SeqDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetR
 // attributes — instead of once per CFD, and each coordinator checks
 // every member CFD inside its blocks.
 func ClustDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
+	return ClustDetectCtx(context.Background(), cl, cfds, algo, opt)
+}
+
+// ClustDetectCtx is ClustDetect under a context.
+func ClustDetectCtx(ctx context.Context, cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
 	if len(cfds) == 0 {
 		return nil, fmt.Errorf("core: ClustDetect with no CFDs")
 	}
 	opt = opt.withDefaults()
-	start := time.Now()
-	total := dist.NewMetrics(cl.N())
-	res := &SetResult{
-		CFDs:    cfds,
-		Metrics: total,
-		PerCFD:  make([]*relation.Relation, len(cfds)),
+	opt.Workers = 1
+	p, err := CompileSet(ctx, cl, cfds, algo, opt, true)
+	if err != nil {
+		return nil, err
 	}
-	clusters := clusterByLHS(cfds)
-	res.Clusters = clusters
-	for _, members := range clusters {
-		pats, modeled, m, err := runOneCluster(cl, cfds, members, algo, opt)
-		if err != nil {
-			return nil, err
-		}
-		total.Merge(m)
-		res.ModeledTime += modeled
-		for i, idx := range members {
-			res.PerCFD[idx] = pats[i]
-		}
-	}
-	res.ShippedTuples = total.TotalTuples()
-	res.WallTime = time.Since(start)
-	return res, nil
+	return p.Detect(ctx)
 }
-
-// errParCanceled marks clusters ParDetect skipped after another
-// cluster failed; it never escapes ParDetect.
-var errParCanceled = errors.New("core: cluster skipped after earlier failure")
 
 // ParDetect detects violations of a CFD set with ClustDetect's
 // clustering but processes the clusters concurrently across a worker
@@ -98,166 +77,19 @@ var errParCanceled = errors.New("core: cluster skipped after earlier failure")
 // ModeledTime and the Metrics totals equal to ClustDetect's. Only
 // WallTime shrinks.
 func ParDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
+	return ParDetectCtx(context.Background(), cl, cfds, algo, opt)
+}
+
+// ParDetectCtx is ParDetect under a context.
+func ParDetectCtx(ctx context.Context, cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
 	if len(cfds) == 0 {
 		return nil, fmt.Errorf("core: ParDetect with no CFDs")
 	}
-	opt = opt.withDefaults()
-	start := time.Now()
-	clusters := clusterByLHS(cfds)
-
-	type clusterOut struct {
-		pats    []*relation.Relation // aligned with the cluster's members
-		modeled float64
-		m       *dist.Metrics
-		err     error
-	}
-	outs := make([]clusterOut, len(clusters))
-	sem := make(chan struct{}, opt.Workers)
-	var wg sync.WaitGroup
-	var failed atomic.Bool
-	for gi, members := range clusters {
-		wg.Add(1)
-		go func(gi int, members []int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			// Fail fast: once any cluster has errored, clusters that have
-			// not started yet are skipped instead of shipping tuples the
-			// caller will discard.
-			if failed.Load() {
-				outs[gi].err = errParCanceled
-				return
-			}
-			pats, modeled, m, err := runOneCluster(cl, cfds, members, algo, opt)
-			if err != nil {
-				failed.Store(true)
-			}
-			outs[gi] = clusterOut{pats: pats, modeled: modeled, m: m, err: err}
-		}(gi, members)
-	}
-	wg.Wait()
-
-	for _, out := range outs {
-		if out.err != nil && !errors.Is(out.err, errParCanceled) {
-			return nil, out.err
-		}
-	}
-
-	total := dist.NewMetrics(cl.N())
-	res := &SetResult{
-		CFDs:     cfds,
-		Metrics:  total,
-		PerCFD:   make([]*relation.Relation, len(cfds)),
-		Clusters: clusters,
-	}
-	for gi, out := range outs {
-		total.Merge(out.m)
-		res.ModeledTime += out.modeled
-		for i, idx := range clusters[gi] {
-			res.PerCFD[idx] = out.pats[i]
-		}
-	}
-	res.ShippedTuples = total.TotalTuples()
-	res.WallTime = time.Since(start)
-	return res, nil
-}
-
-// runOneCluster dispatches one clusterByLHS cluster — singletons via
-// DetectSingle, larger clusters via the shared-σ pipeline — returning
-// per-member patterns (aligned with members), the modeled time, and
-// the cluster's metrics. Shared by the ClustDetect loop and the
-// ParDetect workers so the dispatch logic cannot diverge.
-func runOneCluster(cl *Cluster, cfds []*cfd.CFD, members []int, algo Algorithm, opt Options) ([]*relation.Relation, float64, *dist.Metrics, error) {
-	if len(members) == 1 {
-		one, err := DetectSingle(cl, cfds[members[0]], algo, opt)
-		if err != nil {
-			return nil, 0, nil, fmt.Errorf("core: cfd %s: %w", cfds[members[0]].Name, err)
-		}
-		return []*relation.Relation{one.Patterns}, one.ModeledTime, one.Metrics, nil
-	}
-	group := make([]*cfd.CFD, len(members))
-	for i, idx := range members {
-		group[i] = cfds[idx]
-	}
-	return detectCluster(cl, group, algo, opt)
-}
-
-// detectCluster processes one cluster of ≥2 CFDs with a shared
-// σ-partitioning on W = ∩ LHS.
-func detectCluster(cl *Cluster, group []*cfd.CFD, algo Algorithm, opt Options) ([]*relation.Relation, float64, *dist.Metrics, error) {
-	m := dist.NewMetrics(cl.N())
-	fragSizes, err := cl.fragmentSizes()
+	p, err := CompileSet(ctx, cl, cfds, algo, opt, true)
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, err
 	}
-	for _, c := range group {
-		if err := c.Validate(cl.schema); err != nil {
-			return nil, 0, nil, err
-		}
-	}
-
-	// Constant units of every member, locally (Prop. 5).
-	constParts := make([][]*relation.Relation, len(group))
-	for ci, c := range group {
-		parts, err := detectConstantsEverywhere(cl, c)
-		if err != nil {
-			return nil, 0, nil, err
-		}
-		constParts[ci] = parts
-	}
-
-	// Variable views; members without one are constants-only.
-	views := make([]*cfd.CFD, 0, len(group))
-	viewIdx := make([]int, 0, len(group))
-	for ci, c := range group {
-		if v, ok := c.VariableView(); ok {
-			views = append(views, v)
-			viewIdx = append(viewIdx, ci)
-		}
-	}
-
-	out := make([]*relation.Relation, len(group))
-	for ci, c := range group {
-		ps, err := cl.schema.Project("viopi_"+c.Name, c.X)
-		if err != nil {
-			return nil, 0, nil, err
-		}
-		out[ci] = mergeDistinct(ps, constParts[ci])
-	}
-
-	modeled := 0.0
-	if len(views) > 0 {
-		w := sharedLHS(views)
-		if len(w) == 0 {
-			return nil, 0, nil, fmt.Errorf("core: cluster with empty shared LHS — clusterByLHS should prevent this")
-		}
-		spec, err := projectedSpec(w, views)
-		if err != nil {
-			return nil, 0, nil, err
-		}
-		pipe, err := runBlockPipeline(cl, spec, views, false, algo, opt, m, fragSizes)
-		if err != nil {
-			return nil, 0, nil, err
-		}
-		for vi, ci := range viewIdx {
-			merged := mergeDistinct(out[ci].Schema(), append([]*relation.Relation{out[ci]}, pipe.parts[vi]...))
-			out[ci] = merged
-		}
-		checkSizes := make([]int, cl.N())
-		for i := range checkSizes {
-			checkSizes[i] = fragSizes[i] + int(m.ReceivedBy(i))
-		}
-		modeled = opt.Cost.ResponseTime(m, checkSizes)
-	} else {
-		checkSizes := fragSizes
-		modeled = opt.Cost.ResponseTime(m, checkSizes)
-	}
-	for ci, c := range group {
-		if err := out[ci].SortBy(c.X...); err != nil {
-			return nil, 0, nil, err
-		}
-	}
-	return out, modeled, m, nil
+	return p.Detect(ctx)
 }
 
 // clusterByLHS groups CFD indices with union-find, merging two CFDs

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"distcfd/internal/cfd"
 	"distcfd/internal/dist"
 	"distcfd/internal/relation"
@@ -26,23 +28,32 @@ type pipelineOut struct {
 //  4. parallel shipping of non-local blocks (each tuple at most once),
 //  5. parallel detection at the coordinators.
 //
+// The context is checked at every phase boundary and inside the
+// shipping loop; once shipping has begun, any failure or cancellation
+// cancels the task at every site (drain + tombstone), so a run the
+// driver gave up on cannot leave deposits behind — not even a batch
+// that was still in flight when the driver stopped waiting.
+//
 // With restrictSingle, detectCFDs must be a single CFD and each block
 // checks only its own pattern row (Lemma 6); otherwise every CFD's
 // full tableau is checked inside each block (the ClustDetect
 // coordinator step).
-func runBlockPipeline(cl *Cluster, spec *BlockSpec, detectCFDs []*cfd.CFD, restrictSingle bool,
+func runBlockPipeline(ctx context.Context, cl *Cluster, spec *BlockSpec, detectCFDs []*cfd.CFD, restrictSingle bool,
 	algo Algorithm, opt Options, m *dist.Metrics, fragSizes []int) (*pipelineOut, error) {
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	prunedSite, prunedBlock := pruneMatrix(cl.preds, spec)
 
 	// Local statistics in parallel.
 	lstat := make([][]int, cl.N())
-	if err := cl.parallel(func(i int) error {
+	if err := cl.parallelCtx(ctx, func(ctx context.Context, i int) error {
 		if prunedSite[i] {
 			lstat[i] = make([]int, spec.K())
 			return nil
 		}
-		s, err := cl.sites[i].SigmaStats(spec)
+		s, err := cl.sites[i].SigmaStats(ctx, spec)
 		if err != nil {
 			return err
 		}
@@ -66,12 +77,12 @@ func runBlockPipeline(cl *Cluster, spec *BlockSpec, detectCFDs []*cfd.CFD, restr
 	coords := assign(algo, lstat, fragSizes, opt.Cost)
 
 	// Shipping. From here on the run owns deposit buffers at other
-	// sites: every error path must drain them (Abort), or repeated
-	// failed runs against long-lived sites grow memory without bound —
-	// task keys are never reused.
+	// sites: every exit that abandons the run must cancel the task
+	// (drain + tombstone), or repeated failed runs against long-lived
+	// sites grow memory without bound — task keys are never reused.
 	attrs := taskAttrs(spec, detectCFDs)
 	task := cl.newTask("blocks")
-	if err := cl.parallel(func(i int) error {
+	if err := cl.parallelCtx(ctx, func(ctx context.Context, i int) error {
 		if prunedSite[i] {
 			return nil
 		}
@@ -84,18 +95,25 @@ func runBlockPipeline(cl *Cluster, spec *BlockSpec, detectCFDs []*cfd.CFD, restr
 		if len(wanted) == 0 {
 			return nil
 		}
-		batches, err := cl.sites[i].ExtractBlocksBatch(spec, attrs, wanted)
+		batches, err := cl.sites[i].ExtractBlocksBatch(ctx, spec, attrs, wanted)
 		if err != nil {
 			return err
 		}
 		for _, l := range wanted {
-			if err := cl.ship(m, i, coords[l], BlockTask(task, l), batches[l]); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := cl.ship(ctx, m, i, coords[l], BlockTask(task, l), batches[l]); err != nil {
 				return err
 			}
 		}
 		return nil
 	}); err != nil {
-		cl.abortTask(task)
+		cl.cancelTask(task)
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		cl.cancelTask(task)
 		return nil, err
 	}
 
@@ -105,19 +123,19 @@ func runBlockPipeline(cl *Cluster, spec *BlockSpec, detectCFDs []*cfd.CFD, restr
 	for ci := range parts {
 		parts[ci] = make([]*relation.Relation, cl.N())
 	}
-	if err := cl.parallel(func(j int) error {
+	if err := cl.parallelCtx(ctx, func(ctx context.Context, j int) error {
 		if len(bySite[j]) == 0 {
 			return nil
 		}
 		if restrictSingle {
-			pats, err := cl.sites[j].DetectAssignedSingle(task, spec, bySite[j], detectCFDs[0])
+			pats, err := cl.sites[j].DetectAssignedSingle(ctx, task, spec, bySite[j], detectCFDs[0])
 			if err != nil {
 				return err
 			}
 			parts[0][j] = pats
 			return nil
 		}
-		perCFD, err := cl.sites[j].DetectAssignedSet(task, spec, bySite[j], detectCFDs)
+		perCFD, err := cl.sites[j].DetectAssignedSet(ctx, task, spec, bySite[j], detectCFDs)
 		if err != nil {
 			return err
 		}
@@ -128,7 +146,7 @@ func runBlockPipeline(cl *Cluster, spec *BlockSpec, detectCFDs []*cfd.CFD, restr
 	}); err != nil {
 		// Coordinators consume deposits as they detect; a partial
 		// failure leaves the other coordinators' buffers behind.
-		cl.abortTask(task)
+		cl.cancelTask(task)
 		return nil, err
 	}
 	return &pipelineOut{lstat: lstat, coords: coords, parts: parts}, nil

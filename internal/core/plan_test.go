@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/partition"
+)
+
+// TestPlanDetectManyIdenticalToOneShot is the plan-reuse property: on
+// random relations, CFD sets, and partitionings, a plan compiled once
+// and detected many times — sequentially and concurrently — returns
+// violation sets byte-identical (tuples and order) to fresh one-shot
+// SeqDetect/ClustDetect runs, with equal shipment totals and modeled
+// time on every call. Run under -race this also pins that a Plan and
+// the sites' serving caches tolerate concurrent Detect traffic.
+func TestPlanDetectManyIdenticalToOneShot(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		d := randomRelation(rng, 80)
+		var cfds []*cfd.CFD
+		for i := 0; i < 2+rng.Intn(4); i++ {
+			c := randomTestCFD(rng)
+			c.Name = c.Name + itoa(i)
+			cfds = append(cfds, c)
+		}
+		h, err := partition.Uniform(d, 2+rng.Intn(3), int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := FromHorizontal(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, clustered := range []bool{false, true} {
+			oneShot := func() *SetResult {
+				t.Helper()
+				var res *SetResult
+				var err error
+				if clustered {
+					res, err = ClustDetect(cl, cfds, PatDetectRT, Options{})
+				} else {
+					res, err = SeqDetect(cl, cfds, PatDetectRT, Options{})
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			want := oneShot()
+
+			p, err := CompileSet(ctx, cl, cfds, PatDetectRT, Options{Workers: 3}, clustered)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(label string, got *SetResult) {
+				t.Helper()
+				for ci := range cfds {
+					if !identicalRelations(got.PerCFD[ci], want.PerCFD[ci]) {
+						t.Fatalf("trial %d clustered=%v %s cfd %d: plan result differs from one-shot\n plan %v\n shot %v",
+							trial, clustered, label, ci, got.PerCFD[ci], want.PerCFD[ci])
+					}
+				}
+				if got.ShippedTuples != want.ShippedTuples {
+					t.Errorf("trial %d clustered=%v %s: shipment %d != one-shot %d",
+						trial, clustered, label, got.ShippedTuples, want.ShippedTuples)
+				}
+				if got.ModeledTime != want.ModeledTime {
+					t.Errorf("trial %d clustered=%v %s: modeled %v != one-shot %v",
+						trial, clustered, label, got.ModeledTime, want.ModeledTime)
+				}
+				if len(got.Clusters) != len(want.Clusters) {
+					t.Errorf("trial %d clustered=%v %s: cluster structure differs", trial, clustered, label)
+				}
+			}
+
+			// Sequential reuse: the same plan, three runs in a row.
+			for k := 0; k < 3; k++ {
+				got, err := p.Detect(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check("seq", got)
+			}
+
+			// Concurrent reuse: one plan serving parallel callers, while
+			// one-shot runs hit the same sites' caches from the side.
+			var wg sync.WaitGroup
+			results := make([]*SetResult, 4)
+			errs := make([]error, 4)
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					results[g], errs[g] = p.Detect(ctx)
+				}(g)
+			}
+			interleaved := oneShot()
+			wg.Wait()
+			for g := 0; g < 4; g++ {
+				if errs[g] != nil {
+					t.Fatal(errs[g])
+				}
+				check("conc", results[g])
+			}
+			check("interleaved-one-shot", interleaved)
+		}
+	}
+}
+
+// TestPlanSinglePlanFor pins the DetectOne fast path: singleton units
+// of a set plan are reachable as SinglePlans, members of merged
+// clusters are not.
+func TestPlanSinglePlanFor(t *testing.T) {
+	cl := fig1bCluster(t)
+	// phi1 ([CC, zip]) and phi3 ([CC, AC]) are separate; adding a [CC]
+	// rule merges with both under containment — splitForNonEmptyW keeps
+	// them together via the shared W = {CC}.
+	cfds := []*cfd.CFD{phi1, phi2, phi3}
+	p, err := CompileSet(context.Background(), cl, cfds, PatDetectS, Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfds {
+		sp := p.SinglePlanFor(i)
+		if sp == nil {
+			t.Fatalf("unclustered plan: cfd %d has no single plan", i)
+		}
+		one, err := sp.Detect(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := DetectSingle(cl, cfds[i], PatDetectS, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !identicalRelations(one.Patterns, want.Patterns) {
+			t.Errorf("cfd %d: single-plan patterns differ from one-shot", i)
+		}
+	}
+}
+
+// TestPlanMiningCompiledOnce pins that a mined plan reproduces the
+// one-shot mined run exactly — including the control traffic replay —
+// across repeated detects.
+func TestPlanMiningCompiledOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := randomRelation(rng, 200)
+	h, err := partition.Uniform(d, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := FromHorizontal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := cfd.MustNew("mfd", []string{"a", "b"}, []string{"c"}, []cfd.PatternTuple{
+		{LHS: []string{cfd.Wildcard, cfd.Wildcard}, RHS: []string{cfd.Wildcard}},
+	})
+	opt := Options{MineTheta: 0.1}
+	want, err := DetectSingle(cl, fd, PatDetectS, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := CompileSingle(context.Background(), cl, fd, PatDetectS, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		got, err := sp.Detect(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !identicalRelations(got.Patterns, want.Patterns) {
+			t.Fatalf("run %d: mined plan patterns differ from one-shot", k)
+		}
+		if got.MinedPatterns != want.MinedPatterns {
+			t.Errorf("run %d: mined %d patterns, one-shot mined %d", k, got.MinedPatterns, want.MinedPatterns)
+		}
+		if got.ShippedTuples != want.ShippedTuples || got.ModeledTime != want.ModeledTime {
+			t.Errorf("run %d: accounting differs: shipped %d/%d modeled %v/%v",
+				k, got.ShippedTuples, want.ShippedTuples, got.ModeledTime, want.ModeledTime)
+		}
+		gs, ws := got.Metrics.Snapshot(), want.Metrics.Snapshot()
+		if gs.ControlBytes != ws.ControlBytes {
+			t.Errorf("run %d: control traffic %d != one-shot %d (mining exchange not replayed?)",
+				k, gs.ControlBytes, ws.ControlBytes)
+		}
+	}
+}

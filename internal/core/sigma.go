@@ -30,6 +30,9 @@ type BlockSpec struct {
 
 	idxOnce sync.Once
 	idx     []maskGroup
+
+	fpOnce sync.Once
+	fp     string
 }
 
 // maskGroup indexes all patterns sharing a wildcard mask: the constant
@@ -130,6 +133,36 @@ func countWildcards(p []string) int {
 
 // K returns the number of patterns (blocks).
 func (s *BlockSpec) K() int { return len(s.Patterns) }
+
+// Fingerprint returns a content key for the spec: two specs have equal
+// fingerprints iff X and the pattern list (in order) are equal. Sites
+// key their σ-assignment caches on it, so a compiled plan reused across
+// many runs — or the same spec re-decoded from the wire on every RPC —
+// hits the same cache entry instead of re-routing the fragment. Every
+// component is length-prefixed, so values containing separator-like
+// bytes (0x1f-adjacent data is in scope since the columnar encoding
+// work) can never make two different specs collide.
+func (s *BlockSpec) Fingerprint() string {
+	s.fpOnce.Do(func() {
+		var b []byte
+		app := func(v string) {
+			b = binary.AppendUvarint(b, uint64(len(v)))
+			b = append(b, v...)
+		}
+		b = binary.AppendUvarint(b, uint64(len(s.X)))
+		for _, a := range s.X {
+			app(a)
+		}
+		// Rows all have arity len(X), so no per-row framing is needed.
+		for _, p := range s.Patterns {
+			for _, v := range p {
+				app(v)
+			}
+		}
+		s.fp = string(b)
+	})
+	return s.fp
+}
 
 // Assign computes σ(t) for a single projected tuple value vector
 // aligned with s.X: the first (most specific) matching pattern index,

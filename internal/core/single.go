@@ -1,12 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"distcfd/internal/cfd"
-	"distcfd/internal/dist"
-	"distcfd/internal/mining"
 	"distcfd/internal/relation"
 )
 
@@ -18,62 +17,31 @@ import (
 // the algorithm's policy, each tuple's (X,Y)-projection is shipped at
 // most once to its block's coordinator, and coordinators detect their
 // blocks in parallel.
+//
+// DetectSingle is the one-shot form: it compiles the CFD's plan and
+// runs it once. Callers detecting the same Σ repeatedly should compile
+// once with CompileSingle/CompileSet and reuse the plan.
 func DetectSingle(cl *Cluster, c *cfd.CFD, algo Algorithm, opt Options) (*SingleResult, error) {
-	opt = opt.withDefaults()
-	start := time.Now()
-	if err := c.Validate(cl.schema); err != nil {
-		return nil, err
-	}
-	m := dist.NewMetrics(cl.N())
-	res := &SingleResult{CFD: c, Algorithm: algo, Metrics: m}
+	return DetectSingleCtx(context.Background(), cl, c, algo, opt)
+}
 
-	fragSizes, err := cl.fragmentSizes()
+// DetectSingleCtx is DetectSingle under a context: cancellation or
+// deadline expiry aborts the run and cancels its task at every site,
+// so no deposit outlives it.
+func DetectSingleCtx(ctx context.Context, cl *Cluster, c *cfd.CFD, algo Algorithm, opt Options) (*SingleResult, error) {
+	sp, err := CompileSingle(ctx, cl, c, algo, opt)
 	if err != nil {
 		return nil, err
 	}
-
-	// Constant units, locally at every site in parallel (Prop. 5).
-	constParts, err := detectConstantsEverywhere(cl, c)
-	if err != nil {
-		return nil, err
-	}
-
-	patternSchema, err := cl.schema.Project("viopi_"+c.Name, c.X)
-	if err != nil {
-		return nil, err
-	}
-
-	view, hasVariable := c.VariableView()
-	if !hasVariable {
-		res.Patterns = mergeDistinct(patternSchema, constParts)
-		res.LocalOnly = true
-		return finishSingle(cl, res, opt, fragSizes, start)
-	}
-
-	// σ spec — possibly instantiating wildcards with mined patterns.
-	spec, minedCount, err := buildSpec(cl, view, opt, m)
-	if err != nil {
-		return nil, err
-	}
-	res.Spec = spec
-	res.MinedPatterns = minedCount
-
-	out, err := runBlockPipeline(cl, spec, []*cfd.CFD{view}, true, algo, opt, m, fragSizes)
-	if err != nil {
-		return nil, err
-	}
-	res.Coordinators = out.coords
-	res.LocalOnly = m.TotalTuples() == 0
-	res.Patterns = mergeDistinct(patternSchema, append(constParts, out.parts[0]...))
-	return finishSingle(cl, res, opt, fragSizes, start)
+	return sp.Detect(ctx)
 }
 
 // detectConstantsEverywhere runs the Proposition 5 local check of c's
 // constant units at every site in parallel.
-func detectConstantsEverywhere(cl *Cluster, c *cfd.CFD) ([]*relation.Relation, error) {
+func detectConstantsEverywhere(ctx context.Context, cl *Cluster, c *cfd.CFD) ([]*relation.Relation, error) {
 	parts := make([]*relation.Relation, cl.N())
-	err := cl.parallel(func(i int) error {
-		pats, err := cl.sites[i].DetectConstantsLocal(c)
+	err := cl.parallelCtx(ctx, func(ctx context.Context, i int) error {
+		pats, err := cl.sites[i].DetectConstantsLocal(ctx, c)
 		if err != nil {
 			return err
 		}
@@ -111,61 +79,6 @@ func mustPatternSchema(cl *Cluster, c *cfd.CFD) *relation.Schema {
 		panic(fmt.Sprintf("core: pattern schema for validated CFD: %v", err))
 	}
 	return s
-}
-
-// buildSpec derives the σ-partitioning for the variable view. When
-// mining is enabled and every LHS pattern is all-wildcard (the CFD is
-// effectively an FD), the sites mine closed frequent patterns which
-// replace the wildcard row, keeping a catch-all wildcard row last.
-func buildSpec(cl *Cluster, view *cfd.CFD, opt Options, m *dist.Metrics) (*BlockSpec, int, error) {
-	useMining := opt.MineTheta > 0 && cl.N() > 1 && allWildcardLHS(view)
-	if !useMining {
-		spec, err := SpecFromCFD(view)
-		return spec, 0, err
-	}
-	lists := make([][]mining.Pattern, cl.N())
-	if err := cl.parallel(func(i int) error {
-		ps, err := cl.sites[i].MineFrequent(view.X, opt.MineTheta)
-		if err != nil {
-			return err
-		}
-		lists[i] = ps
-		return nil
-	}); err != nil {
-		return nil, 0, err
-	}
-	// Pattern exchange: each site broadcasts its mined patterns
-	// (control traffic, not tuple shipment).
-	for i, ps := range lists {
-		var bytes int64
-		for _, p := range ps {
-			for _, v := range p.Vals {
-				bytes += int64(len(v)) + 1
-			}
-			bytes += 8 // the support share
-		}
-		if bytes > 0 {
-			cl.broadcastControl(m, i, bytes)
-		}
-	}
-	// Concentration-ranked merge (see mining.MergeRanked): among
-	// equally general patterns, the one dense at a single site claims
-	// its tuples first, keeping that block local.
-	merged := mining.MergeRanked(lists...)
-	patterns := make([][]string, 0, len(merged)+1)
-	for _, p := range merged {
-		patterns = append(patterns, p.Vals)
-	}
-	wild := make([]string, len(view.X))
-	for i := range wild {
-		wild[i] = cfd.Wildcard
-	}
-	patterns = append(patterns, wild)
-	spec, err := NewBlockSpecOrdered(view.X, patterns)
-	if err != nil {
-		return nil, 0, err
-	}
-	return spec, len(merged), nil
 }
 
 func allWildcardLHS(c *cfd.CFD) bool {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -202,7 +203,7 @@ func TestShipOnceInvariant(t *testing.T) {
 			var expect int64
 			for i := 0; i < cl.N(); i++ {
 				site := cl.Site(i).(*Site)
-				stats, err := site.SigmaStats(spec)
+				stats, err := site.SigmaStats(context.Background(), spec)
 				if err != nil {
 					t.Fatal(err)
 				}

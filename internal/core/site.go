@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
 	"strings"
 	"sync"
@@ -34,6 +36,13 @@ const (
 // internal/remote. Only Deposit moves tuples between sites; everything
 // else returns counts, patterns, or (projections of) local data the
 // caller explicitly ships.
+//
+// Work methods take a context.Context: the in-process site checks it
+// before starting, and the remote proxy additionally honors it while
+// the call is in flight (abandoning the wait on cancellation and
+// applying the configured per-call I/O timeout). Identity accessors
+// and the cleanup operations (Abort, Cancel) stay context-free —
+// cleanup must run even when the run's context is already dead.
 type SiteAPI interface {
 	// ID is the site index (fragment Di resides at site Si).
 	ID() int
@@ -43,58 +52,105 @@ type SiteAPI interface {
 	// unknown).
 	Predicate() (relation.Predicate, error)
 	// SigmaStats returns lstat[l] = |H_i^l| for each pattern of spec.
-	SigmaStats(spec *BlockSpec) ([]int, error)
+	// The returned slice is the caller's to mutate.
+	SigmaStats(ctx context.Context, spec *BlockSpec) ([]int, error)
 	// ExtractBlock returns the local σ-block l projected onto attrs.
-	ExtractBlock(spec *BlockSpec, l int, attrs []string) (*relation.Relation, error)
+	ExtractBlock(ctx context.Context, spec *BlockSpec, l int, attrs []string) (*relation.Relation, error)
 	// ExtractMatching returns all tuples matching any spec pattern,
 	// projected onto attrs (the CTRDetect shipment unit).
-	ExtractMatching(spec *BlockSpec, attrs []string) (*relation.Relation, error)
+	ExtractMatching(ctx context.Context, spec *BlockSpec, attrs []string) (*relation.Relation, error)
 	// ExtractBlocksBatch returns, in a single pass over the fragment,
 	// the σ-blocks listed in wanted, each projected onto attrs.
-	ExtractBlocksBatch(spec *BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error)
+	ExtractBlocksBatch(ctx context.Context, spec *BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error)
 	// Deposit buffers tuples shipped to this site under a task key.
-	Deposit(task string, batch *relation.Relation) error
+	// Deposits for a cancelled task are dropped silently.
+	Deposit(ctx context.Context, task string, batch *relation.Relation) error
 	// Abort drains every deposit buffered under taskKey itself or any
 	// of its BlockTask-derived keys, releasing the memory of a run
 	// that failed before detection consumed them. Aborting a task with
 	// no deposits is a no-op.
 	Abort(taskKey string) error
+	// Cancel is Abort plus a tombstone: besides draining the task's
+	// buffers it marks the task key cancelled, so deposits still in
+	// flight when the driver gave up (an abandoned RPC whose payload
+	// lands after the drain) are dropped on arrival instead of leaking
+	// in a long-lived site. Task keys are never reused, so the
+	// tombstone can never suppress a legitimate later run.
+	Cancel(taskKey string) error
 	// DetectTask runs local detection over the chosen local tuples plus
 	// all deposits for the task, for each CFD in cfds, returning the
 	// distinct violating X-patterns per CFD (aligned with cfds). The
 	// deposit buffer for the task is consumed.
-	DetectTask(task string, local LocalInput, cfds []*cfd.CFD) ([]*relation.Relation, error)
+	DetectTask(ctx context.Context, task string, local LocalInput, cfds []*cfd.CFD) ([]*relation.Relation, error)
 	// DetectAssignedSingle detects, for every block l in blocks, the
 	// violations of c restricted to pattern l (Lemma 6) over the local
 	// block plus deposits under task keys BlockTask(taskPrefix, l),
 	// returning the union of distinct violating X-patterns. Deposits
 	// are consumed.
-	DetectAssignedSingle(taskPrefix string, spec *BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error)
+	DetectAssignedSingle(ctx context.Context, taskPrefix string, spec *BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error)
 	// DetectAssignedSet is the ClustDetect coordinator step: for every
 	// assigned block it detects each CFD of cfds with its full tableau
 	// over the block plus deposits, returning per-CFD distinct
 	// violating X-patterns (aligned with cfds). Deposits are consumed.
-	DetectAssignedSet(taskPrefix string, spec *BlockSpec, blocks []int, cfds []*cfd.CFD) ([]*relation.Relation, error)
+	DetectAssignedSet(ctx context.Context, taskPrefix string, spec *BlockSpec, blocks []int, cfds []*cfd.CFD) ([]*relation.Relation, error)
 	// DetectConstantsLocal checks the constant units of c against the
 	// local fragment only (Proposition 5), returning distinct violating
-	// X-patterns projected on c.X.
-	DetectConstantsLocal(c *cfd.CFD) (*relation.Relation, error)
+	// X-patterns projected on c.X. The result is cached per CFD and
+	// fragment state and must be treated as read-only.
+	DetectConstantsLocal(ctx context.Context, c *cfd.CFD) (*relation.Relation, error)
 	// MineFrequent mines closed frequent LHS patterns over x with
 	// support ≥ theta·|Di| (Section IV-B wildcard optimization),
 	// reporting each pattern's relative support at this site.
-	MineFrequent(x []string, theta float64) ([]mining.Pattern, error)
+	MineFrequent(ctx context.Context, x []string, theta float64) ([]mining.Pattern, error)
+}
+
+// Cache bounds: both per-site caches are reset wholesale when they
+// exceed their cap, so churn from one-shot callers (every call a fresh
+// spec) cannot grow a long-lived site without bound. Compiled plans
+// and wire-decoded specs have stable fingerprints, so serving traffic
+// stays far below the caps.
+const (
+	sigmaCacheCap = 128
+	constCacheCap = 128
+	cancelledCap  = 1024
+)
+
+// sigmaEntry is one cached σ-routing of the fragment: the per-tuple
+// block assignment and per-block counts for a spec fingerprint.
+// Entries are immutable once stored; readers share them.
+type sigmaEntry struct {
+	assign []int
+	counts []int
 }
 
 // Site is the in-process SiteAPI: it owns one horizontal fragment and
 // executes all site-local computation. It is safe for the concurrent
 // use the parallel phases of the algorithms make of it.
+//
+// A Site caches data-dependent artifacts that survive across detection
+// runs — the σ block assignment per spec and the constant-unit
+// violations per CFD — keyed by content fingerprint and invalidated
+// when the fragment's encoded view changes (i.e. on any mutation).
+// This is the serving-path half of the plan-once/detect-many design:
+// the driver's compiled plan reuses the Σ-side work, the site reuses
+// the fragment-side routing.
 type Site struct {
 	id   int
 	frag *relation.Relation
 	pred relation.Predicate
 
-	mu       sync.Mutex
-	deposits map[string][]*relation.Relation
+	mu        sync.Mutex
+	deposits  map[string][]*relation.Relation
+	cancelled map[string]struct{}
+	cancelLog []string // insertion order, for bounded eviction
+
+	sigMu  sync.Mutex
+	sigEnc *relation.Encoded
+	sigma  map[string]*sigmaEntry
+
+	constMu  sync.Mutex
+	constEnc *relation.Encoded
+	consts   map[string]*relation.Relation
 }
 
 var _ SiteAPI = (*Site)(nil)
@@ -102,10 +158,11 @@ var _ SiteAPI = (*Site)(nil)
 // NewSite creates a site holding fragment frag with predicate pred.
 func NewSite(id int, frag *relation.Relation, pred relation.Predicate) *Site {
 	return &Site{
-		id:       id,
-		frag:     frag,
-		pred:     pred,
-		deposits: make(map[string][]*relation.Relation),
+		id:        id,
+		frag:      frag,
+		pred:      pred,
+		deposits:  make(map[string][]*relation.Relation),
+		cancelled: make(map[string]struct{}),
 	}
 }
 
@@ -122,31 +179,96 @@ func (s *Site) Predicate() (relation.Predicate, error) { return s.pred, nil }
 // tools; it is deliberately not part of SiteAPI.
 func (s *Site) Fragment() *relation.Relation { return s.frag }
 
+// PendingDeposits reports how many task keys currently hold buffered
+// deposits — zero on a healthy idle site. Exposed for operational
+// introspection and the no-leak tests.
+func (s *Site) PendingDeposits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.deposits)
+}
+
+// assignAll returns the fragment's σ-routing under spec, serving it
+// from the per-site cache when the same spec content was already
+// routed against the current fragment state. The returned entry is
+// shared and read-only.
+func (s *Site) assignAll(spec *BlockSpec) (*sigmaEntry, error) {
+	e := s.frag.Encoded()
+	fp := spec.Fingerprint()
+	s.sigMu.Lock()
+	if s.sigEnc != e {
+		s.sigma = make(map[string]*sigmaEntry)
+		s.sigEnc = e
+	}
+	if ent, ok := s.sigma[fp]; ok {
+		s.sigMu.Unlock()
+		return ent, nil
+	}
+	s.sigMu.Unlock()
+
+	// Compute outside the lock: concurrent misses on different specs
+	// (independent clusters of a parallel run) must not serialize. Two
+	// goroutines racing on the same spec compute identical entries, so
+	// whichever stores first wins.
+	assign, counts, err := spec.AssignAll(s.frag)
+	if err != nil {
+		return nil, err
+	}
+	ent := &sigmaEntry{assign: assign, counts: counts}
+	s.sigMu.Lock()
+	defer s.sigMu.Unlock()
+	if s.sigEnc != e {
+		// Fragment mutated while routing: hand back the (consistent)
+		// result but do not poison the fresh cache generation.
+		return ent, nil
+	}
+	if prev, ok := s.sigma[fp]; ok {
+		return prev, nil
+	}
+	if len(s.sigma) >= sigmaCacheCap {
+		s.sigma = make(map[string]*sigmaEntry)
+	}
+	s.sigma[fp] = ent
+	return ent, nil
+}
+
 // SigmaStats computes lstat[l] = |H_i^l| per pattern.
-func (s *Site) SigmaStats(spec *BlockSpec) ([]int, error) {
-	_, counts, err := spec.AssignAll(s.frag)
-	return counts, err
+func (s *Site) SigmaStats(ctx context.Context, spec *BlockSpec) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ent, err := s.assignAll(spec)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), ent.counts...), nil
 }
 
 // ExtractBlock returns σ-block l projected onto attrs.
-func (s *Site) ExtractBlock(spec *BlockSpec, l int, attrs []string) (*relation.Relation, error) {
+func (s *Site) ExtractBlock(ctx context.Context, spec *BlockSpec, l int, attrs []string) (*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if l < 0 || l >= spec.K() {
 		return nil, fmt.Errorf("core: site %d: block %d out of range [0,%d)", s.id, l, spec.K())
 	}
-	assign, _, err := spec.AssignAll(s.frag)
+	ent, err := s.assignAll(spec)
 	if err != nil {
 		return nil, err
 	}
-	return s.projectSelected(assign, func(b int) bool { return b == l }, attrs)
+	return s.projectSelected(ent.assign, func(b int) bool { return b == l }, attrs)
 }
 
 // ExtractMatching returns all σ-assigned tuples projected onto attrs.
-func (s *Site) ExtractMatching(spec *BlockSpec, attrs []string) (*relation.Relation, error) {
-	assign, _, err := spec.AssignAll(s.frag)
+func (s *Site) ExtractMatching(ctx context.Context, spec *BlockSpec, attrs []string) (*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ent, err := s.assignAll(spec)
 	if err != nil {
 		return nil, err
 	}
-	return s.projectSelected(assign, func(b int) bool { return b >= 0 }, attrs)
+	return s.projectSelected(ent.assign, func(b int) bool { return b >= 0 }, attrs)
 }
 
 func (s *Site) projectSelected(assign []int, keep func(int) bool, attrs []string) (*relation.Relation, error) {
@@ -168,8 +290,11 @@ func BlockTask(taskPrefix string, l int) string {
 }
 
 // ExtractBlocksBatch extracts several σ-blocks in one fragment pass.
-func (s *Site) ExtractBlocksBatch(spec *BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error) {
-	assign, _, err := spec.AssignAll(s.frag)
+func (s *Site) ExtractBlocksBatch(ctx context.Context, spec *BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ent, err := s.assignAll(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -181,8 +306,8 @@ func (s *Site) ExtractBlocksBatch(spec *BlockSpec, attrs []string, wanted []int)
 		rowsByBlock[l] = nil
 	}
 	for i := range s.frag.Tuples() {
-		if rows, ok := rowsByBlock[assign[i]]; ok {
-			rowsByBlock[assign[i]] = append(rows, i)
+		if rows, ok := rowsByBlock[ent.assign[i]]; ok {
+			rowsByBlock[ent.assign[i]] = append(rows, i)
 		}
 	}
 	out := make(map[int]*relation.Relation, len(wanted))
@@ -198,9 +323,9 @@ func (s *Site) ExtractBlocksBatch(spec *BlockSpec, attrs []string, wanted []int)
 
 // DetectAssignedSingle runs the per-pattern coordinator step of
 // PatDetectS/PatDetectRT for all blocks assigned to this site.
-func (s *Site) DetectAssignedSingle(taskPrefix string, spec *BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error) {
+func (s *Site) DetectAssignedSingle(ctx context.Context, taskPrefix string, spec *BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error) {
 	attrs := taskAttrs(spec, []*cfd.CFD{c})
-	locals, err := s.ExtractBlocksBatch(spec, attrs, blocks)
+	locals, err := s.ExtractBlocksBatch(ctx, spec, attrs, blocks)
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +336,9 @@ func (s *Site) DetectAssignedSingle(taskPrefix string, spec *BlockSpec, blocks [
 	union := relation.New(ps)
 	seen := map[string]struct{}{}
 	for _, l := range blocks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		merged, err := mergeWithDeposits(locals[l], s.takeDeposits(BlockTask(taskPrefix, l)))
 		if err != nil {
 			return nil, err
@@ -227,12 +355,12 @@ func (s *Site) DetectAssignedSingle(taskPrefix string, spec *BlockSpec, blocks [
 
 // DetectAssignedSet runs the ClustDetect coordinator step: each CFD's
 // full tableau is checked inside every assigned block.
-func (s *Site) DetectAssignedSet(taskPrefix string, spec *BlockSpec, blocks []int, cfds []*cfd.CFD) ([]*relation.Relation, error) {
+func (s *Site) DetectAssignedSet(ctx context.Context, taskPrefix string, spec *BlockSpec, blocks []int, cfds []*cfd.CFD) ([]*relation.Relation, error) {
 	if len(cfds) == 0 {
 		return nil, fmt.Errorf("core: site %d: DetectAssignedSet with no CFDs", s.id)
 	}
 	attrs := taskAttrs(spec, cfds)
-	locals, err := s.ExtractBlocksBatch(spec, attrs, blocks)
+	locals, err := s.ExtractBlocksBatch(ctx, spec, attrs, blocks)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +375,9 @@ func (s *Site) DetectAssignedSet(taskPrefix string, spec *BlockSpec, blocks []in
 		seens[i] = map[string]struct{}{}
 	}
 	for _, l := range blocks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		merged, err := mergeWithDeposits(locals[l], s.takeDeposits(BlockTask(taskPrefix, l)))
 		if err != nil {
 			return nil, err
@@ -294,23 +425,69 @@ func appendDistinct(dst, pats *relation.Relation, seen map[string]struct{}) {
 	}
 }
 
-// Deposit buffers a shipped batch under the task key.
-func (s *Site) Deposit(task string, batch *relation.Relation) error {
+// taskBase strips a BlockTask suffix: "prefix/b3" → "prefix".
+func taskBase(task string) string {
+	if i := strings.IndexByte(task, '/'); i >= 0 {
+		return task[:i]
+	}
+	return task
+}
+
+// Deposit buffers a shipped batch under the task key. Batches for a
+// cancelled task are dropped: the driver that would consume them has
+// already given up on the run.
+func (s *Site) Deposit(ctx context.Context, task string, batch *relation.Relation) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, dead := s.cancelled[task]; dead {
+		return nil
+	}
+	if _, dead := s.cancelled[taskBase(task)]; dead {
+		return nil
+	}
 	s.deposits[task] = append(s.deposits[task], batch)
 	return nil
 }
 
-// Abort drains the deposit buffers of taskKey and all its block tasks.
-func (s *Site) Abort(taskKey string) error {
+// drainLocked removes the deposit buffers of taskKey and its block
+// tasks; callers hold s.mu.
+func (s *Site) drainLocked(taskKey string) {
 	prefix := taskKey + "/"
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for k := range s.deposits {
 		if k == taskKey || strings.HasPrefix(k, prefix) {
 			delete(s.deposits, k)
 		}
+	}
+}
+
+// Abort drains the deposit buffers of taskKey and all its block tasks.
+func (s *Site) Abort(taskKey string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainLocked(taskKey)
+	return nil
+}
+
+// Cancel drains taskKey like Abort and additionally tombstones the key
+// so late deposits — an RPC payload that was in flight when the driver
+// cancelled — are dropped on arrival. The tombstone set is bounded
+// (FIFO eviction at cancelledCap); task keys are never reused, so an
+// evicted tombstone can only readmit a leak for a run cancelled more
+// than cancelledCap cancellations ago.
+func (s *Site) Cancel(taskKey string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainLocked(taskKey)
+	if _, ok := s.cancelled[taskKey]; !ok {
+		if len(s.cancelLog) >= cancelledCap {
+			delete(s.cancelled, s.cancelLog[0])
+			s.cancelLog = s.cancelLog[1:]
+		}
+		s.cancelled[taskKey] = struct{}{}
+		s.cancelLog = append(s.cancelLog, taskKey)
 	}
 	return nil
 }
@@ -325,7 +502,10 @@ func (s *Site) takeDeposits(task string) []*relation.Relation {
 
 // DetectTask assembles the task input (local selection ∪ deposits) and
 // finds the distinct violating X-patterns of each CFD in it.
-func (s *Site) DetectTask(task string, local LocalInput, cfds []*cfd.CFD) ([]*relation.Relation, error) {
+func (s *Site) DetectTask(ctx context.Context, task string, local LocalInput, cfds []*cfd.CFD) ([]*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(cfds) == 0 {
 		return nil, fmt.Errorf("core: site %d: DetectTask with no CFDs", s.id)
 	}
@@ -339,7 +519,7 @@ func (s *Site) DetectTask(task string, local LocalInput, cfds []*cfd.CFD) ([]*re
 			return nil, fmt.Errorf("core: site %d: BlockAllMatching without spec", s.id)
 		}
 		attrs := taskAttrs(local.Spec, cfds)
-		r, err := s.ExtractMatching(local.Spec, attrs)
+		r, err := s.ExtractMatching(ctx, local.Spec, attrs)
 		if err != nil {
 			return nil, err
 		}
@@ -349,7 +529,7 @@ func (s *Site) DetectTask(task string, local LocalInput, cfds []*cfd.CFD) ([]*re
 			return nil, fmt.Errorf("core: site %d: block %d without spec", s.id, local.Block)
 		}
 		attrs := taskAttrs(local.Spec, cfds)
-		r, err := s.ExtractBlock(local.Spec, local.Block, attrs)
+		r, err := s.ExtractBlock(ctx, local.Spec, local.Block, attrs)
 		if err != nil {
 			return nil, err
 		}
@@ -383,8 +563,47 @@ func (s *Site) DetectTask(task string, local LocalInput, cfds []*cfd.CFD) ([]*re
 
 // DetectConstantsLocal checks c's constant units against the local
 // fragment (no shipment, Proposition 5), reporting distinct violating
-// X-patterns over c.X.
-func (s *Site) DetectConstantsLocal(c *cfd.CFD) (*relation.Relation, error) {
+// X-patterns over c.X. Results are cached per CFD content and fragment
+// state: under plan-once/detect-many serving the constant phase of a
+// repeated rule costs one cache probe instead of a fragment scan. The
+// returned relation is shared — callers must not mutate it.
+func (s *Site) DetectConstantsLocal(ctx context.Context, c *cfd.CFD) (*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e := s.frag.Encoded()
+	fp := cfdFingerprint(c)
+	s.constMu.Lock()
+	if s.constEnc != e {
+		s.consts = make(map[string]*relation.Relation)
+		s.constEnc = e
+	}
+	if cached, ok := s.consts[fp]; ok {
+		s.constMu.Unlock()
+		return cached, nil
+	}
+	s.constMu.Unlock()
+
+	out, err := s.detectConstantsUncached(c)
+	if err != nil {
+		return nil, err
+	}
+	s.constMu.Lock()
+	defer s.constMu.Unlock()
+	if s.constEnc != e {
+		return out, nil
+	}
+	if prev, ok := s.consts[fp]; ok {
+		return prev, nil
+	}
+	if len(s.consts) >= constCacheCap {
+		s.consts = make(map[string]*relation.Relation)
+	}
+	s.consts[fp] = out
+	return out, nil
+}
+
+func (s *Site) detectConstantsUncached(c *cfd.CFD) (*relation.Relation, error) {
 	consts, _ := c.SplitConstantVariable()
 	xi, err := s.frag.Schema().Indices(c.X)
 	if err != nil {
@@ -426,8 +645,43 @@ func (s *Site) DetectConstantsLocal(c *cfd.CFD) (*relation.Relation, error) {
 
 // MineFrequent mines closed frequent LHS patterns over x with support
 // theta·|Di| at this site, with per-pattern relative supports.
-func (s *Site) MineFrequent(x []string, theta float64) ([]mining.Pattern, error) {
+func (s *Site) MineFrequent(ctx context.Context, x []string, theta float64) ([]mining.Pattern, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return mining.ClosedPatternsWithSupport(s.frag, x, theta)
+}
+
+// cfdFingerprint returns an unambiguous content key for a CFD: equal
+// fingerprints iff name, X, Y, and the tableau (in order) are equal.
+// Unlike cfd.String()'s ", "-joined rendering, every component is
+// length-prefixed, so values that themselves contain separators cannot
+// make two different CFDs share a constants-cache entry.
+func cfdFingerprint(c *cfd.CFD) string {
+	var b []byte
+	app := func(v string) {
+		b = binary.AppendUvarint(b, uint64(len(v)))
+		b = append(b, v...)
+	}
+	app(c.Name)
+	b = binary.AppendUvarint(b, uint64(len(c.X)))
+	for _, a := range c.X {
+		app(a)
+	}
+	b = binary.AppendUvarint(b, uint64(len(c.Y)))
+	for _, a := range c.Y {
+		app(a)
+	}
+	b = binary.AppendUvarint(b, uint64(len(c.Tp)))
+	for _, tp := range c.Tp {
+		for _, v := range tp.LHS {
+			app(v)
+		}
+		for _, v := range tp.RHS {
+			app(v)
+		}
+	}
+	return string(b)
 }
 
 func taskAttrs(spec *BlockSpec, cfds []*cfd.CFD) []string {

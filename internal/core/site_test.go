@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"distcfd/internal/cfd"
@@ -45,31 +46,31 @@ func TestSiteBasics(t *testing.T) {
 func TestSiteSigmaStatsAndExtract(t *testing.T) {
 	s := testSite(t)
 	spec := testSpec(t)
-	stats, err := s.SigmaStats(spec)
+	stats, err := s.SigmaStats(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats[0] != 2 || stats[1] != 1 {
 		t.Errorf("stats = %v", stats)
 	}
-	blk, err := s.ExtractBlock(spec, 0, []string{"a", "b"})
+	blk, err := s.ExtractBlock(context.Background(), spec, 0, []string{"a", "b"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if blk.Len() != 2 || blk.Schema().Arity() != 2 {
 		t.Errorf("block = %v", blk)
 	}
-	match, err := s.ExtractMatching(spec, []string{"a", "b"})
+	match, err := s.ExtractMatching(context.Background(), spec, []string{"a", "b"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if match.Len() != 3 { // x,x,y match; z does not
 		t.Errorf("matching = %d rows", match.Len())
 	}
-	if _, err := s.ExtractBlock(spec, 9, []string{"a"}); err == nil {
+	if _, err := s.ExtractBlock(context.Background(), spec, 9, []string{"a"}); err == nil {
 		t.Error("out-of-range block accepted")
 	}
-	if _, err := s.ExtractBlock(spec, 0, []string{"zz"}); err == nil {
+	if _, err := s.ExtractBlock(context.Background(), spec, 0, []string{"zz"}); err == nil {
 		t.Error("unknown attribute accepted")
 	}
 }
@@ -77,21 +78,21 @@ func TestSiteSigmaStatsAndExtract(t *testing.T) {
 func TestSiteExtractBlocksBatch(t *testing.T) {
 	s := testSite(t)
 	spec := testSpec(t)
-	batches, err := s.ExtractBlocksBatch(spec, []string{"a", "b"}, []int{0, 1})
+	batches, err := s.ExtractBlocksBatch(context.Background(), spec, []string{"a", "b"}, []int{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if batches[0].Len() != 2 || batches[1].Len() != 1 {
 		t.Errorf("batches = %d, %d", batches[0].Len(), batches[1].Len())
 	}
-	single, err := s.ExtractBlock(spec, 0, []string{"a", "b"})
+	single, err := s.ExtractBlock(context.Background(), spec, 0, []string{"a", "b"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !batches[0].SameTuples(single) {
 		t.Error("batch extraction differs from single extraction")
 	}
-	if _, err := s.ExtractBlocksBatch(spec, []string{"a"}, []int{5}); err == nil {
+	if _, err := s.ExtractBlocksBatch(context.Background(), spec, []string{"a"}, []int{5}); err == nil {
 		t.Error("out-of-range block accepted")
 	}
 }
@@ -105,10 +106,10 @@ func TestSiteDepositAndDetectTask(t *testing.T) {
 	shipSchema := relation.MustSchema("T_ship", []string{"a", "b"})
 	dep := relation.MustFromRows(shipSchema, []string{"x", "r"})
 	task := "test-task"
-	if err := s.Deposit(BlockTask(task, 0), dep); err != nil {
+	if err := s.Deposit(context.Background(), BlockTask(task, 0), dep); err != nil {
 		t.Fatal(err)
 	}
-	pats, err := s.DetectAssignedSingle(task, spec, []int{0, 1}, c)
+	pats, err := s.DetectAssignedSingle(context.Background(), task, spec, []int{0, 1}, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestSiteDepositAndDetectTask(t *testing.T) {
 	// Deposits are consumed: a second detection sees only local data,
 	// where a=x is still violating (p vs q) — but after consuming, the
 	// deposit is gone, so r no longer contributes.
-	pats2, err := s.DetectAssignedSingle(task, spec, []int{0, 1}, c)
+	pats2, err := s.DetectAssignedSingle(context.Background(), task, spec, []int{0, 1}, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestSiteDetectTaskModes(t *testing.T) {
 	c := cfd.MustParse(`t: [a] -> [b] : (x || _), (y || _)`)
 
 	// BlockAllMatching (CTR coordinator mode): local matching + nothing.
-	pats, err := s.DetectTask("t1", LocalInput{Spec: spec, Block: BlockAllMatching}, []*cfd.CFD{c})
+	pats, err := s.DetectTask(context.Background(), "t1", LocalInput{Spec: spec, Block: BlockAllMatching}, []*cfd.CFD{c})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,17 +142,17 @@ func TestSiteDetectTaskModes(t *testing.T) {
 	shipSchema := relation.MustSchema("T_ship", []string{"a", "b"})
 	dep := relation.MustFromRows(shipSchema,
 		[]string{"y", "1"}, []string{"y", "2"})
-	if err := s.Deposit("t2", dep); err != nil {
+	if err := s.Deposit(context.Background(), "t2", dep); err != nil {
 		t.Fatal(err)
 	}
-	pats, err = s.DetectTask("t2", LocalInput{Block: BlockNone}, []*cfd.CFD{c})
+	pats, err = s.DetectTask(context.Background(), "t2", LocalInput{Block: BlockNone}, []*cfd.CFD{c})
 	if err != nil {
 		t.Fatal(err)
 	}
 	wantPatterns(t, "deposit-only", pats[0], "y")
 
 	// Empty task → empty result.
-	pats, err = s.DetectTask("t3", LocalInput{Block: BlockNone}, []*cfd.CFD{c})
+	pats, err = s.DetectTask(context.Background(), "t3", LocalInput{Block: BlockNone}, []*cfd.CFD{c})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,10 +161,10 @@ func TestSiteDetectTaskModes(t *testing.T) {
 	}
 
 	// Errors.
-	if _, err := s.DetectTask("t4", LocalInput{Block: BlockAllMatching}, []*cfd.CFD{c}); err == nil {
+	if _, err := s.DetectTask(context.Background(), "t4", LocalInput{Block: BlockAllMatching}, []*cfd.CFD{c}); err == nil {
 		t.Error("BlockAllMatching without spec accepted")
 	}
-	if _, err := s.DetectTask("t5", LocalInput{Spec: spec, Block: 0}, nil); err == nil {
+	if _, err := s.DetectTask(context.Background(), "t5", LocalInput{Spec: spec, Block: 0}, nil); err == nil {
 		t.Error("no CFDs accepted")
 	}
 }
@@ -172,14 +173,14 @@ func TestSiteDetectConstantsLocal(t *testing.T) {
 	s := testSite(t)
 	// Constant CFD: a=x ⇒ c=ZZZ — both x tuples violate (c=m).
 	c := cfd.MustParse(`k: [a] -> [c] : (x || ZZZ)`)
-	pats, err := s.DetectConstantsLocal(c)
+	pats, err := s.DetectConstantsLocal(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wantPatterns(t, "constants", pats, "x")
 	// Variable CFD has no constant units → empty.
 	v := cfd.MustParse(`v: [a] -> [c]`)
-	pats, err = s.DetectConstantsLocal(v)
+	pats, err = s.DetectConstantsLocal(context.Background(), v)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestSiteDetectConstantsLocal(t *testing.T) {
 
 func TestSiteMineFrequent(t *testing.T) {
 	s := testSite(t)
-	ps, err := s.MineFrequent([]string{"a"}, 0.5)
+	ps, err := s.MineFrequent(context.Background(), []string{"a"}, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestSiteMineFrequent(t *testing.T) {
 	if len(ps) != 1 || ps[0].Vals[0] != "x" || ps[0].RelSupport != 0.5 {
 		t.Errorf("mined = %v", ps)
 	}
-	if _, err := s.MineFrequent([]string{"a"}, 0); err == nil {
+	if _, err := s.MineFrequent(context.Background(), []string{"a"}, 0); err == nil {
 		t.Error("theta=0 accepted")
 	}
 }

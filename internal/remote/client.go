@@ -1,8 +1,13 @@
 package remote
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"net/rpc"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"distcfd/internal/cfd"
 	"distcfd/internal/core"
@@ -10,49 +15,163 @@ import (
 	"distcfd/internal/relation"
 )
 
+// DefaultDialTimeout bounds the TCP connect plus handshake of each
+// site when DialConfig leaves DialTimeout zero. The pre-timeout client
+// blocked indefinitely on a hung or black-holed address.
+const DefaultDialTimeout = 10 * time.Second
+
+// DialConfig tunes the client side of the wire.
+type DialConfig struct {
+	// DialTimeout bounds the TCP connect and Info handshake per site;
+	// 0 selects DefaultDialTimeout.
+	DialTimeout time.Duration
+	// CallTimeout is the per-RPC I/O budget: a call whose response has
+	// not arrived within it fails, and the connection's read deadline
+	// fires so a truly hung site cannot wedge the client's receive
+	// loop. 0 disables per-call timeouts (calls still honor their
+	// context). A site that exceeds the timeout is treated as failed —
+	// its connection is not reused.
+	CallTimeout time.Duration
+}
+
 // RemoteSite is the client-side proxy implementing core.SiteAPI over a
-// net/rpc connection. Every call executes at the remote site.
+// net/rpc connection. Every call executes at the remote site. Work
+// calls honor their context — a cancelled context abandons the wait
+// (the response, if it ever arrives, is discarded) — and apply the
+// configured per-call I/O timeout via connection deadlines.
 type RemoteSite struct {
 	id     int
 	client *rpc.Client
+	conn   net.Conn
 	pred   relation.Predicate
 	size   int
+
+	timeout atomic.Int64 // per-call budget in nanoseconds; 0 = none
+	mu      sync.Mutex
+	pending int
 }
 
 var _ core.SiteAPI = (*RemoteSite)(nil)
 
 // Dial connects to site servers in order; the position in addrs is the
 // site ID the server must report. Returns the proxies and the schema
-// announced by the first site.
+// announced by the first site. Connect and handshake are bounded by
+// DefaultDialTimeout per site; use DialWithConfig to tune timeouts.
 func Dial(addrs []string) ([]core.SiteAPI, *relation.Schema, error) {
+	return DialWithConfig(addrs, DialConfig{})
+}
+
+// DialWithConfig is Dial with explicit timeout configuration.
+func DialWithConfig(addrs []string, cfg DialConfig) ([]core.SiteAPI, *relation.Schema, error) {
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = DefaultDialTimeout
+	}
 	var schema *relation.Schema
 	sites := make([]core.SiteAPI, len(addrs))
 	for i, addr := range addrs {
-		client, err := rpc.Dial("tcp", addr)
+		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 		if err != nil {
 			return nil, nil, fmt.Errorf("remote: dialing site %d at %s: %w", i, addr, err)
 		}
+		// The handshake runs under the dial budget too: a server that
+		// accepts but never answers Info must not hang the driver.
+		_ = conn.SetDeadline(time.Now().Add(dialTimeout))
+		client := rpc.NewClient(conn)
 		var info InfoReply
 		if err := client.Call(serviceName+".Info", struct{}{}, &info); err != nil {
+			client.Close()
 			return nil, nil, fmt.Errorf("remote: handshake with %s: %w", addr, err)
 		}
+		_ = conn.SetDeadline(time.Time{})
 		if info.Version != WireVersion {
+			client.Close()
 			return nil, nil, fmt.Errorf("remote: site at %s speaks wire version %d, this driver needs %d — restart the site with a matching cfdsite build",
 				addr, info.Version, WireVersion)
 		}
 		if info.ID != i {
+			client.Close()
 			return nil, nil, fmt.Errorf("remote: site at %s reports ID %d, expected %d", addr, info.ID, i)
 		}
 		if schema == nil {
 			s, err := SchemaFromWire(info.Schema)
 			if err != nil {
+				client.Close()
 				return nil, nil, err
 			}
 			schema = s
 		}
-		sites[i] = &RemoteSite{id: i, client: client, pred: info.Pred, size: info.NumTuples}
+		rs := &RemoteSite{id: i, client: client, conn: conn, pred: info.Pred, size: info.NumTuples}
+		rs.timeout.Store(int64(cfg.CallTimeout))
+		sites[i] = rs
 	}
 	return sites, schema, nil
+}
+
+// SetCallTimeout changes the per-RPC I/O budget (0 disables it). Safe
+// to call concurrently with in-flight calls; it applies from the next
+// call on.
+func (r *RemoteSite) SetCallTimeout(d time.Duration) { r.timeout.Store(int64(d)) }
+
+// beginCall arms the connection deadline for an outgoing call. The
+// deadline also covers the receive loop's currently blocked read, so a
+// site that stops responding mid-call unblocks the client within the
+// budget instead of never.
+func (r *RemoteSite) beginCall(d time.Duration) {
+	r.mu.Lock()
+	r.pending++
+	if d > 0 {
+		_ = r.conn.SetDeadline(time.Now().Add(d))
+	}
+	r.mu.Unlock()
+}
+
+// endCall clears the deadline when the last pending call completes —
+// an armed deadline on an idle connection would otherwise fire inside
+// the rpc client's standing read and kill a healthy connection — and
+// refreshes it while other calls remain in flight.
+func (r *RemoteSite) endCall() {
+	r.mu.Lock()
+	r.pending--
+	if d := time.Duration(r.timeout.Load()); d > 0 {
+		if r.pending == 0 {
+			_ = r.conn.SetDeadline(time.Time{})
+		} else {
+			_ = r.conn.SetDeadline(time.Now().Add(d))
+		}
+	}
+	r.mu.Unlock()
+}
+
+// callCtx performs one RPC under ctx and the per-call timeout. On
+// cancellation or timeout the wait is abandoned: a goroutine reaps the
+// call's completion so the connection deadline is released if the
+// response eventually arrives, and the conn deadline reaps the
+// connection if it never does.
+func (r *RemoteSite) callCtx(ctx context.Context, method string, args, reply any) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	d := time.Duration(r.timeout.Load())
+	r.beginCall(d)
+	call := r.client.Go(method, args, reply, make(chan *rpc.Call, 1))
+	var timer <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case c := <-call.Done:
+		r.endCall()
+		return c.Error
+	case <-ctx.Done():
+		go func() { <-call.Done; r.endCall() }()
+		return ctx.Err()
+	case <-timer:
+		go func() { <-call.Done; r.endCall() }()
+		return fmt.Errorf("remote: site %d: %s timed out after %v", r.id, method, d)
+	}
 }
 
 // ID returns the site index.
@@ -65,34 +184,34 @@ func (r *RemoteSite) NumTuples() (int, error) { return r.size, nil }
 func (r *RemoteSite) Predicate() (relation.Predicate, error) { return r.pred, nil }
 
 // SigmaStats forwards to the remote site.
-func (r *RemoteSite) SigmaStats(spec *core.BlockSpec) ([]int, error) {
+func (r *RemoteSite) SigmaStats(ctx context.Context, spec *core.BlockSpec) ([]int, error) {
 	var reply []int
-	err := r.client.Call(serviceName+".SigmaStats", SpecArgs{Spec: spec}, &reply)
+	err := r.callCtx(ctx, serviceName+".SigmaStats", SpecArgs{Spec: spec}, &reply)
 	return reply, err
 }
 
 // ExtractBlock forwards to the remote site.
-func (r *RemoteSite) ExtractBlock(spec *core.BlockSpec, l int, attrs []string) (*relation.Relation, error) {
+func (r *RemoteSite) ExtractBlock(ctx context.Context, spec *core.BlockSpec, l int, attrs []string) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.client.Call(serviceName+".ExtractBlock", ExtractArgs{Spec: spec, Attrs: attrs, Block: l}, &reply); err != nil {
+	if err := r.callCtx(ctx, serviceName+".ExtractBlock", ExtractArgs{Spec: spec, Attrs: attrs, Block: l}, &reply); err != nil {
 		return nil, err
 	}
 	return FromWire(&reply)
 }
 
 // ExtractMatching forwards to the remote site.
-func (r *RemoteSite) ExtractMatching(spec *core.BlockSpec, attrs []string) (*relation.Relation, error) {
+func (r *RemoteSite) ExtractMatching(ctx context.Context, spec *core.BlockSpec, attrs []string) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.client.Call(serviceName+".ExtractMatching", ExtractArgs{Spec: spec, Attrs: attrs}, &reply); err != nil {
+	if err := r.callCtx(ctx, serviceName+".ExtractMatching", ExtractArgs{Spec: spec, Attrs: attrs}, &reply); err != nil {
 		return nil, err
 	}
 	return FromWire(&reply)
 }
 
 // ExtractBlocksBatch forwards to the remote site.
-func (r *RemoteSite) ExtractBlocksBatch(spec *core.BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error) {
+func (r *RemoteSite) ExtractBlocksBatch(ctx context.Context, spec *core.BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error) {
 	var reply map[int]*WireRelation
-	if err := r.client.Call(serviceName+".ExtractBlocksBatch",
+	if err := r.callCtx(ctx, serviceName+".ExtractBlocksBatch",
 		ExtractArgs{Spec: spec, Attrs: attrs, Wanted: wanted}, &reply); err != nil {
 		return nil, err
 	}
@@ -108,19 +227,28 @@ func (r *RemoteSite) ExtractBlocksBatch(spec *core.BlockSpec, attrs []string, wa
 }
 
 // Deposit forwards a shipped batch to the remote site.
-func (r *RemoteSite) Deposit(task string, batch *relation.Relation) error {
-	return r.client.Call(serviceName+".Deposit", DepositArgs{Task: task, Batch: ToWire(batch)}, &struct{}{})
+func (r *RemoteSite) Deposit(ctx context.Context, task string, batch *relation.Relation) error {
+	return r.callCtx(ctx, serviceName+".Deposit", DepositArgs{Task: task, Batch: ToWire(batch)}, &struct{}{})
 }
 
 // Abort forwards the failed-run deposit cleanup to the remote site.
+// Cleanup runs even for a cancelled driver context, bounded only by
+// the per-call timeout.
 func (r *RemoteSite) Abort(taskKey string) error {
-	return r.client.Call(serviceName+".Abort", AbortArgs{Task: taskKey}, &struct{}{})
+	return r.callCtx(context.Background(), serviceName+".Abort", AbortArgs{Task: taskKey}, &struct{}{})
+}
+
+// Cancel forwards the per-task cancel message: the site drains the
+// task's deposits and tombstones the key so a batch still in flight
+// when the driver cancelled is dropped on arrival.
+func (r *RemoteSite) Cancel(taskKey string) error {
+	return r.callCtx(context.Background(), serviceName+".Cancel", AbortArgs{Task: taskKey}, &struct{}{})
 }
 
 // DetectTask forwards to the remote site.
-func (r *RemoteSite) DetectTask(task string, local core.LocalInput, cfds []*cfd.CFD) ([]*relation.Relation, error) {
+func (r *RemoteSite) DetectTask(ctx context.Context, task string, local core.LocalInput, cfds []*cfd.CFD) ([]*relation.Relation, error) {
 	var reply []*WireRelation
-	if err := r.client.Call(serviceName+".DetectTask",
+	if err := r.callCtx(ctx, serviceName+".DetectTask",
 		DetectTaskArgs{Task: task, Local: local, CFDs: cfds}, &reply); err != nil {
 		return nil, err
 	}
@@ -128,9 +256,9 @@ func (r *RemoteSite) DetectTask(task string, local core.LocalInput, cfds []*cfd.
 }
 
 // DetectAssignedSingle forwards to the remote site.
-func (r *RemoteSite) DetectAssignedSingle(taskPrefix string, spec *core.BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error) {
+func (r *RemoteSite) DetectAssignedSingle(ctx context.Context, taskPrefix string, spec *core.BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.client.Call(serviceName+".DetectAssignedSingle",
+	if err := r.callCtx(ctx, serviceName+".DetectAssignedSingle",
 		DetectAssignedArgs{TaskPrefix: taskPrefix, Spec: spec, Blocks: blocks, CFD: c}, &reply); err != nil {
 		return nil, err
 	}
@@ -138,9 +266,9 @@ func (r *RemoteSite) DetectAssignedSingle(taskPrefix string, spec *core.BlockSpe
 }
 
 // DetectAssignedSet forwards to the remote site.
-func (r *RemoteSite) DetectAssignedSet(taskPrefix string, spec *core.BlockSpec, blocks []int, cfds []*cfd.CFD) ([]*relation.Relation, error) {
+func (r *RemoteSite) DetectAssignedSet(ctx context.Context, taskPrefix string, spec *core.BlockSpec, blocks []int, cfds []*cfd.CFD) ([]*relation.Relation, error) {
 	var reply []*WireRelation
-	if err := r.client.Call(serviceName+".DetectAssignedSet",
+	if err := r.callCtx(ctx, serviceName+".DetectAssignedSet",
 		DetectAssignedArgs{TaskPrefix: taskPrefix, Spec: spec, Blocks: blocks, CFDs: cfds}, &reply); err != nil {
 		return nil, err
 	}
@@ -148,18 +276,18 @@ func (r *RemoteSite) DetectAssignedSet(taskPrefix string, spec *core.BlockSpec, 
 }
 
 // DetectConstantsLocal forwards to the remote site.
-func (r *RemoteSite) DetectConstantsLocal(c *cfd.CFD) (*relation.Relation, error) {
+func (r *RemoteSite) DetectConstantsLocal(ctx context.Context, c *cfd.CFD) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.client.Call(serviceName+".DetectConstantsLocal", ConstantsArgs{CFD: c}, &reply); err != nil {
+	if err := r.callCtx(ctx, serviceName+".DetectConstantsLocal", ConstantsArgs{CFD: c}, &reply); err != nil {
 		return nil, err
 	}
 	return FromWire(&reply)
 }
 
 // MineFrequent forwards to the remote site.
-func (r *RemoteSite) MineFrequent(x []string, theta float64) ([]mining.Pattern, error) {
+func (r *RemoteSite) MineFrequent(ctx context.Context, x []string, theta float64) ([]mining.Pattern, error) {
 	var reply []mining.Pattern
-	err := r.client.Call(serviceName+".MineFrequent", MineArgs{X: x, Theta: theta}, &reply)
+	err := r.callCtx(ctx, serviceName+".MineFrequent", MineArgs{X: x, Theta: theta}, &reply)
 	return reply, err
 }
 

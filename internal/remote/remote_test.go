@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"net"
 	"net/rpc"
 	"strings"
@@ -14,10 +15,12 @@ import (
 )
 
 // startSites serves each fragment of the partition on a loopback TCP
-// listener and returns the addresses.
-func startSites(t *testing.T, h *partition.Horizontal) []string {
+// listener, returning the addresses and the server-side sites (so
+// tests can assert on the sites' buffered state).
+func startSites(t *testing.T, h *partition.Horizontal) ([]string, []*core.Site) {
 	t.Helper()
 	addrs := make([]string, h.N())
+	served := make([]*core.Site, h.N())
 	for i := range h.Fragments {
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -28,11 +31,12 @@ func startSites(t *testing.T, h *partition.Horizontal) []string {
 			pred = h.Predicates[i]
 		}
 		site := core.NewSite(i, h.Fragments[i], pred)
+		served[i] = site
 		go func() { _ = Serve(lis, site, h.Schema) }()
 		t.Cleanup(func() { lis.Close() })
 		addrs[i] = lis.Addr().String()
 	}
-	return addrs
+	return addrs, served
 }
 
 func TestWireRelationRoundTrip(t *testing.T) {
@@ -106,7 +110,7 @@ func TestRemoteAbortDrainsDeposits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addrs := startSites(t, h)
+	addrs, _ := startSites(t, h)
 	sites, _, err := Dial(addrs)
 	if err != nil {
 		t.Fatal(err)
@@ -114,14 +118,14 @@ func TestRemoteAbortDrainsDeposits(t *testing.T) {
 	// Deposit the whole EMP instance (it contains violations of φ1)
 	// under a block task of "job", then abort "job".
 	batch := workload.EMPData()
-	if err := sites[0].Deposit("job/b0", batch); err != nil {
+	if err := sites[0].Deposit(context.Background(), "job/b0", batch); err != nil {
 		t.Fatal(err)
 	}
 	if err := sites[0].Abort("job"); err != nil {
 		t.Fatal(err)
 	}
 	rules := workload.EMPCFDs()[:1]
-	pats, err := sites[0].DetectTask("job/b0", core.LocalInput{Block: core.BlockNone}, rules)
+	pats, err := sites[0].DetectTask(context.Background(), "job/b0", core.LocalInput{Block: core.BlockNone}, rules)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,10 +133,10 @@ func TestRemoteAbortDrainsDeposits(t *testing.T) {
 		t.Errorf("aborted deposit still produced %d violation patterns", pats[0].Len())
 	}
 	// Control: without the abort the same deposit does yield patterns.
-	if err := sites[0].Deposit("job2/b0", batch); err != nil {
+	if err := sites[0].Deposit(context.Background(), "job2/b0", batch); err != nil {
 		t.Fatal(err)
 	}
-	pats, err = sites[0].DetectTask("job2/b0", core.LocalInput{Block: core.BlockNone}, rules)
+	pats, err = sites[0].DetectTask(context.Background(), "job2/b0", core.LocalInput{Block: core.BlockNone}, rules)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +161,7 @@ func TestRemoteClusterMatchesLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addrs := startSites(t, h)
+	addrs, _ := startSites(t, h)
 	sites, schema, err := Dial(addrs)
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +202,7 @@ func TestRemoteMultiCFD(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addrs := startSites(t, h)
+	addrs, _ := startSites(t, h)
 	sites, schema, err := Dial(addrs)
 	if err != nil {
 		t.Fatal(err)
@@ -242,7 +246,7 @@ func TestRemoteMining(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addrs := startSites(t, h)
+	addrs, _ := startSites(t, h)
 	sites, schema, err := Dial(addrs)
 	if err != nil {
 		t.Fatal(err)

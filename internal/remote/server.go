@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"net"
 	"net/rpc"
 
@@ -74,7 +75,7 @@ type SpecArgs struct {
 
 // SigmaStats returns lstat for the spec.
 func (s *SiteService) SigmaStats(args SpecArgs, reply *[]int) error {
-	stats, err := s.site.SigmaStats(args.Spec)
+	stats, err := s.site.SigmaStats(context.Background(), args.Spec)
 	if err != nil {
 		return err
 	}
@@ -92,7 +93,7 @@ type ExtractArgs struct {
 
 // ExtractBlock returns one σ-block.
 func (s *SiteService) ExtractBlock(args ExtractArgs, reply *WireRelation) error {
-	r, err := s.site.ExtractBlock(args.Spec, args.Block, args.Attrs)
+	r, err := s.site.ExtractBlock(context.Background(), args.Spec, args.Block, args.Attrs)
 	if err != nil {
 		return err
 	}
@@ -102,7 +103,7 @@ func (s *SiteService) ExtractBlock(args ExtractArgs, reply *WireRelation) error 
 
 // ExtractMatching returns all matching tuples.
 func (s *SiteService) ExtractMatching(args ExtractArgs, reply *WireRelation) error {
-	r, err := s.site.ExtractMatching(args.Spec, args.Attrs)
+	r, err := s.site.ExtractMatching(context.Background(), args.Spec, args.Attrs)
 	if err != nil {
 		return err
 	}
@@ -112,7 +113,7 @@ func (s *SiteService) ExtractMatching(args ExtractArgs, reply *WireRelation) err
 
 // ExtractBlocksBatch returns several blocks in one pass.
 func (s *SiteService) ExtractBlocksBatch(args ExtractArgs, reply *map[int]*WireRelation) error {
-	batches, err := s.site.ExtractBlocksBatch(args.Spec, args.Attrs, args.Wanted)
+	batches, err := s.site.ExtractBlocksBatch(context.Background(), args.Spec, args.Attrs, args.Wanted)
 	if err != nil {
 		return err
 	}
@@ -136,7 +137,7 @@ func (s *SiteService) Deposit(args DepositArgs, _ *struct{}) error {
 	if err != nil {
 		return err
 	}
-	return s.site.Deposit(args.Task, r)
+	return s.site.Deposit(context.Background(), args.Task, r)
 }
 
 // AbortArgs names the task whose deposits to drain.
@@ -149,6 +150,14 @@ func (s *SiteService) Abort(args AbortArgs, _ *struct{}) error {
 	return s.site.Abort(args.Task)
 }
 
+// Cancel is the per-task cancel message (wire version 3): it drains
+// the task's deposit buffers like Abort and tombstones the key, so a
+// Deposit that was still in flight when the driver cancelled is
+// dropped on arrival instead of leaking in this long-lived process.
+func (s *SiteService) Cancel(args AbortArgs, _ *struct{}) error {
+	return s.site.Cancel(args.Task)
+}
+
 // DetectTaskArgs parameterizes the CTR-style coordinator step.
 type DetectTaskArgs struct {
 	Task  string
@@ -158,7 +167,7 @@ type DetectTaskArgs struct {
 
 // DetectTask runs detection for the task.
 func (s *SiteService) DetectTask(args DetectTaskArgs, reply *[]*WireRelation) error {
-	pats, err := s.site.DetectTask(args.Task, args.Local, args.CFDs)
+	pats, err := s.site.DetectTask(context.Background(), args.Task, args.Local, args.CFDs)
 	if err != nil {
 		return err
 	}
@@ -181,7 +190,7 @@ type DetectAssignedArgs struct {
 
 // DetectAssignedSingle runs the PatDetect coordinator step.
 func (s *SiteService) DetectAssignedSingle(args DetectAssignedArgs, reply *WireRelation) error {
-	pats, err := s.site.DetectAssignedSingle(args.TaskPrefix, args.Spec, args.Blocks, args.CFD)
+	pats, err := s.site.DetectAssignedSingle(context.Background(), args.TaskPrefix, args.Spec, args.Blocks, args.CFD)
 	if err != nil {
 		return err
 	}
@@ -191,7 +200,7 @@ func (s *SiteService) DetectAssignedSingle(args DetectAssignedArgs, reply *WireR
 
 // DetectAssignedSet runs the ClustDetect coordinator step.
 func (s *SiteService) DetectAssignedSet(args DetectAssignedArgs, reply *[]*WireRelation) error {
-	pats, err := s.site.DetectAssignedSet(args.TaskPrefix, args.Spec, args.Blocks, args.CFDs)
+	pats, err := s.site.DetectAssignedSet(context.Background(), args.TaskPrefix, args.Spec, args.Blocks, args.CFDs)
 	if err != nil {
 		return err
 	}
@@ -210,7 +219,7 @@ type ConstantsArgs struct {
 
 // DetectConstantsLocal checks constant units locally (Prop. 5).
 func (s *SiteService) DetectConstantsLocal(args ConstantsArgs, reply *WireRelation) error {
-	pats, err := s.site.DetectConstantsLocal(args.CFD)
+	pats, err := s.site.DetectConstantsLocal(context.Background(), args.CFD)
 	if err != nil {
 		return err
 	}
@@ -226,7 +235,7 @@ type MineArgs struct {
 
 // MineFrequent mines closed frequent patterns at the site.
 func (s *SiteService) MineFrequent(args MineArgs, reply *[]mining.Pattern) error {
-	ps, err := s.site.MineFrequent(args.X, args.Theta)
+	ps, err := s.site.MineFrequent(context.Background(), args.X, args.Theta)
 	if err != nil {
 		return err
 	}

@@ -18,17 +18,19 @@ import (
 // version skew would not error on its own — it would silently decode
 // columnar payloads as empty relations and lose violations. Version 1
 // was the row-only protocol; version 2 added the columnar form and
-// Abort.
+// Abort; version 3 added the per-task Cancel message (drain +
+// tombstone, so a deposit in flight across a driver cancellation
+// cannot leak at the site).
 //
-// The rpc service name carries the version too ("SiteV2"), so skew in
+// The rpc service name carries the version too ("SiteV3"), so skew in
 // EITHER direction dies on the first call with a can't-find-service
 // error: an old driver against a new site (which the InfoReply check
 // alone could never catch — that check runs in the new driver) and a
 // new driver against an old site both fail loudly instead of silently
 // exchanging partially-decoded payloads.
-const WireVersion = 2
+const WireVersion = 3
 
-const serviceName = "SiteV2"
+const serviceName = "SiteV3"
 
 // WireRelation is the gob-encodable form of relation.Relation. It
 // carries exactly one of two payloads: the row form (Tuples), or the
