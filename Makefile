@@ -29,10 +29,14 @@ race:
 	$(GO) test -race ./...
 
 # bench-smoke runs every benchmark once (all benchmarks live in the
-# root package) so benchmark code cannot rot; bench is its alias, and
-# bench-full runs at the paper's dataset sizes.
+# root package, BenchmarkIncrementalDetect included) so benchmark code
+# cannot rot; the output is kept in bench-smoke.txt, which CI uploads
+# as an artifact so every run's numbers are retrievable. bench is its
+# alias, and bench-full runs at the paper's dataset sizes.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	@rm -f bench-smoke.txt
+	@$(GO) test -run '^$$' -bench . -benchtime 1x . > bench-smoke.txt 2>&1 || { cat bench-smoke.txt; exit 1; }
+	@cat bench-smoke.txt
 
 bench: bench-smoke
 

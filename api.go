@@ -156,6 +156,19 @@ type Result struct {
 	ModeledTime float64
 	// WallTime is the measured wall-clock of the run.
 	WallTime time.Duration
+	// Incremental marks a DetectIncremental run. Its ShippedTuples,
+	// ModeledTime, and Shipment's regular tuple matrices then report
+	// the modeled full-recompute equivalent — identical to what a
+	// fresh Detect on the same data would report, so serving-mode
+	// changes never bend the figures — while DeltaShippedTuples and
+	// DeltaShippedBytes (and Shipment's delta matrices) count what the
+	// round actually put on the wire: the changed tuples only. Payload
+	// bytes exist only for data that is materialized, so on
+	// incremental runs the regular Bytes matrices stay zero and byte
+	// accounting lives entirely on the delta channel.
+	Incremental        bool
+	DeltaShippedTuples int64
+	DeltaShippedBytes  int64
 }
 
 // Patterns returns the violating X-patterns of the named CFD, or nil
@@ -171,13 +184,16 @@ func (r *Result) Patterns(name string) *Relation {
 
 func fromSetResult(sr *core.SetResult) *Result {
 	return &Result{
-		CFDs:          sr.CFDs,
-		PerCFD:        sr.PerCFD,
-		Clusters:      sr.Clusters,
-		Shipment:      sr.Metrics.Snapshot(),
-		ShippedTuples: sr.ShippedTuples,
-		ModeledTime:   sr.ModeledTime,
-		WallTime:      sr.WallTime,
+		CFDs:               sr.CFDs,
+		PerCFD:             sr.PerCFD,
+		Clusters:           sr.Clusters,
+		Shipment:           sr.Metrics.Snapshot(),
+		ShippedTuples:      sr.ShippedTuples,
+		ModeledTime:        sr.ModeledTime,
+		WallTime:           sr.WallTime,
+		Incremental:        sr.Incremental,
+		DeltaShippedTuples: sr.DeltaShippedTuples,
+		DeltaShippedBytes:  sr.DeltaShippedBytes,
 	}
 }
 
@@ -189,6 +205,53 @@ func fromSetResult(sr *core.SetResult) *Result {
 // — the run's deposit buffers, so no shipped batch outlives the call.
 func (d *Detector) Detect(ctx context.Context) (*Result, error) {
 	sr, err := d.plan.Detect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return fromSetResult(sr), nil
+}
+
+// Apply routes a delta — inserted tuples plus deletes addressed by
+// row index in the site's current fragment — to one site of the
+// cluster. The site mutates its fragment, maintains its serving caches
+// generation by generation (instead of resetting them), and logs the
+// delta so the next DetectIncremental ships only what changed. Apply
+// must not overlap a running Detect/DetectIncremental on the same
+// cluster — the usual single-writer rule for mutation.
+func (d *Detector) Apply(ctx context.Context, site int, delta Delta) (Generation, error) {
+	info, err := d.cl.ApplyDelta(ctx, site, delta)
+	if err != nil {
+		return Generation{}, err
+	}
+	return Generation{Gen: info.Gen, NumTuples: info.NumTuples}, nil
+}
+
+// DetectIncremental runs the compiled session against the cluster's
+// current data from retained delta state: only tuples that changed
+// since the previous call are σ-routed, shipped (as delta blocks on
+// the wire), and folded into the coordinators' retained group states.
+// The Result's violation patterns, ShippedTuples, and ModeledTime are
+// byte-identical to what Detect would report on the same data — the
+// serving mode never bends the figures — while DeltaShippedTuples and
+// DeltaShippedBytes report the actual wire traffic, which scales with
+// |ΔD| rather than |D|.
+//
+// The first call (and any call after an error, a site restart, a
+// delete-heavy history, or a fragment mutated outside Apply)
+// transparently reseeds with one full shipment. Calls serialize with
+// each other; Detect calls may interleave freely between rounds.
+func (d *Detector) DetectIncremental(ctx context.Context) (*Result, error) {
+	sr, err := d.plan.DetectIncremental(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return fromSetResult(sr), nil
+}
+
+// DetectDelta applies per-site deltas and runs one incremental round —
+// the ΔD-in, changes-out serving shape of a follow-the-stream caller.
+func (d *Detector) DetectDelta(ctx context.Context, deltas map[int]Delta) (*Result, error) {
+	sr, err := d.plan.DetectDelta(ctx, deltas)
 	if err != nil {
 		return nil, err
 	}

@@ -194,3 +194,69 @@ func TestDetectCentralHonorsOptions(t *testing.T) {
 		}
 	}
 }
+
+// TestDetectorIncrementalServing drives the facade's delta loop:
+// Apply routes deltas, DetectIncremental matches Detect byte for byte
+// on violations and accounting, and the delta channel undercuts the
+// full-recompute shipment once the session is warm.
+func TestDetectorIncrementalServing(t *testing.T) {
+	cl, rules := compileTestCluster(t)
+	det, err := Compile(cl, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Seed round.
+	if _, err := det.DetectIncremental(ctx); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := det.Apply(ctx, 0, Delta{
+		Inserts: []Tuple{
+			{"n1", "Ada", "MTS", "44", "131", "1112223", "Mayfield", "NYC", "EH4 8LE", "80k"},
+			{"n2", "Lin", "MTS", "44", "131", "1112224", "Mayfield", "EDI", "EH4 8LE", "80k"},
+		},
+		Deletes: []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Gen != 1 {
+		t.Fatalf("first delta reported generation %d", gen.Gen)
+	}
+	inc, err := det.DetectIncremental(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Incremental {
+		t.Fatal("incremental result not marked")
+	}
+	full, err := det.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePatternSets(t, "incremental vs detect", inc.PerCFD, full.PerCFD)
+	if inc.ShippedTuples != full.ShippedTuples || inc.ModeledTime != full.ModeledTime {
+		t.Fatalf("accounting diverged: inc (%d, %v) vs full (%d, %v)",
+			inc.ShippedTuples, inc.ModeledTime, full.ShippedTuples, full.ModeledTime)
+	}
+	if inc.ShippedTuples > 0 && inc.DeltaShippedTuples >= inc.ShippedTuples {
+		t.Fatalf("delta channel shipped %d, full equivalent %d — no incremental saving",
+			inc.DeltaShippedTuples, inc.ShippedTuples)
+	}
+	if inc.Shipment.TotalDeltaTuples != inc.DeltaShippedTuples {
+		t.Fatalf("shipment report delta total %d != result %d",
+			inc.Shipment.TotalDeltaTuples, inc.DeltaShippedTuples)
+	}
+	// DetectDelta is Apply + DetectIncremental in one call.
+	res, err := det.DetectDelta(ctx, map[int]Delta{
+		1: {Inserts: []Tuple{{"n3", "Kim", "DMTS", "44", "131", "1112225", "Crichton", "NYC", "EH2 4HF", "95k"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full2, err := det.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePatternSets(t, "detectdelta vs detect", res.PerCFD, full2.PerCFD)
+}

@@ -548,3 +548,107 @@ func BenchmarkParseRules(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkIncrementalDetect is DESIGN.md ablation 11: delta-aware
+// serving (DetectIncremental folding |ΔD| into retained state) against
+// the full recompute it replaces, across delta fractions. Each
+// iteration applies one |ΔD| = frac·|D| round across the sites and
+// re-detects; the reported metrics separate what actually crossed the
+// wire (delta-tuples/op, delta-bytes/op) from the modeled
+// full-recompute equivalent (equiv-tuples/op), so the |ΔD| scaling is
+// visible at any dataset scale. BENCH_incremental.json records the
+// trajectory.
+func BenchmarkIncrementalDetect(b *testing.B) {
+	cfg := benchConfig()
+	n := int(40_000 * cfg.Scale * 20) // 40K at the default 1/20 scale
+	data := workload.Cust(workload.CustConfig{N: n, Seed: cfg.Seed, ErrRate: cfg.ErrRate})
+	rules := []*cfd.CFD{workload.CustPatternCFD(128), workload.CustStreetCFD()}
+
+	setup := func(b *testing.B) (*core.Plan, *core.Cluster, []*workload.DeltaStream) {
+		h, err := partition.Uniform(data.Clone(), 4, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl, err := core.FromHorizontal(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := core.CompileSet(context.Background(), cl, rules, core.PatDetectRT, core.Options{}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		streams := workload.SplitStreams(h.Fragments,
+			workload.DeltaConfig{Seed: 3, ErrRate: 0.05},
+			func(f *relation.Relation, c workload.DeltaConfig) *workload.DeltaStream {
+				return workload.CustDeltaStream(f, c)
+			})
+		return p, cl, streams
+	}
+	roundDeltas := func(streams []*workload.DeltaStream, perSite int) map[int]relation.Delta {
+		for _, ds := range streams {
+			ds.SetMix(perSite/2, perSite/4, perSite/4)
+		}
+		out := make(map[int]relation.Delta, len(streams))
+		for i, ds := range streams {
+			out[i] = ds.Next()
+		}
+		return out
+	}
+
+	for _, frac := range []float64{0.001, 0.01, 0.1} {
+		b.Run(fmt.Sprintf("incremental/delta=%g%%", frac*100), func(b *testing.B) {
+			p, _, streams := setup(b)
+			if _, err := p.DetectIncremental(context.Background()); err != nil {
+				b.Fatal(err) // seed round outside the timer
+			}
+			perSite := int(float64(n) * frac / 4)
+			if perSite < 4 {
+				perSite = 4
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var deltaTuples, deltaBytes, equivTuples int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				deltas := roundDeltas(streams, perSite)
+				b.StartTimer()
+				res, err := p.DetectDelta(context.Background(), deltas)
+				if err != nil {
+					b.Fatal(err)
+				}
+				deltaTuples += res.DeltaShippedTuples
+				deltaBytes += res.DeltaShippedBytes
+				equivTuples += res.ShippedTuples
+			}
+			b.ReportMetric(float64(deltaTuples)/float64(b.N), "delta-tuples/op")
+			b.ReportMetric(float64(deltaBytes)/float64(b.N), "delta-bytes/op")
+			b.ReportMetric(float64(equivTuples)/float64(b.N), "equiv-tuples/op")
+		})
+	}
+	b.Run("full-recompute/delta=1%", func(b *testing.B) {
+		p, cl, streams := setup(b)
+		if _, err := p.Detect(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		perSite := n / 100 / 4
+		b.ReportAllocs()
+		b.ResetTimer()
+		var shipped int64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			deltas := roundDeltas(streams, perSite)
+			for site, d := range deltas {
+				if _, err := cl.ApplyDelta(context.Background(), site, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			res, err := p.Detect(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			shipped += res.ShippedTuples
+		}
+		b.ReportMetric(float64(shipped)/float64(b.N), "shipped-tuples/op")
+	})
+}

@@ -11,12 +11,23 @@
 // Distributed over TCP (against cfdsite servers):
 //
 //	cfddetect -rules cust.cfd -remote 127.0.0.1:7001,127.0.0.1:7002
+//
+// Incremental serving against a delta stream (one JSON object per
+// stdin line; detection after each delta ships only what changed):
+//
+//	tail -f deltas.jsonl | cfddetect -data cust.csv -rules cust.cfd -sites 4 -follow
+//
+// Each line is {"site": N, "inserts": [[v1,v2,...],...], "deletes": [row,...]};
+// deletes address rows of site N's fragment as it stands before the line.
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +49,7 @@ func main() {
 		remote    = flag.String("remote", "", "comma-separated cfdsite addresses (overrides -data/-sites)")
 		seed      = flag.Int64("seed", 1, "partitioning seed")
 		timeout   = flag.Duration("timeout", 0, "per-RPC I/O timeout against remote sites (0 = none)")
+		follow    = flag.Bool("follow", false, "after the initial detection, consume a JSON delta stream from stdin and re-detect incrementally per delta")
 	)
 	flag.Parse()
 
@@ -146,6 +158,58 @@ func main() {
 	if *shipmat {
 		fmt.Printf("\n%s", res.Shipment)
 	}
+	if *follow {
+		if err := followDeltas(ctx, det, rules, os.Stdin, os.Stdout); err != nil {
+			fatalf("follow: %v", err)
+		}
+	}
+}
+
+// deltaLine is one stdin line of -follow: a delta for one site.
+type deltaLine struct {
+	Site    int        `json:"site"`
+	Inserts [][]string `json:"inserts"`
+	Deletes []int      `json:"deletes"`
+}
+
+// followDeltas consumes a JSON delta stream and serves detection
+// incrementally: each applied delta ships only the changed tuples to
+// the retained coordinators, and the per-rule violation counts plus
+// both accounting channels are reported after every line.
+func followDeltas(ctx context.Context, det *distcfd.Detector, rules []*distcfd.CFD, in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		var dl deltaLine
+		if err := json.Unmarshal([]byte(raw), &dl); err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		d := distcfd.Delta{Deletes: dl.Deletes}
+		for _, t := range dl.Inserts {
+			d.Inserts = append(d.Inserts, distcfd.Tuple(t))
+		}
+		res, err := det.DetectDelta(ctx, map[int]distcfd.Delta{dl.Site: d})
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		counts := make([]string, len(rules))
+		for i, c := range rules {
+			counts[i] = fmt.Sprintf("%s=%d", displayName(c.Name, i), res.PerCFD[i].Len())
+		}
+		fmt.Fprintf(out, "delta@site %d (+%d -%d): %s | shipped %d delta tuple(s) (%d B) vs %d full-recompute\n",
+			dl.Site, len(d.Inserts), len(d.Deletes), strings.Join(counts, " "),
+			res.DeltaShippedTuples, res.DeltaShippedBytes, res.ShippedTuples)
+	}
+	return sc.Err()
 }
 
 func displayName(name string, i int) string {

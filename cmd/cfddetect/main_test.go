@@ -80,3 +80,63 @@ phi3: [CC, AC] -> [city] : (44, 131 || EDI), (01, 908 || MH)
 		t.Error("unknown algorithm should fail")
 	}
 }
+
+// TestCLIFollowDeltaStream drives -follow end to end: an initial
+// detection, then JSON deltas on stdin, each answered with an
+// incremental re-detection that ships only the delta.
+func TestCLIFollowDeltaStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "cfddetect")
+	cmd := exec.Command("go", "build", "-o", out, "./cmd/cfddetect")
+	cmd.Dir = "../.."
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, b)
+	}
+	dataPath := filepath.Join(dir, "emp.csv")
+	f, err := os.Create(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relation.WriteCSV(f, workload.EMPData()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rulesPath := filepath.Join(dir, "emp.cfd")
+	if err := os.WriteFile(rulesPath, []byte(
+		"phi1: [CC, zip] -> [street] : (44, _ || _), (31, _ || _)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Two deltas: a fresh violation pair at site 0, then its removal.
+	stdin := strings.Join([]string{
+		`# a comment line is skipped`,
+		`{"site":0,"inserts":[["n1","Ada","MTS","44","131","1112223","NewStr","EDI","ZZ1","80k"],["n2","Lin","MTS","44","131","1112224","OtherStr","EDI","ZZ1","80k"]]}`,
+		`{"site":1,"deletes":[0]}`,
+	}, "\n") + "\n"
+	var buf bytes.Buffer
+	run := exec.Command(out, "-data", dataPath, "-rules", rulesPath, "-key", "id",
+		"-sites", "3", "-algo", "pats", "-follow")
+	run.Stdin = strings.NewReader(stdin)
+	run.Stdout = &buf
+	run.Stderr = &buf
+	if err := run.Run(); err != nil {
+		t.Fatalf("cfddetect -follow: %v\n%s", err, buf.String())
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"delta@site 0 (+2 -0)",
+		"delta@site 1 (+0 -1)",
+		"delta tuple(s)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-follow output missing %q:\n%s", want, text)
+		}
+	}
+	// The injected (44, ZZ1) pair violates phi1: the first delta round
+	// must report more phi1 patterns than the 2 the base data has.
+	if !strings.Contains(text, "phi1=3") {
+		t.Errorf("-follow did not pick up the injected violation:\n%s", text)
+	}
+}

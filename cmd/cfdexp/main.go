@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: 3a…3i or all")
+		fig     = flag.String("fig", "all", "figure to run: 3a…3i, inc, or all")
 		scale   = flag.Float64("scale", 0.1, "fraction of the paper's dataset sizes")
 		seed    = flag.Int64("seed", 42, "generation/partitioning seed")
 		errRate = flag.Float64("err", 0.01, "injected inconsistency rate")
@@ -55,7 +55,7 @@ func main() {
 			}
 		}
 		if len(series) == 0 {
-			fatalf("unknown figure %q (use 3a…3i)", *fig)
+			fatalf("unknown figure %q (use 3a…3i or inc)", *fig)
 		}
 	}
 	if *csvDir != "" {

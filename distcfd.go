@@ -23,6 +23,17 @@
 //	one, _ := det.DetectOne(ctx, "city_rule")  // a single rule
 //	fmt.Println(res.Patterns("street_fd"))     // Vioπ: violating LHS patterns
 //
+// Under continuously arriving data, detection is delta-aware: route
+// changes through Detector.Apply (or DetectDelta) and serve with
+// DetectIncremental — only the changed tuples cross the wire, folded
+// into retained state at the coordinator sites, while violations,
+// ShippedTuples, and ModeledTime stay byte-identical to a fresh
+// Detect on the same data:
+//
+//	det.Apply(ctx, site, distcfd.Delta{Inserts: rows, Deletes: idxs})
+//	inc, _ := det.DetectIncremental(ctx)       // ships O(|ΔD|), not O(|D|)
+//	fmt.Println(inc.DeltaShippedTuples)        // actual wire traffic
+//
 // The facade additionally re-exports the stable types of the internal
 // packages via aliases and adds convenience constructors, so
 // applications only import this package. The pre-session entry points
@@ -57,7 +68,18 @@ type (
 	// Predicate is a conjunctive selection predicate (fragment
 	// predicate Fi).
 	Predicate = relation.Predicate
+	// Delta is a batch mutation of a fragment: inserts plus deletes by
+	// pre-delta row index; the unit of change of incremental serving
+	// (Detector.Apply / DetectIncremental).
+	Delta = relation.Delta
 )
+
+// Generation reports a site's state after Detector.Apply: the fragment
+// generation (one per applied delta) and the new fragment size.
+type Generation struct {
+	Gen       int64
+	NumTuples int
+}
 
 // Dependencies.
 type (

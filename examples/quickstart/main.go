@@ -103,4 +103,32 @@ func main() {
 	}
 	fmt.Printf("\nfull rule set: %d tuples shipped, modeled response time %.3f, wall %v\n",
 		set.ShippedTuples, set.ModeledTime, set.WallTime)
+
+	// Delta-aware serving: after the first incremental round seeds the
+	// retained state, only changed tuples cross the wire. Mike moves to
+	// Edinburgh (fixing one phi1 pair) and a conflicting VP appears.
+	if _, err := det.DetectIncremental(ctx); err != nil { // seed round
+		log.Fatal(err)
+	}
+	// Fragments are one per title value, sorted: DMTS = site 0,
+	// MTS = site 1, VP = site 2. Mike is the MTS fragment's first row;
+	// the update is a delete plus an insert of the corrected row.
+	if _, err = det.Apply(ctx, 1, distcfd.Delta{
+		Deletes: []int{0},
+		Inserts: []distcfd.Tuple{{"2", "Mike", "MTS", "44", "131", "1234567", "Princess Str.", "EDI", "EH2 4HF", "80k"}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	inc, err := det.DetectDelta(ctx, map[int]distcfd.Delta{
+		2: {Inserts: []distcfd.Tuple{{"11", "Ada", "VP", "44", "131", "9990001", "Mayfield", "NYC", "EH4 8LE", "210k"}}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, pats := range inc.PerCFD {
+		total += pats.Len()
+	}
+	fmt.Printf("after deltas: %d violating pattern(s); incremental round shipped %d tuple(s) on the wire (full recompute would ship %d)\n",
+		total, inc.DeltaShippedTuples, inc.ShippedTuples)
 }

@@ -137,6 +137,40 @@ func (cl *Cluster) ship(ctx context.Context, m *dist.Metrics, from, to int, task
 	return cl.sites[to].Deposit(ctx, task, batch)
 }
 
+// shipDelta moves a delta block (inserts or delete records) to a
+// coordinator, recorded on the metrics' delta channel — the
+// incremental data plane, kept apart from the modeled full-recompute
+// matrices the regular channel carries on incremental runs.
+func (cl *Cluster) shipDelta(ctx context.Context, m *dist.Metrics, from, to int, task string, batch *relation.Relation) error {
+	if from == to {
+		return fmt.Errorf("core: site %d delta-shipping to itself", from)
+	}
+	if batch == nil || batch.Len() == 0 {
+		return nil
+	}
+	m.ShipDelta(from, to, batch.Len(), dist.RelationBytes(batch))
+	return cl.sites[to].Deposit(ctx, task, batch)
+}
+
+// ApplyDelta applies a delta to one site's fragment, maintaining the
+// site's serving caches and delta log. It must not overlap detection
+// runs against the cluster (the usual single-writer mutation rule).
+func (cl *Cluster) ApplyDelta(ctx context.Context, site int, d relation.Delta) (DeltaInfo, error) {
+	if site < 0 || site >= cl.N() {
+		return DeltaInfo{}, fmt.Errorf("core: ApplyDelta to site %d of %d", site, cl.N())
+	}
+	return cl.sites[site].ApplyDelta(ctx, d)
+}
+
+// dropSession best-effort releases a session's retained incremental
+// state at every site.
+func (cl *Cluster) dropSession(session string) {
+	_ = cl.parallel(func(i int) error {
+		_ = cl.sites[i].DropSession(session)
+		return nil
+	})
+}
+
 // cancelTask best-effort cancels the task at every site after a failed
 // or cancelled run: deposits are drained and the task key tombstoned,
 // so even a batch that was still in flight when the driver gave up is

@@ -22,6 +22,10 @@ import (
 //
 // SeqDetect may ship the same tuple several times — once per CFD that
 // matches it — which is exactly the inefficiency ClustDetect removes.
+//
+// Deprecated: compile once with CompileSet(clustered=false) and serve
+// through Plan.Detect / DetectIncremental; this wrapper recompiles per
+// call. It remains for tests and the ablation-5 comparisons.
 func SeqDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
 	return SeqDetectCtx(context.Background(), cl, cfds, algo, opt)
 }
@@ -47,6 +51,10 @@ func SeqDetectCtx(ctx context.Context, cl *Cluster, cfds []*cfd.CFD, algo Algori
 // shipped once per cluster — projected onto the union of the cluster's
 // attributes — instead of once per CFD, and each coordinator checks
 // every member CFD inside its blocks.
+//
+// Deprecated: compile once with CompileSet(clustered=true) and serve
+// through Plan.Detect / DetectIncremental; this wrapper recompiles per
+// call. It remains for tests and the ablation-5 comparisons.
 func ClustDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
 	return ClustDetectCtx(context.Background(), cl, cfds, algo, opt)
 }
@@ -76,6 +84,10 @@ func ClustDetectCtx(ctx context.Context, cl *Cluster, cfds []*cfd.CFD, algo Algo
 // and modeled times are merged in deterministic cluster order, keeping
 // ModeledTime and the Metrics totals equal to ClustDetect's. Only
 // WallTime shrinks.
+//
+// Deprecated: compile once with CompileSet and Options.Workers, then
+// serve through Plan.Detect; this wrapper recompiles per call. It
+// remains for tests and the ablation-7 comparisons.
 func ParDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
 	return ParDetectCtx(context.Background(), cl, cfds, algo, opt)
 }

@@ -51,6 +51,12 @@ type SinglePlan struct {
 	spec          *BlockSpec
 	mined         int
 	control       []controlReplay
+
+	// Incremental session state (incremental.go): the one mutable part
+	// of a plan, guarded by incMu — DetectIncremental calls serialize,
+	// plain Detect stays lock-free and concurrent.
+	incMu sync.Mutex
+	inc   *unitInc
 }
 
 // CompileSingle validates c against the cluster and compiles its
@@ -151,6 +157,10 @@ type clusterPlan struct {
 	views   []*cfd.CFD
 	viewIdx []int
 	spec    *BlockSpec // nil when every member is constant-only
+
+	// Incremental session state; Plan.DetectIncremental serializes all
+	// units under the plan-level lock, so no per-cluster lock is needed.
+	inc *unitInc
 }
 
 func compileCluster(cl *Cluster, group []*cfd.CFD, algo Algorithm, opt Options) (*clusterPlan, error) {
@@ -267,6 +277,10 @@ type Plan struct {
 	cfds     []*cfd.CFD
 	clusters [][]int
 	units    []*planUnit
+
+	// incMu serializes DetectIncremental rounds (they mutate the
+	// per-unit sessions); Detect stays lock-free and concurrent.
+	incMu sync.Mutex
 }
 
 // CompileSet compiles the detection plan for a CFD set. With clustered

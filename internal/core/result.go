@@ -53,6 +53,13 @@ type Options struct {
 	// processes concurrently; 0 selects runtime.GOMAXPROCS(0).
 	// SeqDetect and ClustDetect ignore it.
 	Workers int
+	// DeltaFallbackRatio bounds incremental serving: when the deletes
+	// accumulated since the last full fold exceed this fraction of the
+	// current instance size, DetectIncremental falls back to a full
+	// reseed (retained group states shrink by tombstoned counts, but a
+	// mostly-rewritten instance is cheaper to rebuild than to fold).
+	// 0 selects the default of 0.5.
+	DeltaFallbackRatio float64
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +68,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.DeltaFallbackRatio <= 0 {
+		o.DeltaFallbackRatio = 0.5
 	}
 	return o
 }
@@ -97,6 +107,14 @@ type SingleResult struct {
 	// MinedPatterns counts pattern tuples contributed by the mining
 	// preprocessing (0 when mining was off or not applicable).
 	MinedPatterns int
+	// Incremental reports that the run served from retained delta
+	// state: Metrics/ShippedTuples/ModeledTime then hold the modeled
+	// full-recompute equivalent (byte-identical to a fresh Detect on
+	// the same data), while DeltaShippedTuples/DeltaShippedBytes count
+	// what actually crossed the wire.
+	Incremental        bool
+	DeltaShippedTuples int64
+	DeltaShippedBytes  int64
 }
 
 // SetResult reports a multi-CFD detection run (SeqDetect/ClustDetect).
@@ -116,6 +134,11 @@ type SetResult struct {
 	// Clusters lists, for ClustDetect, the CFD index groups processed
 	// together; for SeqDetect each CFD is its own cluster.
 	Clusters [][]int
+	// Incremental marks a run served from retained delta state; see
+	// SingleResult.Incremental for the accounting contract.
+	Incremental        bool
+	DeltaShippedTuples int64
+	DeltaShippedBytes  int64
 }
 
 // padPatterns converts an X-tuple pattern relation into the Vioπ form:

@@ -19,8 +19,12 @@ import (
 // blocks in parallel.
 //
 // DetectSingle is the one-shot form: it compiles the CFD's plan and
-// runs it once. Callers detecting the same Σ repeatedly should compile
-// once with CompileSingle/CompileSet and reuse the plan.
+// runs it once.
+//
+// Deprecated: compile once with CompileSingle and serve repeated
+// traffic through SinglePlan.Detect (or DetectIncremental under delta
+// traffic); this wrapper recompiles the Σ-side work on every call. It
+// remains for tests and single-use tooling.
 func DetectSingle(cl *Cluster, c *cfd.CFD, algo Algorithm, opt Options) (*SingleResult, error) {
 	return DetectSingleCtx(context.Background(), cl, c, algo, opt)
 }

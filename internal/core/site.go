@@ -102,6 +102,29 @@ type SiteAPI interface {
 	// support ≥ theta·|Di| (Section IV-B wildcard optimization),
 	// reporting each pattern's relative support at this site.
 	MineFrequent(ctx context.Context, x []string, theta float64) ([]mining.Pattern, error)
+
+	// Incremental surface (wire v4). ApplyDelta mutates the local
+	// fragment, maintains the serving caches generation-by-generation
+	// instead of resetting them, and appends the delta to a bounded log
+	// the methods below read. ApplyDelta must not run concurrently with
+	// detection against the same site — the driver serializes them, the
+	// same single-writer contract plain mutation always had.
+	ApplyDelta(ctx context.Context, d relation.Delta) (DeltaInfo, error)
+	// ExtractDeltaBlocks σ-routes the log suffix after fromGen and
+	// returns, per wanted block, the inserted and deleted tuples
+	// projected onto attrs. fromGen < 0 seeds: the full current blocks
+	// are returned as inserts. A fromGen the log no longer covers (or a
+	// fragment mutated behind the log's back) fails with a stale error
+	// (IsStaleIncremental), telling the driver to reseed.
+	ExtractDeltaBlocks(ctx context.Context, spec *BlockSpec, attrs []string, wanted []int, fromGen int64) (*DeltaBlocks, error)
+	// FoldDetect folds this site's own delta (its local blocks) plus
+	// the delta deposits shipped for the session into the session's
+	// retained per-(CFD, block) group states and returns the current
+	// violating X-patterns per CFD over the listed blocks.
+	FoldDetect(ctx context.Context, args FoldArgs) (*FoldReply, error)
+	// DropSession releases the retained incremental state of a session
+	// (reseed or teardown). Unknown sessions are a no-op.
+	DropSession(session string) error
 }
 
 // Cache bounds: both per-site caches are reset wholesale when they
@@ -117,10 +140,42 @@ const (
 
 // sigmaEntry is one cached σ-routing of the fragment: the per-tuple
 // block assignment and per-block counts for a spec fingerprint.
-// Entries are immutable once stored; readers share them.
+// Readers share entries; between detection runs ApplyDelta maintains
+// them in place (replaying the delta's row swaps and routing only the
+// inserted tuples), which is safe under the single-writer contract —
+// mutation never overlaps detection.
 type sigmaEntry struct {
+	spec   *BlockSpec
 	assign []int
 	counts []int
+}
+
+// applyDelta maintains the entry across one fragment delta: deletes
+// replay the same swap-with-last moves the tuple slice saw, inserts
+// are routed and appended. xi maps spec.X into the fragment schema.
+func (e *sigmaEntry) applyDelta(delIdx []int, ins []relation.Tuple, xi []int) {
+	for _, di := range delIdx {
+		if l := e.assign[di]; l >= 0 {
+			e.counts[l]--
+		}
+		last := len(e.assign) - 1
+		e.assign[di] = e.assign[last]
+		e.assign = e.assign[:last]
+	}
+	if len(ins) == 0 {
+		return
+	}
+	xv := make([]string, len(xi))
+	for _, t := range ins {
+		for j, c := range xi {
+			xv[j] = t[c]
+		}
+		l := e.spec.Assign(xv)
+		e.assign = append(e.assign, l)
+		if l >= 0 {
+			e.counts[l]++
+		}
+	}
 }
 
 // Site is the in-process SiteAPI: it owns one horizontal fragment and
@@ -150,7 +205,19 @@ type Site struct {
 
 	constMu  sync.Mutex
 	constEnc *relation.Encoded
-	consts   map[string]*relation.Relation
+	consts   map[string]*constEntry
+
+	// Incremental serving state (see site_delta.go): the fragment
+	// generation, the bounded delta log, the encoded-view identity the
+	// log is consistent with, and the retained fold sessions.
+	deltaMu   sync.Mutex
+	gen       int64
+	dlog      []deltaLogEntry
+	dlogStart int64 // the log covers generations (dlogStart, gen]
+	encAtGen  *relation.Encoded
+
+	sessMu   sync.Mutex
+	sessions map[string]*foldSession
 }
 
 var _ SiteAPI = (*Site)(nil)
@@ -163,6 +230,7 @@ func NewSite(id int, frag *relation.Relation, pred relation.Predicate) *Site {
 		pred:      pred,
 		deposits:  make(map[string][]*relation.Relation),
 		cancelled: make(map[string]struct{}),
+		sessions:  make(map[string]*foldSession),
 	}
 }
 
@@ -214,7 +282,7 @@ func (s *Site) assignAll(spec *BlockSpec) (*sigmaEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	ent := &sigmaEntry{assign: assign, counts: counts}
+	ent := &sigmaEntry{spec: spec, assign: assign, counts: counts}
 	s.sigMu.Lock()
 	defer s.sigMu.Unlock()
 	if s.sigEnc != e {
@@ -294,12 +362,20 @@ func (s *Site) ExtractBlocksBatch(ctx context.Context, spec *BlockSpec, attrs []
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	return s.fullBlocks(spec, attrs, wanted, s.frag.Schema().Name()+"_ship")
+}
+
+// fullBlocks σ-routes the fragment once (via the maintained cache) and
+// returns every requested block projected onto attrs, empty blocks
+// included as empty relations — the one extraction shared by
+// ExtractBlocksBatch and the incremental surface's seed paths.
+func (s *Site) fullBlocks(spec *BlockSpec, attrs []string, blocks []int, name string) (map[int]*relation.Relation, error) {
 	ent, err := s.assignAll(spec)
 	if err != nil {
 		return nil, err
 	}
-	rowsByBlock := make(map[int][]int, len(wanted))
-	for _, l := range wanted {
+	rowsByBlock := make(map[int][]int, len(blocks))
+	for _, l := range blocks {
 		if l < 0 || l >= spec.K() {
 			return nil, fmt.Errorf("core: site %d: block %d out of range [0,%d)", s.id, l, spec.K())
 		}
@@ -310,9 +386,9 @@ func (s *Site) ExtractBlocksBatch(ctx context.Context, spec *BlockSpec, attrs []
 			rowsByBlock[ent.assign[i]] = append(rows, i)
 		}
 	}
-	out := make(map[int]*relation.Relation, len(wanted))
-	for _, l := range wanted {
-		r, err := s.frag.ProjectRows(s.frag.Schema().Name()+"_ship", attrs, rowsByBlock[l])
+	out := make(map[int]*relation.Relation, len(blocks))
+	for _, l := range blocks {
+		r, err := s.frag.ProjectRows(name, attrs, rowsByBlock[l])
 		if err != nil {
 			return nil, err
 		}
@@ -561,12 +637,24 @@ func (s *Site) DetectTask(ctx context.Context, task string, local LocalInput, cf
 	return out, nil
 }
 
+// constEntry pairs a maintained constant-unit state with its last
+// extracted result: the extraction is invalidated (out = nil) whenever
+// a delta folds into the state, so a warm repeated rule still costs
+// one cache probe, as the plan-once/detect-many path always did.
+type constEntry struct {
+	st  *engine.IncrementalState
+	out *relation.Relation
+}
+
 // DetectConstantsLocal checks c's constant units against the local
 // fragment (no shipment, Proposition 5), reporting distinct violating
-// X-patterns over c.X. Results are cached per CFD content and fragment
-// state: under plan-once/detect-many serving the constant phase of a
-// repeated rule costs one cache probe instead of a fragment scan. The
-// returned relation is shared — callers must not mutate it.
+// X-patterns over c.X. The matched-set state behind the answer is
+// cached per CFD content and maintained generation-by-generation by
+// ApplyDelta, so under delta traffic the constant phase of a repeated
+// rule costs at most an extraction over the current violations instead
+// of a fragment scan; a scan happens only on first sight of the CFD
+// (or after a non-delta mutation reset the cache). The returned
+// relation is shared — callers must not mutate it.
 func (s *Site) DetectConstantsLocal(ctx context.Context, c *cfd.CFD) (*relation.Relation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -575,72 +663,67 @@ func (s *Site) DetectConstantsLocal(ctx context.Context, c *cfd.CFD) (*relation.
 	fp := cfdFingerprint(c)
 	s.constMu.Lock()
 	if s.constEnc != e {
-		s.consts = make(map[string]*relation.Relation)
+		s.consts = make(map[string]*constEntry)
 		s.constEnc = e
 	}
-	if cached, ok := s.consts[fp]; ok {
+	ent, ok := s.consts[fp]
+	if ok && ent.out != nil {
 		s.constMu.Unlock()
-		return cached, nil
+		return ent.out, nil
 	}
 	s.constMu.Unlock()
-
-	out, err := s.detectConstantsUncached(c)
-	if err != nil {
-		return nil, err
-	}
-	s.constMu.Lock()
-	defer s.constMu.Unlock()
-	if s.constEnc != e {
-		return out, nil
-	}
-	if prev, ok := s.consts[fp]; ok {
-		return prev, nil
-	}
-	if len(s.consts) >= constCacheCap {
-		s.consts = make(map[string]*relation.Relation)
-	}
-	s.consts[fp] = out
-	return out, nil
-}
-
-func (s *Site) detectConstantsUncached(c *cfd.CFD) (*relation.Relation, error) {
-	consts, _ := c.SplitConstantVariable()
-	xi, err := s.frag.Schema().Indices(c.X)
-	if err != nil {
-		return nil, err
+	if !ok {
+		built, err := s.buildConstState(c)
+		if err != nil {
+			return nil, err
+		}
+		ent = &constEntry{st: built}
+		s.constMu.Lock()
+		if s.constEnc == e {
+			if prev, dup := s.consts[fp]; dup {
+				ent = prev
+			} else {
+				if len(s.consts) >= constCacheCap {
+					s.consts = make(map[string]*constEntry)
+				}
+				s.consts[fp] = ent
+			}
+		}
+		s.constMu.Unlock()
 	}
 	ps, err := s.frag.Schema().Project("viopi_"+c.Name, c.X)
 	if err != nil {
 		return nil, err
 	}
 	out := relation.New(ps)
-	if len(consts) == 0 {
-		return out, nil
+	// Extraction runs under the lock: the state's maps must not be read
+	// while ApplyDelta folds a delta into them, and concurrent callers
+	// of the same entry should share one extraction.
+	s.constMu.Lock()
+	defer s.constMu.Unlock()
+	if ent.out != nil {
+		return ent.out, nil
 	}
-	bad := make(map[int]struct{})
-	for _, u := range consts {
-		vio, err := engine.DetectUnit(s.frag, u)
-		if err != nil {
-			return nil, err
-		}
-		for _, i := range vio {
-			bad[i] = struct{}{}
-		}
-	}
-	seen := map[string]struct{}{}
-	for i := range bad {
-		t := s.frag.Tuple(i)
-		k := t.Key(xi)
-		if _, dup := seen[k]; dup {
-			continue
-		}
-		seen[k] = struct{}{}
-		out.MustAppend(t.Project(xi))
-	}
+	ent.st.Patterns(out, map[string]struct{}{})
 	if err := out.SortBy(c.X...); err != nil {
 		return nil, err
 	}
+	ent.out = out
 	return out, nil
+}
+
+// buildConstState scans the fragment into a fresh constant-unit state.
+func (s *Site) buildConstState(c *cfd.CFD) (*engine.IncrementalState, error) {
+	st, err := engine.NewIncrementalState(s.frag.Schema(), c, true)
+	if err != nil {
+		return nil, err
+	}
+	if st.HasUnits() {
+		for _, t := range s.frag.Tuples() {
+			st.Insert(t)
+		}
+	}
+	return st, nil
 }
 
 // MineFrequent mines closed frequent LHS patterns over x with support

@@ -1,0 +1,548 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/engine"
+	"distcfd/internal/relation"
+)
+
+// This file is the site half of incremental detection: every site
+// keeps a fragment generation counter, a bounded log of applied deltas
+// (inserted tuples and the removed tuples' values), and — when it
+// coordinates σ-blocks for an incremental session — retained
+// per-(CFD, block) group states (engine.IncrementalState) that delta
+// blocks are folded into. ApplyDelta additionally maintains the
+// serving caches of plan-once/detect-many (σ-routing entries, the
+// constant-unit matched sets) generation by generation, replacing the
+// former "any mutation ⇒ wholesale reset" with an O(|Δ|) refresh, so a
+// fresh full Detect after deltas is cheap too.
+
+// Bounds. A driver that falls further behind than the log keeps (or
+// whose session was evicted) gets a stale error and reseeds.
+const (
+	deltaLogCap = 512
+	sessionsCap = 32
+)
+
+// staleMarker survives the trip through net/rpc's string-typed errors,
+// so IsStaleIncremental works on both sides of the wire.
+const staleMarker = "incremental state stale"
+
+// ErrStaleIncremental reports that a site cannot serve an incremental
+// request from retained state — the delta log was trimmed past the
+// driver's watermark, the session's fold states were evicted, or the
+// fragment was mutated behind the log's back (a non-delta mutation).
+// The driver recovers by reseeding: one full shipment rebuilds the
+// retained state, and subsequent rounds are incremental again.
+var ErrStaleIncremental = errors.New("core: " + staleMarker + " — full reseed required")
+
+// IsStaleIncremental reports whether err (possibly a net/rpc-flattened
+// string) is the stale-state signal.
+func IsStaleIncremental(err error) bool {
+	return err != nil && strings.Contains(err.Error(), staleMarker)
+}
+
+// DeltaInfo reports the site state after an ApplyDelta.
+type DeltaInfo struct {
+	// Gen is the fragment generation after the delta: one per apply,
+	// plus one fence step when the apply found a mutation that had
+	// bypassed the delta log.
+	Gen int64
+	// NumTuples is the new fragment size |Di|.
+	NumTuples int
+}
+
+// DeltaBlocks is the σ-routed view of a site's delta log suffix: per
+// requested block, the inserted and the deleted tuples projected onto
+// the task attributes. Empty blocks are omitted.
+type DeltaBlocks struct {
+	// ToGen is the generation the extraction covers up to — the
+	// driver's next watermark for this site.
+	ToGen int64
+	// TotalIns / TotalDel count the log suffix before block filtering;
+	// the driver's delete-ratio fallback heuristic reads them.
+	TotalIns, TotalDel int
+	// Ins and Del map block index → projected tuples.
+	Ins, Del map[int]*relation.Relation
+}
+
+// FoldArgs parameterizes a coordinator's incremental detection step.
+type FoldArgs struct {
+	// Session names the retained state; minted once per (plan unit,
+	// seed) by the driver, never reused.
+	Session string
+	// Spec is the σ-partitioning in effect.
+	Spec *BlockSpec
+	// Blocks lists every block this site coordinates for the session.
+	Blocks []int
+	// CFDs are the dependencies checked inside each block. With
+	// RestrictSingle (the single-CFD pipeline), CFDs holds exactly one
+	// entry and each block checks the Lemma 6 restriction of it;
+	// otherwise every CFD's full tableau is checked per block (the
+	// ClustDetect coordinator step).
+	CFDs           []*cfd.CFD
+	RestrictSingle bool
+	// Seed resets the session's states and folds the full local blocks
+	// (deposits then carry the other sites' full blocks as inserts).
+	Seed bool
+	// FromGen is the local-delta watermark: non-seed folds consume the
+	// log suffix after it for the session's blocks.
+	FromGen int64
+}
+
+// FoldReply reports a coordinator's fold: the current violating
+// X-patterns per CFD (distinct, unioned over the session's blocks) and
+// the generation the local fold advanced to.
+type FoldReply struct {
+	Patterns []*relation.Relation
+	ToGen    int64
+}
+
+// deltaLogEntry is one applied delta: the inserted tuples and the
+// removed tuples' values (full schema), which is all downstream state
+// needs — σ-routing and group folding are value-based.
+type deltaLogEntry struct {
+	gen int64
+	ins []relation.Tuple
+	del []relation.Tuple
+}
+
+// foldSession is the retained coordinator state of one incremental
+// session: per block, one IncrementalState per folded CFD.
+type foldSession struct {
+	specFP string
+	states map[int][]*engine.IncrementalState
+	schema *relation.Schema // the task projection the states fold
+}
+
+// ApplyDelta applies d to the fragment, advances the generation, logs
+// the delta, and maintains the serving caches in place. It must not
+// run concurrently with detection on this site (single-writer, as for
+// any mutation); concurrent readers holding the previous encoded view
+// stay consistent (see relation.Apply).
+func (s *Site) ApplyDelta(ctx context.Context, d relation.Delta) (DeltaInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return DeltaInfo{}, err
+	}
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+	delIdx, err := relation.NormalizeDeletes(d.Deletes, s.frag.Len())
+	if err != nil {
+		return DeltaInfo{}, err
+	}
+	for i, t := range d.Inserts {
+		if !s.pred.IsTrue() && !s.pred.Eval(s.frag.Schema(), t) {
+			// Di = σFi(D) is an invariant the Fi ∧ Fφ pruning relies on;
+			// silently accepting a tuple the predicate excludes would
+			// make both fresh and incremental detection skip it.
+			return DeltaInfo{}, fmt.Errorf("core: site %d: delta insert %d violates the fragment predicate %v", s.id, i, s.pred)
+		}
+	}
+	pre := s.frag.EncodedIfBuilt()
+	// A mutation that bypassed ApplyDelta (Append/SortBy) left the log
+	// and every retained session blind to it; fence them out before
+	// logging this delta, or later rounds would fold a log suffix that
+	// silently misses the foreign change.
+	s.fenceForeignLocked(pre)
+	removed, err := s.frag.Apply(d)
+	if err != nil {
+		return DeltaInfo{}, err
+	}
+	post := s.frag.Encoded()
+	s.gen++
+	s.dlog = append(s.dlog, deltaLogEntry{gen: s.gen, ins: d.Inserts, del: removed})
+	if len(s.dlog) > deltaLogCap {
+		drop := len(s.dlog) - deltaLogCap
+		s.dlogStart = s.dlog[drop-1].gen
+		s.dlog = append(s.dlog[:0:0], s.dlog[drop:]...)
+	}
+	s.maintainSigma(pre, post, delIdx, d.Inserts)
+	s.maintainConsts(pre, post, removed, d.Inserts)
+	s.encAtGen = post
+	return DeltaInfo{Gen: s.gen, NumTuples: s.frag.Len()}, nil
+}
+
+// Generation returns the fragment generation (for tests and tooling).
+func (s *Site) Generation() int64 {
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+	return s.gen
+}
+
+// maintainSigma rolls every cached σ-routing entry forward across one
+// delta when the cache matches the pre-delta view; a cache already
+// stale (non-delta mutation interleaved) is dropped instead.
+func (s *Site) maintainSigma(pre, post *relation.Encoded, delIdx []int, ins []relation.Tuple) {
+	s.sigMu.Lock()
+	defer s.sigMu.Unlock()
+	if len(s.sigma) == 0 {
+		return
+	}
+	if s.sigEnc == nil || s.sigEnc != pre {
+		s.sigma = make(map[string]*sigmaEntry)
+		s.sigEnc = nil
+		return
+	}
+	for _, ent := range s.sigma {
+		xi, err := s.frag.Schema().Indices(ent.spec.X)
+		if err != nil {
+			// Cannot happen for entries built against this schema;
+			// degrade to a reset rather than serve wrong routing.
+			s.sigma = make(map[string]*sigmaEntry)
+			s.sigEnc = nil
+			return
+		}
+		ent.applyDelta(delIdx, ins, xi)
+	}
+	s.sigEnc = post
+}
+
+// maintainConsts folds one delta into every cached constant-unit state
+// when the cache matches the pre-delta view.
+func (s *Site) maintainConsts(pre, post *relation.Encoded, removed, ins []relation.Tuple) {
+	s.constMu.Lock()
+	defer s.constMu.Unlock()
+	if len(s.consts) == 0 {
+		return
+	}
+	if s.constEnc == nil || s.constEnc != pre {
+		s.consts = make(map[string]*constEntry)
+		s.constEnc = nil
+		return
+	}
+	for _, ent := range s.consts {
+		ent.out = nil // the cached extraction no longer matches
+		if !ent.st.HasUnits() {
+			continue
+		}
+		for _, t := range removed {
+			ent.st.Delete(t)
+		}
+		for _, t := range ins {
+			ent.st.Insert(t)
+		}
+	}
+	s.constEnc = post
+}
+
+// deltaConsistent reports whether the delta log still describes the
+// fragment: false after a non-delta mutation (Append/SortBy), which
+// the log cannot see.
+func (s *Site) deltaConsistent() bool {
+	return s.encAtGen != nil && s.encAtGen == s.frag.EncodedIfBuilt()
+}
+
+// reanchorLocked re-anchors the delta log on the fragment's current
+// state at a seed. If the fragment was mutated outside ApplyDelta, the
+// log and every retained fold state at this site are blind to the
+// change, and the damage is not limited to the seeding session — other
+// sessions' watermarks still look servable. So the re-anchor fences
+// them out: the generation advances past every outstanding watermark,
+// the log is trimmed to the fence (any fromGen below it now reports
+// stale, forcing those sessions to reseed too), and the fold sessions
+// are dropped wholesale. Callers hold deltaMu.
+func (s *Site) reanchorLocked() {
+	cur := s.frag.Encoded()
+	s.fenceForeignLocked(cur)
+	s.encAtGen = cur
+}
+
+// fenceForeignLocked fences out every outstanding watermark and fold
+// session when the fragment's current encoded view no longer matches
+// the anchored one: the generation advances past all handed-out
+// watermarks, the log is trimmed to the fence, and the sessions are
+// dropped. A nil anchor means no watermark was ever handed out (no
+// ApplyDelta, no seed), so there is nothing to fence. Callers hold
+// deltaMu and re-anchor encAtGen themselves afterwards.
+func (s *Site) fenceForeignLocked(cur *relation.Encoded) {
+	if s.encAtGen == nil || s.encAtGen == cur {
+		return
+	}
+	s.gen++
+	s.dlogStart = s.gen
+	s.dlog = nil
+	s.sessMu.Lock()
+	s.sessions = make(map[string]*foldSession)
+	s.sessMu.Unlock()
+}
+
+// ExtractDeltaBlocks implements SiteAPI: the σ-routed log suffix after
+// fromGen (or, seeding with fromGen < 0, the full current blocks as
+// inserts), projected onto attrs, for the wanted blocks.
+func (s *Site) ExtractDeltaBlocks(ctx context.Context, spec *BlockSpec, attrs []string, wanted []int, fromGen int64) (*DeltaBlocks, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+	for _, l := range wanted {
+		if l < 0 || l >= spec.K() {
+			return nil, fmt.Errorf("core: site %d: delta block %d out of range [0,%d)", s.id, l, spec.K())
+		}
+	}
+	if fromGen < 0 {
+		// Seed: re-anchor the log (fencing out every stale session if
+		// the fragment was mutated behind it), then ship the full
+		// current blocks as one big insert delta.
+		s.reanchorLocked()
+		out := &DeltaBlocks{ToGen: s.gen, Ins: map[int]*relation.Relation{}, Del: map[int]*relation.Relation{}}
+		full, err := s.fullBlocks(spec, attrs, wanted, s.frag.Schema().Name()+"_ship")
+		if err != nil {
+			return nil, err
+		}
+		for l, r := range full {
+			if r.Len() > 0 {
+				out.Ins[l] = r
+			}
+		}
+		return out, nil
+	}
+	out := &DeltaBlocks{ToGen: s.gen, Ins: map[int]*relation.Relation{}, Del: map[int]*relation.Relation{}}
+	if !s.deltaConsistent() {
+		return nil, fmt.Errorf("%w (site %d: fragment mutated outside ApplyDelta)", ErrStaleIncremental, s.id)
+	}
+	if fromGen < s.dlogStart || fromGen > s.gen {
+		return nil, fmt.Errorf("%w (site %d: asked from generation %d, log covers (%d,%d])",
+			ErrStaleIncremental, s.id, fromGen, s.dlogStart, s.gen)
+	}
+	ins, del, totIns, totDel, err := s.routeLogSuffix(spec, attrs, wanted, fromGen)
+	if err != nil {
+		return nil, err
+	}
+	out.Ins, out.Del, out.TotalIns, out.TotalDel = ins, del, totIns, totDel
+	return out, nil
+}
+
+// routeLogSuffix σ-routes every logged tuple after fromGen and
+// projects the ones landing in a wanted block. Callers hold deltaMu.
+func (s *Site) routeLogSuffix(spec *BlockSpec, attrs []string, wanted []int, fromGen int64) (ins, del map[int]*relation.Relation, totIns, totDel int, err error) {
+	schema := s.frag.Schema()
+	xi, err := schema.Indices(spec.X)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	ai, err := schema.Indices(attrs)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	ps, err := schema.Project(schema.Name()+"_ship", attrs)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	wantedSet := make(map[int]bool, len(wanted))
+	for _, l := range wanted {
+		wantedSet[l] = true
+	}
+	insRows := map[int][]relation.Tuple{}
+	delRows := map[int][]relation.Tuple{}
+	xv := make([]string, len(xi))
+	route := func(t relation.Tuple, into map[int][]relation.Tuple) {
+		for j, c := range xi {
+			xv[j] = t[c]
+		}
+		if l := spec.Assign(xv); l >= 0 && wantedSet[l] {
+			into[l] = append(into[l], t.Project(ai))
+		}
+	}
+	for _, e := range s.dlog {
+		if e.gen <= fromGen {
+			continue
+		}
+		totIns += len(e.ins)
+		totDel += len(e.del)
+		for _, t := range e.ins {
+			route(t, insRows)
+		}
+		for _, t := range e.del {
+			route(t, delRows)
+		}
+	}
+	build := func(rows map[int][]relation.Tuple) (map[int]*relation.Relation, error) {
+		out := make(map[int]*relation.Relation, len(rows))
+		for l, ts := range rows {
+			r, err := relation.FromTuples(ps, ts)
+			if err != nil {
+				return nil, err
+			}
+			out[l] = r
+		}
+		return out, nil
+	}
+	if ins, err = build(insRows); err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if del, err = build(delRows); err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return ins, del, totIns, totDel, nil
+}
+
+// FoldDetect implements SiteAPI: the coordinator's incremental step.
+func (s *Site) FoldDetect(ctx context.Context, args FoldArgs) (*FoldReply, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(args.CFDs) == 0 {
+		return nil, fmt.Errorf("core: site %d: FoldDetect with no CFDs", s.id)
+	}
+	if args.RestrictSingle && len(args.CFDs) != 1 {
+		return nil, fmt.Errorf("core: site %d: RestrictSingle with %d CFDs", s.id, len(args.CFDs))
+	}
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+
+	attrs := taskAttrs(args.Spec, args.CFDs)
+	schema := s.frag.Schema()
+	ps, err := schema.Project(schema.Name()+"_fold", attrs)
+	if err != nil {
+		return nil, err
+	}
+
+	if args.Seed {
+		// Fence out stale sessions before (re)creating this one if the
+		// fragment was mutated behind the log.
+		s.reanchorLocked()
+	}
+	sess, err := s.foldSessionFor(args, ps)
+	if err != nil {
+		return nil, err
+	}
+
+	// Local contribution: full blocks on seed, the routed log suffix
+	// otherwise (the coordinator's own delta never ships).
+	var localIns, localDel map[int]*relation.Relation
+	if args.Seed {
+		localIns, err = s.fullBlocks(args.Spec, attrs, args.Blocks, schema.Name()+"_fold")
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if !s.deltaConsistent() {
+			return nil, fmt.Errorf("%w (site %d: fragment mutated outside ApplyDelta)", ErrStaleIncremental, s.id)
+		}
+		if args.FromGen < s.dlogStart || args.FromGen > s.gen {
+			return nil, fmt.Errorf("%w (site %d: fold from generation %d, log covers (%d,%d])",
+				ErrStaleIncremental, s.id, args.FromGen, s.dlogStart, s.gen)
+		}
+		localIns, localDel, _, _, err = s.routeLogSuffix(args.Spec, attrs, args.Blocks, args.FromGen)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for _, l := range args.Blocks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		states, err := sess.statesFor(l, args)
+		if err != nil {
+			return nil, err
+		}
+		depIns := s.takeDeposits(BlockTask(args.Session, l) + "/ins")
+		depDel := s.takeDeposits(BlockTask(args.Session, l) + "/del")
+		for _, st := range states {
+			if err := st.FoldRelation(localIns[l], true); err != nil {
+				return nil, err
+			}
+			if err := st.FoldRelation(localDel[l], false); err != nil {
+				return nil, err
+			}
+			for _, dep := range depIns {
+				if err := st.FoldRelation(dep, true); err != nil {
+					return nil, err
+				}
+			}
+			for _, dep := range depDel {
+				if err := st.FoldRelation(dep, false); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	reply := &FoldReply{ToGen: s.gen, Patterns: make([]*relation.Relation, len(args.CFDs))}
+	for ci, c := range args.CFDs {
+		pschema, err := schema.Project("viopi_"+c.Name, c.X)
+		if err != nil {
+			return nil, err
+		}
+		union := relation.New(pschema)
+		seen := map[string]struct{}{}
+		for _, l := range args.Blocks {
+			if states := sess.states[l]; states != nil {
+				states[ci].Patterns(union, seen)
+			}
+		}
+		reply.Patterns[ci] = union
+	}
+	return reply, nil
+}
+
+// foldSessionFor resolves (or, seeding, resets) the named session.
+// Callers hold deltaMu; the sessions map has its own lock because
+// DropSession must work even while a fold is running elsewhere.
+func (s *Site) foldSessionFor(args FoldArgs, ps *relation.Schema) (*foldSession, error) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if args.Seed {
+		if len(s.sessions) >= sessionsCap {
+			s.sessions = make(map[string]*foldSession)
+		}
+		sess := &foldSession{
+			specFP: args.Spec.Fingerprint(),
+			states: make(map[int][]*engine.IncrementalState),
+			schema: ps,
+		}
+		s.sessions[args.Session] = sess
+		return sess, nil
+	}
+	sess, ok := s.sessions[args.Session]
+	if !ok {
+		return nil, fmt.Errorf("%w (site %d: unknown session %q)", ErrStaleIncremental, s.id, args.Session)
+	}
+	if sess.specFP != args.Spec.Fingerprint() {
+		return nil, fmt.Errorf("%w (site %d: session %q folded a different spec)", ErrStaleIncremental, s.id, args.Session)
+	}
+	return sess, nil
+}
+
+// statesFor returns (creating on first touch) the per-CFD states of
+// one block. Blocks born after the seed — empty cluster-wide when the
+// session started — begin empty here and receive their entire content
+// as deltas, which reconstructs them exactly.
+func (sess *foldSession) statesFor(l int, args FoldArgs) ([]*engine.IncrementalState, error) {
+	if states := sess.states[l]; states != nil {
+		if len(states) != len(args.CFDs) {
+			return nil, fmt.Errorf("%w (block %d folded %d CFDs, asked %d)",
+				ErrStaleIncremental, l, len(states), len(args.CFDs))
+		}
+		return states, nil
+	}
+	states := make([]*engine.IncrementalState, len(args.CFDs))
+	for ci, c := range args.CFDs {
+		folded := c
+		if args.RestrictSingle {
+			folded = args.Spec.RestrictCFD(c, l)
+		}
+		st, err := engine.NewIncrementalState(sess.schema, folded, false)
+		if err != nil {
+			return nil, err
+		}
+		states[ci] = st
+	}
+	sess.states[l] = states
+	return states, nil
+}
+
+// DropSession implements SiteAPI: release a session's retained states.
+func (s *Site) DropSession(session string) error {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	delete(s.sessions, session)
+	return nil
+}

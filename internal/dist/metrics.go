@@ -31,6 +31,17 @@ type Metrics struct {
 	bytes    []int64
 	ctlMsgs  []int64
 	ctlBytes []int64
+	// Delta channel: the tuples an incremental run actually put on the
+	// wire (delta blocks — inserts plus delete records), kept apart
+	// from the tuples matrix, which an incremental run fills with the
+	// modeled full-recompute equivalent so ShippedTuples and
+	// ModeledTime stay comparable across serving modes. Equivalent
+	// *bytes* would require materializing the unshipped blocks, so the
+	// regular bytes matrix stays zero on incremental runs and byte
+	// accounting lives on this channel. The ΔD-scaling figures plot
+	// this channel.
+	deltaTuples []int64
+	deltaBytes  []int64
 }
 
 // NewMetrics creates metrics for an n-site cluster. n may be zero (an
@@ -40,11 +51,13 @@ func NewMetrics(n int) *Metrics {
 		panic(fmt.Sprintf("dist: NewMetrics with %d sites", n))
 	}
 	return &Metrics{
-		n:        n,
-		tuples:   make([]int64, n*n),
-		bytes:    make([]int64, n*n),
-		ctlMsgs:  make([]int64, n*n),
-		ctlBytes: make([]int64, n*n),
+		n:           n,
+		tuples:      make([]int64, n*n),
+		bytes:       make([]int64, n*n),
+		ctlMsgs:     make([]int64, n*n),
+		ctlBytes:    make([]int64, n*n),
+		deltaTuples: make([]int64, n*n),
+		deltaBytes:  make([]int64, n*n),
 	}
 }
 
@@ -78,6 +91,31 @@ func (m *Metrics) Control(from, to int, payloadBytes int64) {
 	m.ctlMsgs[i]++
 	m.ctlBytes[i] += payloadBytes
 	m.mu.Unlock()
+}
+
+// ShipDelta records site `from` shipping a delta block of n tuples
+// (inserts or delete records) totalling payloadBytes to site `to` on
+// the incremental data plane. Safe for concurrent use.
+func (m *Metrics) ShipDelta(from, to, n int, payloadBytes int64) {
+	i := m.idx(from, to)
+	m.mu.Lock()
+	m.deltaTuples[i] += int64(n)
+	m.deltaBytes[i] += payloadBytes
+	m.mu.Unlock()
+}
+
+// DeltaTuples returns the total tuples shipped on the delta channel.
+func (m *Metrics) DeltaTuples() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sum64(m.deltaTuples)
+}
+
+// DeltaBytes returns the total delta-channel payload bytes.
+func (m *Metrics) DeltaBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sum64(m.deltaBytes)
 }
 
 // ReceivedBy returns the number of tuples shipped to site i.
@@ -168,6 +206,8 @@ func (m *Metrics) Merge(o *Metrics) {
 			m.bytes[i] += s.Bytes[from][to]
 			m.ctlMsgs[i] += s.CtlMsgs[from][to]
 			m.ctlBytes[i] += s.CtlBytes[from][to]
+			m.deltaTuples[i] += s.DeltaTuples[from][to]
+			m.deltaBytes[i] += s.DeltaBytes[from][to]
 		}
 	}
 }
@@ -185,12 +225,21 @@ type Report struct {
 	// CtlMsgs and CtlBytes are the control-plane matrices.
 	CtlMsgs  [][]int64
 	CtlBytes [][]int64
+	// DeltaTuples / DeltaBytes are the incremental data plane: what a
+	// delta-aware run actually shipped, while Tuples/Bytes report the
+	// modeled full-recompute equivalent (zero on one-shot runs, which
+	// record everything on the regular channel).
+	DeltaTuples [][]int64
+	DeltaBytes  [][]int64
 	// TotalTuples is |M|; TotalBytes the data-plane payload total.
 	TotalTuples int64
 	TotalBytes  int64
 	// ControlMessages / ControlBytes total the control plane.
 	ControlMessages int64
 	ControlBytes    int64
+	// TotalDeltaTuples / TotalDeltaBytes total the delta channel.
+	TotalDeltaTuples int64
+	TotalDeltaBytes  int64
 }
 
 // Snapshot copies the current counters into a Report.
@@ -198,15 +247,19 @@ func (m *Metrics) Snapshot() Report {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r := Report{
-		Sites:           m.n,
-		Tuples:          square(m.tuples, m.n),
-		Bytes:           square(m.bytes, m.n),
-		CtlMsgs:         square(m.ctlMsgs, m.n),
-		CtlBytes:        square(m.ctlBytes, m.n),
-		TotalTuples:     sum64(m.tuples),
-		TotalBytes:      sum64(m.bytes),
-		ControlMessages: sum64(m.ctlMsgs),
-		ControlBytes:    sum64(m.ctlBytes),
+		Sites:            m.n,
+		Tuples:           square(m.tuples, m.n),
+		Bytes:            square(m.bytes, m.n),
+		CtlMsgs:          square(m.ctlMsgs, m.n),
+		CtlBytes:         square(m.ctlBytes, m.n),
+		DeltaTuples:      square(m.deltaTuples, m.n),
+		DeltaBytes:       square(m.deltaBytes, m.n),
+		TotalTuples:      sum64(m.tuples),
+		TotalBytes:       sum64(m.bytes),
+		ControlMessages:  sum64(m.ctlMsgs),
+		ControlBytes:     sum64(m.ctlBytes),
+		TotalDeltaTuples: sum64(m.deltaTuples),
+		TotalDeltaBytes:  sum64(m.deltaBytes),
 	}
 	return r
 }
@@ -229,6 +282,10 @@ func (r Report) String() string {
 	}
 	fmt.Fprintf(&b, "total: %d tuples, %d bytes; control: %d messages, %d bytes\n",
 		r.TotalTuples, r.TotalBytes, r.ControlMessages, r.ControlBytes)
+	if r.TotalDeltaTuples > 0 || r.TotalDeltaBytes > 0 {
+		fmt.Fprintf(&b, "delta channel: %d tuples, %d bytes actually shipped\n",
+			r.TotalDeltaTuples, r.TotalDeltaBytes)
+	}
 	return b.String()
 }
 

@@ -29,9 +29,9 @@ func TestMetricsShipAndQuery(t *testing.T) {
 			wantSent:     []int64{0, 0, 0},
 		},
 		{
-			name:  "single shipment",
-			sites: 2,
-			ships: []ship{{0, 1, 5, 50}},
+			name:         "single shipment",
+			sites:        2,
+			ships:        []ship{{0, 1, 5, 50}},
 			wantTotal:    5,
 			wantBytes:    50,
 			wantReceived: []int64{0, 5},
@@ -49,9 +49,9 @@ func TestMetricsShipAndQuery(t *testing.T) {
 			wantSent:     []int64{8, 2, 7},
 		},
 		{
-			name:  "zero-tuple shipment still counts bytes",
-			sites: 2,
-			ships: []ship{{1, 0, 0, 9}},
+			name:         "zero-tuple shipment still counts bytes",
+			sites:        2,
+			ships:        []ship{{1, 0, 0, 9}},
 			wantTotal:    0,
 			wantBytes:    9,
 			wantReceived: []int64{0, 0},
@@ -242,5 +242,40 @@ func TestRelationBytes(t *testing.T) {
 	// (2+1)+(1+1) + (0+1)+(4+1) = 11
 	if got := RelationBytes(r); got != 11 {
 		t.Errorf("RelationBytes = %d, want 11", got)
+	}
+}
+
+// TestDeltaChannel pins the incremental data plane: ShipDelta
+// accumulates apart from the regular matrices, flows through Snapshot
+// and Merge, and never leaks into |M|.
+func TestDeltaChannel(t *testing.T) {
+	m := NewMetrics(3)
+	m.ShipTuples(0, 1, 10, 100)
+	m.ShipDelta(0, 1, 2, 20)
+	m.ShipDelta(2, 1, 3, 30)
+	if got := m.TotalTuples(); got != 10 {
+		t.Errorf("delta shipments leaked into |M|: %d", got)
+	}
+	if got := m.DeltaTuples(); got != 5 {
+		t.Errorf("DeltaTuples = %d, want 5", got)
+	}
+	if got := m.DeltaBytes(); got != 50 {
+		t.Errorf("DeltaBytes = %d, want 50", got)
+	}
+	r := m.Snapshot()
+	if r.TotalDeltaTuples != 5 || r.TotalDeltaBytes != 50 {
+		t.Errorf("report delta totals (%d, %d), want (5, 50)", r.TotalDeltaTuples, r.TotalDeltaBytes)
+	}
+	if r.DeltaTuples[2][1] != 3 || r.DeltaBytes[0][1] != 20 {
+		t.Errorf("report delta matrices wrong: %v %v", r.DeltaTuples, r.DeltaBytes)
+	}
+	other := NewMetrics(3)
+	other.ShipDelta(1, 0, 7, 70)
+	m.Merge(other)
+	if got := m.DeltaTuples(); got != 12 {
+		t.Errorf("merged DeltaTuples = %d, want 12", got)
+	}
+	if !strings.Contains(m.Snapshot().String(), "delta channel: 12 tuples") {
+		t.Errorf("report rendering omits the delta channel:\n%s", m.Snapshot())
 	}
 }

@@ -221,12 +221,37 @@ func TestRunAllTiny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(series) != 9 {
-		t.Errorf("RunAll produced %d series, want 9", len(series))
+	if len(series) != 10 {
+		t.Errorf("RunAll produced %d series, want 10", len(series))
 	}
-	for _, fig := range []string{"3(a)", "3(b)", "3(c)", "3(d)", "3(e)", "3(f)", "3(g)", "3(h)", "3(i)"} {
+	for _, fig := range []string{"3(a)", "3(b)", "3(c)", "3(d)", "3(e)", "3(f)", "3(g)", "3(h)", "3(i)", "Inc"} {
 		if !strings.Contains(buf.String(), fig) {
 			t.Errorf("output missing figure %s", fig)
 		}
+	}
+}
+
+func TestExpIncrementalShape(t *testing.T) {
+	s, err := ExpIncremental(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.XS) != 5 || len(s.Columns) != 2 {
+		t.Fatalf("series shape: %d × %d", len(s.XS), len(s.Columns))
+	}
+	inc, full := s.Col("incremental (delta channel)"), s.Col("full recompute")
+	// The delta channel undercuts the full recompute at every fraction
+	// and by ≥5× at the smallest ones (the acceptance floor is at 1%).
+	for i := range s.XS {
+		if inc[i] >= full[i] {
+			t.Errorf("at ΔD=%.1f%% incremental shipped %.0f ≥ full %.0f", s.XS[i], inc[i], full[i])
+		}
+	}
+	if inc[0]*5 > full[0] {
+		t.Errorf("at the smallest ΔD the saving is below 5×: %v vs %v", inc[0], full[0])
+	}
+	// The delta channel grows with |ΔD|.
+	if last(inc) <= inc[0] {
+		t.Errorf("delta shipments do not grow with ΔD: %v", inc)
 	}
 }

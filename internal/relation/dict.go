@@ -8,13 +8,30 @@ import "fmt"
 // which matters for the n·log n / hash-grouping `check` step the paper's
 // cost model charges at every site.
 //
+// A Dict is either a root (parent == nil) or a chained overlay over a
+// frozen parent layer: IDs below base live in the parent chain, IDs
+// from base on in this layer. Chaining is how the incremental encoding
+// path (Relation.Apply) grows a column's dictionary across generations
+// without mutating the layer the previous generation's readers still
+// hold — the parent is never written again once chained over. ID
+// assignment stays append-only and stable across generations, which is
+// what lets downstream ID-keyed state survive a delta.
+//
 // A Dict is not safe for concurrent mutation; each site owns its own.
 type Dict struct {
-	ids  map[string]uint32
-	vals []string
+	parent *Dict
+	base   uint32 // parent chain length at chain time; IDs < base resolve below
+	depth  int
+	ids    map[string]uint32
+	vals   []string
 }
 
-// NewDict creates an empty dictionary.
+// maxChainDepth bounds overlay chains: Chain flattens the parent into
+// a fresh root once the chain gets this deep, so Val/Lookup stay O(1)
+// amortized under arbitrarily long delta sequences.
+const maxChainDepth = 8
+
+// NewDict creates an empty root dictionary.
 func NewDict() *Dict {
 	return &Dict{ids: make(map[string]uint32)}
 }
@@ -33,34 +50,87 @@ func NewDictFromVals(vals []string) (*Dict, error) {
 	return d, nil
 }
 
-// ID returns the identifier for v, interning it on first sight.
+// Chain returns a fresh overlay dictionary over parent. The parent
+// must be frozen — never interned into again — which holds for every
+// built column's dictionary. New values intern into the overlay with
+// IDs continuing where the parent chain ends; parent IDs stay valid.
+// Deep chains are flattened so lookups never degrade past
+// maxChainDepth layers.
+func Chain(parent *Dict) *Dict {
+	if parent.depth+1 > maxChainDepth {
+		parent = parent.flatten()
+	}
+	return &Dict{
+		parent: parent,
+		base:   uint32(parent.Len()),
+		depth:  parent.depth + 1,
+		ids:    make(map[string]uint32),
+	}
+}
+
+// flatten copies the whole chain into a single fresh root, leaving
+// every source layer untouched.
+func (d *Dict) flatten() *Dict {
+	vals := d.Vals()
+	out := &Dict{ids: make(map[string]uint32, len(vals)), vals: vals}
+	for i, v := range vals {
+		out.ids[v] = uint32(i)
+	}
+	return out
+}
+
+// Depth returns the overlay chain depth (0 for a root dictionary).
+func (d *Dict) Depth() int { return d.depth }
+
+// ID returns the identifier for v, interning it on first sight. On a
+// chained dictionary the value is interned into the top layer; lower
+// layers are read, never written.
 func (d *Dict) ID(v string) uint32 {
-	if id, ok := d.ids[v]; ok {
+	if id, ok := d.Lookup(v); ok {
 		return id
 	}
-	id := uint32(len(d.vals))
+	id := d.base + uint32(len(d.vals))
 	d.ids[v] = id
 	d.vals = append(d.vals, v)
 	return id
 }
 
 // Lookup returns the identifier for v without interning;
-// ok=false if v has never been seen.
+// ok=false if v has never been seen anywhere in the chain.
 func (d *Dict) Lookup(v string) (uint32, bool) {
-	id, ok := d.ids[v]
-	return id, ok
+	for e := d; e != nil; e = e.parent {
+		if id, ok := e.ids[v]; ok {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
 // Val returns the string for identifier id.
-func (d *Dict) Val(id uint32) string { return d.vals[id] }
+func (d *Dict) Val(id uint32) string {
+	e := d
+	for id < e.base {
+		e = e.parent
+	}
+	return e.vals[id-e.base]
+}
 
-// Len returns the number of distinct interned values.
-func (d *Dict) Len() int { return len(d.vals) }
+// Len returns the number of distinct interned values across the chain.
+func (d *Dict) Len() int { return int(d.base) + len(d.vals) }
 
-// Vals returns the interned values ordered by ID. The caller must not
-// modify the slice; it is the dictionary payload of the encoded wire
-// form.
-func (d *Dict) Vals() []string { return d.vals }
+// Vals returns the interned values ordered by ID. For a root
+// dictionary the internal slice is returned and must not be modified;
+// a chained dictionary materializes the chain into a fresh slice.
+func (d *Dict) Vals() []string {
+	if d.parent == nil {
+		return d.vals
+	}
+	out := make([]string, d.Len())
+	for e := d; e != nil; e = e.parent {
+		copy(out[e.base:], e.vals)
+	}
+	return out
+}
 
 // EncodeColumn interns one column of the relation, returning the ID
 // vector aligned with the relation's tuples.

@@ -27,6 +27,11 @@ import (
 type Encoded struct {
 	tuples []Tuple
 	arity  int
+	// gen counts the delta generations behind this view: Apply derives
+	// generation g+1 from generation g instead of invalidating, so
+	// serving caches can tell "same data, maintained" from "unrelated
+	// rebuild" (a fresh lazily-built view starts again at 0).
+	gen uint64
 
 	mu    sync.RWMutex
 	cols  [][]uint32
@@ -50,6 +55,68 @@ func newEncoded(tuples []Tuple, arity int) *Encoded {
 
 // Rows returns the number of rows in the view.
 func (e *Encoded) Rows() int { return len(e.tuples) }
+
+// Gen returns the view's delta generation (0 for a freshly built view,
+// incremented every time Relation.Apply derives the next one).
+func (e *Encoded) Gen() uint64 { return e.gen }
+
+// applyDelta derives the next-generation view after a delta: built
+// columns are carried forward — swap-compacted under the same deletes
+// the tuple slice saw, then extended with the inserted rows' IDs —
+// and unbuilt columns stay lazy. Inserted values that the column's
+// dictionary has not seen intern into a fresh overlay chained over the
+// frozen previous layer (see Chain), so nothing reachable from the
+// previous generation is ever mutated: readers of the old view keep a
+// consistent pre-delta snapshot while this one is constructed.
+func (e *Encoded) applyDelta(newTuples []Tuple, delIdx []int, ins []Tuple) *Encoded {
+	ne := newEncoded(newTuples, e.arity)
+	ne.gen = e.gen + 1
+	e.mu.RLock()
+	cols := append([][]uint32(nil), e.cols...)
+	dicts := append([]*Dict(nil), e.dicts...)
+	dense := append([]bool(nil), e.dense...)
+	e.mu.RUnlock()
+	for i := range cols {
+		if cols[i] == nil {
+			continue
+		}
+		col, dict, dn := cols[i], dicts[i], dense[i]
+		if len(delIdx) > 0 {
+			nc := make([]uint32, len(col))
+			copy(nc, col)
+			for _, di := range delIdx {
+				last := len(nc) - 1
+				nc[di] = nc[last]
+				nc = nc[:last]
+			}
+			col = nc
+			// A removed value may no longer occur in the column while its
+			// dictionary entry remains; the wire form must recompact.
+			dn = false
+		}
+		if len(ins) > 0 {
+			overlay := dict
+			chained := false
+			for _, t := range ins {
+				id, ok := overlay.Lookup(t[i])
+				if !ok {
+					if !chained {
+						overlay = Chain(dict)
+						chained = true
+					}
+					id = overlay.ID(t[i])
+				}
+				// Appending may write into spare capacity shared with the
+				// previous generation — beyond its length, which its
+				// readers never index — or reallocate; both are safe.
+				col = append(col, id)
+			}
+			dict = overlay
+		}
+		ne.cols[i], ne.dicts[i], ne.dense[i] = col, dict, dn
+	}
+	return ne
+}
 
 // Arity returns the number of columns.
 func (e *Encoded) Arity() int { return e.arity }
@@ -162,8 +229,17 @@ func (r *Relation) Encoded() *Encoded {
 	return e
 }
 
-// invalidateEncoding drops the cached columnar view; every mutation of
-// the tuple set calls it.
+// EncodedIfBuilt returns the cached columnar view without building
+// one: nil when the relation has never been encoded or the cache was
+// invalidated. Serving caches use it to tell whether their maintained
+// state still corresponds to the relation's current view.
+func (r *Relation) EncodedIfBuilt() *Encoded {
+	return r.enc.Load()
+}
+
+// invalidateEncoding drops the cached columnar view; every
+// non-delta mutation of the tuple set calls it (Apply maintains the
+// view instead — see applyDelta).
 func (r *Relation) invalidateEncoding() {
 	r.enc.Store(nil)
 }

@@ -86,8 +86,15 @@ func DialWithConfig(addrs []string, cfg DialConfig) ([]core.SiteAPI, *relation.S
 		_ = conn.SetDeadline(time.Time{})
 		if info.Version != WireVersion {
 			client.Close()
-			return nil, nil, fmt.Errorf("remote: site at %s speaks wire version %d, this driver needs %d — restart the site with a matching cfdsite build",
-				addr, info.Version, WireVersion)
+			// Always name both peers' versions: rollout skew (a v4 bump
+			// while v3 sites still run, or the reverse) must be
+			// diagnosable from either side's logs alone.
+			peer := fmt.Sprintf("wire version %d", info.Version)
+			if info.Version == 0 {
+				peer = "wire version 1 (or an unversioned pre-handshake build)"
+			}
+			return nil, nil, fmt.Errorf("remote: version skew: site at %s speaks %s, this driver speaks wire version %d — restart the site with a matching cfdsite build",
+				addr, peer, WireVersion)
 		}
 		if info.ID != i {
 			client.Close()
@@ -113,15 +120,23 @@ func DialWithConfig(addrs []string, cfg DialConfig) ([]core.SiteAPI, *relation.S
 // call on.
 func (r *RemoteSite) SetCallTimeout(d time.Duration) { r.timeout.Store(int64(d)) }
 
+// deadlineGrace is how much later than the per-call timer the
+// connection deadline fires: the timer owns failing the call (with a
+// message naming the site, method, and budget), the deadline is the
+// backstop that unwedges the receive loop when no response ever
+// arrives. Without the margin the two race and the caller sees a raw
+// i/o timeout or the friendly error depending on scheduling.
+const deadlineGrace = 500 * time.Millisecond
+
 // beginCall arms the connection deadline for an outgoing call. The
 // deadline also covers the receive loop's currently blocked read, so a
 // site that stops responding mid-call unblocks the client within the
-// budget instead of never.
+// budget (plus grace) instead of never.
 func (r *RemoteSite) beginCall(d time.Duration) {
 	r.mu.Lock()
 	r.pending++
 	if d > 0 {
-		_ = r.conn.SetDeadline(time.Now().Add(d))
+		_ = r.conn.SetDeadline(time.Now().Add(d + deadlineGrace))
 	}
 	r.mu.Unlock()
 }
@@ -137,7 +152,7 @@ func (r *RemoteSite) endCall() {
 		if r.pending == 0 {
 			_ = r.conn.SetDeadline(time.Time{})
 		} else {
-			_ = r.conn.SetDeadline(time.Now().Add(d))
+			_ = r.conn.SetDeadline(time.Now().Add(d + deadlineGrace))
 		}
 	}
 	r.mu.Unlock()
@@ -177,8 +192,13 @@ func (r *RemoteSite) callCtx(ctx context.Context, method string, args, reply any
 // ID returns the site index.
 func (r *RemoteSite) ID() int { return r.id }
 
-// NumTuples returns the fragment size captured at handshake.
-func (r *RemoteSite) NumTuples() (int, error) { return r.size, nil }
+// NumTuples returns the fragment size captured at handshake and
+// refreshed by every ApplyDelta through this proxy.
+func (r *RemoteSite) NumTuples() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size, nil
+}
 
 // Predicate returns the fragment predicate captured at handshake.
 func (r *RemoteSite) Predicate() (relation.Predicate, error) { return r.pred, nil }
@@ -282,6 +302,78 @@ func (r *RemoteSite) DetectConstantsLocal(ctx context.Context, c *cfd.CFD) (*rel
 		return nil, err
 	}
 	return FromWire(&reply)
+}
+
+// ApplyDelta forwards a fragment delta (wire v4). The proxy's cached
+// fragment size is refreshed from the reply, so NumTuples tracks the
+// mutated fragment as long as deltas flow through this driver.
+func (r *RemoteSite) ApplyDelta(ctx context.Context, d relation.Delta) (core.DeltaInfo, error) {
+	var reply ApplyDeltaReply
+	if err := r.callCtx(ctx, serviceName+".ApplyDelta", ApplyDeltaArgs{Delta: DeltaToWire(d)}, &reply); err != nil {
+		return core.DeltaInfo{}, err
+	}
+	r.mu.Lock()
+	r.size = reply.NumTuples
+	r.mu.Unlock()
+	return core.DeltaInfo{Gen: reply.Gen, NumTuples: reply.NumTuples}, nil
+}
+
+// ExtractDeltaBlocks forwards to the remote site (wire v4).
+func (r *RemoteSite) ExtractDeltaBlocks(ctx context.Context, spec *core.BlockSpec, attrs []string, wanted []int, fromGen int64) (*core.DeltaBlocks, error) {
+	var reply DeltaBlocksReply
+	if err := r.callCtx(ctx, serviceName+".ExtractDeltaBlocks",
+		DeltaBlocksArgs{Spec: spec, Attrs: attrs, Wanted: wanted, FromGen: fromGen}, &reply); err != nil {
+		return nil, err
+	}
+	out := &core.DeltaBlocks{
+		ToGen:    reply.ToGen,
+		TotalIns: reply.TotalIns,
+		TotalDel: reply.TotalDel,
+		Ins:      make(map[int]*relation.Relation, len(reply.Ins)),
+		Del:      make(map[int]*relation.Relation, len(reply.Del)),
+	}
+	for l, w := range reply.Ins {
+		rel, err := FromWire(w)
+		if err != nil {
+			return nil, err
+		}
+		out.Ins[l] = rel
+	}
+	for l, w := range reply.Del {
+		rel, err := FromWire(w)
+		if err != nil {
+			return nil, err
+		}
+		out.Del[l] = rel
+	}
+	return out, nil
+}
+
+// FoldDetect forwards to the remote site (wire v4).
+func (r *RemoteSite) FoldDetect(ctx context.Context, args core.FoldArgs) (*core.FoldReply, error) {
+	var reply FoldReply
+	if err := r.callCtx(ctx, serviceName+".FoldDetect", FoldArgs{
+		Session:        args.Session,
+		Spec:           args.Spec,
+		Blocks:         args.Blocks,
+		CFDs:           args.CFDs,
+		RestrictSingle: args.RestrictSingle,
+		Seed:           args.Seed,
+		FromGen:        args.FromGen,
+	}, &reply); err != nil {
+		return nil, err
+	}
+	pats, err := fromWireSlice(reply.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	return &core.FoldReply{Patterns: pats, ToGen: reply.ToGen}, nil
+}
+
+// DropSession forwards the retained-state release; like Abort/Cancel
+// it is cleanup and runs even without a live driver context.
+func (r *RemoteSite) DropSession(session string) error {
+	return r.callCtx(context.Background(), serviceName+".DropSession", SessionArgs{Session: session}, &struct{}{})
 }
 
 // MineFrequent forwards to the remote site.

@@ -227,6 +227,113 @@ func (s *SiteService) DetectConstantsLocal(args ConstantsArgs, reply *WireRelati
 	return nil
 }
 
+// ApplyDeltaArgs carries one fragment delta (wire v4).
+type ApplyDeltaArgs struct {
+	Delta WireDelta
+}
+
+// ApplyDeltaReply reports the post-delta site state.
+type ApplyDeltaReply struct {
+	Gen       int64
+	NumTuples int
+}
+
+// ApplyDelta applies a delta to the local fragment, maintaining the
+// serving caches and the delta log (wire v4).
+func (s *SiteService) ApplyDelta(args ApplyDeltaArgs, reply *ApplyDeltaReply) error {
+	info, err := s.site.ApplyDelta(context.Background(), DeltaFromWire(args.Delta))
+	if err != nil {
+		return err
+	}
+	reply.Gen = info.Gen
+	reply.NumTuples = info.NumTuples
+	return nil
+}
+
+// DeltaBlocksArgs selects the σ-routed delta view of the log suffix.
+type DeltaBlocksArgs struct {
+	Spec    *core.BlockSpec
+	Attrs   []string
+	Wanted  []int
+	FromGen int64
+}
+
+// DeltaBlocksReply is the delta-encoded payload: only the changed
+// tuples' projections (per block, inserts and delete records) travel.
+type DeltaBlocksReply struct {
+	ToGen              int64
+	TotalIns, TotalDel int
+	Ins, Del           map[int]*WireRelation
+}
+
+// ExtractDeltaBlocks returns the σ-routed delta blocks (wire v4).
+func (s *SiteService) ExtractDeltaBlocks(args DeltaBlocksArgs, reply *DeltaBlocksReply) error {
+	db, err := s.site.ExtractDeltaBlocks(context.Background(), args.Spec, args.Attrs, args.Wanted, args.FromGen)
+	if err != nil {
+		return err
+	}
+	reply.ToGen = db.ToGen
+	reply.TotalIns, reply.TotalDel = db.TotalIns, db.TotalDel
+	reply.Ins = make(map[int]*WireRelation, len(db.Ins))
+	for l, r := range db.Ins {
+		reply.Ins[l] = ToWire(r)
+	}
+	reply.Del = make(map[int]*WireRelation, len(db.Del))
+	for l, r := range db.Del {
+		reply.Del[l] = ToWire(r)
+	}
+	return nil
+}
+
+// FoldArgs mirrors core.FoldArgs over the wire.
+type FoldArgs struct {
+	Session        string
+	Spec           *core.BlockSpec
+	Blocks         []int
+	CFDs           []*cfd.CFD
+	RestrictSingle bool
+	Seed           bool
+	FromGen        int64
+}
+
+// FoldReply carries the coordinator's per-CFD violating patterns.
+type FoldReply struct {
+	Patterns []*WireRelation
+	ToGen    int64
+}
+
+// FoldDetect runs the coordinator's incremental step (wire v4).
+func (s *SiteService) FoldDetect(args FoldArgs, reply *FoldReply) error {
+	rep, err := s.site.FoldDetect(context.Background(), core.FoldArgs{
+		Session:        args.Session,
+		Spec:           args.Spec,
+		Blocks:         args.Blocks,
+		CFDs:           args.CFDs,
+		RestrictSingle: args.RestrictSingle,
+		Seed:           args.Seed,
+		FromGen:        args.FromGen,
+	})
+	if err != nil {
+		return err
+	}
+	reply.ToGen = rep.ToGen
+	reply.Patterns = make([]*WireRelation, len(rep.Patterns))
+	for i, p := range rep.Patterns {
+		reply.Patterns[i] = ToWire(p)
+	}
+	return nil
+}
+
+// SessionArgs names an incremental session.
+type SessionArgs struct {
+	Session string
+}
+
+// DropSession releases a session's retained fold states (wire v4).
+func (s *SiteService) DropSession(args SessionArgs, _ *struct{}) error {
+	return s.site.DropSession(args.Session)
+}
+
 // MineArgs parameterizes frequent-pattern mining.
 type MineArgs struct {
 	X     []string

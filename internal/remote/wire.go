@@ -20,17 +20,19 @@ import (
 // was the row-only protocol; version 2 added the columnar form and
 // Abort; version 3 added the per-task Cancel message (drain +
 // tombstone, so a deposit in flight across a driver cancellation
-// cannot leak at the site).
+// cannot leak at the site); version 4 added the incremental surface —
+// ApplyDelta, ExtractDeltaBlocks (delta-encoded payloads: only the
+// changed tuples' projections travel), FoldDetect and DropSession.
 //
-// The rpc service name carries the version too ("SiteV3"), so skew in
+// The rpc service name carries the version too ("SiteV4"), so skew in
 // EITHER direction dies on the first call with a can't-find-service
 // error: an old driver against a new site (which the InfoReply check
 // alone could never catch — that check runs in the new driver) and a
 // new driver against an old site both fail loudly instead of silently
 // exchanging partially-decoded payloads.
-const WireVersion = 3
+const WireVersion = 4
 
-const serviceName = "SiteV3"
+const serviceName = "SiteV4"
 
 // WireRelation is the gob-encodable form of relation.Relation. It
 // carries exactly one of two payloads: the row form (Tuples), or the
@@ -103,6 +105,39 @@ func FromWire(w *WireRelation) (*relation.Relation, error) {
 		}
 	}
 	return rel, nil
+}
+
+// WireDelta is the gob-encodable form of relation.Delta: the inserted
+// rows travel as plain tuples (deltas are small — dictionary encoding
+// them would ship the dictionaries too), deletes as pre-delta row
+// indices, exactly the Delta contract.
+type WireDelta struct {
+	Inserts [][]string
+	Deletes []int
+}
+
+// DeltaToWire converts a delta for transport.
+func DeltaToWire(d relation.Delta) WireDelta {
+	w := WireDelta{Deletes: d.Deletes}
+	if len(d.Inserts) > 0 {
+		w.Inserts = make([][]string, len(d.Inserts))
+		for i, t := range d.Inserts {
+			w.Inserts[i] = t
+		}
+	}
+	return w
+}
+
+// DeltaFromWire rebuilds the delta.
+func DeltaFromWire(w WireDelta) relation.Delta {
+	d := relation.Delta{Deletes: w.Deletes}
+	if len(w.Inserts) > 0 {
+		d.Inserts = make([]relation.Tuple, len(w.Inserts))
+		for i, t := range w.Inserts {
+			d.Inserts[i] = t
+		}
+	}
+	return d
 }
 
 // WireSchema is the gob-encodable form of relation.Schema.

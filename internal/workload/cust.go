@@ -60,36 +60,43 @@ func Cust(cfg CustConfig) *relation.Relation {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rel := relation.NewWithCapacity(CustSchema(), cfg.N)
-	const zipsPerCC = 64
 	for i := 0; i < cfg.N; i++ {
-		cc := custCCs[rng.Intn(len(custCCs))]
-		ac := custAC(cc, rng.Intn(custACsPerCC))
-		zipK := rng.Intn(zipsPerCC)
-		city := custCity(cc, ac)
-		street := custStreet(cc, zipK)
-		if rng.Float64() < cfg.ErrRate {
-			if rng.Intn(2) == 0 {
-				city = "WRONG_" + city
-			} else {
-				street = "WRONG_" + street
-			}
-		}
-		title := fmt.Sprintf("item%02d", rng.Intn(20))
-		rel.MustAppend(relation.Tuple{
-			fmt.Sprintf("%d", i),
-			fmt.Sprintf("name%05d", rng.Intn(50000)),
-			cc,
-			ac,
-			fmt.Sprintf("%07d", rng.Intn(10000000)),
-			street,
-			city,
-			custZip(cc, zipK),
-			title,
-			fmt.Sprintf("%d", 5+rng.Intn(500)),
-			fmt.Sprintf("%d", 1+rng.Intn(9)),
-		})
+		rel.MustAppend(custRow(rng, i, cfg.ErrRate))
 	}
 	return rel
+}
+
+// custRow draws one CUST tuple with the given id; the delta-stream
+// generator shares it with the bulk generator so appended traffic has
+// the same distribution as the initial instance.
+func custRow(rng *rand.Rand, id int, errRate float64) relation.Tuple {
+	const zipsPerCC = 64
+	cc := custCCs[rng.Intn(len(custCCs))]
+	ac := custAC(cc, rng.Intn(custACsPerCC))
+	zipK := rng.Intn(zipsPerCC)
+	city := custCity(cc, ac)
+	street := custStreet(cc, zipK)
+	if rng.Float64() < errRate {
+		if rng.Intn(2) == 0 {
+			city = "WRONG_" + city
+		} else {
+			street = "WRONG_" + street
+		}
+	}
+	title := fmt.Sprintf("item%02d", rng.Intn(20))
+	return relation.Tuple{
+		fmt.Sprintf("%d", id),
+		fmt.Sprintf("name%05d", rng.Intn(50000)),
+		cc,
+		ac,
+		fmt.Sprintf("%07d", rng.Intn(10000000)),
+		street,
+		city,
+		custZip(cc, zipK),
+		title,
+		fmt.Sprintf("%d", 5+rng.Intn(500)),
+		fmt.Sprintf("%d", 1+rng.Intn(9)),
+	}
 }
 
 // CustPatternCFD builds the Exp-1/2/3 representative CFD: four

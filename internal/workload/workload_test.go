@@ -1,11 +1,13 @@
 package workload
 
 import (
+	"fmt"
 	"testing"
 
 	"distcfd/internal/cfd"
 	"distcfd/internal/engine"
 	"distcfd/internal/partition"
+	"distcfd/internal/relation"
 )
 
 func TestEMPFixtures(t *testing.T) {
@@ -207,5 +209,58 @@ func TestXRefHumanPartitionsByBatch(t *testing.T) {
 		if share < 0.5 {
 			t.Errorf("fragment %d: dominant db share %.2f, want ≥ 0.5", fi, share)
 		}
+	}
+}
+
+// TestDeltaStreams pins the delta generators: deterministic under a
+// seed, valid against their fragment (indices in range, no duplicate
+// deletes), the configured insert/update/delete mix, and a mirror that
+// tracks the fragment exactly when the emitted deltas are applied in
+// order.
+func TestDeltaStreams(t *testing.T) {
+	mk := map[string]func(*relation.Relation, DeltaConfig) *DeltaStream{
+		"cust": CustDeltaStream,
+		"xref": XRefDeltaStream,
+	}
+	data := map[string]*relation.Relation{
+		"cust": Cust(CustConfig{N: 300, Seed: 1, ErrRate: 0.05}),
+		"xref": XRef(XRefConfig{N: 300, Seed: 1, ErrRate: 0.05}),
+	}
+	for name, stream := range mk {
+		t.Run(name, func(t *testing.T) {
+			frag := data[name].Clone()
+			cfg := DeltaConfig{Seed: 9, Inserts: 4, Updates: 2, Deletes: 3, ErrRate: 0.2}
+			ds := stream(frag, cfg)
+			twin := stream(data[name].Clone(), cfg)
+			for step := 0; step < 20; step++ {
+				d := ds.Next()
+				d2 := twin.Next()
+				if fmt.Sprint(d.Deletes) != fmt.Sprint(d2.Deletes) || len(d.Inserts) != len(d2.Inserts) {
+					t.Fatalf("step %d: streams with equal seeds diverged", step)
+				}
+				for i := range d.Inserts {
+					if !d.Inserts[i].Equal(d2.Inserts[i]) {
+						t.Fatalf("step %d: insert %d differs across equally-seeded streams", step, i)
+					}
+				}
+				// updates contribute one delete + one insert each
+				if got, want := len(d.Deletes), cfg.Deletes+cfg.Updates; got != want {
+					t.Fatalf("step %d: %d deletes, want %d", step, got, want)
+				}
+				if got, want := len(d.Inserts), cfg.Inserts+cfg.Updates; got != want {
+					t.Fatalf("step %d: %d inserts, want %d", step, got, want)
+				}
+				if _, err := frag.Apply(d); err != nil {
+					t.Fatalf("step %d: emitted delta invalid for its fragment: %v", step, err)
+				}
+				if frag.Len() != ds.Len() {
+					t.Fatalf("step %d: mirror has %d rows, fragment %d", step, ds.Len(), frag.Len())
+				}
+			}
+			// Inserted rows match the bulk generator's schema.
+			if frag.Schema().Arity() != data[name].Schema().Arity() {
+				t.Fatal("delta stream changed the schema")
+			}
+		})
 	}
 }

@@ -71,44 +71,50 @@ func XRef(cfg XRefConfig) *relation.Relation {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rel := relation.NewWithCapacity(XRefSchema(), cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		org := cfg.Organisms[rng.Intn(len(cfg.Organisms))]
-		otype := xrefObjectTypes[rng.Intn(len(xrefObjectTypes))]
-		dbIdx := rng.Intn(len(xrefExternalDBs))
-		db := xrefExternalDBs[dbIdx]
-		info := xrefInfoTypes[rng.Intn(len(xrefInfoTypes))]
-		status := xrefStatus(org, otype)
-		prio := xrefPriority(db, info)
-		batch := dbIdx
-		if rng.Float64() > 0.8 {
-			batch = rng.Intn(len(xrefExternalDBs))
-		}
-		if rng.Float64() < cfg.ErrRate {
-			if rng.Intn(2) == 0 {
-				status = "WRONG_" + status
-			} else {
-				prio = "WRONG_" + prio
-			}
-		}
-		rel.MustAppend(relation.Tuple{
-			fmt.Sprintf("%d", i),
-			"ensembl",
-			org,
-			otype,
-			status,
-			db,
-			info,
-			fmt.Sprintf("info%04d", rng.Intn(5000)),
-			fmt.Sprintf("chr%d", 1+rng.Intn(30)),
-			fmt.Sprintf("batch%d", batch),
-			fmt.Sprintf("%d", 1+rng.Intn(9)),
-			prio,
-			fmt.Sprintf("r%d", 50+rng.Intn(10)),
-			xrefLabel(db, otype),
-			fmt.Sprintf("syn%04d", rng.Intn(8000)),
-			fmt.Sprintf("desc%05d", rng.Intn(20000)),
-		})
+		rel.MustAppend(xrefRow(rng, i, cfg.ErrRate, cfg.Organisms))
 	}
 	return rel
+}
+
+// xrefRow draws one XREF tuple with the given id; shared with the
+// delta-stream generator.
+func xrefRow(rng *rand.Rand, id int, errRate float64, organisms []string) relation.Tuple {
+	org := organisms[rng.Intn(len(organisms))]
+	otype := xrefObjectTypes[rng.Intn(len(xrefObjectTypes))]
+	dbIdx := rng.Intn(len(xrefExternalDBs))
+	db := xrefExternalDBs[dbIdx]
+	info := xrefInfoTypes[rng.Intn(len(xrefInfoTypes))]
+	status := xrefStatus(org, otype)
+	prio := xrefPriority(db, info)
+	batch := dbIdx
+	if rng.Float64() > 0.8 {
+		batch = rng.Intn(len(xrefExternalDBs))
+	}
+	if rng.Float64() < errRate {
+		if rng.Intn(2) == 0 {
+			status = "WRONG_" + status
+		} else {
+			prio = "WRONG_" + prio
+		}
+	}
+	return relation.Tuple{
+		fmt.Sprintf("%d", id),
+		"ensembl",
+		org,
+		otype,
+		status,
+		db,
+		info,
+		fmt.Sprintf("info%04d", rng.Intn(5000)),
+		fmt.Sprintf("chr%d", 1+rng.Intn(30)),
+		fmt.Sprintf("batch%d", batch),
+		fmt.Sprintf("%d", 1+rng.Intn(9)),
+		prio,
+		fmt.Sprintf("r%d", 50+rng.Intn(10)),
+		xrefLabel(db, otype),
+		fmt.Sprintf("syn%04d", rng.Intn(8000)),
+		fmt.Sprintf("desc%05d", rng.Intn(20000)),
+	}
 }
 
 // XRefCFD is the Exp-1 representative rule: five attributes, 11
