@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-full examples
+.PHONY: ci build vet test race bench bench-smoke bench-full bench-compare examples
 
 # ci mirrors .github/workflows/ci.yml: a missing package, vet
 # regression, race, broken example, or broken benchmark can never land
@@ -31,14 +31,28 @@ race:
 # bench-smoke runs every benchmark once (all benchmarks live in the
 # root package, BenchmarkIncrementalDetect included) so benchmark code
 # cannot rot; the output is kept in bench-smoke.txt, which CI uploads
-# as an artifact so every run's numbers are retrievable. bench is its
-# alias, and bench-full runs at the paper's dataset sizes.
+# as an artifact so every run's numbers are retrievable. The kernel
+# bench is additionally run at GOMAXPROCS=1 and GOMAXPROCS=4 so the
+# intra-unit row-sharding scaling (or, on a single hardware thread,
+# its overhead) is visible regardless of the runner's core count.
+# bench is its alias, and bench-full runs at the paper's dataset
+# sizes.
 bench-smoke:
 	@rm -f bench-smoke.txt
 	@$(GO) test -run '^$$' -bench . -benchtime 1x . > bench-smoke.txt 2>&1 || { cat bench-smoke.txt; exit 1; }
+	@echo "== BenchmarkKernel @ GOMAXPROCS=1" >> bench-smoke.txt
+	@GOMAXPROCS=1 $(GO) test -run '^$$' -bench '^BenchmarkKernel$$' -benchtime 1x . >> bench-smoke.txt 2>&1 || { cat bench-smoke.txt; exit 1; }
+	@echo "== BenchmarkKernel @ GOMAXPROCS=4" >> bench-smoke.txt
+	@GOMAXPROCS=4 $(GO) test -run '^$$' -bench '^BenchmarkKernel$$' -benchtime 1x . >> bench-smoke.txt 2>&1 || { cat bench-smoke.txt; exit 1; }
 	@cat bench-smoke.txt
 
 bench: bench-smoke
+
+# bench-compare runs bench-smoke's suite on HEAD and on the merge-base
+# with origin/main and reports per-benchmark deltas (benchstat when
+# installed, plain diff otherwise). Advisory: CI runs it non-blocking.
+bench-compare:
+	@sh scripts/bench_compare.sh
 
 bench-full:
 	DISTCFD_SCALE=1.0 $(GO) test -run '^$$' -bench . .

@@ -40,11 +40,15 @@ type Option func(*config)
 // paper's response-time-optimizing variant.
 func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algo = a } }
 
-// WithWorkers bounds how many independent CFD clusters a Detect call
-// processes concurrently. 0 (the default) selects GOMAXPROCS; 1 runs
-// strictly sequentially. The violation sets, shipment totals, and
-// modeled time are identical at every worker count — only wall-clock
-// time changes.
+// WithWorkers sets a Detect call's total worker budget. 0 (the
+// default) selects GOMAXPROCS; 1 runs strictly sequentially. The
+// budget is split between the two levels of parallelism: independent
+// CFD clusters overlap across up to that many workers, and whatever
+// the cluster level cannot use drops into the detection kernel as
+// intra-unit row sharding — so a single big merged cluster still uses
+// the whole budget instead of one core. The violation sets, shipment
+// totals, and modeled time are identical at every worker count — only
+// wall-clock time changes.
 func WithWorkers(n int) Option { return func(c *config) { c.opt.Workers = n } }
 
 // WithCostModel replaces the calibrated response-time model used for

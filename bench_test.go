@@ -652,3 +652,68 @@ func BenchmarkIncrementalDetect(b *testing.B) {
 		b.ReportMetric(float64(shipped)/float64(b.N), "shipped-tuples/op")
 	})
 }
+
+// BenchmarkKernel isolates the vectorized check kernel (DESIGN.md
+// ablation 12). The kernel tier runs engine.Kernel.DetectSet on one
+// 100K-tuple relation — the shape of a single merged cluster's
+// coordinator check, where cluster-level parallelism has nothing to
+// overlap — serially and with intra-unit row sharding at several
+// worker budgets. The cluster tier runs the same comparison end to
+// end through a compiled Detector over a one-cluster CFD set, where
+// the whole Options.Workers budget drops into the kernel. make
+// bench-smoke additionally runs this benchmark at GOMAXPROCS=1 and
+// GOMAXPROCS=4 so the intra-unit scaling (or, on a single hardware
+// thread, the sharding overhead) is visible either way.
+func BenchmarkKernel(b *testing.B) {
+	data := workload.Cust(workload.CustConfig{N: 100_000, Seed: 1, ErrRate: 0.01})
+	rules := []*cfd.CFD{
+		cfd.MustParse(`kb1: [street, city] -> [zip]`),
+		cfd.MustParse(`kb2: [CC, AC] -> [city]`),
+	}
+	var k engine.Kernel
+	for _, w := range []int{1, 2, 4, 8} {
+		name := "serial"
+		if w > 1 {
+			name = fmt.Sprintf("par-%d", w)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := k.DetectSet(data, rules, engine.Opts{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// One merged cluster end to end: b1/b2/b3's LHSs are related by
+	// containment, so clustering produces a single unit and the worker
+	// budget becomes pure intra-unit sharding at the coordinators.
+	clusterRules := []*cfd.CFD{
+		cfd.MustParse(`m1: [CC] -> [AC]`),
+		cfd.MustParse(`m2: [CC, AC] -> [city]`),
+		cfd.MustParse(`m3: [CC, AC, phn] -> [street]`),
+	}
+	h, err := partition.Uniform(workload.Cust(workload.CustConfig{N: 40_000, Seed: 1, ErrRate: 0.01}), 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := core.FromHorizontal(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 4} {
+		det, err := Compile(cl, clusterRules, WithAlgorithm(PatDetectRT), WithWorkers(w))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("merged-cluster/workers-%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Detect(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

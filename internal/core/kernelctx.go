@@ -1,0 +1,46 @@
+package core
+
+import (
+	"context"
+
+	"distcfd/internal/engine"
+)
+
+// Detection-kernel resources travel from a compiled plan to the
+// in-process sites through the run's context: the plan owns the
+// scratch pool (so concurrent Detect calls on one Detector reuse one
+// set of buffers) and decides the intra-unit worker budget (so
+// cluster-level and intra-unit parallelism split Options.Workers
+// instead of fighting). Remote proxies simply don't forward the
+// value — the serving machine's site applies its own budget, set by
+// the server at startup (Site.SetDetectParallelism).
+
+type kernelCtxKey struct{}
+
+type kernelResources struct {
+	kern    *engine.Kernel
+	workers int
+}
+
+// WithDetectResources returns a context carrying a detection-kernel
+// scratch pool and an intra-unit worker budget for the in-process
+// site methods downstream of it.
+func WithDetectResources(ctx context.Context, kern *engine.Kernel, workers int) context.Context {
+	if workers < 1 {
+		workers = 1
+	}
+	return context.WithValue(ctx, kernelCtxKey{}, kernelResources{kern: kern, workers: workers})
+}
+
+// detectResources resolves the kernel and worker budget for a site
+// call: the context's if the run annotated one, else the site's own.
+func (s *Site) detectResources(ctx context.Context) (*engine.Kernel, engine.Opts) {
+	if r, ok := ctx.Value(kernelCtxKey{}).(kernelResources); ok && r.kern != nil {
+		return r.kern, engine.Opts{Workers: r.workers}
+	}
+	w := s.intraWorkers
+	if w < 1 {
+		w = 1
+	}
+	return &s.kern, engine.Opts{Workers: w}
+}

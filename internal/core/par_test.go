@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -148,6 +149,62 @@ func TestParDetectManyIndependentCFDs(t *testing.T) {
 	for ci := range cfds {
 		if !identicalRelations(par.PerCFD[ci], seq.PerCFD[ci]) {
 			t.Fatalf("cfd %d: parallel result differs from sequential", ci)
+		}
+	}
+}
+
+// TestIntraUnitParallelIdentical pins the worker split's second level:
+// on a single merged cluster (every CFD's LHS related by containment,
+// so cluster-level parallelism has exactly one unit to work with) over
+// fragments large enough to row-shard, a compiled Detect with a big
+// worker budget — which all drops into intra-unit sharding — is
+// byte-identical to the strictly serial run at several budgets.
+func TestIntraUnitParallelIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	d := relation.New(relation.MustSchema("BIG", []string{"a", "b", "c", "d"}))
+	for i := 0; i < 12_000; i++ {
+		d.MustAppend(relation.Tuple{
+			"v" + itoa(rng.Intn(40)), "w" + itoa(rng.Intn(7)),
+			"x" + itoa(rng.Intn(5)), "y" + itoa(rng.Intn(6)),
+		})
+	}
+	cfds := []*cfd.CFD{
+		cfd.MustParse(`b1: [a] -> [c]`),
+		cfd.MustParse(`b2: [a, b] -> [d]`),
+		cfd.MustParse(`b3: [a, b, c] -> [d] : (_, w1, _ || _)`),
+	}
+	h, err := partition.Uniform(d, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := FromHorizontal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := ClustDetect(cl, cfds, PatDetectRT, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Clusters) != 1 {
+		t.Fatalf("want one merged cluster, got %v", serial.Clusters)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		p, err := CompileSet(context.Background(), cl, cfds, PatDetectRT, Options{Workers: workers}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := p.Detect(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range cfds {
+			if !identicalRelations(par.PerCFD[ci], serial.PerCFD[ci]) {
+				t.Fatalf("workers %d cfd %d: intra-parallel != serial", workers, ci)
+			}
+		}
+		if par.ShippedTuples != serial.ShippedTuples || par.ModeledTime != serial.ModeledTime {
+			t.Fatalf("workers %d: accounting diverged (%d/%v vs %d/%v)", workers,
+				par.ShippedTuples, par.ModeledTime, serial.ShippedTuples, serial.ModeledTime)
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"distcfd/internal/cfd"
 	"distcfd/internal/dist"
+	"distcfd/internal/engine"
 	"distcfd/internal/mining"
 	"distcfd/internal/relation"
 )
@@ -46,6 +47,12 @@ type SinglePlan struct {
 	opt  Options
 	c    *cfd.CFD
 
+	// kern pools the detection kernel's scratch across this plan's
+	// runs: concurrent Detect calls share (and return) one set of
+	// buffers instead of reallocating per call. Plans compiled inside a
+	// set share the set plan's kernel.
+	kern *engine.Kernel
+
 	patternSchema *relation.Schema
 	view          *cfd.CFD // nil: constant-only, checked locally
 	spec          *BlockSpec
@@ -73,7 +80,7 @@ func CompileSingle(ctx context.Context, cl *Cluster, c *cfd.CFD, algo Algorithm,
 	if err != nil {
 		return nil, err
 	}
-	sp := &SinglePlan{cl: cl, algo: algo, opt: opt, c: c, patternSchema: ps}
+	sp := &SinglePlan{cl: cl, algo: algo, opt: opt, c: c, patternSchema: ps, kern: &engine.Kernel{}}
 	view, hasVariable := c.VariableView()
 	if !hasVariable {
 		return sp, nil
@@ -94,10 +101,19 @@ func (sp *SinglePlan) CFD() *cfd.CFD { return sp.c }
 // data-dependent state (fragment sizes, constant units, σ routing,
 // shipping, coordinator checks) under ctx. Cancellation mid-run
 // cancels the task at every site, so no deposit outlives the run.
+// Standalone single-CFD plans have one unit, so the whole worker
+// budget goes to intra-unit row sharding at the coordinators.
 func (sp *SinglePlan) Detect(ctx context.Context) (*SingleResult, error) {
+	return sp.detect(ctx, sp.opt.Workers)
+}
+
+// detect runs the plan with an explicit intra-unit worker budget (the
+// set plan's split when the plan runs as a singleton unit).
+func (sp *SinglePlan) detect(ctx context.Context, intraWorkers int) (*SingleResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx = WithDetectResources(ctx, sp.kern, intraWorkers)
 	opt := sp.opt
 	cl := sp.cl
 	start := time.Now()
@@ -151,6 +167,7 @@ type clusterPlan struct {
 	cl   *Cluster
 	algo Algorithm
 	opt  Options
+	kern *engine.Kernel // the owning Plan's scratch pool
 
 	group   []*cfd.CFD
 	schemas []*relation.Schema
@@ -197,8 +214,11 @@ func compileCluster(cl *Cluster, group []*cfd.CFD, algo Algorithm, opt Options) 
 
 // detect runs one compiled cluster: per-member patterns (aligned with
 // the group), the modeled time, and the cluster's metrics.
-func (cp *clusterPlan) detect(ctx context.Context) ([]*relation.Relation, float64, *dist.Metrics, error) {
+// intraWorkers is the row-shard budget each coordinator check may use
+// (the set plan's split of Options.Workers).
+func (cp *clusterPlan) detect(ctx context.Context, intraWorkers int) ([]*relation.Relation, float64, *dist.Metrics, error) {
 	cl := cp.cl
+	ctx = WithDetectResources(ctx, cp.kern, intraWorkers)
 	m := dist.NewMetrics(cl.N())
 	fragSizes, err := cl.fragmentSizes()
 	if err != nil {
@@ -255,15 +275,15 @@ type planUnit struct {
 	multi   *clusterPlan
 }
 
-func (u *planUnit) detect(ctx context.Context) ([]*relation.Relation, float64, *dist.Metrics, error) {
+func (u *planUnit) detect(ctx context.Context, intraWorkers int) ([]*relation.Relation, float64, *dist.Metrics, error) {
 	if u.single != nil {
-		one, err := u.single.Detect(ctx)
+		one, err := u.single.detect(ctx, intraWorkers)
 		if err != nil {
 			return nil, 0, nil, fmt.Errorf("core: cfd %s: %w", u.single.c.Name, err)
 		}
 		return []*relation.Relation{one.Patterns}, one.ModeledTime, one.Metrics, nil
 	}
-	return u.multi.detect(ctx)
+	return u.multi.detect(ctx, intraWorkers)
 }
 
 // Plan is the compiled form of a multi-CFD detection request over a
@@ -277,6 +297,7 @@ type Plan struct {
 	cfds     []*cfd.CFD
 	clusters [][]int
 	units    []*planUnit
+	kern     *engine.Kernel // plan-wide detection scratch pool
 
 	// incMu serializes DetectIncremental rounds (they mutate the
 	// per-unit sessions); Detect stays lock-free and concurrent.
@@ -302,7 +323,7 @@ func CompileSet(ctx context.Context, cl *Cluster, cfds []*cfd.CFD, algo Algorith
 			clusters[i] = []int{i}
 		}
 	}
-	p := &Plan{cl: cl, algo: algo, opt: opt, cfds: cfds, clusters: clusters}
+	p := &Plan{cl: cl, algo: algo, opt: opt, cfds: cfds, clusters: clusters, kern: &engine.Kernel{}}
 	for _, members := range clusters {
 		u := &planUnit{members: members}
 		if len(members) == 1 {
@@ -310,6 +331,7 @@ func CompileSet(ctx context.Context, cl *Cluster, cfds []*cfd.CFD, algo Algorith
 			if err != nil {
 				return nil, fmt.Errorf("core: cfd %s: %w", cfds[members[0]].Name, err)
 			}
+			sp.kern = p.kern // units of one plan share its scratch pool
 			u.single = sp
 		} else {
 			group := make([]*cfd.CFD, len(members))
@@ -320,6 +342,7 @@ func CompileSet(ctx context.Context, cl *Cluster, cfds []*cfd.CFD, algo Algorith
 			if err != nil {
 				return nil, err
 			}
+			cp.kern = p.kern
 			u.multi = cp
 		}
 		p.units = append(p.units, u)
@@ -349,12 +372,38 @@ func (p *Plan) SinglePlanFor(i int) *SinglePlan {
 // failed; it never escapes Detect.
 var errParCanceled = errors.New("core: cluster skipped after earlier failure")
 
-// Detect runs the compiled plan once. Units run across a worker pool
-// bounded by Options.Workers (1 = strictly sequential, in cluster
-// order); results are merged in deterministic cluster order, so the
-// violation sets, shipment totals, and modeled time are identical at
-// every worker count. Cancellation mid-run stops pending units and
-// cancels in-flight tasks at every site.
+// splitWorkers divides a run's worker budget between cluster-level
+// overlap and intra-unit row sharding: clusters can use at most one
+// worker each (they are whole pipelines), so the level-1 pool is
+// capped at the unit count and the leftover factor drops into the
+// detection kernel. budget ≤ 1 stays strictly serial at both levels.
+func splitWorkers(budget, units int) (clusterWorkers, intraWorkers int) {
+	if budget < 1 {
+		budget = 1
+	}
+	clusterWorkers = budget
+	if units >= 1 && clusterWorkers > units {
+		clusterWorkers = units
+	}
+	intraWorkers = budget / clusterWorkers
+	if intraWorkers < 1 {
+		intraWorkers = 1
+	}
+	return clusterWorkers, intraWorkers
+}
+
+// Detect runs the compiled plan once. Options.Workers is split
+// between the two levels of parallelism instead of fighting over
+// cores: up to len(units) workers process independent CFD clusters
+// concurrently, and the remainder of the budget shards the per-row
+// work inside each coordinator check (intra-unit row sharding). With
+// many clusters the budget goes to cluster overlap, exactly as
+// before; with one big merged cluster — the common shape after
+// shared-σ clustering — the whole budget drops into the kernel.
+// Results are merged in deterministic cluster order, so the violation
+// sets, shipment totals, and modeled time are identical at every
+// worker count. Cancellation mid-run stops pending units and cancels
+// in-flight tasks at every site.
 func (p *Plan) Detect(ctx context.Context) (*SetResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -368,17 +417,18 @@ func (p *Plan) Detect(ctx context.Context) (*SetResult, error) {
 		err     error
 	}
 	outs := make([]unitOut, len(p.units))
+	clusterWorkers, intraWorkers := splitWorkers(p.opt.Workers, len(p.units))
 
-	if p.opt.Workers <= 1 {
+	if clusterWorkers <= 1 {
 		for gi, u := range p.units {
-			pats, modeled, m, err := u.detect(ctx)
+			pats, modeled, m, err := u.detect(ctx, intraWorkers)
 			if err != nil {
 				return nil, err
 			}
 			outs[gi] = unitOut{pats: pats, modeled: modeled, m: m}
 		}
 	} else {
-		sem := make(chan struct{}, p.opt.Workers)
+		sem := make(chan struct{}, clusterWorkers)
 		var wg sync.WaitGroup
 		var failed atomic.Bool
 		for gi, u := range p.units {
@@ -394,7 +444,7 @@ func (p *Plan) Detect(ctx context.Context) (*SetResult, error) {
 					outs[gi].err = errParCanceled
 					return
 				}
-				pats, modeled, m, err := u.detect(ctx)
+				pats, modeled, m, err := u.detect(ctx, intraWorkers)
 				if err != nil {
 					failed.Store(true)
 				}

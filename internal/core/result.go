@@ -49,9 +49,12 @@ type Options struct {
 	// with support ≥ MineTheta·|Di|, and σ partitions on the merged
 	// patterns plus a catch-all wildcard row.
 	MineTheta float64
-	// Workers bounds how many independent CFD clusters ParDetect
-	// processes concurrently; 0 selects runtime.GOMAXPROCS(0).
-	// SeqDetect and ClustDetect ignore it.
+	// Workers is the run's total worker budget; 0 selects
+	// runtime.GOMAXPROCS(0). Plan.Detect splits it between cluster-
+	// level overlap (up to one worker per independent CFD cluster) and
+	// intra-unit row sharding inside the detection kernel, so a single
+	// merged cluster still uses the whole budget (see splitWorkers).
+	// SeqDetect and ClustDetect pin it to 1 (strictly serial).
 	Workers int
 	// DeltaFallbackRatio bounds incremental serving: when the deletes
 	// accumulated since the last full fold exceed this fraction of the

@@ -348,7 +348,7 @@ func (s *BlockSpec) RestrictCFD(c *cfd.CFD, l int) *cfd.CFD {
 	var rows []cfd.PatternTuple
 	for _, tp := range c.Tp {
 		if sameStrings(tp.LHS, s.Patterns[l]) {
-			rows = append(rows, tp.Clone())
+			rows = append(rows, tp)
 		}
 	}
 	if len(rows) == 0 {
@@ -357,9 +357,11 @@ func (s *BlockSpec) RestrictCFD(c *cfd.CFD, l int) *cfd.CFD {
 		// is correct because σ blocks never split an X-group.
 		return c
 	}
-	out := c.Clone()
-	out.Tp = rows
-	return out
+	// The restriction shares c's attribute slices and pattern rows —
+	// detection treats CFDs as immutable, and cloning a large tableau
+	// per (block, run) was a measurable share of the serving path's
+	// allocations.
+	return &cfd.CFD{Name: c.Name, X: c.X, Y: c.Y, Tp: rows}
 }
 
 func sameStrings(a, b []string) bool {

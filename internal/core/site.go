@@ -194,6 +194,14 @@ type Site struct {
 	frag *relation.Relation
 	pred relation.Predicate
 
+	// kern pools the detection-kernel scratch for calls whose context
+	// carries no plan-owned pool (one-shot callers, RPC-served work);
+	// intraWorkers is the matching intra-unit worker budget, settable
+	// once at deployment time (SetDetectParallelism). A driver's
+	// compiled plan overrides both through its run context.
+	kern         engine.Kernel
+	intraWorkers int
+
 	mu        sync.Mutex
 	deposits  map[string][]*relation.Relation
 	cancelled map[string]struct{}
@@ -246,6 +254,18 @@ func (s *Site) Predicate() (relation.Predicate, error) { return s.pred, nil }
 // Fragment exposes the local fragment for in-process tests and local
 // tools; it is deliberately not part of SiteAPI.
 func (s *Site) Fragment() *relation.Relation { return s.frag }
+
+// SetDetectParallelism sets the intra-unit worker budget this site's
+// detection kernel uses when a call's context carries none — the
+// remote server's case: the driver's budget does not cross the wire,
+// the serving machine's core count does. Call it before serving
+// traffic; it is not synchronized against in-flight detection.
+func (s *Site) SetDetectParallelism(n int) { s.intraWorkers = n }
+
+// DetectParallelism returns the configured intra-unit worker budget
+// (0 = unset; such sites detect serially unless the serving layer
+// applies its default).
+func (s *Site) DetectParallelism() int { return s.intraWorkers }
 
 // PendingDeposits reports how many task keys currently hold buffered
 // deposits — zero on a healthy idle site. Exposed for operational
@@ -400,6 +420,7 @@ func (s *Site) fullBlocks(spec *BlockSpec, attrs []string, blocks []int, name st
 // DetectAssignedSingle runs the per-pattern coordinator step of
 // PatDetectS/PatDetectRT for all blocks assigned to this site.
 func (s *Site) DetectAssignedSingle(ctx context.Context, taskPrefix string, spec *BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error) {
+	kern, kopts := s.detectResources(ctx)
 	attrs := taskAttrs(spec, []*cfd.CFD{c})
 	locals, err := s.ExtractBlocksBatch(ctx, spec, attrs, blocks)
 	if err != nil {
@@ -420,7 +441,7 @@ func (s *Site) DetectAssignedSingle(ctx context.Context, taskPrefix string, spec
 			return nil, err
 		}
 		restricted := spec.RestrictCFD(c, l)
-		pats, err := engine.ViolationPatterns(merged, restricted)
+		pats, err := kern.ViolationPatterns(merged, restricted, kopts)
 		if err != nil {
 			return nil, err
 		}
@@ -435,6 +456,7 @@ func (s *Site) DetectAssignedSet(ctx context.Context, taskPrefix string, spec *B
 	if len(cfds) == 0 {
 		return nil, fmt.Errorf("core: site %d: DetectAssignedSet with no CFDs", s.id)
 	}
+	kern, kopts := s.detectResources(ctx)
 	attrs := taskAttrs(spec, cfds)
 	locals, err := s.ExtractBlocksBatch(ctx, spec, attrs, blocks)
 	if err != nil {
@@ -459,7 +481,7 @@ func (s *Site) DetectAssignedSet(ctx context.Context, taskPrefix string, spec *B
 			return nil, err
 		}
 		for ci, c := range cfds {
-			pats, err := engine.ViolationPatterns(merged, c)
+			pats, err := kern.ViolationPatterns(merged, c, kopts)
 			if err != nil {
 				return nil, err
 			}
@@ -626,9 +648,10 @@ func (s *Site) DetectTask(ctx context.Context, task string, local LocalInput, cf
 	if err != nil {
 		return nil, err
 	}
+	kern, kopts := s.detectResources(ctx)
 	out := make([]*relation.Relation, len(cfds))
 	for ci, c := range cfds {
-		pats, err := engine.ViolationPatterns(merged, c)
+		pats, err := kern.ViolationPatterns(merged, c, kopts)
 		if err != nil {
 			return nil, err
 		}

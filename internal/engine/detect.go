@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"encoding/binary"
 	"math"
-	"sort"
+	"math/bits"
+	"sync"
 
 	"distcfd/internal/cfd"
 	"distcfd/internal/relation"
@@ -18,24 +20,48 @@ import (
 //
 // Both scans run on the relation's columnar dictionary-encoded view
 // (relation.Encoded): pattern constants are resolved to column IDs
-// once per unit, matching is fixed-width integer comparison, and the
-// variable group-by keys on dense group IDs instead of per-tuple string
-// keys. DetectRows (rows.go) keeps the string-key reference path.
-// Semantics match internal/cfd.NaiveViolations, which serves as the
-// test oracle.
+// once per unit, matching is fixed-width integer comparison, the
+// variable group-by keys on dense group IDs through the map-free fold
+// of fold.go, and violations accumulate in a row-indexed bitset —
+// sorted output falls out of iteration order, with no per-call map or
+// sort. The per-row loops can additionally be sharded across an
+// intra-unit worker budget (see kernel.go); per-shard group states
+// merge associatively, so the parallel kernel is byte-identical to the
+// serial one. DetectRows (rows.go) keeps the string-key reference
+// path. Semantics match internal/cfd.NaiveViolations, which serves as
+// the test oracle.
 
 // noGroup marks rows excluded from a variable unit's grouping (pattern
 // mismatch). Group IDs are dense, bounded by the row count, so the
 // sentinel can never collide.
 const noGroup = math.MaxUint32
 
+// scratchShrinkRows bounds the per-row buffers (gids, state, first,
+// bits, shard states) a pooled scratch may retain: past it the buffers
+// are dropped wholesale when the scratch returns to its pool, so one
+// huge unit cannot permanently inflate a long-lived compiled plan's
+// scratch (the PR-3 serving-cache reset policy).
+const scratchShrinkRows = 1 << 21
+
 // detectScratch carries the reusable buffers of one detection call so
 // consecutive units (and CFDs, for DetectSet) do not reallocate them.
+// Scratches are pooled per Kernel and reused across Detect calls.
 type detectScratch struct {
-	gids  []uint32          // per-row group id, noGroup when unmatched
-	state []uint8           // per-group: 0 unseen, 1 single A, 2 mixed
-	first []uint32          // per-group first A id (valid when state≥1)
-	pair  map[uint64]uint32 // composite-key interner, cleared per fold
+	gids  []uint32 // per-row group id, noGroup when unmatched
+	state []uint8  // per-group: 0 unseen, 1 single A, 2 mixed
+	first []uint32 // per-group first A id (valid when state≥1)
+	fold  foldStage
+
+	// Violation bitset: bit i set ⇔ row i violates. Shared across the
+	// units (and CFDs) of one call; ascending iteration replaces the
+	// old map[int]struct{} + sort.Ints.
+	bits  []uint64
+	nbits int
+
+	// Flat per-extra-shard group states of the intra-unit parallel
+	// path: shard s ∈ [1, workers) uses rows [(s-1)·num, s·num).
+	shardState []uint8
+	shardFirst []uint32
 }
 
 func (sc *detectScratch) groupBufs(num int) (state []uint8, first []uint32) {
@@ -50,17 +76,98 @@ func (sc *detectScratch) groupBufs(num int) (state []uint8, first []uint32) {
 	return sc.state, sc.first
 }
 
+// shardBufs returns cleared flat state/first buffers for extra shards.
+func (sc *detectScratch) shardBufs(extra, num int) ([]uint8, []uint32) {
+	n := extra * num
+	if cap(sc.shardState) < n {
+		sc.shardState = make([]uint8, n)
+		sc.shardFirst = make([]uint32, n)
+	} else {
+		sc.shardState = sc.shardState[:n]
+		sc.shardFirst = sc.shardFirst[:n]
+		clear(sc.shardState)
+	}
+	return sc.shardState, sc.shardFirst
+}
+
+// resetBits sizes and clears the violation bitset for rows rows.
+func (sc *detectScratch) resetBits(rows int) {
+	n := (rows + 63) >> 6
+	if cap(sc.bits) < n {
+		sc.bits = make([]uint64, n)
+	} else {
+		sc.bits = sc.bits[:n]
+		clear(sc.bits)
+	}
+	sc.nbits = rows
+}
+
+func (sc *detectScratch) mark(i int) { sc.bits[i>>6] |= 1 << (uint(i) & 63) }
+
+// violations materializes the bitset as ascending row indices (nil
+// when empty, matching the historical sortedKeys output).
+func (sc *detectScratch) violations() []int {
+	n := 0
+	for _, w := range sc.bits {
+		n += bits.OnesCount64(w)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	for wi, w := range sc.bits {
+		base := wi << 6
+		for w != 0 {
+			out = append(out, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// shrink drops buffers grown past the retention bounds; called when
+// the scratch returns to its pool. Each buffer is gated on its own
+// capacity: the group buffers can exceed the row count (a sparse
+// shared dictionary bounds groups, not rows) and the shard buffers
+// are (workers−1)× the group space, so gating everything on gids
+// would retain them far past the intended bound.
+func (sc *detectScratch) shrink() {
+	if cap(sc.gids) > scratchShrinkRows {
+		sc.gids = nil
+	}
+	if cap(sc.state) > scratchShrinkRows {
+		sc.state = nil
+		sc.first = nil
+	}
+	if cap(sc.bits) > scratchShrinkRows>>6 {
+		sc.bits = nil
+	}
+	if cap(sc.shardState) > scratchShrinkRows {
+		sc.shardState = nil
+		sc.shardFirst = nil
+	}
+	sc.fold.shrink()
+}
+
 // DetectUnit returns the violation indices of one normalized CFD in d,
 // in ascending order.
 func DetectUnit(d *relation.Relation, n *cfd.Normalized) ([]int, error) {
-	bad := make(map[int]struct{})
-	if err := detectUnitInto(d, n, bad, &detectScratch{}); err != nil {
+	sc := defaultKernel.get()
+	defer defaultKernel.put(sc)
+	sc.resetBits(d.Encoded().Rows())
+	if err := sc.detectUnit(d, n, 1); err != nil {
 		return nil, err
 	}
-	return sortedKeys(bad), nil
+	return sc.violations(), nil
 }
 
-func detectUnitInto(d *relation.Relation, n *cfd.Normalized, bad map[int]struct{}, sc *detectScratch) error {
+// detectUnit checks one normalized unit of a CFD against d, marking
+// violating rows in the scratch bitset (which the caller has sized via
+// resetBits). workers > 1 shards the per-row loops; the fold steps of
+// multi-wildcard groupings stay serial (interning is order-dependent),
+// and per-shard group states merge through the unseen/single/mixed
+// lattice, so the result is identical at every worker count.
+func (sc *detectScratch) detectUnit(d *relation.Relation, n *cfd.Normalized, workers int) error {
 	xi, err := d.Schema().Indices(n.X)
 	if err != nil {
 		return err
@@ -74,13 +181,10 @@ func detectUnitInto(d *relation.Relation, n *cfd.Normalized, bad map[int]struct{
 	if rows == 0 {
 		return nil
 	}
+	workers = shardCount(workers, rows)
 
 	// Resolve the pattern's constants against each column's dictionary;
 	// a constant the fragment never interned matches no tuple at all.
-	type constCol struct {
-		col []uint32
-		id  uint32
-	}
 	var consts []constCol
 	var varCols [][]uint32
 	for j, p := range n.TpX {
@@ -100,18 +204,13 @@ func detectUnitInto(d *relation.Relation, n *cfd.Normalized, bad map[int]struct{
 
 	if n.IsConstant() {
 		aID, aOK := adict.Lookup(n.TpA)
-		for i := 0; i < rows; i++ {
-			match := true
-			for _, c := range consts {
-				if c.col[i] != c.id {
-					match = false
-					break
+		runShards(workers, rows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if matchConsts(consts, i) && (!aOK || acol[i] != aID) {
+					sc.mark(i)
 				}
 			}
-			if match && (!aOK || acol[i] != aID) {
-				bad[i] = struct{}{}
-			}
-		}
+		})
 		return nil
 	}
 
@@ -126,63 +225,129 @@ func detectUnitInto(d *relation.Relation, n *cfd.Normalized, bad map[int]struct{
 	switch len(varCols) {
 	case 0:
 		// All-constant LHS with a variable RHS: one group.
-		for i := 0; i < rows; i++ {
-			gids[i] = noGroup
-			match := true
-			for _, c := range consts {
-				if c.col[i] != c.id {
-					match = false
-					break
+		runShards(workers, rows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if matchConsts(consts, i) {
+					gids[i] = 0
+				} else {
+					gids[i] = noGroup
 				}
 			}
-			if match {
-				gids[i] = 0
-			}
-		}
+		})
 		num = 1
 	default:
 		first := varCols[0]
-		for i := 0; i < rows; i++ {
-			gids[i] = noGroup
-			match := true
-			for _, c := range consts {
-				if c.col[i] != c.id {
-					match = false
-					break
+		runShards(workers, rows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if matchConsts(consts, i) {
+					gids[i] = first[i]
+				} else {
+					gids[i] = noGroup
 				}
 			}
-			if match {
-				gids[i] = first[i]
-			}
-		}
+		})
 		num = dictLenFor(e, xi, n.TpX)
-		for _, col := range varCols[1:] {
-			num = sc.foldPairs(gids, col, rows)
+		for j, col := range varCols[1:] {
+			num = foldColumn(gids, col, num, varColCard(e, xi, n.TpX, j+1), &sc.fold)
 		}
 	}
 
 	state, firstA := sc.groupBufs(num)
-	for i := 0; i < rows; i++ {
-		g := gids[i]
-		if g == noGroup {
-			continue
-		}
-		switch state[g] {
-		case 0:
-			state[g] = 1
-			firstA[g] = acol[i]
-		case 1:
-			if acol[i] != firstA[g] {
-				state[g] = 2
+	if workers <= 1 {
+		for i := 0; i < rows; i++ {
+			g := gids[i]
+			if g == noGroup {
+				continue
+			}
+			switch state[g] {
+			case 0:
+				state[g] = 1
+				firstA[g] = acol[i]
+			case 1:
+				if acol[i] != firstA[g] {
+					state[g] = 2
+				}
 			}
 		}
+	} else {
+		// Shard 0 accumulates into the merge target directly; extra
+		// shards into their own slices of the flat buffers.
+		shardState, shardFirst := sc.shardBufs(workers-1, num)
+		bounds := shardBounds(workers, rows)
+		var wg sync.WaitGroup
+		for s := 0; s < workers; s++ {
+			st, fa := state, firstA
+			if s > 0 {
+				st = shardState[(s-1)*num : s*num]
+				fa = shardFirst[(s-1)*num : s*num]
+			}
+			wg.Add(1)
+			go func(lo, hi int, st []uint8, fa []uint32) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					g := gids[i]
+					if g == noGroup {
+						continue
+					}
+					switch st[g] {
+					case 0:
+						st[g] = 1
+						fa[g] = acol[i]
+					case 1:
+						if acol[i] != fa[g] {
+							st[g] = 2
+						}
+					}
+				}
+			}(bounds[s], bounds[s+1], st, fa)
+		}
+		wg.Wait()
+		// Merge: unseen/single/mixed is a join-semilattice (unseen ⊑
+		// single(a) ⊑ mixed, single(a) ⊔ single(b≠a) = mixed), so
+		// shard order cannot matter. Sharded over the group space.
+		runShards(workers, num, func(glo, ghi int) {
+			for s := 0; s < workers-1; s++ {
+				st := shardState[s*num : (s+1)*num]
+				fa := shardFirst[s*num : (s+1)*num]
+				for g := glo; g < ghi; g++ {
+					if st[g] == 0 || state[g] == 2 {
+						continue
+					}
+					switch {
+					case state[g] == 0:
+						state[g] = st[g]
+						firstA[g] = fa[g]
+					case st[g] == 2 || fa[g] != firstA[g]:
+						state[g] = 2
+					}
+				}
+			}
+		})
 	}
-	for i := 0; i < rows; i++ {
-		if g := gids[i]; g != noGroup && state[g] == 2 {
-			bad[i] = struct{}{}
+	runShards(workers, rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if g := gids[i]; g != noGroup && state[g] == 2 {
+				sc.mark(i)
+			}
+		}
+	})
+	return nil
+}
+
+// constCol is one resolved constant of a pattern: the column vector and
+// the ID the pattern's constant interned to.
+type constCol struct {
+	col []uint32
+	id  uint32
+}
+
+func matchConsts(consts []constCol, i int) bool {
+	for _, c := range consts {
+		if c.col[i] != c.id {
+			return false
 		}
 	}
-	return nil
+	return true
 }
 
 // dictLenFor returns the dictionary size of the first wildcard column,
@@ -197,65 +362,31 @@ func dictLenFor(e *relation.Encoded, xi []int, tpx []string) int {
 	return 1
 }
 
-// foldPairs is foldColumn (groupby.go) with the noGroup sentinel
-// skipped and the scratch interner reused: each (gid, col-ID) pair is
-// interned to a fresh dense ID, rows marked noGroup stay excluded.
-// Returns the new group count. The interner is exact — no hash
-// truncation — so distinct composites never collide.
-func (sc *detectScratch) foldPairs(gids []uint32, col []uint32, rows int) int {
-	if sc.pair == nil {
-		sc.pair = make(map[uint64]uint32, 256)
-	} else {
-		clear(sc.pair)
-	}
-	next := uint32(0)
-	for i := 0; i < rows; i++ {
-		g := gids[i]
-		if g == noGroup {
+// varColCard returns the dictionary cardinality of the k-th wildcard
+// column (0-based among wildcards) — the fold's colID bound.
+func varColCard(e *relation.Encoded, xi []int, tpx []string, k int) int {
+	seen := 0
+	for j, p := range tpx {
+		if p != cfd.Wildcard {
 			continue
 		}
-		k := uint64(g)<<32 | uint64(col[i])
-		id, ok := sc.pair[k]
-		if !ok {
-			id = next
-			next++
-			sc.pair[k] = id
+		if seen == k {
+			_, dict := e.Column(xi[j])
+			return dict.Len()
 		}
-		gids[i] = id
+		seen++
 	}
-	return int(next)
+	return 1
 }
 
 // Detect returns Vio(φ, d) as sorted tuple indices.
 func Detect(d *relation.Relation, c *cfd.CFD) ([]int, error) {
-	if err := c.Validate(d.Schema()); err != nil {
-		return nil, err
-	}
-	bad := make(map[int]struct{})
-	sc := &detectScratch{}
-	for _, n := range c.Normalize() {
-		if err := detectUnitInto(d, n, bad, sc); err != nil {
-			return nil, err
-		}
-	}
-	return sortedKeys(bad), nil
+	return defaultKernel.Detect(d, c, Opts{})
 }
 
 // DetectSet returns Vio(Σ, d) as sorted tuple indices.
 func DetectSet(d *relation.Relation, cs []*cfd.CFD) ([]int, error) {
-	bad := make(map[int]struct{})
-	sc := &detectScratch{}
-	for _, c := range cs {
-		if err := c.Validate(d.Schema()); err != nil {
-			return nil, err
-		}
-		for _, n := range c.Normalize() {
-			if err := detectUnitInto(d, n, bad, sc); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return sortedKeys(bad), nil
+	return defaultKernel.DetectSet(d, cs, Opts{})
 }
 
 // DetectPi returns Vioπ(φ, d): distinct violating X-patterns
@@ -272,10 +403,16 @@ func DetectPi(d *relation.Relation, c *cfd.CFD) (*relation.Relation, error) {
 // as bare X-tuples (no null padding); the compact wire form shipped
 // back from coordinator sites.
 func ViolationPatterns(d *relation.Relation, c *cfd.CFD) (*relation.Relation, error) {
-	vio, err := Detect(d, c)
-	if err != nil {
-		return nil, err
-	}
+	return defaultKernel.ViolationPatterns(d, c, Opts{})
+}
+
+// violationPatterns extracts the distinct X-patterns of the rows set in
+// sc.bits. The seen-set keys on the rows' encoded column IDs
+// (uvarint-encoded per component, so the fixed component count makes
+// the key unambiguous) — value-exact, since rows of one relation share
+// its dictionaries — and a string key plus the pattern tuple are
+// materialized only for emitted patterns, never per violating row.
+func (sc *detectScratch) violationPatterns(d *relation.Relation, c *cfd.CFD) (*relation.Relation, error) {
 	xi, err := d.Schema().Indices(c.X)
 	if err != nil {
 		return nil, err
@@ -285,24 +422,34 @@ func ViolationPatterns(d *relation.Relation, c *cfd.CFD) (*relation.Relation, er
 		return nil, err
 	}
 	out := relation.New(ps)
-	seen := map[string]struct{}{}
-	for _, i := range vio {
-		t := d.Tuple(i)
-		k := t.Key(xi)
-		if _, dup := seen[k]; dup {
+	e := d.Encoded()
+	cols := make([][]uint32, len(xi))
+	var seen map[string]struct{}
+	key := make([]byte, 0, 8*len(xi))
+	for wi, w := range sc.bits {
+		if w == 0 {
 			continue
 		}
-		seen[k] = struct{}{}
-		out.MustAppend(t.Project(xi))
+		if seen == nil {
+			seen = make(map[string]struct{}, 16)
+			for j, col := range xi {
+				cols[j], _ = e.Column(col)
+			}
+		}
+		base := wi << 6
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			key = key[:0]
+			for _, col := range cols {
+				key = binary.AppendUvarint(key, uint64(col[i]))
+			}
+			if _, dup := seen[string(key)]; dup {
+				continue
+			}
+			seen[string(key)] = struct{}{}
+			out.MustAppend(d.Tuple(i).Project(xi))
+		}
 	}
 	return out, nil
-}
-
-func sortedKeys(m map[int]struct{}) []int {
-	out := make([]int, 0, len(m))
-	for i := range m {
-		out = append(out, i)
-	}
-	sort.Ints(out)
-	return out
 }

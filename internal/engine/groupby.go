@@ -37,7 +37,7 @@ func GroupBy(d *relation.Relation, attrs []string) (*Groups, error) {
 	for j, c := range idx {
 		cols[j], dicts[j] = e.Column(c)
 	}
-	gids, num := groupIDs(cols, rows)
+	gids, num := groupIDs(cols, dicts, rows)
 
 	// First-seen order, one key string materialized per distinct group
 	// ID. Distinct ID groups whose string keys collide (multi-attribute
@@ -76,51 +76,22 @@ func GroupBy(d *relation.Relation, attrs []string) (*Groups, error) {
 
 // groupIDs computes a dense, exact group ID per row over the given
 // column vectors: single columns group on their dictionary IDs
-// directly, composites are pair-folded through an interning map (no
-// hash truncation, so distinct key tuples never share an ID).
-func groupIDs(cols [][]uint32, rows int) ([]uint32, int) {
+// directly, composites are pair-folded through the map-free fold of
+// fold.go (no hash truncation, so distinct key tuples never share an
+// ID). The dictionaries bound each column's ID space — a column's
+// dictionary already knows its own size, so no scan is needed.
+func groupIDs(cols [][]uint32, dicts []*relation.Dict, rows int) ([]uint32, int) {
 	gids := make([]uint32, rows)
 	copy(gids, cols[0])
-	num := maxID(cols[0]) + 1
+	num := dicts[0].Len()
 	if len(cols) == 1 {
 		return gids, num
 	}
-	stage := make(map[uint64]uint32, 256)
-	for _, col := range cols[1:] {
-		clear(stage)
-		num = foldColumn(gids, col, stage)
+	var st foldStage
+	for j, col := range cols[1:] {
+		num = foldColumn(gids, col, num, dicts[j+1].Len(), &st)
 	}
 	return gids, num
-}
-
-// foldColumn merges the next column into the running group IDs: each
-// (gid, col-ID) pair is interned to a fresh dense ID through stage,
-// which must be empty (or cleared) on entry. It is the shared exact
-// composite-key fold of GroupBy and the join index. Returns the new
-// group count.
-func foldColumn(gids []uint32, col []uint32, stage map[uint64]uint32) int {
-	next := uint32(0)
-	for i := range gids {
-		k := uint64(gids[i])<<32 | uint64(col[i])
-		id, ok := stage[k]
-		if !ok {
-			id = next
-			next++
-			stage[k] = id
-		}
-		gids[i] = id
-	}
-	return int(next)
-}
-
-func maxID(col []uint32) int {
-	m := uint32(0)
-	for _, id := range col {
-		if id > m {
-			m = id
-		}
-	}
-	return int(m)
 }
 
 // Len returns the number of distinct groups.

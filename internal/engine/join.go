@@ -16,7 +16,7 @@ type joinIndex struct {
 	num    int        // number of distinct right keys
 	trans  [][]uint32 // per join column: left dict id -> right dict id + 1 (0 = absent)
 	lcols  [][]uint32 // left join-key columns
-	stages []map[uint64]uint32
+	stages []*foldStage
 }
 
 func newJoinIndex(left, right *relation.Relation, li, ri []int) *joinIndex {
@@ -51,17 +51,17 @@ func newJoinIndex(left, right *relation.Relation, li, ri []int) *joinIndex {
 	}
 
 	// Fold the right key columns to dense IDs, keeping each stage's
-	// interner so left probes can walk the same path lookup-only.
+	// tables so left probes can walk the same path lookup-only.
 	rows := re.Rows()
 	ix.rgids = make([]uint32, rows)
 	copy(ix.rgids, rcols[0])
-	ix.num = maxID(rcols[0]) + 1
+	ix.num = rdicts[0].Len()
 	if rows == 0 {
 		ix.num = 0
 	}
-	for _, col := range rcols[1:] {
-		stage := make(map[uint64]uint32, 256)
-		ix.num = foldColumn(ix.rgids, col, stage)
+	for j, col := range rcols[1:] {
+		stage := &foldStage{}
+		ix.num = foldColumn(ix.rgids, col, ix.num, rdicts[j+1].Len(), stage)
 		ix.stages = append(ix.stages, stage)
 	}
 	return ix
@@ -80,7 +80,7 @@ func (ix *joinIndex) probe(i int) (uint32, bool) {
 		if t == 0 {
 			return 0, false
 		}
-		id, ok := stage[uint64(g)<<32|uint64(t-1)]
+		id, ok := stage.lookup(g, t-1)
 		if !ok {
 			return 0, false
 		}

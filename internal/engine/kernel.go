@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"sync"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/relation"
+)
+
+// Kernel is the serving form of the detection kernel: a scratch pool
+// shared by any number of concurrent Detect/DetectSet/
+// ViolationPatterns calls, so a long-lived caller (a compiled
+// core.Plan, a site serving RPC traffic) stops reallocating the
+// per-call buffers — group-ID vectors, group states, fold tables, and
+// the violation bitset. The zero value is ready to use. Scratches
+// returned to the pool are shrunk past a retention bound, so one huge
+// unit cannot inflate the pool forever.
+type Kernel struct {
+	pool sync.Pool
+}
+
+// defaultKernel serves the package-level convenience entry points
+// (Detect, DetectSet, ViolationPatterns, DetectUnit).
+var defaultKernel Kernel
+
+// Opts tune one kernel call.
+type Opts struct {
+	// Workers shards the per-row loops of each unit across this many
+	// goroutines (the intra-unit parallelism of one check). ≤ 1 runs
+	// serially. Results are byte-identical at every setting; small
+	// inputs fall back to fewer shards so the fan-out never costs more
+	// than it saves.
+	Workers int
+}
+
+func (k *Kernel) get() *detectScratch {
+	if sc, ok := k.pool.Get().(*detectScratch); ok {
+		return sc
+	}
+	return &detectScratch{}
+}
+
+func (k *Kernel) put(sc *detectScratch) {
+	sc.shrink()
+	k.pool.Put(sc)
+}
+
+// Detect returns Vio(φ, d) as sorted tuple indices.
+func (k *Kernel) Detect(d *relation.Relation, c *cfd.CFD, o Opts) ([]int, error) {
+	if err := c.Validate(d.Schema()); err != nil {
+		return nil, err
+	}
+	sc := k.get()
+	defer k.put(sc)
+	sc.resetBits(d.Encoded().Rows())
+	for _, n := range c.Normalize() {
+		if err := sc.detectUnit(d, n, o.Workers); err != nil {
+			return nil, err
+		}
+	}
+	return sc.violations(), nil
+}
+
+// DetectSet returns Vio(Σ, d) as sorted tuple indices.
+func (k *Kernel) DetectSet(d *relation.Relation, cs []*cfd.CFD, o Opts) ([]int, error) {
+	sc := k.get()
+	defer k.put(sc)
+	sc.resetBits(d.Encoded().Rows())
+	for _, c := range cs {
+		if err := c.Validate(d.Schema()); err != nil {
+			return nil, err
+		}
+		for _, n := range c.Normalize() {
+			if err := sc.detectUnit(d, n, o.Workers); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sc.violations(), nil
+}
+
+// ViolationPatterns returns the distinct violating X-patterns of φ in
+// d as bare X-tuples — the coordinator-side check primitive.
+func (k *Kernel) ViolationPatterns(d *relation.Relation, c *cfd.CFD, o Opts) (*relation.Relation, error) {
+	if err := c.Validate(d.Schema()); err != nil {
+		return nil, err
+	}
+	sc := k.get()
+	defer k.put(sc)
+	sc.resetBits(d.Encoded().Rows())
+	for _, n := range c.Normalize() {
+		if err := sc.detectUnit(d, n, o.Workers); err != nil {
+			return nil, err
+		}
+	}
+	return sc.violationPatterns(d, c)
+}
+
+// minShardRows is the smallest per-shard row count worth a goroutine:
+// below it the fan-out overhead exceeds the scan itself.
+const minShardRows = 4096
+
+// shardCount clamps the requested worker budget to what rows can
+// usefully feed.
+func shardCount(workers, rows int) int {
+	if workers <= 1 {
+		return 1
+	}
+	if max := (rows + minShardRows - 1) / minShardRows; workers > max {
+		workers = max
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// shardBounds splits [0, rows) into w contiguous shards whose
+// boundaries are multiples of 64, so two shards never share a word of
+// the violation bitset.
+func shardBounds(w, rows int) []int {
+	bounds := make([]int, w+1)
+	per := (rows/w + 63) &^ 63
+	for s := 1; s < w; s++ {
+		b := s * per
+		if b > rows {
+			b = rows
+		}
+		bounds[s] = b
+	}
+	bounds[w] = rows
+	return bounds
+}
+
+// runShards runs fn over w 64-aligned contiguous shards of [0, n),
+// concurrently when w > 1.
+func runShards(w, n int, fn func(lo, hi int)) {
+	if w <= 1 || n == 0 {
+		fn(0, n)
+		return
+	}
+	bounds := shardBounds(w, n)
+	var wg sync.WaitGroup
+	for s := 0; s < w; s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/relation"
+)
+
+// randomRelation builds a CUST-shaped synthetic relation with small
+// domains so groups, violations, and fold collisions are frequent.
+func randomRelation(rng *rand.Rand, rows int) *relation.Relation {
+	s := relation.MustSchema("K", []string{"a", "b", "c", "d", "e"})
+	d := relation.New(s)
+	doms := []int{7, 11, 3, 5, 9}
+	for i := 0; i < rows; i++ {
+		row := make(relation.Tuple, len(doms))
+		for j, dom := range doms {
+			row[j] = fmt.Sprintf("v%d", rng.Intn(dom))
+		}
+		d.MustAppend(row)
+	}
+	return d
+}
+
+func kernelTestCFDs() []*cfd.CFD {
+	return []*cfd.CFD{
+		cfd.MustParse(`k1: [a, b] -> [c]`),                     // pure FD, two-column fold
+		cfd.MustParse(`k2: [a] -> [e] : (v1 || _), (v2 || _)`), // constant LHS patterns
+		cfd.MustParse(`k3: [a, b, d] -> [e]`),                  // three-column fold
+		cfd.MustParse(`k4: [b, c] -> [a] : (_, v0 || _)`),      // constant restriction
+		cfd.MustParse(`k5: [a, b] -> [c] : (v1, v2 || v0)`),    // constant unit
+		cfd.MustParse(`k6: [c] -> [d] : (v0 || v1), (_ || _)`), // constant and variable units
+	}
+}
+
+// TestKernelParallelMatchesSerial pins the intra-unit parallel kernel
+// against the serial one: identical violation indices and identical
+// violation patterns at every worker count, on inputs large enough
+// that the row range actually shards (minShardRows per shard).
+func TestKernelParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, rows := range []int{0, 1, 63, 64, 65, 1000, 3*minShardRows + 17} {
+		d := randomRelation(rng, rows)
+		for _, c := range kernelTestCFDs() {
+			var serial Kernel
+			want, err := serial.Detect(d, c, Opts{Workers: 1})
+			if err != nil {
+				t.Fatalf("rows=%d %s: %v", rows, c.Name, err)
+			}
+			wantPats, err := serial.ViolationPatterns(d, c, Opts{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, 3, 4, 8} {
+				var k Kernel
+				got, err := k.Detect(d, c, Opts{Workers: w})
+				if err != nil {
+					t.Fatalf("rows=%d %s workers=%d: %v", rows, c.Name, w, err)
+				}
+				if !equalInts(got, want) {
+					t.Fatalf("rows=%d %s workers=%d: violations %v != serial %v", rows, c.Name, w, got, want)
+				}
+				gotPats, err := k.ViolationPatterns(d, c, Opts{Workers: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !gotPats.SameTuples(wantPats) {
+					t.Fatalf("rows=%d %s workers=%d: patterns diverge from serial", rows, c.Name, w)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelScratchReuse runs many detections through one kernel so
+// pooled scratch is exercised across units of different shapes and row
+// counts, and cross-checks every answer against the row-path
+// reference.
+func TestKernelScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var k Kernel
+	for trial := 0; trial < 30; trial++ {
+		d := randomRelation(rng, 1+rng.Intn(400))
+		for _, c := range kernelTestCFDs() {
+			want, err := DetectRows(d, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := k.Detect(d, c, Opts{Workers: 1 + rng.Intn(4)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalInts(got, want) {
+				t.Fatalf("trial %d %s: %v != rows-path %v", trial, c.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestFoldTiersAgree drives the same fold through the direct-index and
+// open-addressing tiers and a map reference; all three must produce
+// identical groupings (as partitions — IDs are assigned in first-seen
+// order, so they match exactly).
+func TestFoldTiersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		num := 1 + rng.Intn(40)
+		card := 1 + rng.Intn(40)
+		gids := make([]uint32, n)
+		col := make([]uint32, n)
+		for i := range gids {
+			if rng.Intn(10) == 0 {
+				gids[i] = noGroup
+			} else {
+				gids[i] = uint32(rng.Intn(num))
+			}
+			col[i] = uint32(rng.Intn(card))
+		}
+
+		// Map reference.
+		ref := append([]uint32(nil), gids...)
+		stage := make(map[uint64]uint32)
+		refNext := uint32(0)
+		for i, g := range ref {
+			if g == noGroup {
+				continue
+			}
+			k := uint64(g)<<32 | uint64(col[i])
+			id, ok := stage[k]
+			if !ok {
+				id = refNext
+				refNext++
+				stage[k] = id
+			}
+			ref[i] = id
+		}
+
+		direct := append([]uint32(nil), gids...)
+		var st1 foldStage
+		nd := st1.foldDirect(direct, col, uint64(card), num*card)
+		open := append([]uint32(nil), gids...)
+		var st2 foldStage
+		no := st2.foldOpen(open, col)
+
+		if nd != int(refNext) || no != int(refNext) {
+			t.Fatalf("trial %d: counts direct=%d open=%d ref=%d", trial, nd, no, refNext)
+		}
+		for i := range ref {
+			if direct[i] != ref[i] || open[i] != ref[i] {
+				t.Fatalf("trial %d row %d: direct=%d open=%d ref=%d", trial, i, direct[i], open[i], ref[i])
+			}
+		}
+		// Retained lookup must replay the fold exactly.
+		for i, g := range gids {
+			if g == noGroup {
+				continue
+			}
+			if id, ok := st1.lookup(g, col[i]); !ok || id != ref[i] {
+				t.Fatalf("direct lookup(%d,%d) = %d,%v want %d", g, col[i], id, ok, ref[i])
+			}
+			if id, ok := st2.lookup(g, col[i]); !ok || id != ref[i] {
+				t.Fatalf("open lookup(%d,%d) = %d,%v want %d", g, col[i], id, ok, ref[i])
+			}
+		}
+		// And absent composites must miss.
+		if _, ok := st2.lookup(uint32(num)+1, uint32(card)+1); ok {
+			t.Fatal("open lookup invented a composite")
+		}
+	}
+}
+
+// TestScratchShrinks pins the retention bound: a scratch inflated by a
+// huge unit drops its buffers when returned to the pool, so one
+// outlier cannot pin memory in a long-lived compiled plan.
+func TestScratchShrinks(t *testing.T) {
+	sc := &detectScratch{
+		gids:       make([]uint32, scratchShrinkRows+1),
+		state:      make([]uint8, scratchShrinkRows+1),
+		first:      make([]uint32, scratchShrinkRows+1),
+		bits:       make([]uint64, scratchShrinkRows>>6+1),
+		shardState: make([]uint8, scratchShrinkRows+1),
+		shardFirst: make([]uint32, scratchShrinkRows+1),
+	}
+	sc.fold.table = make([]uint32, foldShrinkEntries+1)
+	sc.fold.keys = make([]uint64, foldShrinkEntries*2)
+	sc.fold.vals = make([]uint32, foldShrinkEntries*2)
+	sc.shrink()
+	if sc.gids != nil || sc.state != nil || sc.first != nil || sc.bits != nil {
+		t.Error("row/group buffers past the bound were retained")
+	}
+	if sc.shardState != nil || sc.shardFirst != nil {
+		t.Error("shard buffers past the bound were retained")
+	}
+	if sc.fold.table != nil || sc.fold.keys != nil || sc.fold.vals != nil {
+		t.Error("fold buffers past the bound were retained")
+	}
+
+	// Each buffer is gated independently: a small-row run whose group
+	// space blew up (sparse shared dictionary) must still shed the
+	// group and shard buffers while keeping the row-sized ones.
+	mixed := &detectScratch{
+		gids:       make([]uint32, 128),
+		state:      make([]uint8, scratchShrinkRows+1),
+		first:      make([]uint32, scratchShrinkRows+1),
+		shardState: make([]uint8, scratchShrinkRows+1),
+		shardFirst: make([]uint32, scratchShrinkRows+1),
+	}
+	mixed.shrink()
+	if mixed.gids == nil {
+		t.Error("small row buffer was dropped")
+	}
+	if mixed.state != nil || mixed.shardState != nil || mixed.shardFirst != nil {
+		t.Error("oversized group/shard buffers were retained")
+	}
+
+	small := &detectScratch{gids: make([]uint32, 128)}
+	small.fold.table = make([]uint32, 128)
+	small.shrink()
+	if small.gids == nil || small.fold.table == nil {
+		t.Error("buffers under the bound were dropped")
+	}
+}
+
+// TestViolationPatternsSeparatorExact pins the value-exact dedup of
+// ViolationPatterns: two distinct X-patterns whose \x1f-joined string
+// keys collide must both be reported (the seen-set keys on encoded
+// column IDs, not joined strings).
+func TestViolationPatternsSeparatorExact(t *testing.T) {
+	d := relation.MustFromRows(
+		relation.MustSchema("S", []string{"a", "b", "c"}),
+		[]string{"x\x1fy", "z", "1"},
+		[]string{"x\x1fy", "z", "2"},
+		[]string{"x", "y\x1fz", "1"},
+		[]string{"x", "y\x1fz", "2"},
+	)
+	c := cfd.MustParse(`sep: [a, b] -> [c]`)
+	vio, err := Detect(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(vio, []int{0, 1, 2, 3}) {
+		t.Fatalf("Detect = %v, want all four rows", vio)
+	}
+	pats, err := ViolationPatterns(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.MustFromRows(pats.Schema(),
+		[]string{"x\x1fy", "z"},
+		[]string{"x", "y\x1fz"},
+	)
+	if !pats.SameTuples(want) {
+		t.Fatalf("ViolationPatterns = %v, want both distinct patterns", pats)
+	}
+}

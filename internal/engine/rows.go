@@ -1,16 +1,23 @@
 package engine
 
 import (
+	"sort"
+
 	"distcfd/internal/cfd"
 	"distcfd/internal/relation"
 )
 
 // The row-oriented reference detector: the original implementation of
-// the fast detector, grouping on \x1f-joined string keys built per
-// tuple via Tuple.Key. The engine's default path now runs on the
-// columnar dictionary-encoded view (detect.go); this form is kept as
-// the baseline of DESIGN.md ablation 8 and as the second leg of the
-// cross-representation equivalence tests.
+// the fast detector, grouping on string keys built per tuple. The
+// engine's default path now runs on the columnar dictionary-encoded
+// view (detect.go); this form is kept as the baseline of DESIGN.md
+// ablation 8 and as the second leg of the cross-representation
+// equivalence tests (including the kernel fuzz target), so its keys
+// are the length-prefixed exact form of incremental.go rather than the
+// historical \x1f-join: the fuzzer found X projections like
+// ("b\x1f", "") and ("b", "\x1f") whose joined keys collide, which
+// merged distinct groups and reported phantom violations the exact
+// encoded path (and cfd.NaiveViolations) correctly rejects.
 
 // DetectRows returns Vio(φ, d) as sorted tuple indices using the
 // row-oriented string-key path.
@@ -64,7 +71,7 @@ func detectUnitIntoRows(d *relation.Relation, n *cfd.Normalized, bad map[int]str
 		return nil
 	}
 
-	// Variable unit: group matching tuples by X.
+	// Variable unit: group matching tuples by X (value-exact keys).
 	groups := make(map[string][]int)
 	firstVal := make(map[string]string)
 	mixed := make(map[string]bool)
@@ -72,7 +79,7 @@ func detectUnitIntoRows(d *relation.Relation, n *cfd.Normalized, bad map[int]str
 		if !matchesAt(t, xi, n.TpX) {
 			continue
 		}
-		k := t.Key(xi)
+		k := exactKey(t, xi)
 		groups[k] = append(groups[k], i)
 		v := t[aIdx]
 		if fv, ok := firstVal[k]; !ok {
@@ -87,6 +94,15 @@ func detectUnitIntoRows(d *relation.Relation, n *cfd.Normalized, bad map[int]str
 		}
 	}
 	return nil
+}
+
+func sortedKeys(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
 }
 
 func matchesAt(t relation.Tuple, idx []int, pattern []string) bool {

@@ -295,8 +295,19 @@ func (r *Relation) ProjectRows(name string, attrs []string, rows []int) (*Relati
 	}
 	e := r.Encoded()
 	out := NewWithCapacity(ps, len(rows))
-	for _, i := range rows {
-		out.tuples = append(out.tuples, r.tuples[i].Project(idx))
+	// One backing array for every projected tuple: extraction runs per
+	// shipped block on the serving path, where a per-row allocation was
+	// the single largest allocation site of a whole detection run. The
+	// sub-slices are full (len == cap), so growing one can never bleed
+	// into its neighbor.
+	flat := make([]string, len(rows)*len(idx))
+	for k, i := range rows {
+		t := flat[k*len(idx) : (k+1)*len(idx) : (k+1)*len(idx)]
+		src := r.tuples[i]
+		for j, c := range idx {
+			t[j] = src[c]
+		}
+		out.tuples = append(out.tuples, t)
 	}
 	enc := newEncoded(out.tuples, len(idx))
 	for j, c := range idx {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"net/rpc"
+	"runtime"
 
 	"distcfd/internal/cfd"
 	"distcfd/internal/core"
@@ -24,8 +25,14 @@ func NewSiteService(site *core.Site, schema *relation.Schema) *SiteService {
 }
 
 // Serve registers the service and accepts connections until the
-// listener closes. It blocks.
+// listener closes. It blocks. The driver's intra-unit worker budget
+// does not cross the wire, so a site with no budget configured is
+// given this machine's core count before traffic starts; an operator
+// who already called SetDetectParallelism keeps their cap.
 func Serve(lis net.Listener, site *core.Site, schema *relation.Schema) error {
+	if site.DetectParallelism() == 0 {
+		site.SetDetectParallelism(runtime.GOMAXPROCS(0))
+	}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName(serviceName, NewSiteService(site, schema)); err != nil {
 		return err
