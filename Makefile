@@ -1,11 +1,36 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-full bench-compare examples
+.PHONY: ci build vet test race bench bench-smoke bench-full bench-compare examples lint wire-golden
 
 # ci mirrors .github/workflows/ci.yml: a missing package, vet
-# regression, race, broken example, or broken benchmark can never land
-# silently again.
-ci: build vet race examples bench-smoke
+# regression, lint finding, race, broken example, or broken benchmark
+# can never land silently again.
+ci: build vet lint race examples bench-smoke
+
+# lint builds the repo's own analyzer suite (cmd/distcfdvet: keyjoin,
+# ctxflow, poolpair, wirecompat) and runs it over every package via the
+# vet -vettool protocol. Findings are suppressed per line with a
+# //distcfd:<analyzer>-ok comment. staticcheck and govulncheck run too
+# when installed, but are gated so the target works on a bare
+# toolchain.
+lint:
+	$(GO) build -o bin/distcfdvet ./cmd/distcfdvet
+	$(GO) vet -vettool=$$(pwd)/bin/distcfdvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "== staticcheck"; staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "== govulncheck"; govulncheck ./...; \
+	else echo "govulncheck not installed; skipping"; fi
+
+# wire-golden regenerates internal/remote/wire.golden, the committed
+# fingerprint of the RPC wire structs that the wirecompat analyzer and
+# TestWireGolden check against. Run after any deliberate wire change,
+# review the diff, and commit the new golden alongside a WireVersion
+# bump.
+wire-golden:
+	$(GO) build -o bin/distcfdvet ./cmd/distcfdvet
+	./bin/distcfdvet -write-wire-golden internal/remote
 
 # examples builds AND runs every examples/ program, so facade breakage
 # (the examples exercise the public API end to end, including the RPC

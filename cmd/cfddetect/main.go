@@ -19,6 +19,15 @@
 //
 // Each line is {"site": N, "inserts": [[v1,v2,...],...], "deletes": [row,...]};
 // deletes address rows of site N's fragment as it stands before the line.
+//
+// Static rule-set analysis (consistency witness, implied rules,
+// duplicate rules; needs no data, exits 1 on an inconsistent Σ):
+//
+//	cfddetect -rules cust.cfd -lint
+//
+// The same analysis gates a detection run via -sigma check (fail fast
+// on inconsistent Σ) or -sigma prune (also collapse duplicate rules
+// into one compiled unit).
 package main
 
 import (
@@ -50,6 +59,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "partitioning seed")
 		timeout   = flag.Duration("timeout", 0, "per-RPC I/O timeout against remote sites (0 = none)")
 		follow    = flag.Bool("follow", false, "after the initial detection, consume a JSON delta stream from stdin and re-detect incrementally per delta")
+		lint      = flag.Bool("lint", false, "statically analyze the rule set (consistency, implied rules, duplicates) and exit; no data needed")
+		sigmaMode = flag.String("sigma", "off", "compile-time Σ analysis: off | check (fail fast on inconsistent Σ) | prune (also collapse duplicate CFDs)")
 	)
 	flag.Parse()
 
@@ -73,6 +84,26 @@ func main() {
 	}
 	if len(rules) == 0 {
 		fatalf("no rules in %s", *rulesPath)
+	}
+
+	if *lint {
+		report := distcfd.AnalyzeSigma(rules)
+		fmt.Print(report)
+		if !report.Consistent() {
+			os.Exit(1)
+		}
+		return
+	}
+	var sigma distcfd.SigmaMode
+	switch *sigmaMode {
+	case "off":
+		sigma = distcfd.SigmaOff
+	case "check":
+		sigma = distcfd.SigmaCheck
+	case "prune":
+		sigma = distcfd.SigmaPrune
+	default:
+		fatalf("unknown -sigma mode %q (off | check | prune)", *sigmaMode)
 	}
 
 	var algo distcfd.Algorithm
@@ -136,6 +167,7 @@ func main() {
 		distcfd.WithWorkers(workers),
 		distcfd.WithMineTheta(*mineTheta),
 		distcfd.WithTimeout(*timeout),
+		distcfd.WithSigmaAnalysis(sigma),
 	)
 	if err != nil {
 		fatalf("compile: %v", err)

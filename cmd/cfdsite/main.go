@@ -7,14 +7,22 @@
 // The optional -pred flag declares the fragment predicate Fi for the
 // Section IV-A pruning, e.g. -pred "title=MTS,CC=44" (conjunction of
 // equalities).
+//
+// SIGINT/SIGTERM shut the site down gracefully: the listener closes
+// and every in-flight handler's site work is cancelled through the
+// server's base context, so a dying site stops burning cycles on
+// detection work whose driver will never hear the answer.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"distcfd/internal/core"
 	"distcfd/internal/relation"
@@ -64,9 +72,12 @@ func main() {
 	}
 	fmt.Printf("site %d serving %d tuples on %s\n", *id, data.Len(), lis.Addr())
 	site := core.NewSite(*id, data, pred)
-	if err := remote.Serve(lis, site, data.Schema()); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := remote.ServeContext(ctx, lis, site, data.Schema()); err != nil {
 		fatalf("serve: %v", err)
 	}
+	fmt.Printf("site %d shut down\n", *id)
 }
 
 func fatalf(format string, args ...any) {

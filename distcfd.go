@@ -89,7 +89,24 @@ type (
 	PatternTuple = cfd.PatternTuple
 	// FD is a plain functional dependency over attribute names.
 	FD = cfd.FD
+	// SigmaReport is the result of the static Σ analysis (consistency
+	// witness, implied units, irreducible cover, duplicate CFDs).
+	SigmaReport = cfd.SigmaReport
+	// Witness explains an inconsistent Σ: the attribute the chase
+	// forces to two distinct constants, and the chase state.
+	Witness = cfd.Witness
+	// InconsistentError is the witness-bearing error Compile returns
+	// for an inconsistent Σ under WithSigmaAnalysis.
+	InconsistentError = cfd.InconsistentError
 )
+
+// AnalyzeSigma runs the static analyses of Fan et al. (TODS 2008) over
+// a CFD set: consistency (with a concrete witness on failure), implied
+// (redundant) normalized units, an irreducible cover, and duplicate
+// CFDs identical up to their name. Compile runs the same analysis when
+// asked to via WithSigmaAnalysis; this entry point serves lint-style
+// inspection (cfddetect -lint) without a cluster.
+func AnalyzeSigma(cfds []*CFD) *SigmaReport { return cfd.AnalyzeSigma(cfds) }
 
 // Wildcard is the unnamed variable '_' in pattern tableaux.
 const Wildcard = cfd.Wildcard
@@ -114,6 +131,8 @@ type (
 	Algorithm = core.Algorithm
 	// Options tunes a detection run (cost model, mining threshold).
 	Options = core.Options
+	// SigmaMode selects the compile-time Σ analysis level.
+	SigmaMode = core.SigmaMode
 	// SingleResult reports a single-CFD run.
 	SingleResult = core.SingleResult
 	// SetResult reports a multi-CFD run.
@@ -137,6 +156,19 @@ const (
 	// PatDetectRT uses per-pattern coordinators minimizing modeled
 	// response time.
 	PatDetectRT = core.PatDetectRT
+)
+
+// Σ analysis levels for WithSigmaAnalysis.
+const (
+	// SigmaOff compiles the rule set as given (the default).
+	SigmaOff = core.SigmaOff
+	// SigmaCheck fails compilation fast on an inconsistent Σ with a
+	// witness-bearing *InconsistentError.
+	SigmaCheck = core.SigmaCheck
+	// SigmaPrune is SigmaCheck plus duplicate collapse: CFDs identical
+	// up to their name compile to one unit and are served as aliases
+	// with identical violations and equivalence-pinned accounting.
+	SigmaPrune = core.SigmaPrune
 )
 
 // NewSchema builds a schema; key attributes are optional.

@@ -1,0 +1,208 @@
+// Package analysis is a dependency-free static-analysis framework
+// mirroring the shape of golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) for the distcfdvet suite. The container this repo
+// builds in bakes only the Go toolchain — no module proxy — so the
+// x/tools framework cannot be vendored; this package reimplements the
+// slice of it the suite needs on go/ast + go/types alone, keeping the
+// analyzer code source-compatible with an eventual switch to the real
+// thing (the field and function names match).
+//
+// Analyzers are run either by cmd/distcfdvet (a `go vet -vettool`
+// driver speaking the unitchecker config protocol) or by the
+// analysistest subpackage (fixture-based tests).
+//
+// # Suppression annotations
+//
+// A diagnostic at a line carrying — or immediately following — a
+// comment of the form
+//
+//	//distcfd:<analyzer>-ok
+//
+// is suppressed. Annotations are deliberate per-site waivers (a
+// sort-comparator-only separator join, a survive-cancel cleanup RPC)
+// and should say why:
+//
+//	//distcfd:keyjoin-ok — comparator only; never a map key
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's command-line and annotation name
+	// ([a-z][a-z0-9]*).
+	Name string
+	// Doc is the help text; its first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one package's material to an Analyzer.Run and collects
+// its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report emits one diagnostic. The driver sets it; Run never sees
+	// it nil. Reportf is the convenience wrapper.
+	Report func(Diagnostic)
+
+	// suppressed caches, per file, the set of lines carrying this
+	// analyzer's -ok annotation.
+	suppressed map[*ast.File]map[int]bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos, unless an
+// annotation suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Suppressed reports whether pos sits on — or on the line after — a
+// //distcfd:<name>-ok annotation for this pass's analyzer.
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	file := p.fileFor(pos)
+	if file == nil {
+		return false
+	}
+	if p.suppressed == nil {
+		p.suppressed = make(map[*ast.File]map[int]bool)
+	}
+	lines, ok := p.suppressed[file]
+	if !ok {
+		lines = p.annotationLines(file)
+		p.suppressed[file] = lines
+	}
+	line := p.Fset.Position(pos).Line
+	return lines[line] || lines[line-1]
+}
+
+func (p *Pass) fileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// annotationLines collects the lines of file whose comments carry
+// //distcfd:<name>-ok for this analyzer. Trailing free text after the
+// marker (an inline justification) is allowed.
+func (p *Pass) annotationLines(file *ast.File) map[int]bool {
+	marker := "distcfd:" + p.Analyzer.Name + "-ok"
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if text == marker || strings.HasPrefix(text, marker+" ") ||
+				strings.HasPrefix(text, marker+"\t") || strings.HasPrefix(text, marker+" —") {
+				lines[p.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// Preorder walks every non-test file of the pass in depth-first
+// preorder. Test files (*_test.go) are skipped: the suite's invariants
+// target production code, and tests legitimately build adversarial
+// keys and background contexts.
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// IsTestFile reports whether f is a *_test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	name := p.Fset.Position(f.FileStart).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// NonTestFiles returns the pass's production files.
+func (p *Pass) NonTestFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		if !p.IsTestFile(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FuncFor returns the *types.Func a call expression resolves to, or
+// nil (builtin, function value, type conversion).
+func (p *Pass) FuncFor(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call resolves to the package-level
+// function pkgPath.name.
+func (p *Pass) IsPkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	fn := p.FuncFor(call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// IsMethodOf reports whether call resolves to a method named name
+// whose receiver's type (after pointer indirection) is the named type
+// pkgPath.typeName.
+func (p *Pass) IsMethodOf(call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	fn := p.FuncFor(call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

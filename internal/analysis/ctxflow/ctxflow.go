@@ -1,0 +1,55 @@
+// Package ctxflow forbids minting fresh root contexts inside
+// internal/ packages. Everything under internal/ runs beneath a caller
+// — the public api.go surface, a cmd/ main, or an rpc server loop —
+// and must thread that caller's context so cancellation (a Detect
+// timeout, a cfdsite shutdown) actually reaches the work. A bare
+// context.Background() silently detaches the subtree from its caller.
+//
+// Deliberate roots are annotated //distcfd:ctxflow-ok with a note; the
+// legitimate cases in this repo are survive-cancel cleanup RPCs
+// (remote.Abort/Cancel/DropSession must run precisely when the request
+// context is dead) and deprecated context-free wrapper APIs.
+package ctxflow
+
+import (
+	"go/ast"
+	"strings"
+
+	"distcfd/internal/analysis"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "forbid context.Background()/TODO() in internal/ packages; thread the caller's context",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !insideInternal(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, name := range [...]string{"Background", "TODO"} {
+			if pass.IsPkgFunc(call, "context", name) {
+				pass.Reportf(call.Pos(),
+					"context.%s() inside internal/ detaches this work from its caller's cancellation; thread a ctx parameter (or annotate //distcfd:ctxflow-ok with the reason)", name)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// insideInternal reports whether path contains an "internal" segment.
+func insideInternal(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}

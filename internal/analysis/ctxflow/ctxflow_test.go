@@ -1,0 +1,18 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"distcfd/internal/analysis/analysistest"
+	"distcfd/internal/analysis/ctxflow"
+)
+
+func TestCtxflowInternal(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "distcfd/internal/corefix", "testdata/src/ctxflow")
+}
+
+// Outside internal/, fresh roots are the caller's business: api.go and
+// cmd/ mains legitimately mint them.
+func TestCtxflowPublicPathSilent(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "distcfd", "testdata/src/pub")
+}

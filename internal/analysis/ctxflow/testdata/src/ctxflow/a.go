@@ -1,0 +1,27 @@
+// Fixture for the ctxflow analyzer; the harness type-checks it under
+// an internal/ import path, so fresh roots are forbidden here.
+package ctxflowfix
+
+import "context"
+
+func work(ctx context.Context) error {
+	return nil
+}
+
+func detached() {
+	_ = work(context.Background()) // want `context.Background\(\) inside internal/`
+	_ = work(context.TODO())       // want `context.TODO\(\) inside internal/`
+}
+
+func threaded(ctx context.Context) {
+	_ = work(ctx)
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_ = work(child)
+}
+
+// cleanup must run precisely when the request context is dead.
+func cleanup() {
+	//distcfd:ctxflow-ok — survive-cancel cleanup
+	_ = work(context.Background())
+}

@@ -1,0 +1,12 @@
+// Same shapes as the internal fixture, type-checked under a public
+// import path: ctxflow must stay silent (no want comments here).
+package pubfix
+
+import "context"
+
+func work(ctx context.Context) error { return nil }
+
+func roots() {
+	_ = work(context.Background())
+	_ = work(context.TODO())
+}

@@ -1,0 +1,12 @@
+package keyjoin_test
+
+import (
+	"testing"
+
+	"distcfd/internal/analysis/analysistest"
+	"distcfd/internal/analysis/keyjoin"
+)
+
+func TestKeyjoin(t *testing.T) {
+	analysistest.Run(t, keyjoin.Analyzer, "keyjoinfix", "testdata/src/keyjoin")
+}

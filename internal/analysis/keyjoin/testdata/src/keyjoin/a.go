@@ -1,0 +1,68 @@
+// Fixture for the keyjoin analyzer. Each `want` comment asserts one
+// diagnostic on its line; lines without one must stay silent.
+package keyjoinfix
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// R1: control-byte separator join, anywhere.
+func r1(parts []string) {
+	_ = strings.Join(parts, "\x1f") // want `control-byte separator`
+	_ = strings.Join(parts, ",")    // plain separator, not a map key: quiet
+}
+
+// R2: map keys built by joining, any separator.
+func r2(parts []string, a, b string, i int) {
+	m := map[string]bool{}
+	m[strings.Join(parts, ",")] = true    // want `map key built by strings.Join`
+	m[fmt.Sprintf("%d=%s", i, a)] = true  // want `map key built by fmt.Sprintf`
+	m[a+":"+b] = true                     // want `map key built by string concatenation`
+	m["prefix_"+a] = true                 // constant prefix + one operand: injective, quiet
+	k := strings.Join(parts, ",")         // single-assignment local...
+	m[k] = true                           // want `map key k built by strings.Join`
+	reassigned := strings.Join(parts, "") // reassigned below: tracking gives up
+	reassigned = a
+	m[reassigned] = true
+	_ = m
+}
+
+// R3: key-builder functions returning a joined value.
+func groupKey(a, b string) string {
+	return a + ":" + b // want `groupKey returns a key built by string concatenation`
+}
+
+func patternFP(parts []string) string {
+	return strings.Join(parts, ",") // want `patternFP returns a key built by strings.Join`
+}
+
+func describe(a, b string) string {
+	return a + " vs " + b // not a key-named function: quiet
+}
+
+// R4: hand-rolled separator writes.
+func r4(parts []string) string {
+	var sb strings.Builder
+	var bb bytes.Buffer
+	for _, p := range parts {
+		sb.WriteString(p)
+		sb.WriteByte(0x1f)      // want `WriteByte\(0x1f\) writes a control-byte separator`
+		bb.WriteString("\x1f")  // want `WriteString\("\\x1f"\) writes a control-byte separator`
+		bb.WriteString(" | ")   // printable separator write: quiet
+		sb.WriteByte('\n')      // text formatting, not a key: quiet
+		bb.WriteString(",\n")   // likewise quiet
+		_ = sb.String()
+	}
+	return bb.String()
+}
+
+// Annotated comparator: ordering needs no injectivity.
+func sortByJoin(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		//distcfd:keyjoin-ok — comparator only; never stored as a key
+		return strings.Join(rows[i], "\x1f") < strings.Join(rows[j], "\x1f")
+	})
+}

@@ -1,0 +1,160 @@
+// Package poolpair checks sync.Pool discipline in internal/engine: a
+// function that Gets from a pool must arrange the matching Put, or the
+// pool silently degrades to an allocator and the scratch-reuse the
+// kernel's hot loop depends on evaporates — a leak no test fails on.
+//
+// The check is a per-function approximation, not a CFG analysis. A
+// function that calls Get (directly or via a get-style wrapper
+// returning the scratch) passes if it also defers a Put-style call;
+// it is flagged if it returns the Got value (hand-off — the pairing
+// obligation moves to every caller, which this analyzer cannot see;
+// annotate the wrapper //distcfd:poolpair-ok and pair at call sites
+// with `sc := k.get(); defer k.put(sc)`), or if no Put appears at all.
+package poolpair
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"distcfd/internal/analysis"
+)
+
+// Analyzer is the poolpair analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolpair",
+	Doc:  "every sync.Pool Get in internal/engine needs a matching deferred Put",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !strings.HasSuffix(pass.Pkg.Path(), "internal/engine") {
+		return nil, nil
+	}
+	for _, f := range pass.NonTestFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var gets []*ast.CallExpr // pool Gets in fd's own body (closures excluded)
+	returned := false        // a Get flows out through a return
+	deferredPut := false
+	anyPut := false
+
+	// getVars: variables assigned from a Get, so `return sc` counts
+	// as returning the Get.
+	getVars := map[types.Object]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate pairing scope
+		case *ast.DeferStmt:
+			if isPut(pass, n.Call) {
+				deferredPut, anyPut = true, true
+			}
+			return true
+		case *ast.CallExpr:
+			if isGet(pass, n) {
+				gets = append(gets, n)
+			} else if isPut(pass, n) {
+				anyPut = true
+			}
+			return true
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if call, ok := stripAssert(rhs).(*ast.CallExpr); ok && isGet(pass, call) && i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							getVars[obj] = true
+						} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+							getVars[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				e := stripAssert(res)
+				if call, ok := e.(*ast.CallExpr); ok && isGet(pass, call) {
+					returned = true
+				}
+				if id, ok := e.(*ast.Ident); ok && getVars[pass.TypesInfo.Uses[id]] {
+					returned = true
+				}
+			}
+			return true
+		}
+		return true
+	})
+
+	if len(gets) == 0 {
+		return
+	}
+	switch {
+	case returned:
+		pass.Reportf(gets[0].Pos(),
+			"%s returns a sync.Pool Get result; the Put obligation escapes to callers — pair at every call site and annotate this wrapper //distcfd:poolpair-ok", fd.Name.Name)
+	case !anyPut:
+		pass.Reportf(gets[0].Pos(),
+			"%s Gets from a sync.Pool but never Puts back; add `defer pool.Put(...)` (or annotate //distcfd:poolpair-ok)", fd.Name.Name)
+	case !deferredPut:
+		pass.Reportf(gets[0].Pos(),
+			"%s Puts without defer; an early return or panic between Get and Put leaks the scratch — use `defer Put` (or annotate //distcfd:poolpair-ok)", fd.Name.Name)
+	}
+}
+
+// stripAssert unwraps parens and type assertions: pool.Get() is
+// always used as pool.Get().(*T).
+func stripAssert(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// isGet matches sync.Pool.Get and get-style wrappers: a niladic method
+// named "get"/"Get" returning exactly one pointer.
+func isGet(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if pass.IsMethodOf(call, "sync", "Pool", "Get") {
+		return true
+	}
+	fn := pass.FuncFor(call)
+	if fn == nil || (fn.Name() != "get" && fn.Name() != "Get") {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	_, isPtr := sig.Results().At(0).Type().(*types.Pointer)
+	return isPtr
+}
+
+// isPut matches sync.Pool.Put and put-style wrappers (method named
+// "put"/"Put" taking one argument).
+func isPut(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if pass.IsMethodOf(call, "sync", "Pool", "Put") {
+		return true
+	}
+	fn := pass.FuncFor(call)
+	if fn == nil || (fn.Name() != "put" && fn.Name() != "Put") {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() != nil && sig.Params().Len() == 1
+}

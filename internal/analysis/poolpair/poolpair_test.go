@@ -1,0 +1,18 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"distcfd/internal/analysis/analysistest"
+	"distcfd/internal/analysis/poolpair"
+)
+
+func TestPoolpair(t *testing.T) {
+	analysistest.Run(t, poolpair.Analyzer, "distcfd/internal/engine", "testdata/src/poolpair")
+}
+
+// Outside internal/engine the analyzer does not apply (the fixture
+// under gate/ leaks deliberately and carries no want comments).
+func TestPoolpairGatedToEngine(t *testing.T) {
+	analysistest.Run(t, poolpair.Analyzer, "distcfd/internal/core", "testdata/src/gate")
+}

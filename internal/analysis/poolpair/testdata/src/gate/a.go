@@ -1,0 +1,11 @@
+// A deliberate leak outside internal/engine: poolpair must not apply.
+package gatefix
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+func leakOutsideEngine() {
+	buf := pool.Get().(*[]byte)
+	_ = buf
+}

@@ -1,0 +1,61 @@
+// Fixture for the poolpair analyzer; the harness type-checks it under
+// an internal/engine import path, where pool discipline is enforced.
+package poolpairfix
+
+import "sync"
+
+type scratch struct{ buf []int }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+func paired() {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	sc.buf = sc.buf[:0]
+}
+
+func leaky() {
+	sc := pool.Get().(*scratch) // want `never Puts back`
+	sc.buf = sc.buf[:0]
+}
+
+func earlyReturnHole(cond bool) {
+	sc := pool.Get().(*scratch) // want `Puts without defer`
+	if cond {
+		return // leaks sc
+	}
+	pool.Put(sc)
+}
+
+type kernel struct{ pool sync.Pool }
+
+// get hands the scratch to the caller; pairing happens at call sites.
+func (k *kernel) get() *scratch {
+	//distcfd:poolpair-ok — paired at every call site via defer k.put
+	return k.pool.Get().(*scratch)
+}
+
+func (k *kernel) put(sc *scratch) { k.pool.Put(sc) }
+
+func (k *kernel) escapes() *scratch {
+	return k.pool.Get().(*scratch) // want `returns a sync.Pool Get result`
+}
+
+func (k *kernel) escapesViaVar() *scratch {
+	sc := k.pool.Get().(*scratch) // want `returns a sync.Pool Get result`
+	sc.buf = sc.buf[:0]
+	return sc
+}
+
+// viaWrapper exercises the wrapper-recognition: k.get() counts as a
+// Get, k.put as a Put.
+func viaWrapper(k *kernel) {
+	sc := k.get()
+	defer k.put(sc)
+	sc.buf = append(sc.buf, 1)
+}
+
+func viaWrapperLeak(k *kernel) {
+	sc := k.get() // want `never Puts back`
+	sc.buf = append(sc.buf, 1)
+}

@@ -1,0 +1,97 @@
+package wirecompat_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"distcfd/internal/analysis/analysistest"
+	"distcfd/internal/analysis/wirecompat"
+)
+
+// The fixtures are generated into temp dirs because the golden's
+// fingerprint is a computed hash: each scenario writes the wire
+// sources, snapshots them for the golden, then (for the failure
+// scenarios) tampers with one side.
+
+const wireV1 = `package remotefix
+
+const WireVersion = 4 %s
+
+const serviceName = "SiteV4"
+
+type WireRelation struct {
+	Name   string
+	Tuples [][]string
+}
+
+type ExtractArgs struct {
+	Block int
+}
+
+type InfoReply struct {
+	Version int
+}
+
+// Not part of the wire schema: unexported, and not Wire*/Args/Reply.
+type client struct{ addr string }
+`
+
+// write lays a scenario out on disk: src (with wantOnVersion spliced
+// onto the WireVersion line) plus a golden derived from goldenSrc.
+func write(t *testing.T, src, goldenSrc, wantOnVersion string, tamperVersion string) string {
+	t.Helper()
+	dir := t.TempDir()
+	code := strings.Replace(src, "%s", wantOnVersion, 1)
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(code), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "golden-src.go", strings.Replace(goldenSrc, "%s", "", 1), parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := wirecompat.Snapshot(fset, []*ast.File{f})
+	if tamperVersion != "" {
+		snap.Version = tamperVersion
+	}
+	if err := os.WriteFile(filepath.Join(dir, wirecompat.GoldenFile), []byte(wirecompat.FormatGolden(snap)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestWirecompatInSync(t *testing.T) {
+	dir := write(t, wireV1, wireV1, "", "")
+	analysistest.Run(t, wirecompat.Analyzer, "distcfd/internal/remote", dir)
+}
+
+// Editing a wire struct without bumping WireVersion is the failure
+// this analyzer exists for.
+func TestWirecompatEditWithoutBump(t *testing.T) {
+	edited := strings.Replace(wireV1, "Block int", "Block int\n\tAttrs []string", 1)
+	dir := write(t, edited, wireV1, "// want `changed .* without bumping WireVersion`", "")
+	analysistest.Run(t, wirecompat.Analyzer, "distcfd/internal/remote", dir)
+}
+
+// A bumped version with an un-regenerated golden asks for regen, not
+// for another bump.
+func TestWirecompatStaleGolden(t *testing.T) {
+	edited := strings.Replace(wireV1, "Block int", "Block int\n\tAttrs []string", 1)
+	dir := write(t, edited, wireV1, "// want `golden is stale`", "3")
+	analysistest.Run(t, wirecompat.Analyzer, "distcfd/internal/remote", dir)
+}
+
+// A non-remote package with Args-suffixed types is out of scope.
+func TestWirecompatGatedToRemote(t *testing.T) {
+	dir := t.TempDir()
+	src := "package other\n\ntype FoldArgs struct{ N int }\n"
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, wirecompat.Analyzer, "distcfd/internal/core", dir)
+}

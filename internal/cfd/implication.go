@@ -53,6 +53,13 @@ type Tableau struct {
 	parent  []int          // union-find over cells
 	bound   map[int]string // root -> constant
 	contra  bool           // a class was bound to two distinct constants
+
+	// First contradiction, for witness-bearing error messages: the
+	// attribute whose class was forced onto two distinct constants,
+	// those constants, and the unit whose application derived it.
+	contraAttr string
+	contraVals [2]string
+	contraUnit *Normalized
 }
 
 // NewTableau creates a chase state of nTuples tuples over attrs, all
@@ -118,6 +125,29 @@ func (c *Tableau) NTuples() int { return c.nTuples }
 // Contradicted reports whether a class was bound to two constants.
 func (c *Tableau) Contradicted() bool { return c.contra }
 
+// Contradiction returns the attribute and the two constants of the
+// first contradiction derived by the chase. ok is false while the
+// state is consistent.
+func (c *Tableau) Contradiction() (attr string, vals [2]string, ok bool) {
+	return c.contraAttr, c.contraVals, c.contra
+}
+
+// ContradictionUnit returns the normalized unit whose application
+// derived the first contradiction, or nil when the state is consistent
+// or the contradiction came from direct Bind/Union calls.
+func (c *Tableau) ContradictionUnit() *Normalized { return c.contraUnit }
+
+// flagContra records the first contradiction; later ones are ignored
+// (the chase stops at the first anyway).
+func (c *Tableau) flagContra(cell int, v1, v2 string) {
+	if c.contra {
+		return
+	}
+	c.contra = true
+	c.contraAttr = c.attrs[cell%len(c.attrs)]
+	c.contraVals = [2]string{v1, v2}
+}
+
 func (c *Tableau) cell(tuple int, attr string) int {
 	i, ok := c.attrIdx[attr]
 	if !ok {
@@ -155,7 +185,7 @@ func (c *Tableau) union(a, b int) {
 	va, oka := c.bound[ra]
 	vb, okb := c.bound[rb]
 	if oka && okb && va != vb {
-		c.contra = true
+		c.flagContra(b, va, vb)
 	}
 	c.parent[rb] = ra
 	if okb {
@@ -178,7 +208,7 @@ func (c *Tableau) Bind(tuple int, attr, v string) {
 	r := c.find(cell)
 	if old, ok := c.bound[r]; ok {
 		if old != v {
-			c.contra = true
+			c.flagContra(cell, old, v)
 		}
 		return
 	}
@@ -254,6 +284,9 @@ func (c *Tableau) Chase(sigma []*Normalized) bool {
 				for t := 0; t < c.nTuples; t++ {
 					if c.lhsMatches(t, s) && !c.BoundTo(t, s.A, s.TpA) {
 						c.Bind(t, s.A, s.TpA)
+						if c.contra && c.contraUnit == nil {
+							c.contraUnit = s
+						}
 						changed = true
 					}
 				}
@@ -266,6 +299,9 @@ func (c *Tableau) Chase(sigma []*Normalized) bool {
 					}
 					if !c.SameClass(t1, s.A, t2, s.A) {
 						c.Union(t1, s.A, t2, s.A)
+						if c.contra && c.contraUnit == nil {
+							c.contraUnit = s
+						}
 						changed = true
 					}
 				}
@@ -304,16 +340,7 @@ func (c *Tableau) pairAgreesOnX(t1, t2 int, s *Normalized) bool {
 // every matching tuple violates — but callers usually want to reject
 // such rule sets upfront.
 func ConsistentSet(sigma []*Normalized) bool {
-	universe := NewAttrSet()
-	for _, s := range sigma {
-		universe.Add(s.X...)
-		universe.Add(s.A)
-	}
-	if len(universe) == 0 {
-		return true
-	}
-	tb := NewTableau(universe.Sorted(), 1)
-	return !tb.Chase(sigma)
+	return InconsistencyWitness(sigma) == nil
 }
 
 // NormalizeSet flattens a CFD set into normalized form, deduplicated.

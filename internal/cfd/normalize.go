@@ -1,6 +1,7 @@
 package cfd
 
 import (
+	"encoding/binary"
 	"sort"
 	"strings"
 )
@@ -45,9 +46,29 @@ func (n *Normalized) LHSWildcards() int {
 	return c
 }
 
-// Key is a canonical identity string for deduplication.
+// Key is a canonical identity string for deduplication: a
+// length-prefixed encoding of (X, A, TpX, TpA), injective for
+// arbitrary attribute names and pattern constants — the old
+// ","/"||"-join fused distinct units whose values contained the
+// separators. Two Normalized units are semantically identical iff
+// their Keys are equal (Parent and PatternIndex are provenance, not
+// identity).
 func (n *Normalized) Key() string {
-	return strings.Join(n.X, ",") + "->" + n.A + ":" + strings.Join(n.TpX, ",") + "||" + n.TpA
+	var b []byte
+	app := func(v string) {
+		b = binary.AppendUvarint(b, uint64(len(v)))
+		b = append(b, v...)
+	}
+	b = binary.AppendUvarint(b, uint64(len(n.X)))
+	for _, v := range n.X {
+		app(v)
+	}
+	app(n.A)
+	for _, v := range n.TpX {
+		app(v)
+	}
+	app(n.TpA)
+	return string(b)
 }
 
 // String renders the normalized CFD.
@@ -169,9 +190,8 @@ func (c *CFD) SortPatternsByGenerality() *CFD {
 		if wi != wj {
 			return wi < wj
 		}
-		li := strings.Join(out.Tp[i].LHS, "\x1f")
-		lj := strings.Join(out.Tp[j].LHS, "\x1f")
-		return li < lj
+		//distcfd:keyjoin-ok — comparator only; ordering needs no injectivity
+		return strings.Join(out.Tp[i].LHS, "\x1f") < strings.Join(out.Tp[j].LHS, "\x1f")
 	})
 	return out
 }

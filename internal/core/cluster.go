@@ -83,6 +83,7 @@ func (cl *Cluster) Predicates() []relation.Predicate { return cl.preds }
 // keys from different driver processes (or Cluster instances) against
 // the same long-lived sites from ever colliding.
 func (cl *Cluster) newTask(kind string) string {
+	//distcfd:keyjoin-ok — kind and the hex nonce are dash-free, so the key is injective
 	return fmt.Sprintf("%s-%s-%d", kind, cl.nonce, cl.taskSeq.Add(1))
 }
 
@@ -90,6 +91,7 @@ func (cl *Cluster) newTask(kind string) string {
 // site Si, perform the following in parallel" — and returns the first
 // error.
 func (cl *Cluster) parallel(fn func(i int) error) error {
+	//distcfd:ctxflow-ok — context-free fan-out helper; cancellable paths use parallelCtx
 	return cl.parallelCtx(context.Background(), func(_ context.Context, i int) error {
 		return fn(i)
 	})

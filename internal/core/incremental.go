@@ -470,17 +470,21 @@ func (p *Plan) detectIncrementalLocked(ctx context.Context) (*SetResult, error) 
 		Clusters:    p.clusters,
 		Incremental: true,
 	}
+	unitModeled := make([]float64, len(p.units))
+	unitMetrics := make([]*dist.Metrics, len(p.units))
 	for gi, u := range p.units {
 		pats, modeled, m, err := u.detectIncremental(ctx)
 		if err != nil {
 			return nil, err
 		}
 		total.Merge(m)
-		res.ModeledTime += modeled
+		unitModeled[gi], unitMetrics[gi] = modeled, m
 		for i, idx := range p.clusters[gi] {
 			res.PerCFD[idx] = pats[i]
 		}
 	}
+	p.fillAliases(res, unitMetrics)
+	res.ModeledTime = p.modeledSum(unitModeled)
 	res.ShippedTuples = total.TotalTuples()
 	res.DeltaShippedTuples = total.DeltaTuples()
 	res.DeltaShippedBytes = total.DeltaBytes()

@@ -27,6 +27,7 @@ import (
 // through Plan.Detect / DetectIncremental; this wrapper recompiles per
 // call. It remains for tests and the ablation-5 comparisons.
 func SeqDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
+	//distcfd:ctxflow-ok — deprecated context-free wrapper; callers own no context
 	return SeqDetectCtx(context.Background(), cl, cfds, algo, opt)
 }
 
@@ -56,6 +57,7 @@ func SeqDetectCtx(ctx context.Context, cl *Cluster, cfds []*cfd.CFD, algo Algori
 // through Plan.Detect / DetectIncremental; this wrapper recompiles per
 // call. It remains for tests and the ablation-5 comparisons.
 func ClustDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
+	//distcfd:ctxflow-ok — deprecated context-free wrapper; callers own no context
 	return ClustDetectCtx(context.Background(), cl, cfds, algo, opt)
 }
 
@@ -89,6 +91,7 @@ func ClustDetectCtx(ctx context.Context, cl *Cluster, cfds []*cfd.CFD, algo Algo
 // serve through Plan.Detect; this wrapper recompiles per call. It
 // remains for tests and the ablation-7 comparisons.
 func ParDetect(cl *Cluster, cfds []*cfd.CFD, algo Algorithm, opt Options) (*SetResult, error) {
+	//distcfd:ctxflow-ok — deprecated context-free wrapper; callers own no context
 	return ParDetectCtx(context.Background(), cl, cfds, algo, opt)
 }
 

@@ -299,6 +299,12 @@ type Plan struct {
 	units    []*planUnit
 	kern     *engine.Kernel // plan-wide detection scratch pool
 
+	// Σ analysis artifacts (Options.Sigma): the static-analysis report
+	// and the duplicate CFDs compiled away as aliases of their
+	// representative. Both nil/empty under SigmaOff.
+	sigma   *cfd.SigmaReport
+	aliases []sigmaAlias
+
 	// incMu serializes DetectIncremental rounds (they mutate the
 	// per-unit sessions); Detect stays lock-free and concurrent.
 	incMu sync.Mutex
@@ -314,16 +320,31 @@ func CompileSet(ctx context.Context, cl *Cluster, cfds []*cfd.CFD, algo Algorith
 		return nil, fmt.Errorf("core: compile with no CFDs")
 	}
 	opt = opt.withDefaults()
+	sigmaReport, active, aliases, err := analyzeSigma(cl, cfds, opt.Sigma, clustered)
+	if err != nil {
+		return nil, err
+	}
 	var clusters [][]int
 	if clustered {
-		clusters = clusterByLHS(cfds)
+		sub := make([]*cfd.CFD, len(active))
+		for i, idx := range active {
+			sub[i] = cfds[idx]
+		}
+		for _, g := range clusterByLHS(sub) {
+			mapped := make([]int, len(g))
+			for j, si := range g {
+				mapped[j] = active[si]
+			}
+			clusters = append(clusters, mapped)
+		}
 	} else {
-		clusters = make([][]int, len(cfds))
-		for i := range cfds {
-			clusters[i] = []int{i}
+		clusters = make([][]int, len(active))
+		for i, idx := range active {
+			clusters[i] = []int{idx}
 		}
 	}
-	p := &Plan{cl: cl, algo: algo, opt: opt, cfds: cfds, clusters: clusters, kern: &engine.Kernel{}}
+	p := &Plan{cl: cl, algo: algo, opt: opt, cfds: cfds, clusters: clusters, kern: &engine.Kernel{},
+		sigma: sigmaReport, aliases: aliases}
 	for _, members := range clusters {
 		u := &planUnit{members: members}
 		if len(members) == 1 {
@@ -353,8 +374,14 @@ func CompileSet(ctx context.Context, cl *Cluster, cfds []*cfd.CFD, algo Algorith
 // CFDs returns the compiled dependency set.
 func (p *Plan) CFDs() []*cfd.CFD { return p.cfds }
 
-// Clusters returns the CFD index groups processed together.
+// Clusters returns the CFD index groups processed together. Under
+// Options.SigmaPrune, CFDs collapsed as duplicates appear in no group
+// — they are served as aliases of their representative.
 func (p *Plan) Clusters() [][]int { return p.clusters }
+
+// SigmaReport returns the compile-time Σ analysis report, or nil when
+// the plan was compiled with Options.SigmaOff.
+func (p *Plan) SigmaReport() *cfd.SigmaReport { return p.sigma }
 
 // SinglePlanFor returns the compiled single-CFD plan of cfds[i] when
 // the set plan processes it as a singleton unit (always, when compiled
@@ -469,13 +496,17 @@ func (p *Plan) Detect(ctx context.Context) (*SetResult, error) {
 		PerCFD:   make([]*relation.Relation, len(p.cfds)),
 		Clusters: p.clusters,
 	}
+	unitModeled := make([]float64, len(outs))
+	unitMetrics := make([]*dist.Metrics, len(outs))
 	for gi, out := range outs {
 		total.Merge(out.m)
-		res.ModeledTime += out.modeled
+		unitModeled[gi], unitMetrics[gi] = out.modeled, out.m
 		for i, idx := range p.clusters[gi] {
 			res.PerCFD[idx] = out.pats[i]
 		}
 	}
+	p.fillAliases(res, unitMetrics)
+	res.ModeledTime = p.modeledSum(unitModeled)
 	res.ShippedTuples = total.TotalTuples()
 	res.WallTime = time.Since(start)
 	return res, nil

@@ -56,6 +56,12 @@ type Options struct {
 	// merged cluster still uses the whole budget (see splitWorkers).
 	// SeqDetect and ClustDetect pin it to 1 (strictly serial).
 	Workers int
+	// Sigma selects the compile-time Σ analysis level: SigmaOff (the
+	// zero value) compiles the rule set as given; SigmaCheck fails
+	// compilation fast on an inconsistent Σ with a witness-bearing
+	// error; SigmaPrune additionally collapses duplicate CFDs into one
+	// compiled unit with equivalence-pinned accounting.
+	Sigma SigmaMode
 	// DeltaFallbackRatio bounds incremental serving: when the deletes
 	// accumulated since the last full fold exceed this fraction of the
 	// current instance size, DetectIncremental falls back to a full

@@ -68,13 +68,14 @@ func NewBlockSpec(x []string, patterns [][]string) (*BlockSpec, error) {
 		if wi != wj {
 			return wi < wj
 		}
+		//distcfd:keyjoin-ok — comparator only; ordering needs no injectivity
 		return strings.Join(sorted[i], "\x1f") < strings.Join(sorted[j], "\x1f")
 	})
 	// Deduplicate identical patterns (they would form empty blocks).
 	dedup := sorted[:0]
 	seen := map[string]bool{}
 	for _, p := range sorted {
-		k := strings.Join(p, "\x1f")
+		k := packVals(p)
 		if !seen[k] {
 			seen[k] = true
 			dedup = append(dedup, p)
@@ -103,7 +104,7 @@ func NewBlockSpecOrdered(x []string, patterns [][]string) (*BlockSpec, error) {
 		if len(p) != len(x) {
 			return nil, fmt.Errorf("core: pattern %d arity %d, want %d", i, len(p), len(x))
 		}
-		k := strings.Join(p, "\x1f")
+		k := packVals(p)
 		if !seen[k] {
 			seen[k] = true
 			dedup = append(dedup, append([]string(nil), p...))
@@ -119,6 +120,23 @@ func SpecFromCFD(c *cfd.CFD) (*BlockSpec, error) {
 		pats[i] = tp.LHS
 	}
 	return NewBlockSpec(c.X, pats)
+}
+
+// packVals encodes a value vector injectively for map keys: uvarint
+// length before each value. One value stays identity — already
+// injective, and the common single-attribute-X case stays allocation
+// free. Separator joins are banned here (distcfdvet keyjoin): they
+// collide as soon as a data value contains the separator.
+func packVals(vals []string) string {
+	if len(vals) == 1 {
+		return vals[0]
+	}
+	var b []byte
+	for _, v := range vals {
+		b = binary.AppendUvarint(b, uint64(len(v)))
+		b = append(b, v...)
+	}
+	return string(b)
 }
 
 func countWildcards(p []string) int {
@@ -175,14 +193,12 @@ func (s *BlockSpec) Assign(xvals []string) int {
 		if len(g.positions) == 1 {
 			key = xvals[g.positions[0]]
 		} else {
-			var b strings.Builder
-			for i, p := range g.positions {
-				if i > 0 {
-					b.WriteByte(0x1f)
-				}
-				b.WriteString(xvals[p])
+			var b []byte
+			for _, p := range g.positions {
+				b = binary.AppendUvarint(b, uint64(len(xvals[p])))
+				b = append(b, xvals[p]...)
 			}
-			key = b.String()
+			key = string(b)
 		}
 		if l, ok := g.lookup[key]; ok && (best == -1 || l < best) {
 			best = l
@@ -215,7 +231,7 @@ func (s *BlockSpec) buildIndex() {
 		for i, pos := range positions {
 			parts[i] = p[pos]
 		}
-		key := strings.Join(parts, "\x1f")
+		key := packVals(parts)
 		if _, seen := g.lookup[key]; !seen {
 			g.lookup[key] = l // patterns are sorted: first wins
 		}

@@ -1,0 +1,49 @@
+package core
+
+import "testing"
+
+// σ-routing regression for the separator-join key bugs: block specs
+// and probe keys over values containing the old 0x1f separator.
+
+func TestBlockSpecSeparatorPatterns(t *testing.T) {
+	// Both patterns joined to "x\x1fy\x1fz" under the old dedup key,
+	// so NewBlockSpec collapsed them into one block.
+	spec, err := NewBlockSpec([]string{"a", "b"}, [][]string{
+		{"x\x1fy", "z"},
+		{"x", "y\x1fz"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Patterns) != 2 {
+		t.Fatalf("NewBlockSpec deduped distinct patterns: got %d, want 2", len(spec.Patterns))
+	}
+
+	// Assign must route each tuple to its own pattern's block — the
+	// old joined probe key matched both tuples to the same entry.
+	l0 := spec.Assign([]string{"x\x1fy", "z"})
+	l1 := spec.Assign([]string{"x", "y\x1fz"})
+	if l0 == -1 || l1 == -1 {
+		t.Fatalf("Assign missed its own patterns: %d, %d", l0, l1)
+	}
+	if l0 == l1 {
+		t.Errorf("Assign routed both separator tuples to block %d; want distinct blocks", l0)
+	}
+	if l := spec.Assign([]string{"x", "z"}); l != -1 {
+		t.Errorf("Assign matched unrelated tuple to block %d; want -1", l)
+	}
+}
+
+func TestBlockSpecOrderedSeparatorDedup(t *testing.T) {
+	spec, err := NewBlockSpecOrdered([]string{"a", "b"}, [][]string{
+		{"b\x1f", ""},
+		{"b", "\x1f"},
+		{"b\x1f", ""}, // true duplicate of the first
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Patterns) != 2 {
+		t.Errorf("ordered dedup kept %d patterns, want 2", len(spec.Patterns))
+	}
+}

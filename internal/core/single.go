@@ -26,6 +26,7 @@ import (
 // traffic); this wrapper recompiles the Σ-side work on every call. It
 // remains for tests and single-use tooling.
 func DetectSingle(cl *Cluster, c *cfd.CFD, algo Algorithm, opt Options) (*SingleResult, error) {
+	//distcfd:ctxflow-ok — deprecated context-free wrapper; callers own no context
 	return DetectSingleCtx(context.Background(), cl, c, algo, opt)
 }
 

@@ -153,7 +153,8 @@ func oraclePatterns(t *testing.T, d *relation.Relation, c *cfd.CFD, vio []int) m
 	}
 	out := map[string]bool{}
 	for _, i := range vio {
-		out[d.Tuple(i).Key(xi)] = true
+		// Same join as patternsOf: fixtures are separator-free.
+		out[strings.Join(d.Tuple(i).Project(xi), "\x1f")] = true
 	}
 	return out
 }

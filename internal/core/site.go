@@ -372,8 +372,11 @@ func (s *Site) projectSelected(assign []int, keep func(int) bool, attrs []string
 	return s.frag.ProjectRows(s.frag.Schema().Name()+"_ship", attrs, rows)
 }
 
-// BlockTask derives the deposit key for block l of a run.
+// BlockTask derives the deposit key for block l of a run. Injective
+// for this repo's prefixes: newTask's output never ends in "/b<digits>",
+// so distinct (prefix, l) pairs cannot produce equal keys.
 func BlockTask(taskPrefix string, l int) string {
+	//distcfd:keyjoin-ok — prefix alphabet excludes "/b<digits>" suffixes
 	return fmt.Sprintf("%s/b%d", taskPrefix, l)
 }
 

@@ -212,6 +212,36 @@ func (m *Metrics) Merge(o *Metrics) {
 	}
 }
 
+// MergeData adds o's data-plane counters (tuples, payload bytes, and
+// both delta channels) into m, leaving m's control plane untouched.
+// This is the Σ-pruning replay channel: a plan that collapsed a
+// duplicate CFD merges the representative's data metrics once per
+// collapsed duplicate — the shipment accounting a run over the
+// unpruned set would have recorded — while the control plane (mining
+// pattern exchange, lstat vectors) is charged only for the work that
+// actually happened, so pruned plans report strictly fewer control
+// bytes.
+func (m *Metrics) MergeData(o *Metrics) {
+	if o == nil {
+		return
+	}
+	if o.n != m.n {
+		panic(fmt.Sprintf("dist: merging metrics over %d sites into %d", o.n, m.n))
+	}
+	s := o.Snapshot()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for from := 0; from < m.n; from++ {
+		for to := 0; to < m.n; to++ {
+			i := from*m.n + to
+			m.tuples[i] += s.Tuples[from][to]
+			m.bytes[i] += s.Bytes[from][to]
+			m.deltaTuples[i] += s.DeltaTuples[from][to]
+			m.deltaBytes[i] += s.DeltaBytes[from][to]
+		}
+	}
+}
+
 // Report is a point-in-time copy of a Metrics, safe to read, range
 // over, and render without further synchronization (cmd tooling and
 // the experiment harness consume this form).

@@ -64,11 +64,13 @@ func TestJoinWithSparseDictionaryRight(t *testing.T) {
 	}
 }
 
-// TestGroupByKeyCollisionMerges pins the historical string-key
-// semantics: two tuples whose attribute values differ but whose
-// \x1f-joined keys collide fall into ONE group holding both rows —
-// no row may become unreachable through Members.
-func TestGroupByKeyCollisionMerges(t *testing.T) {
+// TestGroupByKeyCollisionSeparated pins the length-prefixed key
+// semantics: tuples whose attribute values differ must land in
+// DIFFERENT groups even when their old \x1f-joined keys collided
+// (("x\x1fy","z") vs ("x","y\x1fz") both joined to "x\x1fy\x1fz" —
+// the phantom-group bug class of PR 5), and every row stays reachable
+// through Members.
+func TestGroupByKeyCollisionSeparated(t *testing.T) {
 	d := relation.MustFromRows(
 		relation.MustSchema("T", []string{"a", "b", "c"}),
 		[]string{"x\x1fy", "z", "p"},
@@ -79,12 +81,15 @@ func TestGroupByKeyCollisionMerges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.Len() != 1 {
-		t.Fatalf("GroupBy found %d groups, want 1 merged group", g.Len())
+	if g.Len() != 2 {
+		t.Fatalf("GroupBy found %d groups, want 2 distinct groups", g.Len())
 	}
-	members := g.Members("x\x1fy\x1fz")
-	if len(members) != 3 {
-		t.Errorf("merged group has members %v, want all 3 rows", members)
+	members := g.Members(d.Tuple(0).Key([]int{0, 1}))
+	if len(members) != 2 {
+		t.Errorf("(x\\x1fy, z) group has members %v, want rows 0 and 2", members)
+	}
+	if solo := g.Members(d.Tuple(1).Key([]int{0, 1})); len(solo) != 1 || solo[0] != 1 {
+		t.Errorf("(x, y\\x1fz) group has members %v, want just row 1", solo)
 	}
 	total := 0
 	g.Each(func(_ string, m []int) bool { total += len(m); return true })
@@ -95,7 +100,7 @@ func TestGroupByKeyCollisionMerges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dc["x\x1fy\x1fz"] != 3 {
-		t.Errorf("DistinctCount over merged group = %v, want 3", dc)
+	if dc[d.Tuple(0).Key([]int{0, 1})] != 2 {
+		t.Errorf("DistinctCount = %v, want 2 distinct c-values in the (x\\x1fy, z) group", dc)
 	}
 }

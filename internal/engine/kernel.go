@@ -34,6 +34,7 @@ type Opts struct {
 }
 
 func (k *Kernel) get() *detectScratch {
+	//distcfd:poolpair-ok — hand-off wrapper; every caller pairs `sc := k.get(); defer k.put(sc)`
 	if sc, ok := k.pool.Get().(*detectScratch); ok {
 		return sc
 	}

@@ -305,10 +305,12 @@ func ExpIncremental(cfg Config) (*Series, error) {
 		if err != nil {
 			return nil, err
 		}
+		//distcfd:ctxflow-ok — CLI experiment harness; no caller context exists
 		p, err := core.CompileSet(context.Background(), cl, cfds, core.PatDetectRT, core.Options{Cost: cfg.Cost}, true)
 		if err != nil {
 			return nil, err
 		}
+		//distcfd:ctxflow-ok — CLI experiment harness; no caller context exists
 		if _, err := p.DetectIncremental(context.Background()); err != nil { // seed round
 			return nil, err
 		}
@@ -325,6 +327,7 @@ func ExpIncremental(cfg Config) (*Series, error) {
 		for i, ds := range streams {
 			deltas[i] = ds.Next()
 		}
+		//distcfd:ctxflow-ok — CLI experiment harness; no caller context exists
 		res, err := p.DetectDelta(context.Background(), deltas)
 		if err != nil {
 			return nil, err

@@ -17,6 +17,7 @@
 package mining
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -37,12 +38,29 @@ type item struct {
 // itemset is a sorted-by-position list of items with distinct positions.
 type itemset []item
 
+// key encodes the itemset injectively: uvarint position, uvarint
+// value length, value bytes. The old "%d=%s"-join collided whenever a
+// value contained the separator ({0:"a\x1f1=b"} vs {0:"a", 1:"b"}),
+// silently fusing two itemsets' support counts.
 func (s itemset) key() string {
-	parts := make([]string, len(s))
-	for i, it := range s {
-		parts[i] = fmt.Sprintf("%d=%s", it.pos, it.val)
+	var b []byte
+	for _, it := range s {
+		b = binary.AppendUvarint(b, uint64(it.pos))
+		b = binary.AppendUvarint(b, uint64(len(it.val)))
+		b = append(b, it.val...)
 	}
-	return strings.Join(parts, "\x1f")
+	return string(b)
+}
+
+// patternKey encodes a pattern vector injectively for dedup maps (the
+// positions are implicit in the order, so lengths alone frame it).
+func patternKey(p []string) string {
+	var b []byte
+	for _, v := range p {
+		b = binary.AppendUvarint(b, uint64(len(v)))
+		b = append(b, v...)
+	}
+	return string(b)
 }
 
 // Pattern is a mined LHS pattern with its relative support at the
@@ -167,6 +185,7 @@ func ClosedPatternsWithSupport(frag *relation.Relation, x []string, theta float6
 		if wi != wj {
 			return wi < wj
 		}
+		//distcfd:keyjoin-ok — comparator only; ordering needs no injectivity
 		return strings.Join(out[i].Vals, "\x1f") < strings.Join(out[j].Vals, "\x1f")
 	})
 	return out, nil
@@ -277,6 +296,7 @@ func SortPatterns(ps [][]string) {
 		if wi != wj {
 			return wi < wj
 		}
+		//distcfd:keyjoin-ok — comparator only; ordering needs no injectivity
 		return strings.Join(ps[i], "\x1f") < strings.Join(ps[j], "\x1f")
 	})
 }
@@ -298,7 +318,7 @@ func MergePatterns(lists ...[][]string) [][]string {
 	var out [][]string
 	for _, l := range lists {
 		for _, p := range l {
-			k := strings.Join(p, "\x1f")
+			k := patternKey(p)
 			if !seen[k] {
 				seen[k] = true
 				out = append(out, append([]string(nil), p...))
@@ -323,7 +343,7 @@ func MergeRanked(lists ...[]Pattern) []Pattern {
 	var order []string
 	for _, l := range lists {
 		for _, p := range l {
-			k := strings.Join(p.Vals, "\x1f")
+			k := patternKey(p.Vals)
 			if prev, ok := best[k]; !ok {
 				best[k] = Pattern{Vals: append([]string(nil), p.Vals...), RelSupport: p.RelSupport}
 				order = append(order, k)
@@ -345,6 +365,7 @@ func MergeRanked(lists ...[]Pattern) []Pattern {
 		if out[i].RelSupport != out[j].RelSupport {
 			return out[i].RelSupport > out[j].RelSupport
 		}
+		//distcfd:keyjoin-ok — comparator only; ordering needs no injectivity
 		return strings.Join(out[i].Vals, "\x1f") < strings.Join(out[j].Vals, "\x1f")
 	})
 	return out

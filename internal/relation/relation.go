@@ -183,10 +183,10 @@ func (r *Relation) SameTuples(o *Relation) bool {
 	}
 	counts := make(map[string]int, r.Len())
 	for _, t := range r.tuples {
-		counts[strings.Join(t, "\x1f")]++
+		counts[t.canon()]++
 	}
 	for _, t := range o.tuples {
-		k := strings.Join(t, "\x1f")
+		k := t.canon()
 		counts[k]--
 		if counts[k] < 0 {
 			return false

@@ -1,6 +1,9 @@
 package relation
 
-import "strings"
+import (
+	"encoding/binary"
+	"strings"
+)
 
 // Tuple is a row of a relation: one string value per schema attribute,
 // positionally aligned with Schema.Attrs.
@@ -33,21 +36,33 @@ func (t Tuple) Project(idx []int) Tuple {
 	return out
 }
 
-// Key joins the values at the given positions into a single string key
-// suitable for map grouping. The separator cannot appear in CSV data
-// loaded through this package.
+// Key encodes the values at the given positions into a single string
+// key suitable for map grouping. The encoding is length-prefixed
+// (uvarint length before each value), so it is injective for arbitrary
+// values — separator-joined keys collide as soon as a value contains
+// the separator, which real data is free to do.
 func (t Tuple) Key(idx []int) string {
 	if len(idx) == 1 {
+		// One value needs no framing: identity is already injective.
 		return t[idx[0]]
 	}
-	var b strings.Builder
-	for i, j := range idx {
-		if i > 0 {
-			b.WriteByte(0x1f) // ASCII unit separator
-		}
-		b.WriteString(t[j])
+	var b []byte
+	for _, j := range idx {
+		b = binary.AppendUvarint(b, uint64(len(t[j])))
+		b = append(b, t[j]...)
 	}
-	return b.String()
+	return string(b)
+}
+
+// canon is the full-width Key: an injective encoding of the whole
+// tuple, for multiset comparison.
+func (t Tuple) canon() string {
+	var b []byte
+	for _, v := range t {
+		b = binary.AppendUvarint(b, uint64(len(v)))
+		b = append(b, v...)
+	}
+	return string(b)
 }
 
 // String renders the tuple as (v1, v2, ...).

@@ -255,6 +255,7 @@ func (r *RemoteSite) Deposit(ctx context.Context, task string, batch *relation.R
 // Cleanup runs even for a cancelled driver context, bounded only by
 // the per-call timeout.
 func (r *RemoteSite) Abort(taskKey string) error {
+	//distcfd:ctxflow-ok — survive-cancel cleanup: must run when the request ctx is already dead
 	return r.callCtx(context.Background(), serviceName+".Abort", AbortArgs{Task: taskKey}, &struct{}{})
 }
 
@@ -262,6 +263,7 @@ func (r *RemoteSite) Abort(taskKey string) error {
 // task's deposits and tombstones the key so a batch still in flight
 // when the driver cancelled is dropped on arrival.
 func (r *RemoteSite) Cancel(taskKey string) error {
+	//distcfd:ctxflow-ok — survive-cancel cleanup: must run when the request ctx is already dead
 	return r.callCtx(context.Background(), serviceName+".Cancel", AbortArgs{Task: taskKey}, &struct{}{})
 }
 
@@ -373,6 +375,7 @@ func (r *RemoteSite) FoldDetect(ctx context.Context, args core.FoldArgs) (*core.
 // DropSession forwards the retained-state release; like Abort/Cancel
 // it is cleanup and runs even without a live driver context.
 func (r *RemoteSite) DropSession(session string) error {
+	//distcfd:ctxflow-ok — survive-cancel cleanup: must run when the request ctx is already dead
 	return r.callCtx(context.Background(), serviceName+".DropSession", SessionArgs{Session: session}, &struct{}{})
 }
 

@@ -13,33 +13,73 @@ import (
 )
 
 // SiteService exposes a core.Site over net/rpc. Method names mirror
-// core.SiteAPI one-to-one.
+// core.SiteAPI one-to-one. Every handler roots its site work in
+// baseCtx — the server's lifetime context — so a shutting-down
+// cfdsite cancels in-flight detection instead of letting it run to
+// completion against a dying process. net/rpc carries no per-call
+// context, so the server's lifetime is the finest cancellation grain
+// available; per-task cleanup still flows through the Cancel/Abort
+// messages.
 type SiteService struct {
-	site   *core.Site
-	schema *relation.Schema
+	site    *core.Site
+	schema  *relation.Schema
+	baseCtx context.Context
 }
 
-// NewSiteService wraps a site for serving.
+// NewSiteService wraps a site for serving with no lifetime context
+// (handlers never cancel). Prefer NewSiteServiceContext.
 func NewSiteService(site *core.Site, schema *relation.Schema) *SiteService {
-	return &SiteService{site: site, schema: schema}
+	//distcfd:ctxflow-ok — server boundary: context-free constructor roots at Background
+	return NewSiteServiceContext(context.Background(), site, schema)
+}
+
+// NewSiteServiceContext wraps a site for serving; ctx bounds every
+// handler's site work.
+func NewSiteServiceContext(ctx context.Context, site *core.Site, schema *relation.Schema) *SiteService {
+	return &SiteService{site: site, schema: schema, baseCtx: ctx}
 }
 
 // Serve registers the service and accepts connections until the
-// listener closes. It blocks. The driver's intra-unit worker budget
-// does not cross the wire, so a site with no budget configured is
-// given this machine's core count before traffic starts; an operator
-// who already called SetDetectParallelism keeps their cap.
+// listener closes. It blocks. Prefer ServeContext, which also stops
+// accepting and cancels in-flight handlers on context cancellation.
 func Serve(lis net.Listener, site *core.Site, schema *relation.Schema) error {
+	//distcfd:ctxflow-ok — server boundary: context-free loop for operators without a shutdown signal
+	return ServeContext(context.Background(), lis, site, schema)
+}
+
+// ServeContext registers the service and accepts connections until the
+// listener closes or ctx is cancelled. It blocks; on cancellation it
+// closes the listener and returns nil (a graceful shutdown, not an
+// error), with every in-flight handler's site work cancelled through
+// the service's base context.
+//
+// The driver's intra-unit worker budget does not cross the wire, so a
+// site with no budget configured is given this machine's core count
+// before traffic starts; an operator who already called
+// SetDetectParallelism keeps their cap.
+func ServeContext(ctx context.Context, lis net.Listener, site *core.Site, schema *relation.Schema) error {
 	if site.DetectParallelism() == 0 {
 		site.SetDetectParallelism(runtime.GOMAXPROCS(0))
 	}
 	srv := rpc.NewServer()
-	if err := srv.RegisterName(serviceName, NewSiteService(site, schema)); err != nil {
+	if err := srv.RegisterName(serviceName, NewSiteServiceContext(ctx, site, schema)); err != nil {
 		return err
 	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			lis.Close() // unblocks Accept
+		case <-done:
+		}
+	}()
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
 			return err
 		}
 		go srv.ServeConn(conn)
@@ -82,7 +122,7 @@ type SpecArgs struct {
 
 // SigmaStats returns lstat for the spec.
 func (s *SiteService) SigmaStats(args SpecArgs, reply *[]int) error {
-	stats, err := s.site.SigmaStats(context.Background(), args.Spec)
+	stats, err := s.site.SigmaStats(s.baseCtx, args.Spec)
 	if err != nil {
 		return err
 	}
@@ -100,7 +140,7 @@ type ExtractArgs struct {
 
 // ExtractBlock returns one σ-block.
 func (s *SiteService) ExtractBlock(args ExtractArgs, reply *WireRelation) error {
-	r, err := s.site.ExtractBlock(context.Background(), args.Spec, args.Block, args.Attrs)
+	r, err := s.site.ExtractBlock(s.baseCtx, args.Spec, args.Block, args.Attrs)
 	if err != nil {
 		return err
 	}
@@ -110,7 +150,7 @@ func (s *SiteService) ExtractBlock(args ExtractArgs, reply *WireRelation) error 
 
 // ExtractMatching returns all matching tuples.
 func (s *SiteService) ExtractMatching(args ExtractArgs, reply *WireRelation) error {
-	r, err := s.site.ExtractMatching(context.Background(), args.Spec, args.Attrs)
+	r, err := s.site.ExtractMatching(s.baseCtx, args.Spec, args.Attrs)
 	if err != nil {
 		return err
 	}
@@ -120,7 +160,7 @@ func (s *SiteService) ExtractMatching(args ExtractArgs, reply *WireRelation) err
 
 // ExtractBlocksBatch returns several blocks in one pass.
 func (s *SiteService) ExtractBlocksBatch(args ExtractArgs, reply *map[int]*WireRelation) error {
-	batches, err := s.site.ExtractBlocksBatch(context.Background(), args.Spec, args.Attrs, args.Wanted)
+	batches, err := s.site.ExtractBlocksBatch(s.baseCtx, args.Spec, args.Attrs, args.Wanted)
 	if err != nil {
 		return err
 	}
@@ -144,7 +184,7 @@ func (s *SiteService) Deposit(args DepositArgs, _ *struct{}) error {
 	if err != nil {
 		return err
 	}
-	return s.site.Deposit(context.Background(), args.Task, r)
+	return s.site.Deposit(s.baseCtx, args.Task, r)
 }
 
 // AbortArgs names the task whose deposits to drain.
@@ -174,7 +214,7 @@ type DetectTaskArgs struct {
 
 // DetectTask runs detection for the task.
 func (s *SiteService) DetectTask(args DetectTaskArgs, reply *[]*WireRelation) error {
-	pats, err := s.site.DetectTask(context.Background(), args.Task, args.Local, args.CFDs)
+	pats, err := s.site.DetectTask(s.baseCtx, args.Task, args.Local, args.CFDs)
 	if err != nil {
 		return err
 	}
@@ -197,7 +237,7 @@ type DetectAssignedArgs struct {
 
 // DetectAssignedSingle runs the PatDetect coordinator step.
 func (s *SiteService) DetectAssignedSingle(args DetectAssignedArgs, reply *WireRelation) error {
-	pats, err := s.site.DetectAssignedSingle(context.Background(), args.TaskPrefix, args.Spec, args.Blocks, args.CFD)
+	pats, err := s.site.DetectAssignedSingle(s.baseCtx, args.TaskPrefix, args.Spec, args.Blocks, args.CFD)
 	if err != nil {
 		return err
 	}
@@ -207,7 +247,7 @@ func (s *SiteService) DetectAssignedSingle(args DetectAssignedArgs, reply *WireR
 
 // DetectAssignedSet runs the ClustDetect coordinator step.
 func (s *SiteService) DetectAssignedSet(args DetectAssignedArgs, reply *[]*WireRelation) error {
-	pats, err := s.site.DetectAssignedSet(context.Background(), args.TaskPrefix, args.Spec, args.Blocks, args.CFDs)
+	pats, err := s.site.DetectAssignedSet(s.baseCtx, args.TaskPrefix, args.Spec, args.Blocks, args.CFDs)
 	if err != nil {
 		return err
 	}
@@ -226,7 +266,7 @@ type ConstantsArgs struct {
 
 // DetectConstantsLocal checks constant units locally (Prop. 5).
 func (s *SiteService) DetectConstantsLocal(args ConstantsArgs, reply *WireRelation) error {
-	pats, err := s.site.DetectConstantsLocal(context.Background(), args.CFD)
+	pats, err := s.site.DetectConstantsLocal(s.baseCtx, args.CFD)
 	if err != nil {
 		return err
 	}
@@ -248,7 +288,7 @@ type ApplyDeltaReply struct {
 // ApplyDelta applies a delta to the local fragment, maintaining the
 // serving caches and the delta log (wire v4).
 func (s *SiteService) ApplyDelta(args ApplyDeltaArgs, reply *ApplyDeltaReply) error {
-	info, err := s.site.ApplyDelta(context.Background(), DeltaFromWire(args.Delta))
+	info, err := s.site.ApplyDelta(s.baseCtx, DeltaFromWire(args.Delta))
 	if err != nil {
 		return err
 	}
@@ -275,7 +315,7 @@ type DeltaBlocksReply struct {
 
 // ExtractDeltaBlocks returns the σ-routed delta blocks (wire v4).
 func (s *SiteService) ExtractDeltaBlocks(args DeltaBlocksArgs, reply *DeltaBlocksReply) error {
-	db, err := s.site.ExtractDeltaBlocks(context.Background(), args.Spec, args.Attrs, args.Wanted, args.FromGen)
+	db, err := s.site.ExtractDeltaBlocks(s.baseCtx, args.Spec, args.Attrs, args.Wanted, args.FromGen)
 	if err != nil {
 		return err
 	}
@@ -311,7 +351,7 @@ type FoldReply struct {
 
 // FoldDetect runs the coordinator's incremental step (wire v4).
 func (s *SiteService) FoldDetect(args FoldArgs, reply *FoldReply) error {
-	rep, err := s.site.FoldDetect(context.Background(), core.FoldArgs{
+	rep, err := s.site.FoldDetect(s.baseCtx, core.FoldArgs{
 		Session:        args.Session,
 		Spec:           args.Spec,
 		Blocks:         args.Blocks,
@@ -349,7 +389,7 @@ type MineArgs struct {
 
 // MineFrequent mines closed frequent patterns at the site.
 func (s *SiteService) MineFrequent(args MineArgs, reply *[]mining.Pattern) error {
-	ps, err := s.site.MineFrequent(context.Background(), args.X, args.Theta)
+	ps, err := s.site.MineFrequent(s.baseCtx, args.X, args.Theta)
 	if err != nil {
 		return err
 	}

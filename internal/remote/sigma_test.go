@@ -1,0 +1,97 @@
+package remote
+
+import (
+	"context"
+	"testing"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/core"
+	"distcfd/internal/partition"
+	"distcfd/internal/workload"
+)
+
+// TestSigmaPruneEquivalenceRPC mirrors the in-process Σ-pruning
+// property test over loopback RPC sites: a plan compiled with
+// SigmaPrune against Dial'd sites must produce byte-identical
+// violation sets, ShippedTuples, and ModeledTime to the unpruned
+// plan, while shipping strictly fewer control bytes on the
+// redundant-Σ workload. This pins that the pruning contract holds
+// when every σ/π exchange crosses a real wire, not just the
+// in-process SiteAPI.
+func TestSigmaPruneEquivalenceRPC(t *testing.T) {
+	data := workload.Cust(workload.CustConfig{N: 2_000, Seed: 7, ErrRate: 0.05})
+	custFD, err := cfd.NewFD("cust_m1", []string{"CC", "AC"}, []string{"city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dupFD := custFD.Clone()
+	dupFD.Name = "cust_m2"
+	custBase := workload.CustPatternCFD(12)
+	dupBase := custBase.Clone()
+	dupBase.Name = "cust_dup"
+	rules := []*cfd.CFD{custBase, dupBase, workload.CustStreetCFD(), custFD, dupFD}
+
+	h, err := partition.Uniform(data, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCluster := func() *core.Cluster {
+		addrs, _ := startSites(t, h)
+		sites, schema, err := Dial(addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := core.NewCluster(schema, sites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+
+	ctx := context.Background()
+	opt := core.Options{MineTheta: 0.2, Workers: 1}
+	plain, err := core.CompileSet(ctx, newCluster(), rules, core.PatDetectS, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optP := opt
+	optP.Sigma = core.SigmaPrune
+	pruned, err := core.CompileSet(ctx, newCluster(), rules, core.PatDetectS, optP, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := pruned.SigmaReport(); rep == nil || len(rep.Duplicates) != 2 {
+		t.Fatalf("pruned plan's Σ report = %+v, want 2 duplicate groups", rep)
+	}
+	if len(pruned.Clusters()) >= len(plain.Clusters()) {
+		t.Errorf("pruning kept %d units vs %d unpruned", len(pruned.Clusters()), len(plain.Clusters()))
+	}
+
+	want, err := plain.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pruned.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range rules {
+		if !got.PerCFD[i].SameTuples(want.PerCFD[i]) {
+			t.Errorf("cfd %s: pruned violations differ over RPC (%d vs %d tuples)",
+				c.Name, got.PerCFD[i].Len(), want.PerCFD[i].Len())
+		}
+	}
+	if got.ShippedTuples != want.ShippedTuples {
+		t.Errorf("ShippedTuples: pruned %d, unpruned %d", got.ShippedTuples, want.ShippedTuples)
+	}
+	if got.ModeledTime != want.ModeledTime {
+		t.Errorf("ModeledTime: pruned %v, unpruned %v (must be byte-identical)",
+			got.ModeledTime, want.ModeledTime)
+	}
+	gotCtl := got.Metrics.ControlBytes()
+	wantCtl := want.Metrics.ControlBytes()
+	if gotCtl >= wantCtl {
+		t.Errorf("control bytes: pruned %d, unpruned %d — pruning must ship strictly fewer over RPC",
+			gotCtl, wantCtl)
+	}
+}
