@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-full bench-compare examples lint wire-golden
+.PHONY: ci build vet test race bench bench-smoke bench-full bench-compare examples lint wire-golden chaos
 
 # ci mirrors .github/workflows/ci.yml: a missing package, vet
-# regression, lint finding, race, broken example, or broken benchmark
-# can never land silently again.
-ci: build vet lint race examples bench-smoke
+# regression, lint finding, race, broken example, broken benchmark, or
+# chaos regression can never land silently again.
+ci: build vet lint race examples bench-smoke chaos
 
 # lint builds the repo's own analyzer suite (cmd/distcfdvet: keyjoin,
 # ctxflow, poolpair, wirecompat) and runs it over every package via the
@@ -40,6 +40,20 @@ examples:
 		echo "== go run ./$$d"; \
 		$(GO) run ./$$d >/dev/null; \
 	done
+
+# chaos runs the fault-injection suites under the race detector with a
+# randomized fault seed. The seed is printed before the run, and every
+# failure replays exactly with
+#   DISTCFD_CHAOS_SEED=<seed> make chaos
+# Only the fault-plan seeds vary — data and partition seeds are fixed —
+# so a red run is always a real robustness regression, never an
+# "unlucky dataset".
+chaos:
+	@seed=$${DISTCFD_CHAOS_SEED:-$$(date +%s)}; \
+	echo "== chaos (DISTCFD_CHAOS_SEED=$$seed)"; \
+	DISTCFD_CHAOS_SEED=$$seed $(GO) test -race -count=1 \
+		-run 'Chaos|Nonce|Fault|Parse|Crash|Rate|Latency|WrapListener|ErrorEnvelope|DialRetry|Redial' \
+		./internal/faulty/ ./internal/core/ ./internal/remote/
 
 build:
 	$(GO) build ./...

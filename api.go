@@ -92,6 +92,33 @@ func WithSigmaAnalysis(mode SigmaMode) Option { return func(c *config) { c.opt.S
 // (ClustDetect, the default) or processed independently (SeqDetect).
 func WithClustering(on bool) Option { return func(c *config) { c.clustered = on } }
 
+// WithFailurePolicy selects how Detect calls respond to site failures:
+//
+//   - FailFast (the default) surfaces the first failure as an error,
+//     exactly the pre-policy behavior.
+//   - FailRetry retries transient failures per site with capped
+//     exponential backoff and jitter, re-dialing dead connections;
+//     retried calls are at-most-once on the site (task nonces), and a
+//     run that succeeds after retries reports violations,
+//     ShippedTuples, and ModeledTime byte-identical to a fault-free
+//     run — the retries show only on Result.Retries/Faults and the
+//     Shipment fault channels.
+//   - FailDegrade additionally excludes a site that stays down after
+//     the retry budget and completes over the reachable fragments:
+//     Result.Partial is set, ExcludedSites names the dropped sites,
+//     Coverage reports the reachable tuple fraction, and every
+//     reported violation is a true violation of the reachable data.
+//
+// Incremental serving never excludes sites (exclusion would corrupt
+// the retained coordinator state); under FailDegrade it behaves like
+// FailRetry.
+func WithFailurePolicy(p FailurePolicy) Option { return func(c *config) { c.opt.Failure = p } }
+
+// WithRetryPolicy bounds the retry behavior of WithFailurePolicy: call
+// attempts, unit-level attempts, and the backoff window. The zero value
+// selects the defaults; it has no effect under FailFast.
+func WithRetryPolicy(rp RetryPolicy) Option { return func(c *config) { c.opt.Retry = rp } }
+
 // WithTimeout sets the per-RPC I/O budget applied to every remote site
 // of the cluster: a site that does not answer a call within d is
 // treated as failed instead of blocking the run forever. It has no
@@ -201,6 +228,22 @@ type Result struct {
 	Incremental        bool
 	DeltaShippedTuples int64
 	DeltaShippedBytes  int64
+	// Partial marks a run that completed degraded (WithFailurePolicy
+	// FailDegrade) after excluding unreachable sites. Every violation
+	// reported by a partial run is a true violation of the reachable
+	// data; violations only witnessed by excluded fragments are missing.
+	Partial bool
+	// ExcludedSites lists the site IDs a degraded run dropped.
+	ExcludedSites []int
+	// Coverage is the fraction of cluster tuples the run actually
+	// examined: 1 for a complete run, reachable/total for a partial one.
+	Coverage float64
+	// Retries counts calls that were re-issued after a transient
+	// failure; Faults counts the failures observed. Both stay zero on a
+	// fault-free run — retry work is charged here and to the Shipment
+	// fault channels, never to ShippedTuples or ModeledTime.
+	Retries int64
+	Faults  int64
 }
 
 // Patterns returns the violating X-patterns of the named CFD, or nil
@@ -226,6 +269,11 @@ func fromSetResult(sr *core.SetResult) *Result {
 		Incremental:        sr.Incremental,
 		DeltaShippedTuples: sr.DeltaShippedTuples,
 		DeltaShippedBytes:  sr.DeltaShippedBytes,
+		Partial:            sr.Partial,
+		ExcludedSites:      sr.ExcludedSites,
+		Coverage:           sr.Coverage,
+		Retries:            sr.Retries,
+		Faults:             sr.Faults,
 	}
 }
 
@@ -325,8 +373,20 @@ func (d *Detector) DetectOne(ctx context.Context, name string) (*Result, error) 
 		ShippedTuples: one.ShippedTuples,
 		ModeledTime:   one.ModeledTime,
 		WallTime:      one.WallTime,
+		Partial:       one.Partial,
+		ExcludedSites: one.ExcludedSites,
+		Coverage:      one.Coverage,
+		Retries:       one.Retries,
+		Faults:        one.Faults,
 	}, nil
 }
+
+// Health reports the per-site circuit-breaker states of the underlying
+// cluster: BreakerClosed for healthy sites, BreakerOpen for sites whose
+// calls are being rejected after repeated transient failures, and
+// BreakerHalfOpen while a single probe is testing recovery. Sites a
+// FailFast session never retried report BreakerClosed.
+func (d *Detector) Health() []BreakerState { return d.cl.Health() }
 
 func (d *Detector) singlePlan(ctx context.Context, idx int) (*core.SinglePlan, error) {
 	if sp := d.plan.SinglePlanFor(idx); sp != nil {

@@ -61,6 +61,7 @@ func main() {
 		follow    = flag.Bool("follow", false, "after the initial detection, consume a JSON delta stream from stdin and re-detect incrementally per delta")
 		lint      = flag.Bool("lint", false, "statically analyze the rule set (consistency, implied rules, duplicates) and exit; no data needed")
 		sigmaMode = flag.String("sigma", "off", "compile-time Σ analysis: off | check (fail fast on inconsistent Σ) | prune (also collapse duplicate CFDs)")
+		policy    = flag.String("policy", "fast", "site-failure policy: fast (fail on first error) | retry (retry transients with backoff) | degrade (retry, then exclude dead sites and complete partially; partial runs exit 3)")
 	)
 	flag.Parse()
 
@@ -104,6 +105,18 @@ func main() {
 		sigma = distcfd.SigmaPrune
 	default:
 		fatalf("unknown -sigma mode %q (off | check | prune)", *sigmaMode)
+	}
+
+	var failure distcfd.FailurePolicy
+	switch *policy {
+	case "fast":
+		failure = distcfd.FailFast
+	case "retry":
+		failure = distcfd.FailRetry
+	case "degrade":
+		failure = distcfd.FailDegrade
+	default:
+		fatalf("unknown -policy %q (fast | retry | degrade)", *policy)
 	}
 
 	var algo distcfd.Algorithm
@@ -168,6 +181,7 @@ func main() {
 		distcfd.WithMineTheta(*mineTheta),
 		distcfd.WithTimeout(*timeout),
 		distcfd.WithSigmaAnalysis(sigma),
+		distcfd.WithFailurePolicy(failure),
 	)
 	if err != nil {
 		fatalf("compile: %v", err)
@@ -187,6 +201,9 @@ func main() {
 	}
 	fmt.Printf("\nshipped %d tuples; modeled response time %.3f; wall %v\n",
 		res.ShippedTuples, res.ModeledTime, res.WallTime)
+	if res.Retries > 0 {
+		fmt.Printf("recovered from %d fault(s) with %d retried call(s)\n", res.Faults, res.Retries)
+	}
 	if *shipmat {
 		fmt.Printf("\n%s", res.Shipment)
 	}
@@ -194,6 +211,16 @@ func main() {
 		if err := followDeltas(ctx, det, rules, os.Stdin, os.Stdout); err != nil {
 			fatalf("follow: %v", err)
 		}
+	}
+	if res.Partial {
+		// A degraded run completed, but over reachable fragments only:
+		// say so on stderr and exit with a code distinct from hard
+		// failure (1) so callers can tell "partial answer" from "no
+		// answer".
+		fmt.Fprintf(os.Stderr,
+			"cfddetect: partial result: excluded site(s) %v, coverage %.1f%%, %d retried call(s), %d fault(s)\n",
+			res.ExcludedSites, 100*res.Coverage, res.Retries, res.Faults)
+		os.Exit(3)
 	}
 }
 

@@ -12,6 +12,14 @@
 // and every in-flight handler's site work is cancelled through the
 // server's base context, so a dying site stops burning cycles on
 // detection work whose driver will never hear the answer.
+//
+// The -fault-plan flag (development only) injects deterministic faults
+// into the site — scheduled or random call errors, latency spikes,
+// crash-then-restart with serving-state loss, connection resets
+// mid-stream — for exercising a driver's retry, redial, and degraded
+// paths against a real TCP site:
+//
+//	cfdsite -data frag0.csv -id 0 -fault-plan "seed=7,rate=0.05,reset=3@40"
 package main
 
 import (
@@ -25,17 +33,19 @@ import (
 	"syscall"
 
 	"distcfd/internal/core"
+	"distcfd/internal/faulty"
 	"distcfd/internal/relation"
 	"distcfd/internal/remote"
 )
 
 func main() {
 	var (
-		dataPath = flag.String("data", "", "CSV fragment file")
-		key      = flag.String("key", "", "key attribute (optional)")
-		id       = flag.Int("id", 0, "site ID (must match position in the driver's address list)")
-		listen   = flag.String("listen", "127.0.0.1:0", "listen address")
-		predSpec = flag.String("pred", "", "fragment predicate, e.g. \"title=MTS,CC=44\"")
+		dataPath  = flag.String("data", "", "CSV fragment file")
+		key       = flag.String("key", "", "key attribute (optional)")
+		id        = flag.Int("id", 0, "site ID (must match position in the driver's address list)")
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
+		predSpec  = flag.String("pred", "", "fragment predicate, e.g. \"title=MTS,CC=44\"")
+		faultSpec = flag.String("fault-plan", "", "inject deterministic faults (development), e.g. \"seed=7,rate=0.05,err=Deposit@3,crash=20,restart=5,reset=2@40\"")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -71,10 +81,29 @@ func main() {
 		fatalf("%v", err)
 	}
 	fmt.Printf("site %d serving %d tuples on %s\n", *id, data.Len(), lis.Addr())
-	site := core.NewSite(*id, data, pred)
+	var api core.SiteAPI = core.NewSite(*id, data, pred)
+	if *faultSpec != "" {
+		plan, err := faulty.Parse(*faultSpec)
+		if err != nil {
+			fatalf("-fault-plan: %v", err)
+		}
+		if plan.RestartAfter > 0 {
+			// A restart rebuilds the site over the same in-memory
+			// fragment — the serving caches, sessions, and pending
+			// deposits are lost (the state a crash loses), while the
+			// data survives as it would on a site reloading from disk.
+			api = faulty.WrapRestartable(func() core.SiteAPI {
+				return core.NewSite(*id, data, pred)
+			}, plan)
+		} else {
+			api = faulty.Wrap(api, plan)
+		}
+		lis = faulty.WrapListener(lis, plan)
+		fmt.Printf("site %d: fault injection active: %s\n", *id, *faultSpec)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := remote.ServeContext(ctx, lis, site, data.Schema()); err != nil {
+	if err := remote.ServeAPIContext(ctx, lis, api, data.Schema()); err != nil {
 		fatalf("serve: %v", err)
 	}
 	fmt.Printf("site %d shut down\n", *id)

@@ -137,6 +137,14 @@ type (
 	SingleResult = core.SingleResult
 	// SetResult reports a multi-CFD run.
 	SetResult = core.SetResult
+	// FailurePolicy selects how a run responds to site failures
+	// (FailFast, FailRetry, FailDegrade — see WithFailurePolicy).
+	FailurePolicy = core.FailurePolicy
+	// RetryPolicy bounds retries under FailRetry/FailDegrade.
+	RetryPolicy = core.RetryPolicy
+	// BreakerState is a per-site circuit-breaker state (see
+	// Detector.Health).
+	BreakerState = core.BreakerState
 	// CostModel is the paper's response-time model cost(D,Σ,M).
 	CostModel = dist.CostModel
 	// Metrics records tuple shipments.
@@ -156,6 +164,30 @@ const (
 	// PatDetectRT uses per-pattern coordinators minimizing modeled
 	// response time.
 	PatDetectRT = core.PatDetectRT
+)
+
+// Failure policies for WithFailurePolicy.
+const (
+	// FailFast surfaces the first site failure (the default).
+	FailFast = core.FailFast
+	// FailRetry retries transient failures with backoff and redial;
+	// violations and shipment figures stay byte-identical to a
+	// fault-free run.
+	FailRetry = core.FailRetry
+	// FailDegrade is FailRetry plus exclusion: a site down after the
+	// retry budget is dropped and the run completes over the reachable
+	// fragments, reported via Result.Partial/ExcludedSites/Coverage.
+	FailDegrade = core.FailDegrade
+)
+
+// Circuit-breaker states reported by Detector.Health.
+const (
+	// BreakerClosed passes calls through (healthy).
+	BreakerClosed = core.BreakerClosed
+	// BreakerOpen rejects calls after repeated transient failures.
+	BreakerOpen = core.BreakerOpen
+	// BreakerHalfOpen admits a single probe to test recovery.
+	BreakerHalfOpen = core.BreakerHalfOpen
 )
 
 // Σ analysis levels for WithSigmaAnalysis.

@@ -19,7 +19,7 @@ func TestSiteAbortDrainsTaskDeposits(t *testing.T) {
 	s := NewSite(0, workload.EMPData(), relation.True())
 	batch := workload.EMPData()
 	for _, task := range []string{"run-1/b0", "run-1/b3", "run-1", "run-10/b0", "run-2/b1"} {
-		if err := s.Deposit(ctx, task, batch); err != nil {
+		if err := s.Deposit(ctx, task, batch, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -52,7 +52,7 @@ func TestSiteCancelTombstonesTask(t *testing.T) {
 	ctx := context.Background()
 	s := NewSite(0, workload.EMPData(), relation.True())
 	batch := workload.EMPData()
-	if err := s.Deposit(ctx, "run-1/b0", batch); err != nil {
+	if err := s.Deposit(ctx, "run-1/b0", batch, ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Cancel("run-1"); err != nil {
@@ -63,10 +63,10 @@ func TestSiteCancelTombstonesTask(t *testing.T) {
 	}
 	// The late deposit of the cancelled run: dropped, no error (the
 	// driver that would consume it is gone).
-	if err := s.Deposit(ctx, "run-1/b7", batch); err != nil {
+	if err := s.Deposit(ctx, "run-1/b7", batch, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Deposit(ctx, "run-1", batch); err != nil {
+	if err := s.Deposit(ctx, "run-1", batch, ""); err != nil {
 		t.Fatal(err)
 	}
 	if n := depositCount(s); n != 0 {
@@ -74,7 +74,7 @@ func TestSiteCancelTombstonesTask(t *testing.T) {
 	}
 	// Unrelated tasks — including ones sharing a name prefix — are
 	// unaffected.
-	if err := s.Deposit(ctx, "run-10/b0", batch); err != nil {
+	if err := s.Deposit(ctx, "run-10/b0", batch, ""); err != nil {
 		t.Fatal(err)
 	}
 	if depositCount(s) != 1 {
@@ -171,10 +171,10 @@ type cancellingSite struct {
 	landed *bool
 }
 
-func (c *cancellingSite) Deposit(_ context.Context, task string, batch *relation.Relation) error {
+func (c *cancellingSite) Deposit(_ context.Context, task string, batch *relation.Relation, nonce string) error {
 	// Land the batch regardless of the (about to be cancelled) context,
 	// then pull the plug on the driver.
-	err := c.Site.Deposit(context.Background(), task, batch)
+	err := c.Site.Deposit(context.Background(), task, batch, nonce)
 	c.once.Do(func() {
 		*c.landed = true
 		c.cancel()

@@ -10,10 +10,21 @@ import (
 // block empty at every site. Ties break toward the smallest site ID —
 // the paper's deterministic tiebreaker, which lets every site derive
 // the same assignment independently.
+//
+// eligible, when non-nil, masks sites that may coordinate: a degraded
+// run passes the reachable sites (excluded sites arrive with zeroed
+// lstat rows, but PatDetectRT's cost greedy would otherwise happily
+// place a block at a zero-stat dead site). nil means every site is
+// eligible — the fault-free path, byte-identical to the unmasked
+// assignment.
+
+func siteEligible(eligible []bool, i int) bool {
+	return eligible == nil || eligible[i]
+}
 
 // assignCTR implements CTRDetect's choice: the single site with the
 // largest total number of matching tuples coordinates every block.
-func assignCTR(lstat [][]int) []int {
+func assignCTR(lstat [][]int, eligible []bool) []int {
 	n := len(lstat)
 	if n == 0 {
 		return nil
@@ -21,6 +32,9 @@ func assignCTR(lstat [][]int) []int {
 	k := len(lstat[0])
 	best, bestTotal := 0, -1
 	for i := 0; i < n; i++ {
+		if !siteEligible(eligible, i) {
+			continue
+		}
 		total := 0
 		for l := 0; l < k; l++ {
 			total += lstat[i][l]
@@ -54,7 +68,7 @@ func assignCTR(lstat [][]int) []int {
 // assignPatS implements PatDetectS: per pattern tuple, the coordinator
 // is the site holding the most matching tuples (it would otherwise
 // ship the largest number, so keeping them local minimizes costS).
-func assignPatS(lstat [][]int) []int {
+func assignPatS(lstat [][]int, eligible []bool) []int {
 	n := len(lstat)
 	if n == 0 {
 		return nil
@@ -64,6 +78,9 @@ func assignPatS(lstat [][]int) []int {
 	for l := 0; l < k; l++ {
 		best, bestCount := -1, 0
 		for i := 0; i < n; i++ {
+			if !siteEligible(eligible, i) {
+				continue
+			}
 			if lstat[i][l] > bestCount {
 				best, bestCount = i, lstat[i][l]
 			}
@@ -77,7 +94,7 @@ func assignPatS(lstat [][]int) []int {
 // (generality-sorted) tableau order; the l-th pattern is placed at the
 // site that increases the modeled response time costRS the least,
 // given the partial assignment λ_{l-1} (Section IV-B).
-func assignPatRT(lstat [][]int, fragSizes []int, cm dist.CostModel) []int {
+func assignPatRT(lstat [][]int, fragSizes []int, cm dist.CostModel, eligible []bool) []int {
 	n := len(lstat)
 	if n == 0 {
 		return nil
@@ -100,6 +117,9 @@ func assignPatRT(lstat [][]int, fragSizes []int, cm dist.CostModel) []int {
 		bestCost := 0.0
 		candSent := make([]int64, n)
 		for m := 0; m < n; m++ {
+			if !siteEligible(eligible, m) {
+				continue
+			}
 			copy(candSent, sent)
 			var incoming int64
 			for j := 0; j < n; j++ {
@@ -130,14 +150,14 @@ func assignPatRT(lstat [][]int, fragSizes []int, cm dist.CostModel) []int {
 }
 
 // assign dispatches on the algorithm.
-func assign(algo Algorithm, lstat [][]int, fragSizes []int, cm dist.CostModel) []int {
+func assign(algo Algorithm, lstat [][]int, fragSizes []int, cm dist.CostModel, eligible []bool) []int {
 	switch algo {
 	case CTRDetect:
-		return assignCTR(lstat)
+		return assignCTR(lstat, eligible)
 	case PatDetectRT:
-		return assignPatRT(lstat, fragSizes, cm)
+		return assignPatRT(lstat, fragSizes, cm, eligible)
 	default:
-		return assignPatS(lstat)
+		return assignPatS(lstat, eligible)
 	}
 }
 

@@ -1,0 +1,372 @@
+// Chaos tests: the fault-injection harness (internal/faulty) against
+// the retry/degrade layer. They live in the external test package
+// because faulty imports core.
+package core_test
+
+import (
+	"context"
+	"encoding/binary"
+	"os"
+	"sort"
+	"strconv"
+	"testing"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/core"
+	"distcfd/internal/faulty"
+	"distcfd/internal/partition"
+	"distcfd/internal/relation"
+	"distcfd/internal/workload"
+)
+
+// fastRetry keeps the chaos runs quick: the backoff window shrinks to
+// microseconds while the attempt budgets stay at their defaults.
+var fastRetry = core.RetryPolicy{BaseDelay: 50_000, MaxDelay: 500_000} // 50µs, 500µs
+
+// chaosSeed returns the base fault seed for this run: DISTCFD_CHAOS_SEED
+// when set (make chaos randomizes and logs it, so any failure replays
+// with the same seed), 0 otherwise. It offsets only the *fault-plan*
+// seeds — data and partition seeds stay fixed, so the invariants under
+// test never move; only which calls fault does.
+func chaosSeed(t *testing.T) int64 {
+	v := os.Getenv("DISTCFD_CHAOS_SEED")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatalf("DISTCFD_CHAOS_SEED=%q: %v", v, err)
+	}
+	t.Logf("fault seeds offset by DISTCFD_CHAOS_SEED=%d", n)
+	return n
+}
+
+func chaosCFDs() []*cfd.CFD {
+	return []*cfd.CFD{
+		workload.CustPatternCFD(16),
+		cfd.MustParse(`i2: [name] -> [phn]`),
+		cfd.MustParse(`i4: [street, city] -> [zip]`),
+	}
+}
+
+// chaosCluster builds a 3-site cluster over the Cust workload, wrapping
+// each site through wrap (identity for the baseline).
+func chaosCluster(t *testing.T, dataSeed int64, wrap func(i int, s *core.Site) core.SiteAPI) (*core.Cluster, []*core.Site) {
+	t.Helper()
+	data := workload.Cust(workload.CustConfig{N: 1_500, Seed: dataSeed, ErrRate: 0.05})
+	h, err := partition.Uniform(data, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := make([]*core.Site, h.N())
+	sites := make([]core.SiteAPI, h.N())
+	for i, frag := range h.Fragments {
+		bare[i] = core.NewSite(i, frag, relation.True())
+		sites[i] = wrap(i, bare[i])
+	}
+	cl, err := core.NewCluster(h.Schema, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, bare
+}
+
+func identicalViolations(t *testing.T, label string, got, want *core.SetResult) {
+	t.Helper()
+	for ci := range want.PerCFD {
+		g, w := got.PerCFD[ci], want.PerCFD[ci]
+		if g.Len() != w.Len() {
+			t.Fatalf("%s: cfd %d: %d patterns, want %d", label, ci, g.Len(), w.Len())
+		}
+		for i, tup := range w.Tuples() {
+			if !tup.Equal(g.Tuple(i)) {
+				t.Fatalf("%s: cfd %d: pattern %d differs: %v vs %v", label, ci, i, g.Tuple(i), tup)
+			}
+		}
+	}
+}
+
+func assertNoDeposits(t *testing.T, label string, bare []*core.Site) {
+	t.Helper()
+	for i, s := range bare {
+		if n := s.PendingDeposits(); n != 0 {
+			t.Errorf("%s: site %d still buffers %d deposit tasks", label, i, n)
+		}
+	}
+}
+
+// TestChaosRetryEquivalence is the headline invariant: a 10%% per-call
+// fault rate under FailRetry produces violation sets, ShippedTuples,
+// and ModeledTime byte-identical to the fault-free run — the retries
+// are charged only to the Retries/Faults channels, never to the
+// figures.
+func TestChaosRetryEquivalence(t *testing.T) {
+	base := chaosSeed(t)
+	var totalRetries int64
+	for _, seed := range []int64{3, 5, 9} {
+		baseline, bare := chaosCluster(t, seed, func(_ int, s *core.Site) core.SiteAPI { return s })
+		want, err := core.ClustDetect(baseline, chaosCFDs(), core.PatDetectS, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Retries != 0 || want.Faults != 0 || want.Partial || want.Coverage != 1 {
+			t.Fatalf("seed %d: fault-free run reports fault stats: %+v", seed, want)
+		}
+		assertNoDeposits(t, "baseline", bare)
+
+		faulted, fbare := chaosCluster(t, seed, func(i int, s *core.Site) core.SiteAPI {
+			return faulty.Wrap(s, faulty.Plan{Seed: base + seed*31 + int64(i), Rate: 0.10})
+		})
+		got, err := core.ClustDetect(faulted, chaosCFDs(), core.PatDetectS,
+			core.Options{Failure: core.FailRetry, Retry: fastRetry})
+		if err != nil {
+			t.Fatalf("seed %d: faulted run failed: %v", seed, err)
+		}
+		identicalViolations(t, "retry-equivalence", got, want)
+		if got.ShippedTuples != want.ShippedTuples {
+			t.Errorf("seed %d: shipped %d tuples, fault-free shipped %d", seed, got.ShippedTuples, want.ShippedTuples)
+		}
+		if got.ModeledTime != want.ModeledTime {
+			t.Errorf("seed %d: modeled time %v, fault-free %v", seed, got.ModeledTime, want.ModeledTime)
+		}
+		if got.Partial || len(got.ExcludedSites) != 0 || got.Coverage != 1 {
+			t.Errorf("seed %d: FailRetry must never degrade: %+v", seed, got)
+		}
+		if got.Faults < got.Retries || got.Retries < 0 {
+			t.Errorf("seed %d: fault accounting inconsistent: %d faults, %d retries", seed, got.Faults, got.Retries)
+		}
+		totalRetries += got.Retries
+		assertNoDeposits(t, "faulted", fbare)
+	}
+	// At a 10% rate across three seeds the runs must actually have
+	// retried — otherwise the equivalence above was vacuous.
+	if totalRetries == 0 {
+		t.Error("no retries happened across any seed — the fault injection did not bite")
+	}
+}
+
+// TestChaosDegradePartial holds one site down for good and detects
+// under FailDegrade: the run completes partially, names the excluded
+// site, reports the reachable coverage, matches a run over just the
+// reachable fragments violation for violation, and leaks no deposits.
+func TestChaosDegradePartial(t *testing.T) {
+	const down = 2
+	data := workload.Cust(workload.CustConfig{N: 1_500, Seed: 4, ErrRate: 0.05})
+	h, err := partition.Uniform(data, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := make([]*core.Site, h.N())
+	sites := make([]core.SiteAPI, h.N())
+	for i, frag := range h.Fragments {
+		bare[i] = core.NewSite(i, frag, relation.True())
+		if i == down {
+			// CrashAt 1 with no rebuild: dead from the first call on.
+			sites[i] = faulty.Wrap(bare[i], faulty.Plan{CrashAt: 1})
+		} else {
+			sites[i] = bare[i]
+		}
+	}
+	cl, err := core.NewCluster(h.Schema, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ClustDetect(cl, chaosCFDs(), core.PatDetectS,
+		core.Options{Failure: core.FailDegrade, Retry: fastRetry})
+	if err != nil {
+		t.Fatalf("degraded run failed outright: %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("run over a dead site must report Partial")
+	}
+	if len(res.ExcludedSites) != 1 || res.ExcludedSites[0] != down {
+		t.Fatalf("ExcludedSites = %v, want [%d]", res.ExcludedSites, down)
+	}
+	reachable := h.Fragments[0].Len() + h.Fragments[1].Len()
+	wantCov := float64(reachable) / float64(data.Len())
+	if res.Coverage < wantCov-1e-9 || res.Coverage > wantCov+1e-9 {
+		t.Errorf("Coverage = %v, want %v (%d of %d tuples reachable)", res.Coverage, wantCov, reachable, data.Len())
+	}
+	assertNoDeposits(t, "degraded", bare)
+
+	// Every reported violation verifies against the reachable data: the
+	// partial answer equals (as a pattern set) a clean run over a
+	// cluster holding only the reachable fragments.
+	rh := &partition.Horizontal{Schema: h.Schema, Fragments: h.Fragments[:down]}
+	rcl, err := core.FromHorizontal(rh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.ClustDetect(rcl, chaosCFDs(), core.PatDetectS, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range want.PerCFD {
+		if !samePatternSet(res.PerCFD[ci], want.PerCFD[ci]) {
+			t.Errorf("cfd %d: degraded patterns differ from the reachable-only run\n got  %v\n want %v",
+				ci, res.PerCFD[ci], want.PerCFD[ci])
+		}
+	}
+}
+
+// samePatternSet compares two pattern relations as sets (a degraded
+// re-assignment may enumerate blocks in a different order).
+func samePatternSet(a, b *relation.Relation) bool {
+	canon := func(tup relation.Tuple) string {
+		var bs []byte
+		for _, v := range tup {
+			bs = binary.AppendUvarint(bs, uint64(len(v)))
+			bs = append(bs, v...)
+		}
+		return string(bs)
+	}
+	key := func(r *relation.Relation) []string {
+		out := make([]string, r.Len())
+		for i, t := range r.Tuples() {
+			out[i] = canon(t)
+		}
+		sort.Strings(out)
+		return out
+	}
+	ka, kb := key(a), key(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaosFaultMatrix runs every injected fault class under every
+// policy and asserts the one invariant that must hold regardless of
+// outcome: zero buffered deposits on every site afterwards.
+func TestChaosFaultMatrix(t *testing.T) {
+	base := chaosSeed(t)
+	classes := []struct {
+		name string
+		plan func(i int) faulty.Plan
+	}{
+		{"scheduled-deposit", func(i int) faulty.Plan {
+			return faulty.Plan{ErrOn: map[string][]int{"Deposit": {1, 3}}}
+		}},
+		{"scheduled-detect", func(i int) faulty.Plan {
+			return faulty.Plan{ErrOn: map[string][]int{"DetectAssignedSet": {1}}}
+		}},
+		{"scheduled-stats", func(i int) faulty.Plan {
+			return faulty.Plan{ErrOn: map[string][]int{"SigmaStats": {1}}}
+		}},
+		{"rate", func(i int) faulty.Plan {
+			// 15%: high enough to bite every run, low enough that the
+			// per-call retry budget absorbs it with margin (residual
+			// ~5e-4 per call) — a higher rate would legitimately
+			// exclude sites under FailDegrade.
+			return faulty.Plan{Seed: base + int64(i) + 11, Rate: 0.15}
+		}},
+		{"crash-midrun", func(i int) faulty.Plan {
+			if i != 1 {
+				return faulty.Plan{}
+			}
+			return faulty.Plan{CrashAt: 10}
+		}},
+	}
+	policies := []core.FailurePolicy{core.FailFast, core.FailRetry, core.FailDegrade}
+	for _, cls := range classes {
+		for _, pol := range policies {
+			t.Run(cls.name+"/"+pol.String(), func(t *testing.T) {
+				cl, bare := chaosCluster(t, 7, func(i int, s *core.Site) core.SiteAPI {
+					return faulty.Wrap(s, cls.plan(i))
+				})
+				// The outcome depends on class × policy (an error under
+				// FailFast, recovery or a partial answer otherwise); the
+				// deposit invariant must hold either way.
+				res, err := core.ClustDetect(cl, chaosCFDs(), core.PatDetectS,
+					core.Options{Failure: pol, Retry: fastRetry})
+				if err == nil && res == nil {
+					t.Fatal("nil result without error")
+				}
+				if pol != core.FailFast && cls.name != "crash-midrun" && err != nil {
+					t.Errorf("%s under %v should recover, got %v", cls.name, pol, err)
+				}
+				if pol == core.FailDegrade && err != nil {
+					t.Errorf("FailDegrade should always produce an answer, got %v", err)
+				}
+				assertNoDeposits(t, cls.name+"/"+pol.String(), bare)
+			})
+		}
+	}
+}
+
+// TestChaosBreakerOpensOnDeadSite: a site that keeps failing trips its
+// breaker; Health surfaces the open state, and a healthy cluster
+// reports closed everywhere.
+func TestChaosBreakerOpensOnDeadSite(t *testing.T) {
+	cl, _ := chaosCluster(t, 7, func(i int, s *core.Site) core.SiteAPI {
+		if i == 1 {
+			return faulty.Wrap(s, faulty.Plan{CrashAt: 1})
+		}
+		return s
+	})
+	for _, st := range cl.Health() {
+		if st != core.BreakerClosed {
+			t.Fatalf("fresh cluster reports %v, want all closed", st)
+		}
+	}
+	// Six attempts per call: the dead site racks up more consecutive
+	// failures than the breaker threshold within a single call's retry
+	// schedule, so the trip is observable before exclusion stops the
+	// traffic.
+	retry := fastRetry
+	retry.Attempts = 6
+	_, err := core.ClustDetect(cl, chaosCFDs(), core.PatDetectS,
+		core.Options{Failure: core.FailDegrade, Retry: retry})
+	if err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	health := cl.Health()
+	if health[1] == core.BreakerClosed {
+		t.Errorf("site 1 kept failing its whole retry schedule; breaker still closed: %v", health)
+	}
+	if health[0] != core.BreakerClosed || health[2] != core.BreakerClosed {
+		t.Errorf("healthy sites should stay closed: %v", health)
+	}
+}
+
+// TestChaosIncrementalRetry: the incremental path treats injected
+// transient faults like stale state — invalidate and reseed — and its
+// figures stay byte-identical to the fault-free incremental run.
+func TestChaosIncrementalRetry(t *testing.T) {
+	run := func(wrap func(i int, s *core.Site) core.SiteAPI, opt core.Options) (*core.SetResult, []*core.Site) {
+		cl, bare := chaosCluster(t, 6, wrap)
+		p, err := core.CompileSet(context.Background(), cl, chaosCFDs(), core.PatDetectS, opt, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Detect(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.DetectIncremental(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, bare
+	}
+	base := chaosSeed(t)
+	want, _ := run(func(_ int, s *core.Site) core.SiteAPI { return s }, core.Options{})
+	// A modest rate: the incremental pipeline recovers via whole-round
+	// reseeds, so every faulted round repeats from the top.
+	got, bare := run(func(i int, s *core.Site) core.SiteAPI {
+		return faulty.Wrap(s, faulty.Plan{Seed: base + int64(i) + 1, Rate: 0.05})
+	}, core.Options{Failure: core.FailRetry, Retry: fastRetry})
+	identicalViolations(t, "incremental", got, want)
+	if got.ShippedTuples != want.ShippedTuples || got.ModeledTime != want.ModeledTime {
+		t.Errorf("incremental figures bent under faults: %d/%v vs %d/%v",
+			got.ShippedTuples, got.ModeledTime, want.ShippedTuples, want.ModeledTime)
+	}
+	if got.Partial {
+		t.Error("incremental serving must never report Partial")
+	}
+	assertNoDeposits(t, "incremental", bare)
+}

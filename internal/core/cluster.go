@@ -27,6 +27,9 @@ type Cluster struct {
 	// would otherwise have its deposits silently dropped.
 	nonce   string
 	taskSeq atomic.Int64
+	// breakers holds one circuit breaker per site, fed only by runs
+	// with an active failure policy (FailFast never touches them).
+	breakers []breaker
 }
 
 // NewCluster assembles a cluster over sites sharing schema. Fragment
@@ -50,7 +53,13 @@ func NewCluster(schema *relation.Schema, sites []SiteAPI) (*Cluster, error) {
 	if _, err := rand.Read(nb[:]); err != nil {
 		return nil, fmt.Errorf("core: minting cluster nonce: %w", err)
 	}
-	return &Cluster{schema: schema, sites: sites, preds: preds, nonce: hex.EncodeToString(nb[:])}, nil
+	return &Cluster{
+		schema:   schema,
+		sites:    sites,
+		preds:    preds,
+		nonce:    hex.EncodeToString(nb[:]),
+		breakers: make([]breaker, len(sites)),
+	}, nil
 }
 
 // FromHorizontal builds an in-process cluster from a horizontal
@@ -127,31 +136,46 @@ func (cl *Cluster) parallelCtx(ctx context.Context, fn func(ctx context.Context,
 
 // ship moves a batch from site `from` to site `to` under the task key,
 // recording it in metrics. Shipping to self is a no-op the algorithms
-// never request; it is rejected to catch bugs.
-func (cl *Cluster) ship(ctx context.Context, m *dist.Metrics, from, to int, task string, batch *relation.Relation) error {
+// never request; it is rejected to catch bugs. The deposit carries a
+// fresh nonce minted above the retry loop, so a retried deposit whose
+// first attempt did land (lost response, not lost request) dedups at
+// the site instead of double-counting.
+func (cl *Cluster) ship(ctx context.Context, fs *faultState, m *dist.Metrics, from, to int, task string, batch *relation.Relation) error {
 	if from == to {
 		return fmt.Errorf("core: site %d shipping to itself", from)
 	}
 	if batch.Len() == 0 {
 		return nil
 	}
+	nonce := cl.newTask("dep")
+	if err := cl.callSite(ctx, fs, to, true, func(ctx context.Context) error {
+		return cl.sites[to].Deposit(ctx, task, batch, nonce)
+	}); err != nil {
+		return err
+	}
 	m.ShipTuples(from, to, batch.Len(), dist.RelationBytes(batch))
-	return cl.sites[to].Deposit(ctx, task, batch)
+	return nil
 }
 
 // shipDelta moves a delta block (inserts or delete records) to a
 // coordinator, recorded on the metrics' delta channel — the
 // incremental data plane, kept apart from the modeled full-recompute
 // matrices the regular channel carries on incremental runs.
-func (cl *Cluster) shipDelta(ctx context.Context, m *dist.Metrics, from, to int, task string, batch *relation.Relation) error {
+func (cl *Cluster) shipDelta(ctx context.Context, fs *faultState, m *dist.Metrics, from, to int, task string, batch *relation.Relation) error {
 	if from == to {
 		return fmt.Errorf("core: site %d delta-shipping to itself", from)
 	}
 	if batch == nil || batch.Len() == 0 {
 		return nil
 	}
+	nonce := cl.newTask("dep")
+	if err := cl.callSite(ctx, fs, to, true, func(ctx context.Context) error {
+		return cl.sites[to].Deposit(ctx, task, batch, nonce)
+	}); err != nil {
+		return err
+	}
 	m.ShipDelta(from, to, batch.Len(), dist.RelationBytes(batch))
-	return cl.sites[to].Deposit(ctx, task, batch)
+	return nil
 }
 
 // ApplyDelta applies a delta to one site's fragment, maintaining the
@@ -161,7 +185,7 @@ func (cl *Cluster) ApplyDelta(ctx context.Context, site int, d relation.Delta) (
 	if site < 0 || site >= cl.N() {
 		return DeltaInfo{}, fmt.Errorf("core: ApplyDelta to site %d of %d", site, cl.N())
 	}
-	return cl.sites[site].ApplyDelta(ctx, d)
+	return cl.sites[site].ApplyDelta(ctx, d, cl.newTask("delta"))
 }
 
 // dropSession best-effort releases a session's retained incremental

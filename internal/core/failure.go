@@ -1,0 +1,578 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"distcfd/internal/dist"
+)
+
+// Fault tolerance. The paper's algorithms assume every site answers
+// every request; this layer relaxes that without touching the answers:
+// under FailRetry, transient site failures are absorbed by per-call
+// retries with capped exponential backoff plus whole-unit re-runs, and
+// the successful attempt is exactly a clean run — violation sets,
+// shipment matrices and modeled time stay byte-identical to a
+// fault-free execution, with the turbulence charged only to the
+// metrics' fault channel. Under FailDegrade, a site that stays down
+// after retries is excluded and the unit re-runs its assignment over
+// the reachable fragments, reporting Partial/ExcludedSites/Coverage.
+// Per-site circuit breakers stop a dead site from charging every call
+// its full retry schedule; half-open recovery is probed with Ping.
+
+// FailurePolicy selects how a detection run responds to site failures.
+type FailurePolicy int
+
+const (
+	// FailFast aborts the run on the first site error (the zero value:
+	// the behavior of every release before the fault-tolerance layer).
+	FailFast FailurePolicy = iota
+	// FailRetry absorbs transient site failures with bounded retries and
+	// keeps the complete-answer contract: the run either reports exactly
+	// what a fault-free run would, or fails.
+	FailRetry
+	// FailDegrade retries like FailRetry, but a site still down after
+	// retries is excluded and the run completes over the reachable
+	// fragments, reporting Partial, ExcludedSites and Coverage. Every
+	// reported violation is a true violation of the reachable data.
+	FailDegrade
+)
+
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailFast:
+		return "FailFast"
+	case FailRetry:
+		return "FailRetry"
+	case FailDegrade:
+		return "FailDegrade"
+	default:
+		return fmt.Sprintf("FailurePolicy(%d)", int(p))
+	}
+}
+
+// RetryPolicy bounds retry behavior under FailRetry/FailDegrade. The
+// zero value of any field selects its default.
+type RetryPolicy struct {
+	// Attempts is the per-call attempt budget, first try included.
+	// Default 4.
+	Attempts int
+	// UnitAttempts bounds whole-pipeline re-runs after a failure that
+	// per-call retries could not absorb (a non-idempotent call that may
+	// have executed, or an exhausted call budget). Default 3.
+	UnitAttempts int
+	// BaseDelay is the backoff before the first retry, doubling per
+	// attempt up to MaxDelay, with jitter. Default 2ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 250ms.
+	MaxDelay time.Duration
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.Attempts <= 0 {
+		rp.Attempts = 4
+	}
+	if rp.UnitAttempts <= 0 {
+		rp.UnitAttempts = 3
+	}
+	if rp.BaseDelay <= 0 {
+		rp.BaseDelay = 2 * time.Millisecond
+	}
+	if rp.MaxDelay <= 0 {
+		rp.MaxDelay = 250 * time.Millisecond
+	}
+	return rp
+}
+
+// backoff returns the jittered delay before retry attempt n (n ≥ 1):
+// BaseDelay doubling per attempt, capped at MaxDelay, with the upper
+// half randomized so synchronized retries against one struggling site
+// spread out. Jitter touches timing only, never results.
+func (rp RetryPolicy) backoff(n int) time.Duration {
+	d := rp.BaseDelay
+	for i := 1; i < n && d < rp.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > rp.MaxDelay {
+		d = rp.MaxDelay
+	}
+	if half := int64(d / 2); half > 0 {
+		d = d/2 + time.Duration(rand.Int63n(half+1))
+	}
+	return d
+}
+
+// ErrCode is a machine-readable error class that survives the trip
+// through net/rpc's string-typed errors (the wire-v5 error envelope).
+type ErrCode string
+
+const (
+	// CodeStale marks incremental state that can no longer serve the
+	// requested delta range; the caller reseeds (ErrStaleIncremental).
+	CodeStale ErrCode = "stale"
+	// CodeUnavailable marks a transport- or injection-level failure —
+	// the site may be fine, the call did not get through. Retryable.
+	CodeUnavailable ErrCode = "unavailable"
+)
+
+// CodedError carries an ErrCode across process boundaries. The remote
+// layer encodes it into an "[distcfd:<code>] msg" envelope server-side
+// and decodes it back client-side; in-process it flows as-is.
+type CodedError struct {
+	Code ErrCode
+	Msg  string
+	// NotExecuted marks a failure that provably happened before the
+	// call ran at the site (breaker rejection, dial failure, send-side
+	// transport error), making even a non-idempotent call safe to retry.
+	NotExecuted bool
+}
+
+func (e *CodedError) Error() string { return e.Msg }
+
+// ErrCodeOf extracts the ErrCode of err, or "" when it carries none.
+func ErrCodeOf(err error) ErrCode {
+	var ce *CodedError
+	if errors.As(err, &ce) {
+		return ce.Code
+	}
+	return ""
+}
+
+// transientErr is implemented by errors that classify themselves as
+// retryable (the fault-injection harness's injected faults).
+type transientErr interface{ Transient() bool }
+
+// preExecutionErr is implemented by errors that guarantee the failed
+// call never ran at the site.
+type preExecutionErr interface{ PreExecution() bool }
+
+// isTransient reports whether err is worth retrying: an injected or
+// transport-level failure, never a context death or a typed
+// application error (bad schema, stale state, predicate mismatch).
+func isTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if ce := (*CodedError)(nil); errors.As(err, &ce) {
+		return ce.Code == CodeUnavailable
+	}
+	if te := transientErr(nil); errors.As(err, &te) {
+		return te.Transient()
+	}
+	return false
+}
+
+// preExecution reports whether err guarantees the call never executed.
+func preExecution(err error) bool {
+	if ce := (*CodedError)(nil); errors.As(err, &ce) {
+		return ce.NotExecuted
+	}
+	if pe := preExecutionErr(nil); errors.As(err, &pe) {
+		return pe.PreExecution()
+	}
+	return false
+}
+
+// SiteFailure attributes a failure to one site after its per-call
+// retry budget was exhausted. FailDegrade uses the attribution to
+// exclude the site; FailRetry to bound unit re-runs.
+type SiteFailure struct {
+	Site int
+	Err  error
+}
+
+func (e *SiteFailure) Error() string {
+	return fmt.Sprintf("core: site %d failed after retries: %v", e.Site, e.Err)
+}
+func (e *SiteFailure) Unwrap() error { return e.Err }
+
+// BreakerState is one of the classic three circuit-breaker states.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes calls through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects calls without trying the site until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single Ping probe whose outcome closes
+	// or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int32(s))
+	}
+}
+
+const (
+	// breakerThreshold consecutive transient failures open a breaker.
+	breakerThreshold = 5
+	// breakerCooldown is how long an open breaker rejects calls before
+	// admitting a half-open probe.
+	breakerCooldown = 100 * time.Millisecond
+)
+
+// breaker is one site's circuit breaker. Only runs under an active
+// failure policy feed it; FailFast runs never touch breakers, so
+// their call path is byte-for-byte the pre-fault-tolerance one.
+type breaker struct {
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int // consecutive transient failures
+	openedAt time.Time
+}
+
+// admit gates one call: closed passes, open within cooldown rejects
+// with a pre-execution unavailable error, open past cooldown turns
+// half-open and probes the site with Ping — success closes the breaker
+// and admits the call, failure re-opens it. A concurrent caller that
+// finds the breaker already half-open is rejected rather than piling a
+// second probe onto a struggling site.
+func (b *breaker) admit(ctx context.Context, site int, s SiteAPI) error {
+	b.mu.Lock()
+	switch b.state {
+	case BreakerClosed:
+		b.mu.Unlock()
+		return nil
+	case BreakerHalfOpen:
+		b.mu.Unlock()
+		return &CodedError{
+			Code:        CodeUnavailable,
+			Msg:         fmt.Sprintf("core: site %d breaker half-open, probe in flight", site),
+			NotExecuted: true,
+		}
+	default: // BreakerOpen
+		if time.Since(b.openedAt) < breakerCooldown {
+			b.mu.Unlock()
+			return &CodedError{
+				Code:        CodeUnavailable,
+				Msg:         fmt.Sprintf("core: site %d breaker open", site),
+				NotExecuted: true,
+			}
+		}
+		b.state = BreakerHalfOpen
+		b.mu.Unlock()
+		if err := s.Ping(ctx); err != nil {
+			b.observe(false)
+			return &CodedError{
+				Code:        CodeUnavailable,
+				Msg:         fmt.Sprintf("core: site %d breaker probe failed: %v", site, err),
+				NotExecuted: true,
+			}
+		}
+		b.observe(true)
+		return nil
+	}
+}
+
+// observe feeds one call outcome into the breaker: success closes it,
+// a transient failure counts toward the threshold (a half-open probe
+// failure re-opens immediately). Non-transient application errors must
+// not be fed here — a site returning "bad schema" is healthy.
+func (b *breaker) observe(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = BreakerClosed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= breakerThreshold {
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+func (b *breaker) currentState() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// faultState is the per-run fault-handling state one Detect call
+// threads through all of its units: the policy, the per-site exclusion
+// mask (shared, monotone), and the retry/fault counters stamped once
+// into the final metrics. A nil *faultState (or FailFast) disables the
+// whole layer.
+type faultState struct {
+	policy FailurePolicy
+	retry  RetryPolicy
+
+	mu       sync.Mutex
+	excluded []bool
+	retries  []int64
+	faults   []int64
+}
+
+func newFaultState(n int, opt Options) *faultState {
+	return &faultState{
+		policy:   opt.Failure,
+		retry:    opt.Retry.withDefaults(),
+		excluded: make([]bool, n),
+		retries:  make([]int64, n),
+		faults:   make([]int64, n),
+	}
+}
+
+// active reports whether the fault-tolerance layer is on.
+func (fs *faultState) active() bool { return fs != nil && fs.policy != FailFast }
+
+func (fs *faultState) isExcluded(i int) bool {
+	if fs == nil {
+		return false
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.excluded[i]
+}
+
+// exclude marks site i unreachable; reports whether it was newly so.
+func (fs *faultState) exclude(i int) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.excluded[i] {
+		return false
+	}
+	fs.excluded[i] = true
+	return true
+}
+
+func (fs *faultState) excludedCount() int {
+	if fs == nil {
+		return 0
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := 0
+	for _, x := range fs.excluded {
+		if x {
+			n++
+		}
+	}
+	return n
+}
+
+func (fs *faultState) excludedSites() []int {
+	if fs == nil {
+		return nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []int
+	for i, x := range fs.excluded {
+		if x {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// eligible returns the coordinator-eligibility mask for assignment:
+// nil while nothing is excluded, so fault-free runs take the exact
+// pre-fault-tolerance assignment path.
+func (fs *faultState) eligible() []bool {
+	if fs == nil {
+		return nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	any := false
+	for _, x := range fs.excluded {
+		if x {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	el := make([]bool, len(fs.excluded))
+	for i, x := range fs.excluded {
+		el[i] = !x
+	}
+	return el
+}
+
+func (fs *faultState) countRetry(i int) {
+	fs.mu.Lock()
+	fs.retries[i]++
+	fs.mu.Unlock()
+}
+
+func (fs *faultState) countFault(i int) {
+	fs.mu.Lock()
+	fs.faults[i]++
+	fs.mu.Unlock()
+}
+
+// stamp charges the run's accumulated retry/fault counters to the
+// metrics' fault channel. Called exactly once per fs, by whoever
+// created it, after the final metrics are assembled — unit metrics
+// merge into run totals, so stamping per unit would double-count.
+func (fs *faultState) stamp(m *dist.Metrics) {
+	if fs == nil || m == nil {
+		return
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i := range fs.retries {
+		if fs.retries[i] != 0 || fs.faults[i] != 0 {
+			m.AddFaultStats(i, fs.retries[i], fs.faults[i])
+		}
+	}
+}
+
+func (fs *faultState) totals() (retries, faults int64) {
+	if fs == nil {
+		return 0, 0
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i := range fs.retries {
+		retries += fs.retries[i]
+		faults += fs.faults[i]
+	}
+	return retries, faults
+}
+
+// errSiteExcluded guards calls routed to an already-excluded site —
+// the pipeline skips excluded sites by mask, so hitting this means a
+// unit compiled against the pre-exclusion site set; the unit re-runs.
+var errSiteExcluded = &CodedError{Code: CodeUnavailable, Msg: "core: site excluded from degraded run", NotExecuted: true}
+
+// unitFailure decides whether a failed pipeline attempt is re-run:
+// FailFast never retries; FailRetry re-runs transient failures up to
+// UnitAttempts; FailDegrade additionally excludes the site a
+// SiteFailure blames — a newly excluded site grants a free re-run
+// (each site can take an attempt down at most once), so the bound is
+// UnitAttempts plus the number of sites that actually died.
+func (fs *faultState) unitFailure(ctx context.Context, attempt int, err error) (bool, error) {
+	if !fs.active() || ctx.Err() != nil || !isTransient(err) {
+		return false, err
+	}
+	if fs.policy == FailDegrade {
+		var sf *SiteFailure
+		if errors.As(err, &sf) && fs.exclude(sf.Site) {
+			if fs.excludedCount() >= len(fs.excluded) {
+				return false, fmt.Errorf("core: every site excluded: %w", err)
+			}
+			return true, nil
+		}
+	}
+	if attempt+1 >= fs.retry.UnitAttempts {
+		return false, err
+	}
+	if sleepCtx(ctx, fs.retry.backoff(attempt+1)) != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// coverage computes the reachable-tuple fraction over fragment sizes:
+// 1 when nothing is excluded (or the instance is empty).
+func (fs *faultState) coverage(fragSizes []int) float64 {
+	var total, reach int64
+	for i, n := range fragSizes {
+		total += int64(n)
+		if !fs.isExcluded(i) {
+			reach += int64(n)
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(reach) / float64(total)
+}
+
+// sleepCtx sleeps d or until ctx dies, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// callSite invokes one site operation under the run's failure policy:
+// per-call retries with capped exponential backoff and jitter for
+// transient failures, circuit-breaker gating, and site attribution of
+// the final error. idem marks operations safe to re-issue even when a
+// failed attempt may have executed — pure reads, and the nonce-deduped
+// mutations (Deposit/ApplyDelta); non-idempotent operations (the
+// Detect* family, which consumes deposits) are retried only while
+// failures provably happened before execution. With a nil or FailFast
+// fs this is exactly a plain call.
+func (cl *Cluster) callSite(ctx context.Context, fs *faultState, site int, idem bool, fn func(context.Context) error) error {
+	if !fs.active() {
+		return fn(ctx)
+	}
+	if fs.isExcluded(site) {
+		return &SiteFailure{Site: site, Err: errSiteExcluded}
+	}
+	rp := fs.retry
+	b := &cl.breakers[site]
+	var last error
+	for attempt := 0; attempt < rp.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			fs.countRetry(site)
+			if err := sleepCtx(ctx, rp.backoff(attempt)); err != nil {
+				return err
+			}
+		}
+		if err := b.admit(ctx, site, cl.sites[site]); err != nil {
+			fs.countFault(site)
+			last = err
+			continue
+		}
+		err := fn(ctx)
+		if err == nil {
+			b.observe(true)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if !isTransient(err) {
+			return err
+		}
+		b.observe(false)
+		fs.countFault(site)
+		last = err
+		if !idem && !preExecution(err) {
+			// The call may have executed; a blind re-issue could
+			// double-consume deposits. Escalate to the unit level.
+			break
+		}
+	}
+	return &SiteFailure{Site: site, Err: last}
+}
+
+// Health reports every site's current breaker state. Sites a run never
+// had trouble with report BreakerClosed.
+func (cl *Cluster) Health() []BreakerState {
+	out := make([]BreakerState, len(cl.breakers))
+	for i := range cl.breakers {
+		out[i] = cl.breakers[i].currentState()
+	}
+	return out
+}

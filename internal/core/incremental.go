@@ -74,7 +74,7 @@ type incPipeOut struct {
 // at the sticky coordinators. A stale-state failure retries once with
 // a full reseed; any error leaves the session invalidated (zero
 // retained deposits) and the next call reseeds.
-func runIncrementalPipeline(ctx context.Context, cl *Cluster, spec *BlockSpec, detectCFDs []*cfd.CFD,
+func runIncrementalPipeline(ctx context.Context, cl *Cluster, fs *faultState, spec *BlockSpec, detectCFDs []*cfd.CFD,
 	restrictSingle bool, algo Algorithm, opt Options, m *dist.Metrics, fragSizes []int, st *unitInc) (*incPipeOut, error) {
 
 	if err := ctx.Err(); err != nil {
@@ -90,17 +90,19 @@ func runIncrementalPipeline(ctx context.Context, cl *Cluster, spec *BlockSpec, d
 			lstat[i] = make([]int, spec.K())
 			return nil
 		}
-		s, err := cl.sites[i].SigmaStats(ctx, spec)
-		if err != nil {
-			return err
-		}
-		for l := range s {
-			if prunedBlock[i][l] {
-				s[l] = 0
+		return cl.callSite(ctx, fs, i, true, func(ctx context.Context) error {
+			s, err := cl.sites[i].SigmaStats(ctx, spec)
+			if err != nil {
+				return err
 			}
-		}
-		lstat[i] = s
-		return nil
+			for l := range s {
+				if prunedBlock[i][l] {
+					s[l] = 0
+				}
+			}
+			lstat[i] = s
+			return nil
+		})
 	}); err != nil {
 		return nil, err
 	}
@@ -110,7 +112,7 @@ func runIncrementalPipeline(ctx context.Context, cl *Cluster, spec *BlockSpec, d
 		}
 	}
 
-	coords := assign(algo, lstat, fragSizes, opt.Cost)
+	coords := assign(algo, lstat, fragSizes, opt.Cost, fs.eligible())
 
 	// Fresh-equivalent shipment accounting: exactly the blocks a fresh
 	// run would move, charged as tuple counts (payload bytes live on
@@ -128,30 +130,43 @@ func runIncrementalPipeline(ctx context.Context, cl *Cluster, spec *BlockSpec, d
 
 	// Each attempt records its delta shipments on its own metrics,
 	// merged into the round's only on success: a stale-state retry must
-	// not fold the aborted attempt's traffic into the figures.
-	attemptM := dist.NewMetrics(cl.N())
-	parts, err := st.dataRound(ctx, cl, spec, detectCFDs, restrictSingle, attemptM, prunedSite, coords, fragSizes, opt)
-	if err != nil {
-		st.invalidate(cl)
-		if IsStaleIncremental(err) && ctx.Err() == nil {
-			attemptM = dist.NewMetrics(cl.N())
-			parts, err = st.dataRound(ctx, cl, spec, detectCFDs, restrictSingle, attemptM, prunedSite, coords, fragSizes, opt)
-			if err != nil {
-				st.invalidate(cl)
-			}
+	// not fold the aborted attempt's traffic into the figures. Under an
+	// active failure policy, a transient failure that escaped the
+	// per-call retries recovers the same way a stale session does —
+	// invalidate and reseed — up to the unit attempt budget. (The
+	// incremental path never excludes sites; FailDegrade behaves like
+	// FailRetry here.)
+	attempts := 2
+	if fs.active() {
+		if ua := fs.retry.withDefaults().UnitAttempts; ua > attempts {
+			attempts = ua
 		}
-		if err != nil {
+	}
+	var parts [][]*relation.Relation
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		attemptM := dist.NewMetrics(cl.N())
+		parts, err = st.dataRound(ctx, cl, fs, spec, detectCFDs, restrictSingle, attemptM, prunedSite, coords, fragSizes, opt)
+		if err == nil {
+			m.Merge(attemptM)
+			return &incPipeOut{coords: coords, parts: parts}, nil
+		}
+		st.invalidate(cl)
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		retryable := IsStaleIncremental(err) || (fs.active() && isTransient(err))
+		if !retryable {
 			return nil, err
 		}
 	}
-	m.Merge(attemptM)
-	return &incPipeOut{coords: coords, parts: parts}, nil
+	return nil, err
 }
 
 // dataRound runs the movement-and-fold half of one round: extraction
 // of delta (or, seeding, full) blocks at every site, shipping to the
 // sticky coordinators, folding, and watermark commit.
-func (st *unitInc) dataRound(ctx context.Context, cl *Cluster, spec *BlockSpec, detectCFDs []*cfd.CFD,
+func (st *unitInc) dataRound(ctx context.Context, cl *Cluster, fs *faultState, spec *BlockSpec, detectCFDs []*cfd.CFD,
 	restrictSingle bool, m *dist.Metrics, prunedSite []bool, freshCoords []int, fragSizes []int, opt Options) ([][]*relation.Relation, error) {
 
 	attrs := taskAttrs(spec, detectCFDs)
@@ -170,12 +185,14 @@ func (st *unitInc) dataRound(ctx context.Context, cl *Cluster, spec *BlockSpec, 
 					wanted = append(wanted, l)
 				}
 			}
-			rep, err := cl.sites[i].ExtractDeltaBlocks(ctx, spec, attrs, wanted, fromGen(i))
-			if err != nil {
-				return err
-			}
-			replies[i] = rep
-			return nil
+			return cl.callSite(ctx, fs, i, true, func(ctx context.Context) error {
+				rep, err := cl.sites[i].ExtractDeltaBlocks(ctx, spec, attrs, wanted, fromGen(i))
+				if err != nil {
+					return err
+				}
+				replies[i] = rep
+				return nil
+			})
 		})
 	}
 
@@ -234,7 +251,7 @@ func (st *unitInc) dataRound(ctx context.Context, cl *Cluster, spec *BlockSpec, 
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := cl.shipDelta(ctx, m, i, st.sticky[l], BlockTask(st.session, l)+"/ins", batch); err != nil {
+			if err := cl.shipDelta(ctx, fs, m, i, st.sticky[l], BlockTask(st.session, l)+"/ins", batch); err != nil {
 				return err
 			}
 		}
@@ -242,7 +259,7 @@ func (st *unitInc) dataRound(ctx context.Context, cl *Cluster, spec *BlockSpec, 
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := cl.shipDelta(ctx, m, i, st.sticky[l], BlockTask(st.session, l)+"/del", batch); err != nil {
+			if err := cl.shipDelta(ctx, fs, m, i, st.sticky[l], BlockTask(st.session, l)+"/del", batch); err != nil {
 				return err
 			}
 		}
@@ -265,23 +282,28 @@ func (st *unitInc) dataRound(ctx context.Context, cl *Cluster, spec *BlockSpec, 
 		if len(bySite[j]) == 0 {
 			return nil
 		}
-		rep, err := cl.sites[j].FoldDetect(ctx, FoldArgs{
-			Session:        st.session,
-			Spec:           spec,
-			Blocks:         bySite[j],
-			CFDs:           detectCFDs,
-			RestrictSingle: restrictSingle,
-			Seed:           seeding,
-			FromGen:        st.foldedGen[j],
+		// Folding consumes deposits and mutates the session's retained
+		// states: not idempotent, so only provably-unexecuted failures
+		// retry in place; the rest reseed via the round-level retry.
+		return cl.callSite(ctx, fs, j, false, func(ctx context.Context) error {
+			rep, err := cl.sites[j].FoldDetect(ctx, FoldArgs{
+				Session:        st.session,
+				Spec:           spec,
+				Blocks:         bySite[j],
+				CFDs:           detectCFDs,
+				RestrictSingle: restrictSingle,
+				Seed:           seeding,
+				FromGen:        st.foldedGen[j],
+			})
+			if err != nil {
+				return err
+			}
+			for ci := range detectCFDs {
+				parts[ci][j] = rep.Patterns[ci]
+			}
+			foldGen[j] = rep.ToGen
+			return nil
 		})
-		if err != nil {
-			return err
-		}
-		for ci := range detectCFDs {
-			parts[ci][j] = rep.Patterns[ci]
-		}
-		foldGen[j] = rep.ToGen
-		return nil
 	}); err != nil {
 		return nil, err
 	}
@@ -328,6 +350,11 @@ func (sp *SinglePlan) detectIncrementalLocked(ctx context.Context) (*SingleResul
 	cl := sp.cl
 	start := time.Now()
 	m := dist.NewMetrics(cl.N())
+	// The incremental path retries transient failures (per call, then
+	// per round via reseed) but never excludes sites: a sticky
+	// coordinator's retained state is the whole point, so FailDegrade
+	// behaves like FailRetry here.
+	fs := newFaultState(cl.N(), opt)
 	res := &SingleResult{
 		CFD:           sp.c,
 		Algorithm:     sp.algo,
@@ -341,14 +368,19 @@ func (sp *SinglePlan) detectIncrementalLocked(ctx context.Context) (*SingleResul
 	if err != nil {
 		return nil, err
 	}
-	constParts, err := detectConstantsEverywhere(ctx, cl, sp.c)
+	constParts, err := detectConstantsEverywhere(ctx, cl, fs, sp.c)
 	if err != nil {
 		return nil, err
 	}
 	if sp.view == nil {
 		res.Patterns = mergeDistinct(sp.patternSchema, constParts)
 		res.LocalOnly = true
-		return finishSingle(cl, res, opt, fragSizes, start)
+		fin, err := finishSingle(cl, res, opt, fragSizes, start)
+		if err != nil {
+			return nil, err
+		}
+		sp.finishFailure(fin, fs)
+		return fin, nil
 	}
 	for _, cb := range sp.control {
 		cl.broadcastControl(m, cb.from, cb.bytes)
@@ -356,7 +388,7 @@ func (sp *SinglePlan) detectIncrementalLocked(ctx context.Context) (*SingleResul
 	if sp.inc == nil {
 		sp.inc = newUnitInc(sp.spec.K(), cl.N())
 	}
-	out, err := runIncrementalPipeline(ctx, cl, sp.spec, []*cfd.CFD{sp.view}, true, sp.algo, opt, m, fragSizes, sp.inc)
+	out, err := runIncrementalPipeline(ctx, cl, fs, sp.spec, []*cfd.CFD{sp.view}, true, sp.algo, opt, m, fragSizes, sp.inc)
 	if err != nil {
 		return nil, err
 	}
@@ -365,7 +397,12 @@ func (sp *SinglePlan) detectIncrementalLocked(ctx context.Context) (*SingleResul
 	res.Patterns = mergeDistinct(sp.patternSchema, append(constParts, out.parts[0]...))
 	res.DeltaShippedTuples = m.DeltaTuples()
 	res.DeltaShippedBytes = m.DeltaBytes()
-	return finishSingle(cl, res, opt, fragSizes, start)
+	fin, err := finishSingle(cl, res, opt, fragSizes, start)
+	if err != nil {
+		return nil, err
+	}
+	sp.finishFailure(fin, fs)
+	return fin, nil
 }
 
 // DetectDelta applies the given per-site deltas and runs one
@@ -390,13 +427,14 @@ func (sp *SinglePlan) DetectDelta(ctx context.Context, deltas map[int]relation.D
 func (cp *clusterPlan) detectIncremental(ctx context.Context) ([]*relation.Relation, float64, *dist.Metrics, error) {
 	cl := cp.cl
 	m := dist.NewMetrics(cl.N())
+	fs := newFaultState(cl.N(), cp.opt) // no exclusions on this path; see SinglePlan
 	fragSizes, err := cl.fragmentSizes()
 	if err != nil {
 		return nil, 0, nil, err
 	}
 	constParts := make([][]*relation.Relation, len(cp.group))
 	for ci, c := range cp.group {
-		parts, err := detectConstantsEverywhere(ctx, cl, c)
+		parts, err := detectConstantsEverywhere(ctx, cl, fs, c)
 		if err != nil {
 			return nil, 0, nil, err
 		}
@@ -411,7 +449,7 @@ func (cp *clusterPlan) detectIncremental(ctx context.Context) ([]*relation.Relat
 		if cp.inc == nil {
 			cp.inc = newUnitInc(cp.spec.K(), cl.N())
 		}
-		pipe, err := runIncrementalPipeline(ctx, cl, cp.spec, cp.views, false, cp.algo, cp.opt, m, fragSizes, cp.inc)
+		pipe, err := runIncrementalPipeline(ctx, cl, fs, cp.spec, cp.views, false, cp.algo, cp.opt, m, fragSizes, cp.inc)
 		if err != nil {
 			return nil, 0, nil, err
 		}
@@ -431,6 +469,7 @@ func (cp *clusterPlan) detectIncremental(ctx context.Context) ([]*relation.Relat
 			return nil, 0, nil, err
 		}
 	}
+	fs.stamp(m)
 	return out, modeled, m, nil
 }
 
@@ -469,6 +508,7 @@ func (p *Plan) detectIncrementalLocked(ctx context.Context) (*SetResult, error) 
 		PerCFD:      make([]*relation.Relation, len(p.cfds)),
 		Clusters:    p.clusters,
 		Incremental: true,
+		Coverage:    1,
 	}
 	unitModeled := make([]float64, len(p.units))
 	unitMetrics := make([]*dist.Metrics, len(p.units))
@@ -488,6 +528,10 @@ func (p *Plan) detectIncrementalLocked(ctx context.Context) (*SetResult, error) 
 	res.ShippedTuples = total.TotalTuples()
 	res.DeltaShippedTuples = total.DeltaTuples()
 	res.DeltaShippedBytes = total.DeltaBytes()
+	// Units stamp their own fault states into their metrics; Merge
+	// carried them here, so the set totals fall out of the sum.
+	res.Retries = total.TotalRetries()
+	res.Faults = total.TotalFaults()
 	res.WallTime = time.Since(start)
 	return res, nil
 }

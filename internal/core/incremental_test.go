@@ -527,7 +527,7 @@ func TestSigmaMaintenanceMatchesFresh(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	stream := workload.CustDeltaStream(frag, workload.DeltaConfig{Seed: 2, Inserts: 4, Updates: 2, Deletes: 2})
 	for step := 0; step < 10; step++ {
-		if _, err := s.ApplyDelta(ctx, stream.Next()); err != nil {
+		if _, err := s.ApplyDelta(ctx, stream.Next(), ""); err != nil {
 			t.Fatal(err)
 		}
 		got, err := s.SigmaStats(ctx, spec)

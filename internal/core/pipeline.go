@@ -38,13 +38,21 @@ type pipelineOut struct {
 // checks only its own pattern row (Lemma 6); otherwise every CFD's
 // full tableau is checked inside each block (the ClustDetect
 // coordinator step).
-func runBlockPipeline(ctx context.Context, cl *Cluster, spec *BlockSpec, detectCFDs []*cfd.CFD, restrictSingle bool,
+func runBlockPipeline(ctx context.Context, cl *Cluster, fs *faultState, spec *BlockSpec, detectCFDs []*cfd.CFD, restrictSingle bool,
 	algo Algorithm, opt Options, m *dist.Metrics, fragSizes []int) (*pipelineOut, error) {
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	prunedSite, prunedBlock := pruneMatrix(cl.preds, spec)
+	// A degraded run treats excluded sites like fully pruned ones — no
+	// statistics, no shipping, nothing received — except that pruning
+	// keeps them coordinator-eligible while exclusion does not.
+	for i := range prunedSite {
+		if fs.isExcluded(i) {
+			prunedSite[i] = true
+		}
+	}
 
 	// Local statistics in parallel.
 	lstat := make([][]int, cl.N())
@@ -53,17 +61,19 @@ func runBlockPipeline(ctx context.Context, cl *Cluster, spec *BlockSpec, detectC
 			lstat[i] = make([]int, spec.K())
 			return nil
 		}
-		s, err := cl.sites[i].SigmaStats(ctx, spec)
-		if err != nil {
-			return err
-		}
-		for l := range s {
-			if prunedBlock[i][l] {
-				s[l] = 0
+		return cl.callSite(ctx, fs, i, true, func(ctx context.Context) error {
+			s, err := cl.sites[i].SigmaStats(ctx, spec)
+			if err != nil {
+				return err
 			}
-		}
-		lstat[i] = s
-		return nil
+			for l := range s {
+				if prunedBlock[i][l] {
+					s[l] = 0
+				}
+			}
+			lstat[i] = s
+			return nil
+		})
 	}); err != nil {
 		return nil, err
 	}
@@ -74,7 +84,7 @@ func runBlockPipeline(ctx context.Context, cl *Cluster, spec *BlockSpec, detectC
 		}
 	}
 
-	coords := assign(algo, lstat, fragSizes, opt.Cost)
+	coords := assign(algo, lstat, fragSizes, opt.Cost, fs.eligible())
 
 	// Shipping. From here on the run owns deposit buffers at other
 	// sites: every exit that abandons the run must cancel the task
@@ -95,15 +105,19 @@ func runBlockPipeline(ctx context.Context, cl *Cluster, spec *BlockSpec, detectC
 		if len(wanted) == 0 {
 			return nil
 		}
-		batches, err := cl.sites[i].ExtractBlocksBatch(ctx, spec, attrs, wanted)
-		if err != nil {
+		var batches map[int]*relation.Relation
+		if err := cl.callSite(ctx, fs, i, true, func(ctx context.Context) error {
+			var err error
+			batches, err = cl.sites[i].ExtractBlocksBatch(ctx, spec, attrs, wanted)
+			return err
+		}); err != nil {
 			return err
 		}
 		for _, l := range wanted {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := cl.ship(ctx, m, i, coords[l], BlockTask(task, l), batches[l]); err != nil {
+			if err := cl.ship(ctx, fs, m, i, coords[l], BlockTask(task, l), batches[l]); err != nil {
 				return err
 			}
 		}
@@ -127,22 +141,27 @@ func runBlockPipeline(ctx context.Context, cl *Cluster, spec *BlockSpec, detectC
 		if len(bySite[j]) == 0 {
 			return nil
 		}
-		if restrictSingle {
-			pats, err := cl.sites[j].DetectAssignedSingle(ctx, task, spec, bySite[j], detectCFDs[0])
+		// Detection consumes deposits, so it is not idempotent: callSite
+		// retries it only while failures provably happened before
+		// execution; anything murkier escalates to a unit re-run.
+		return cl.callSite(ctx, fs, j, false, func(ctx context.Context) error {
+			if restrictSingle {
+				pats, err := cl.sites[j].DetectAssignedSingle(ctx, task, spec, bySite[j], detectCFDs[0])
+				if err != nil {
+					return err
+				}
+				parts[0][j] = pats
+				return nil
+			}
+			perCFD, err := cl.sites[j].DetectAssignedSet(ctx, task, spec, bySite[j], detectCFDs)
 			if err != nil {
 				return err
 			}
-			parts[0][j] = pats
+			for ci := range detectCFDs {
+				parts[ci][j] = perCFD[ci]
+			}
 			return nil
-		}
-		perCFD, err := cl.sites[j].DetectAssignedSet(ctx, task, spec, bySite[j], detectCFDs)
-		if err != nil {
-			return err
-		}
-		for ci := range detectCFDs {
-			parts[ci][j] = perCFD[ci]
-		}
-		return nil
+		})
 	}); err != nil {
 		// Coordinators consume deposits as they detect; a partial
 		// failure leaves the other coordinators' buffers behind.

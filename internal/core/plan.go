@@ -103,13 +103,44 @@ func (sp *SinglePlan) CFD() *cfd.CFD { return sp.c }
 // cancels the task at every site, so no deposit outlives the run.
 // Standalone single-CFD plans have one unit, so the whole worker
 // budget goes to intra-unit row sharding at the coordinators.
+//
+// Under an active failure policy (Options.Failure), site failures a
+// per-call retry could not absorb re-run the whole attempt — a failed
+// attempt cancels its task and discards its metrics, so the attempt
+// that succeeds is exactly a clean run.
 func (sp *SinglePlan) Detect(ctx context.Context) (*SingleResult, error) {
-	return sp.detect(ctx, sp.opt.Workers)
+	fs := newFaultState(sp.cl.N(), sp.opt)
+	for attempt := 0; ; attempt++ {
+		res, err := sp.detect(ctx, sp.opt.Workers, fs)
+		if err == nil {
+			sp.finishFailure(res, fs)
+			return res, nil
+		}
+		if retry, rerr := fs.unitFailure(ctx, attempt, err); !retry {
+			return nil, rerr
+		}
+	}
 }
 
-// detect runs the plan with an explicit intra-unit worker budget (the
-// set plan's split when the plan runs as a singleton unit).
-func (sp *SinglePlan) detect(ctx context.Context, intraWorkers int) (*SingleResult, error) {
+// finishFailure stamps the run's fault channel and degraded-result
+// fields onto a completed result. Called once per faultState, at the
+// top-level entry that created it.
+func (sp *SinglePlan) finishFailure(res *SingleResult, fs *faultState) {
+	fs.stamp(res.Metrics)
+	res.Retries, res.Faults = fs.totals()
+	res.ExcludedSites = fs.excludedSites()
+	res.Partial = len(res.ExcludedSites) > 0
+	if res.Partial {
+		if sizes, err := sp.cl.fragmentSizes(); err == nil {
+			res.Coverage = fs.coverage(sizes)
+		}
+	}
+}
+
+// detect runs one attempt of the plan with an explicit intra-unit
+// worker budget (the set plan's split when the plan runs as a
+// singleton unit) under the run's shared fault state.
+func (sp *SinglePlan) detect(ctx context.Context, intraWorkers int, fs *faultState) (*SingleResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -132,7 +163,7 @@ func (sp *SinglePlan) detect(ctx context.Context, intraWorkers int) (*SingleResu
 	}
 
 	// Constant units, locally at every site in parallel (Prop. 5).
-	constParts, err := detectConstantsEverywhere(ctx, cl, sp.c)
+	constParts, err := detectConstantsEverywhere(ctx, cl, fs, sp.c)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +180,7 @@ func (sp *SinglePlan) detect(ctx context.Context, intraWorkers int) (*SingleResu
 		cl.broadcastControl(m, cb.from, cb.bytes)
 	}
 
-	out, err := runBlockPipeline(ctx, cl, sp.spec, []*cfd.CFD{sp.view}, true, sp.algo, opt, m, fragSizes)
+	out, err := runBlockPipeline(ctx, cl, fs, sp.spec, []*cfd.CFD{sp.view}, true, sp.algo, opt, m, fragSizes)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +247,7 @@ func compileCluster(cl *Cluster, group []*cfd.CFD, algo Algorithm, opt Options) 
 // the group), the modeled time, and the cluster's metrics.
 // intraWorkers is the row-shard budget each coordinator check may use
 // (the set plan's split of Options.Workers).
-func (cp *clusterPlan) detect(ctx context.Context, intraWorkers int) ([]*relation.Relation, float64, *dist.Metrics, error) {
+func (cp *clusterPlan) detect(ctx context.Context, intraWorkers int, fs *faultState) ([]*relation.Relation, float64, *dist.Metrics, error) {
 	cl := cp.cl
 	ctx = WithDetectResources(ctx, cp.kern, intraWorkers)
 	m := dist.NewMetrics(cl.N())
@@ -228,7 +259,7 @@ func (cp *clusterPlan) detect(ctx context.Context, intraWorkers int) ([]*relatio
 	// Constant units of every member, locally (Prop. 5).
 	constParts := make([][]*relation.Relation, len(cp.group))
 	for ci, c := range cp.group {
-		parts, err := detectConstantsEverywhere(ctx, cl, c)
+		parts, err := detectConstantsEverywhere(ctx, cl, fs, c)
 		if err != nil {
 			return nil, 0, nil, err
 		}
@@ -242,7 +273,7 @@ func (cp *clusterPlan) detect(ctx context.Context, intraWorkers int) ([]*relatio
 
 	modeled := 0.0
 	if cp.spec != nil {
-		pipe, err := runBlockPipeline(ctx, cl, cp.spec, cp.views, false, cp.algo, cp.opt, m, fragSizes)
+		pipe, err := runBlockPipeline(ctx, cl, fs, cp.spec, cp.views, false, cp.algo, cp.opt, m, fragSizes)
 		if err != nil {
 			return nil, 0, nil, err
 		}
@@ -275,15 +306,31 @@ type planUnit struct {
 	multi   *clusterPlan
 }
 
-func (u *planUnit) detect(ctx context.Context, intraWorkers int) ([]*relation.Relation, float64, *dist.Metrics, error) {
+// detect runs one unit under the set run's shared fault state: each
+// attempt is a fresh pipeline with fresh metrics (failed attempts
+// cancel their tasks and report nothing), re-run per the policy until
+// it succeeds or the unit budget is spent.
+func (u *planUnit) detect(ctx context.Context, intraWorkers int, fs *faultState) ([]*relation.Relation, float64, *dist.Metrics, error) {
+	for attempt := 0; ; attempt++ {
+		pats, modeled, m, err := u.detectOnce(ctx, intraWorkers, fs)
+		if err == nil {
+			return pats, modeled, m, nil
+		}
+		if retry, rerr := fs.unitFailure(ctx, attempt, err); !retry {
+			return nil, 0, nil, rerr
+		}
+	}
+}
+
+func (u *planUnit) detectOnce(ctx context.Context, intraWorkers int, fs *faultState) ([]*relation.Relation, float64, *dist.Metrics, error) {
 	if u.single != nil {
-		one, err := u.single.detect(ctx, intraWorkers)
+		one, err := u.single.detect(ctx, intraWorkers, fs)
 		if err != nil {
 			return nil, 0, nil, fmt.Errorf("core: cfd %s: %w", u.single.c.Name, err)
 		}
 		return []*relation.Relation{one.Patterns}, one.ModeledTime, one.Metrics, nil
 	}
-	return u.multi.detect(ctx, intraWorkers)
+	return u.multi.detect(ctx, intraWorkers, fs)
 }
 
 // Plan is the compiled form of a multi-CFD detection request over a
@@ -436,7 +483,44 @@ func (p *Plan) Detect(ctx context.Context) (*SetResult, error) {
 		return nil, err
 	}
 	start := time.Now()
+	fs := newFaultState(p.cl.N(), p.opt)
+	for {
+		excludedBefore := fs.excludedCount()
+		res, err := p.detectPass(ctx, fs, start)
+		if err != nil {
+			return nil, err
+		}
+		// A FailDegrade run whose exclusion set grew mid-pass re-runs
+		// every unit: units that completed before the exclusion saw the
+		// richer site set, and a coherent degraded result must cover one
+		// stable reachable-fragment set. Exclusions only grow and are
+		// bounded by the site count, so this terminates; a fault-free
+		// run is always a single pass.
+		if fs.excludedCount() == excludedBefore {
+			p.finishFailure(res, fs)
+			return res, nil
+		}
+	}
+}
 
+// finishFailure stamps the fault channel and the degraded-result
+// fields onto a completed set result (once per run).
+func (p *Plan) finishFailure(res *SetResult, fs *faultState) {
+	fs.stamp(res.Metrics)
+	res.Retries, res.Faults = fs.totals()
+	res.ExcludedSites = fs.excludedSites()
+	res.Partial = len(res.ExcludedSites) > 0
+	res.Coverage = 1
+	if res.Partial {
+		if sizes, err := p.cl.fragmentSizes(); err == nil {
+			res.Coverage = fs.coverage(sizes)
+		}
+	}
+}
+
+// detectPass runs every unit once (with per-unit retries under the
+// shared fault state) and assembles a SetResult.
+func (p *Plan) detectPass(ctx context.Context, fs *faultState, start time.Time) (*SetResult, error) {
 	type unitOut struct {
 		pats    []*relation.Relation
 		modeled float64
@@ -448,7 +532,7 @@ func (p *Plan) Detect(ctx context.Context) (*SetResult, error) {
 
 	if clusterWorkers <= 1 {
 		for gi, u := range p.units {
-			pats, modeled, m, err := u.detect(ctx, intraWorkers)
+			pats, modeled, m, err := u.detect(ctx, intraWorkers, fs)
 			if err != nil {
 				return nil, err
 			}
@@ -471,7 +555,7 @@ func (p *Plan) Detect(ctx context.Context) (*SetResult, error) {
 					outs[gi].err = errParCanceled
 					return
 				}
-				pats, modeled, m, err := u.detect(ctx, intraWorkers)
+				pats, modeled, m, err := u.detect(ctx, intraWorkers, fs)
 				if err != nil {
 					failed.Store(true)
 				}
@@ -495,6 +579,7 @@ func (p *Plan) Detect(ctx context.Context) (*SetResult, error) {
 		Metrics:  total,
 		PerCFD:   make([]*relation.Relation, len(p.cfds)),
 		Clusters: p.clusters,
+		Coverage: 1,
 	}
 	unitModeled := make([]float64, len(outs))
 	unitMetrics := make([]*dist.Metrics, len(outs))

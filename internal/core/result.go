@@ -62,6 +62,14 @@ type Options struct {
 	// error; SigmaPrune additionally collapses duplicate CFDs into one
 	// compiled unit with equivalence-pinned accounting.
 	Sigma SigmaMode
+	// Failure selects how the run responds to site failures: FailFast
+	// (the zero value) aborts on the first error, FailRetry absorbs
+	// transient failures with bounded retries, FailDegrade additionally
+	// completes over the reachable fragments (see FailurePolicy).
+	Failure FailurePolicy
+	// Retry bounds retry/backoff under FailRetry and FailDegrade; zero
+	// fields select defaults.
+	Retry RetryPolicy
 	// DeltaFallbackRatio bounds incremental serving: when the deletes
 	// accumulated since the last full fold exceed this fraction of the
 	// current instance size, DetectIncremental falls back to a full
@@ -124,6 +132,21 @@ type SingleResult struct {
 	Incremental        bool
 	DeltaShippedTuples int64
 	DeltaShippedBytes  int64
+	// Partial marks a degraded run: one or more sites stayed down after
+	// retries and were excluded, so the result covers only the
+	// reachable fragments. Every reported violation is still a true
+	// violation of the reachable data.
+	Partial bool
+	// ExcludedSites lists the excluded sites (nil when complete).
+	ExcludedSites []int
+	// Coverage is the fraction of tuples the run examined: 1 on a
+	// complete run, reachable/total on a degraded one.
+	Coverage float64
+	// Retries / Faults total the fault channel: retried site calls and
+	// failed attempts. Zero on fault-free runs; under FailRetry, every
+	// other field is byte-identical to a fault-free run's.
+	Retries int64
+	Faults  int64
 }
 
 // SetResult reports a multi-CFD detection run (SeqDetect/ClustDetect).
@@ -148,6 +171,13 @@ type SetResult struct {
 	Incremental        bool
 	DeltaShippedTuples int64
 	DeltaShippedBytes  int64
+	// Partial / ExcludedSites / Coverage / Retries / Faults carry the
+	// degraded-result contract; see the SingleResult fields.
+	Partial       bool
+	ExcludedSites []int
+	Coverage      float64
+	Retries       int64
+	Faults        int64
 }
 
 // padPatterns converts an X-tuple pattern relation into the Vioπ form:

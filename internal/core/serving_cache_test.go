@@ -115,7 +115,7 @@ func TestTaskKeysUniqueAcrossClusters(t *testing.T) {
 	if err := shared.Cancel(k1); err != nil {
 		t.Fatal(err)
 	}
-	if err := shared.Deposit(context.Background(), BlockTask(k2, 0), frag); err != nil {
+	if err := shared.Deposit(context.Background(), BlockTask(k2, 0), frag, ""); err != nil {
 		t.Fatal(err)
 	}
 	if shared.PendingDeposits() != 1 {

@@ -42,16 +42,22 @@ func DetectSingleCtx(ctx context.Context, cl *Cluster, c *cfd.CFD, algo Algorith
 }
 
 // detectConstantsEverywhere runs the Proposition 5 local check of c's
-// constant units at every site in parallel.
-func detectConstantsEverywhere(ctx context.Context, cl *Cluster, c *cfd.CFD) ([]*relation.Relation, error) {
+// constant units at every site in parallel. Excluded sites contribute
+// nothing — their fragment is unreachable.
+func detectConstantsEverywhere(ctx context.Context, cl *Cluster, fs *faultState, c *cfd.CFD) ([]*relation.Relation, error) {
 	parts := make([]*relation.Relation, cl.N())
 	err := cl.parallelCtx(ctx, func(ctx context.Context, i int) error {
-		pats, err := cl.sites[i].DetectConstantsLocal(ctx, c)
-		if err != nil {
-			return err
+		if fs.isExcluded(i) {
+			return nil
 		}
-		parts[i] = pats
-		return nil
+		return cl.callSite(ctx, fs, i, true, func(ctx context.Context) error {
+			pats, err := cl.sites[i].DetectConstantsLocal(ctx, c)
+			if err != nil {
+				return err
+			}
+			parts[i] = pats
+			return nil
+		})
 	})
 	return parts, err
 }
@@ -75,6 +81,7 @@ func finishSingle(cl *Cluster, res *SingleResult, opt Options, fragSizes []int, 
 	res.ShippedTuples = res.Metrics.TotalTuples()
 	res.ModeledTime = opt.Cost.ResponseTime(res.Metrics, res.CheckSizes)
 	res.WallTime = time.Since(start)
+	res.Coverage = 1 // a degraded top-level finisher overwrites this
 	return res, nil
 }
 

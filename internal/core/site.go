@@ -63,8 +63,12 @@ type SiteAPI interface {
 	// the σ-blocks listed in wanted, each projected onto attrs.
 	ExtractBlocksBatch(ctx context.Context, spec *BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error)
 	// Deposit buffers tuples shipped to this site under a task key.
-	// Deposits for a cancelled task are dropped silently.
-	Deposit(ctx context.Context, task string, batch *relation.Relation) error
+	// Deposits for a cancelled task are dropped silently. A non-empty
+	// nonce makes the deposit at-most-once: a retried deposit whose
+	// earlier attempt already landed (lost response, not lost request)
+	// is recognized and dropped instead of double-buffered. The empty
+	// nonce disables dedup (direct test callers).
+	Deposit(ctx context.Context, task string, batch *relation.Relation, nonce string) error
 	// Abort drains every deposit buffered under taskKey itself or any
 	// of its BlockTask-derived keys, releasing the memory of a run
 	// that failed before detection consumed them. Aborting a task with
@@ -102,14 +106,21 @@ type SiteAPI interface {
 	// support ≥ theta·|Di| (Section IV-B wildcard optimization),
 	// reporting each pattern's relative support at this site.
 	MineFrequent(ctx context.Context, x []string, theta float64) ([]mining.Pattern, error)
+	// Ping is the liveness probe (wire v5): it does no work and fails
+	// only when the site is unreachable or dead. Circuit breakers use
+	// it to decide half-open recovery.
+	Ping(ctx context.Context) error
 
 	// Incremental surface (wire v4). ApplyDelta mutates the local
 	// fragment, maintains the serving caches generation-by-generation
 	// instead of resetting them, and appends the delta to a bounded log
 	// the methods below read. ApplyDelta must not run concurrently with
 	// detection against the same site — the driver serializes them, the
-	// same single-writer contract plain mutation always had.
-	ApplyDelta(ctx context.Context, d relation.Delta) (DeltaInfo, error)
+	// same single-writer contract plain mutation always had. A
+	// non-empty nonce makes the apply at-most-once: a retried apply
+	// whose earlier attempt landed returns the remembered DeltaInfo
+	// instead of applying twice. The empty nonce disables dedup.
+	ApplyDelta(ctx context.Context, d relation.Delta, nonce string) (DeltaInfo, error)
 	// ExtractDeltaBlocks σ-routes the log suffix after fromGen and
 	// returns, per wanted block, the inserted and deleted tuples
 	// projected onto attrs. fromGen < 0 seeds: the full current blocks
@@ -136,6 +147,13 @@ const (
 	sigmaCacheCap = 128
 	constCacheCap = 128
 	cancelledCap  = 1024
+	// nonceCap bounds the seen-deposit-nonce set (FIFO eviction, like
+	// cancelled tombstones); deltaNonceCap bounds the remembered
+	// ApplyDelta replies. Nonces are minted per attempt group and never
+	// reused, so eviction can only readmit a duplicate retried more
+	// than a cap's worth of deposits later.
+	nonceCap      = 4096
+	deltaNonceCap = 128
 )
 
 // sigmaEntry is one cached σ-routing of the fragment: the per-tuple
@@ -206,6 +224,8 @@ type Site struct {
 	deposits  map[string][]*relation.Relation
 	cancelled map[string]struct{}
 	cancelLog []string // insertion order, for bounded eviction
+	nonces    map[string]struct{}
+	nonceLog  []string // insertion order, for bounded eviction
 
 	sigMu  sync.Mutex
 	sigEnc *relation.Encoded
@@ -223,6 +243,10 @@ type Site struct {
 	dlog      []deltaLogEntry
 	dlogStart int64 // the log covers generations (dlogStart, gen]
 	encAtGen  *relation.Encoded
+	// deltaNonces remembers recent ApplyDelta replies by nonce so a
+	// retransmitted apply returns the original DeltaInfo (at-most-once).
+	deltaNonces   map[string]DeltaInfo
+	deltaNonceLog []string
 
 	sessMu   sync.Mutex
 	sessions map[string]*foldSession
@@ -238,6 +262,7 @@ func NewSite(id int, frag *relation.Relation, pred relation.Predicate) *Site {
 		pred:      pred,
 		deposits:  make(map[string][]*relation.Relation),
 		cancelled: make(map[string]struct{}),
+		nonces:    make(map[string]struct{}),
 		sessions:  make(map[string]*foldSession),
 	}
 }
@@ -536,8 +561,9 @@ func taskBase(task string) string {
 
 // Deposit buffers a shipped batch under the task key. Batches for a
 // cancelled task are dropped: the driver that would consume them has
-// already given up on the run.
-func (s *Site) Deposit(ctx context.Context, task string, batch *relation.Relation) error {
+// already given up on the run. A duplicate nonce marks a retransmit of
+// a batch that already landed; it is acknowledged without buffering.
+func (s *Site) Deposit(ctx context.Context, task string, batch *relation.Relation, nonce string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -549,9 +575,24 @@ func (s *Site) Deposit(ctx context.Context, task string, batch *relation.Relatio
 	if _, dead := s.cancelled[taskBase(task)]; dead {
 		return nil
 	}
+	if nonce != "" {
+		if _, dup := s.nonces[nonce]; dup {
+			return nil
+		}
+		if len(s.nonceLog) >= nonceCap {
+			delete(s.nonces, s.nonceLog[0])
+			s.nonceLog = s.nonceLog[1:]
+		}
+		s.nonces[nonce] = struct{}{}
+		s.nonceLog = append(s.nonceLog, nonce)
+	}
 	s.deposits[task] = append(s.deposits[task], batch)
 	return nil
 }
+
+// Ping reports liveness: an in-process site is alive whenever its
+// caller's context is.
+func (s *Site) Ping(ctx context.Context) error { return ctx.Err() }
 
 // drainLocked removes the deposit buffers of taskKey and its block
 // tasks; callers hold s.mu.

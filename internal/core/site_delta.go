@@ -41,10 +41,18 @@ const staleMarker = "incremental state stale"
 // retained state, and subsequent rounds are incremental again.
 var ErrStaleIncremental = errors.New("core: " + staleMarker + " — full reseed required")
 
-// IsStaleIncremental reports whether err (possibly a net/rpc-flattened
-// string) is the stale-state signal.
+// IsStaleIncremental reports whether err is the stale-state signal:
+// either the typed CodeStale carried by the wire-v5 error envelope, or
+// — the fallback for pre-v5 peers and in-process errors — a message
+// containing the stale marker (net/rpc flattens errors to strings).
 func IsStaleIncremental(err error) bool {
-	return err != nil && strings.Contains(err.Error(), staleMarker)
+	if err == nil {
+		return false
+	}
+	if ErrCodeOf(err) == CodeStale {
+		return true
+	}
+	return strings.Contains(err.Error(), staleMarker)
 }
 
 // DeltaInfo reports the site state after an ApplyDelta.
@@ -124,13 +132,20 @@ type foldSession struct {
 // the delta, and maintains the serving caches in place. It must not
 // run concurrently with detection on this site (single-writer, as for
 // any mutation); concurrent readers holding the previous encoded view
-// stay consistent (see relation.Apply).
-func (s *Site) ApplyDelta(ctx context.Context, d relation.Delta) (DeltaInfo, error) {
+// stay consistent (see relation.Apply). A duplicate nonce marks the
+// retransmit of an apply that already landed; the remembered DeltaInfo
+// is returned without applying twice.
+func (s *Site) ApplyDelta(ctx context.Context, d relation.Delta, nonce string) (DeltaInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return DeltaInfo{}, err
 	}
 	s.deltaMu.Lock()
 	defer s.deltaMu.Unlock()
+	if nonce != "" {
+		if info, dup := s.deltaNonces[nonce]; dup {
+			return info, nil
+		}
+	}
 	delIdx, err := relation.NormalizeDeletes(d.Deletes, s.frag.Len())
 	if err != nil {
 		return DeltaInfo{}, err
@@ -164,7 +179,19 @@ func (s *Site) ApplyDelta(ctx context.Context, d relation.Delta) (DeltaInfo, err
 	s.maintainSigma(pre, post, delIdx, d.Inserts)
 	s.maintainConsts(pre, post, removed, d.Inserts)
 	s.encAtGen = post
-	return DeltaInfo{Gen: s.gen, NumTuples: s.frag.Len()}, nil
+	info := DeltaInfo{Gen: s.gen, NumTuples: s.frag.Len()}
+	if nonce != "" {
+		if s.deltaNonces == nil {
+			s.deltaNonces = make(map[string]DeltaInfo)
+		}
+		if len(s.deltaNonceLog) >= deltaNonceCap {
+			delete(s.deltaNonces, s.deltaNonceLog[0])
+			s.deltaNonceLog = s.deltaNonceLog[1:]
+		}
+		s.deltaNonces[nonce] = info
+		s.deltaNonceLog = append(s.deltaNonceLog, nonce)
+	}
+	return info, nil
 }
 
 // Generation returns the fragment generation (for tests and tooling).

@@ -106,7 +106,7 @@ func TestSiteDepositAndDetectTask(t *testing.T) {
 	shipSchema := relation.MustSchema("T_ship", []string{"a", "b"})
 	dep := relation.MustFromRows(shipSchema, []string{"x", "r"})
 	task := "test-task"
-	if err := s.Deposit(context.Background(), BlockTask(task, 0), dep); err != nil {
+	if err := s.Deposit(context.Background(), BlockTask(task, 0), dep, ""); err != nil {
 		t.Fatal(err)
 	}
 	pats, err := s.DetectAssignedSingle(context.Background(), task, spec, []int{0, 1}, c)
@@ -142,7 +142,7 @@ func TestSiteDetectTaskModes(t *testing.T) {
 	shipSchema := relation.MustSchema("T_ship", []string{"a", "b"})
 	dep := relation.MustFromRows(shipSchema,
 		[]string{"y", "1"}, []string{"y", "2"})
-	if err := s.Deposit(context.Background(), "t2", dep); err != nil {
+	if err := s.Deposit(context.Background(), "t2", dep, ""); err != nil {
 		t.Fatal(err)
 	}
 	pats, err = s.DetectTask(context.Background(), "t2", LocalInput{Block: BlockNone}, []*cfd.CFD{c})

@@ -42,6 +42,15 @@ type Metrics struct {
 	// this channel.
 	deltaTuples []int64
 	deltaBytes  []int64
+	// Fault-tolerance channel: per-site counters of retried calls and
+	// failed call attempts, kept apart from every shipment matrix. A
+	// retried call re-ships nothing the accounting sees — the data and
+	// control planes record only what the successful attempt moved — so
+	// a faulted run under the Retry policy reports byte-identical
+	// shipment figures to a fault-free run, with the turbulence visible
+	// only here.
+	retries []int64
+	faults  []int64
 }
 
 // NewMetrics creates metrics for an n-site cluster. n may be zero (an
@@ -58,6 +67,8 @@ func NewMetrics(n int) *Metrics {
 		ctlBytes:    make([]int64, n*n),
 		deltaTuples: make([]int64, n*n),
 		deltaBytes:  make([]int64, n*n),
+		retries:     make([]int64, n),
+		faults:      make([]int64, n),
 	}
 }
 
@@ -102,6 +113,32 @@ func (m *Metrics) ShipDelta(from, to, n int, payloadBytes int64) {
 	m.deltaTuples[i] += int64(n)
 	m.deltaBytes[i] += payloadBytes
 	m.mu.Unlock()
+}
+
+// AddFaultStats charges retried calls and failed call attempts against
+// site `site` on the fault-tolerance channel. Safe for concurrent use.
+func (m *Metrics) AddFaultStats(site int, retries, faults int64) {
+	if site < 0 || site >= m.n {
+		panic(fmt.Sprintf("dist: site %d out of range [0,%d)", site, m.n))
+	}
+	m.mu.Lock()
+	m.retries[site] += retries
+	m.faults[site] += faults
+	m.mu.Unlock()
+}
+
+// TotalRetries returns the total retried site calls of the run.
+func (m *Metrics) TotalRetries() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sum64(m.retries)
+}
+
+// TotalFaults returns the total failed site-call attempts of the run.
+func (m *Metrics) TotalFaults() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sum64(m.faults)
 }
 
 // DeltaTuples returns the total tuples shipped on the delta channel.
@@ -210,6 +247,10 @@ func (m *Metrics) Merge(o *Metrics) {
 			m.deltaBytes[i] += s.DeltaBytes[from][to]
 		}
 	}
+	for i := 0; i < m.n; i++ {
+		m.retries[i] += s.Retries[i]
+		m.faults[i] += s.Faults[i]
+	}
 }
 
 // MergeData adds o's data-plane counters (tuples, payload bytes, and
@@ -270,6 +311,14 @@ type Report struct {
 	// TotalDeltaTuples / TotalDeltaBytes total the delta channel.
 	TotalDeltaTuples int64
 	TotalDeltaBytes  int64
+	// Retries / Faults are the per-site fault-tolerance channel:
+	// retried site calls and failed call attempts. Zero on fault-free
+	// runs; every shipment matrix above is unaffected by retries.
+	Retries []int64
+	Faults  []int64
+	// TotalRetries / TotalFaults total the fault-tolerance channel.
+	TotalRetries int64
+	TotalFaults  int64
 }
 
 // Snapshot copies the current counters into a Report.
@@ -290,6 +339,10 @@ func (m *Metrics) Snapshot() Report {
 		ControlBytes:     sum64(m.ctlBytes),
 		TotalDeltaTuples: sum64(m.deltaTuples),
 		TotalDeltaBytes:  sum64(m.deltaBytes),
+		Retries:          append([]int64(nil), m.retries...),
+		Faults:           append([]int64(nil), m.faults...),
+		TotalRetries:     sum64(m.retries),
+		TotalFaults:      sum64(m.faults),
 	}
 	return r
 }
@@ -315,6 +368,10 @@ func (r Report) String() string {
 	if r.TotalDeltaTuples > 0 || r.TotalDeltaBytes > 0 {
 		fmt.Fprintf(&b, "delta channel: %d tuples, %d bytes actually shipped\n",
 			r.TotalDeltaTuples, r.TotalDeltaBytes)
+	}
+	if r.TotalRetries > 0 || r.TotalFaults > 0 {
+		fmt.Fprintf(&b, "fault channel: %d retried calls, %d failed attempts\n",
+			r.TotalRetries, r.TotalFaults)
 	}
 	return b.String()
 }

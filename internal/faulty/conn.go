@@ -1,0 +1,80 @@
+package faulty
+
+import (
+	"net"
+	"sync"
+	"syscall"
+)
+
+// WrapListener injects connection-level faults per the plan's
+// reset schedule: every ConnResetEvery-th accepted connection dies
+// with ECONNRESET after ConnResetOps reads+writes, mid-stream — the
+// shape a dropped peer or a flapping network presents. A plan without
+// a reset schedule returns lis unchanged.
+func WrapListener(lis net.Listener, plan Plan) net.Listener {
+	if plan.ConnResetEvery <= 0 {
+		return lis
+	}
+	return &listener{Listener: lis, plan: plan}
+}
+
+type listener struct {
+	net.Listener
+	plan Plan
+
+	mu    sync.Mutex
+	conns int
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.conns++
+	doomed := l.conns%l.plan.ConnResetEvery == 0
+	l.mu.Unlock()
+	if !doomed {
+		return c, nil
+	}
+	return &conn{Conn: c, budget: l.plan.ConnResetOps}, nil
+}
+
+// conn counts I/O operations and, once past its budget, closes the
+// underlying connection and fails every further operation with
+// ECONNRESET. Closing (not just erroring) matters: the peer sees the
+// reset too, which is what a real mid-deposit connection loss does.
+type conn struct {
+	net.Conn
+
+	mu     sync.Mutex
+	ops    int
+	budget int
+	dead   bool
+}
+
+func (c *conn) spend() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops++
+	if !c.dead && c.ops > c.budget {
+		c.dead = true
+		c.Conn.Close()
+	}
+	return c.dead
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if c.spend() {
+		return 0, syscall.ECONNRESET
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if c.spend() {
+		return 0, syscall.ECONNRESET
+	}
+	return c.Conn.Write(p)
+}

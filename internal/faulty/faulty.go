@@ -1,0 +1,383 @@
+// Package faulty is the fault-injection harness: it wraps a
+// core.SiteAPI (and, separately, a net.Listener) so that a seeded,
+// deterministic plan of failures plays out against otherwise healthy
+// code. The robustness tests use it to prove the retry/degrade layer's
+// contracts — byte-identical results under transient faults, coherent
+// partial results under dead sites, zero leaked deposits everywhere —
+// and cfdsite's -fault-plan flag serves a faulty view over a real
+// socket for end-to-end chaos runs.
+//
+// Injected faults happen strictly before the wrapped call executes,
+// and say so (PreExecution), so even non-idempotent operations may be
+// retried through them. They classify themselves transient
+// (Transient), which is what the core retry layer keys on.
+package faulty
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/core"
+	"distcfd/internal/mining"
+	"distcfd/internal/relation"
+)
+
+// Plan is a deterministic, seedable fault schedule. The zero value
+// injects nothing.
+type Plan struct {
+	// Seed drives the random-rate draws; two wrappers with equal plans
+	// inject the same fault sequence for the same call sequence.
+	Seed int64
+	// Rate is the per-call probability of an injected failure over the
+	// faultable methods (everything but identity accessors and the
+	// cleanup messages).
+	Rate float64
+	// ErrOn schedules exact failures: method name → 1-based per-method
+	// call ordinals that fail. "Deposit":[3] fails the third Deposit.
+	ErrOn map[string][]int
+	// LatencyEvery > 0 sleeps Latency before every LatencyEvery-th
+	// faultable call (a latency spike, not a failure).
+	LatencyEvery int
+	Latency      time.Duration
+	// CrashAt > 0 crashes the site when the global faultable-call
+	// counter reaches it: the call fails and the site stays down. With
+	// a rebuild function (WrapRestartable) and RestartAfter > 0, the
+	// site comes back — with freshly rebuilt state, i.e. total loss of
+	// deposits, sessions and caches — after RestartAfter further calls
+	// have failed against the corpse.
+	CrashAt      int
+	RestartAfter int
+	// ConnResetEvery/ConnResetOps drive WrapListener: every
+	// ConnResetEvery-th accepted connection is killed with ECONNRESET
+	// after ConnResetOps reads+writes.
+	ConnResetEvery int
+	ConnResetOps   int
+}
+
+// Parse builds a Plan from the compact flag syntax used by
+// cfdsite -fault-plan:
+//
+//	seed=7,rate=0.1,err=Deposit@3,lat=5ms@10,crash=20,restart=5,reset=2@40
+//
+// err may repeat for several methods or ordinals; lat is
+// <duration>@<every>; reset is <every>@<ops>. Unknown keys fail.
+func Parse(s string) (Plan, error) {
+	p := Plan{}
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("faulty: field %q is not key=value", field)
+		}
+		var err error
+		switch k {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "rate":
+			p.Rate, err = strconv.ParseFloat(v, 64)
+		case "err":
+			method, ord, ok := strings.Cut(v, "@")
+			if !ok {
+				return Plan{}, fmt.Errorf("faulty: err=%q wants method@ordinal", v)
+			}
+			n, perr := strconv.Atoi(ord)
+			if perr != nil {
+				return Plan{}, fmt.Errorf("faulty: err=%q: %v", v, perr)
+			}
+			if p.ErrOn == nil {
+				p.ErrOn = make(map[string][]int)
+			}
+			p.ErrOn[method] = append(p.ErrOn[method], n)
+		case "lat":
+			dur, every, ok := strings.Cut(v, "@")
+			if !ok {
+				return Plan{}, fmt.Errorf("faulty: lat=%q wants duration@every", v)
+			}
+			p.Latency, err = time.ParseDuration(dur)
+			if err == nil {
+				p.LatencyEvery, err = strconv.Atoi(every)
+			}
+		case "crash":
+			p.CrashAt, err = strconv.Atoi(v)
+		case "restart":
+			p.RestartAfter, err = strconv.Atoi(v)
+		case "reset":
+			every, ops, ok := strings.Cut(v, "@")
+			if !ok {
+				return Plan{}, fmt.Errorf("faulty: reset=%q wants every@ops", v)
+			}
+			p.ConnResetEvery, err = strconv.Atoi(every)
+			if err == nil {
+				p.ConnResetOps, err = strconv.Atoi(ops)
+			}
+		default:
+			return Plan{}, fmt.Errorf("faulty: unknown key %q", k)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("faulty: parsing %q: %v", field, err)
+		}
+	}
+	return p, nil
+}
+
+// Fault is one injected failure. It happened before the wrapped call
+// ran (PreExecution) and is retryable (Transient).
+type Fault struct {
+	Site   int
+	Call   int // global faultable-call ordinal at the wrapper
+	Method string
+	Reason string // "scheduled", "rate", "crashed"
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faulty: injected %s fault at site %d, call %d (%s)", f.Reason, f.Site, f.Call, f.Method)
+}
+
+// Transient marks the fault retryable to the core retry layer.
+func (f *Fault) Transient() bool { return true }
+
+// PreExecution guarantees the wrapped call never ran.
+func (f *Fault) PreExecution() bool { return true }
+
+// Site wraps a core.SiteAPI with a fault plan. Identity accessors (ID,
+// NumTuples, Predicate) and the cleanup messages (Abort, Cancel,
+// DropSession) pass through unfaulted: identity must stay coherent for
+// the cluster to exist at all, and cleanup is best-effort by contract
+// — faulting it would only test the harness, not the detection layer.
+// Everything else, Ping included, draws from the plan. Safe for
+// concurrent use (-race clean); note that under concurrency the
+// interleaving decides which call a rate-draw fault lands on, while
+// the number of draws stays deterministic.
+type Site struct {
+	plan    Plan
+	rebuild func() core.SiteAPI
+
+	mu      sync.Mutex
+	inner   core.SiteAPI
+	rng     *rand.Rand
+	calls   int
+	perM    map[string]int
+	crashed bool
+	downFor int
+}
+
+// Wrap wraps s under plan. The site cannot restart after a crash
+// (there is nothing to rebuild it from); CrashAt therefore holds it
+// down for good — the shape the degraded-result tests want.
+func Wrap(s core.SiteAPI, plan Plan) *Site {
+	return &Site{plan: plan, inner: s, rng: rand.New(rand.NewSource(plan.Seed)), perM: make(map[string]int)}
+}
+
+// WrapRestartable is Wrap plus crash recovery: after a crash and
+// RestartAfter further failed calls, rebuild() replaces the inner site
+// — state loss included, exactly like a process restart.
+func WrapRestartable(rebuild func() core.SiteAPI, plan Plan) *Site {
+	w := Wrap(rebuild(), plan)
+	w.rebuild = rebuild
+	return w
+}
+
+// Inner returns the currently wrapped site (the rebuilt one after a
+// restart). Tests use it to inspect site state behind the faults.
+func (s *Site) Inner() core.SiteAPI {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner
+}
+
+// before charges one faultable call against the plan: it returns the
+// inner site to use, a latency to sleep (outside the lock), or the
+// injected fault.
+func (s *Site) before(method string) (core.SiteAPI, time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	call := s.calls
+	s.perM[method]++
+	ord := s.perM[method]
+
+	if s.plan.CrashAt > 0 && !s.crashed && call >= s.plan.CrashAt && s.downFor == 0 {
+		s.crashed = true
+	}
+	if s.crashed {
+		s.downFor++
+		if s.rebuild != nil && s.plan.RestartAfter > 0 && s.downFor > s.plan.RestartAfter {
+			s.inner = s.rebuild()
+			s.crashed = false
+		} else {
+			return nil, 0, &Fault{Site: s.inner.ID(), Call: call, Method: method, Reason: "crashed"}
+		}
+	}
+	for _, o := range s.plan.ErrOn[method] {
+		if o == ord {
+			return nil, 0, &Fault{Site: s.inner.ID(), Call: call, Method: method, Reason: "scheduled"}
+		}
+	}
+	if s.plan.Rate > 0 && s.rng.Float64() < s.plan.Rate {
+		return nil, 0, &Fault{Site: s.inner.ID(), Call: call, Method: method, Reason: "rate"}
+	}
+	var lat time.Duration
+	if s.plan.LatencyEvery > 0 && call%s.plan.LatencyEvery == 0 {
+		lat = s.plan.Latency
+	}
+	return s.inner, lat, nil
+}
+
+func (s *Site) call(method string, fn func(core.SiteAPI) error) error {
+	inner, lat, err := s.before(method)
+	if err != nil {
+		return err
+	}
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	return fn(inner)
+}
+
+// ID passes through (identity is never faulted).
+func (s *Site) ID() int { return s.Inner().ID() }
+
+// NumTuples passes through.
+func (s *Site) NumTuples() (int, error) { return s.Inner().NumTuples() }
+
+// Predicate passes through.
+func (s *Site) Predicate() (relation.Predicate, error) { return s.Inner().Predicate() }
+
+// Ping draws from the plan like any work call: a crashed or flaky site
+// must look crashed or flaky to the health probe.
+func (s *Site) Ping(ctx context.Context) error {
+	return s.call("Ping", func(in core.SiteAPI) error { return in.Ping(ctx) })
+}
+
+// SigmaStats forwards under the plan.
+func (s *Site) SigmaStats(ctx context.Context, spec *core.BlockSpec) (out []int, err error) {
+	err = s.call("SigmaStats", func(in core.SiteAPI) error { out, err = in.SigmaStats(ctx, spec); return err })
+	return out, err
+}
+
+// ExtractBlock forwards under the plan.
+func (s *Site) ExtractBlock(ctx context.Context, spec *core.BlockSpec, l int, attrs []string) (out *relation.Relation, err error) {
+	err = s.call("ExtractBlock", func(in core.SiteAPI) error { out, err = in.ExtractBlock(ctx, spec, l, attrs); return err })
+	return out, err
+}
+
+// ExtractMatching forwards under the plan.
+func (s *Site) ExtractMatching(ctx context.Context, spec *core.BlockSpec, attrs []string) (out *relation.Relation, err error) {
+	err = s.call("ExtractMatching", func(in core.SiteAPI) error { out, err = in.ExtractMatching(ctx, spec, attrs); return err })
+	return out, err
+}
+
+// ExtractBlocksBatch forwards under the plan.
+func (s *Site) ExtractBlocksBatch(ctx context.Context, spec *core.BlockSpec, attrs []string, wanted []int) (out map[int]*relation.Relation, err error) {
+	err = s.call("ExtractBlocksBatch", func(in core.SiteAPI) error {
+		out, err = in.ExtractBlocksBatch(ctx, spec, attrs, wanted)
+		return err
+	})
+	return out, err
+}
+
+// Deposit forwards under the plan.
+func (s *Site) Deposit(ctx context.Context, task string, batch *relation.Relation, nonce string) error {
+	return s.call("Deposit", func(in core.SiteAPI) error { return in.Deposit(ctx, task, batch, nonce) })
+}
+
+// Abort passes through unfaulted (cleanup).
+func (s *Site) Abort(taskKey string) error { return s.Inner().Abort(taskKey) }
+
+// Cancel passes through unfaulted (cleanup).
+func (s *Site) Cancel(taskKey string) error { return s.Inner().Cancel(taskKey) }
+
+// DetectTask forwards under the plan.
+func (s *Site) DetectTask(ctx context.Context, task string, local core.LocalInput, cfds []*cfd.CFD) (out []*relation.Relation, err error) {
+	err = s.call("DetectTask", func(in core.SiteAPI) error { out, err = in.DetectTask(ctx, task, local, cfds); return err })
+	return out, err
+}
+
+// DetectAssignedSingle forwards under the plan.
+func (s *Site) DetectAssignedSingle(ctx context.Context, taskPrefix string, spec *core.BlockSpec, blocks []int, c *cfd.CFD) (out *relation.Relation, err error) {
+	err = s.call("DetectAssignedSingle", func(in core.SiteAPI) error {
+		out, err = in.DetectAssignedSingle(ctx, taskPrefix, spec, blocks, c)
+		return err
+	})
+	return out, err
+}
+
+// DetectAssignedSet forwards under the plan.
+func (s *Site) DetectAssignedSet(ctx context.Context, taskPrefix string, spec *core.BlockSpec, blocks []int, cfds []*cfd.CFD) (out []*relation.Relation, err error) {
+	err = s.call("DetectAssignedSet", func(in core.SiteAPI) error {
+		out, err = in.DetectAssignedSet(ctx, taskPrefix, spec, blocks, cfds)
+		return err
+	})
+	return out, err
+}
+
+// DetectConstantsLocal forwards under the plan.
+func (s *Site) DetectConstantsLocal(ctx context.Context, c *cfd.CFD) (out *relation.Relation, err error) {
+	err = s.call("DetectConstantsLocal", func(in core.SiteAPI) error { out, err = in.DetectConstantsLocal(ctx, c); return err })
+	return out, err
+}
+
+// MineFrequent forwards under the plan.
+func (s *Site) MineFrequent(ctx context.Context, x []string, theta float64) (out []mining.Pattern, err error) {
+	err = s.call("MineFrequent", func(in core.SiteAPI) error { out, err = in.MineFrequent(ctx, x, theta); return err })
+	return out, err
+}
+
+// ApplyDelta forwards under the plan.
+func (s *Site) ApplyDelta(ctx context.Context, d relation.Delta, nonce string) (out core.DeltaInfo, err error) {
+	err = s.call("ApplyDelta", func(in core.SiteAPI) error { out, err = in.ApplyDelta(ctx, d, nonce); return err })
+	return out, err
+}
+
+// ExtractDeltaBlocks forwards under the plan.
+func (s *Site) ExtractDeltaBlocks(ctx context.Context, spec *core.BlockSpec, attrs []string, wanted []int, fromGen int64) (out *core.DeltaBlocks, err error) {
+	err = s.call("ExtractDeltaBlocks", func(in core.SiteAPI) error {
+		out, err = in.ExtractDeltaBlocks(ctx, spec, attrs, wanted, fromGen)
+		return err
+	})
+	return out, err
+}
+
+// FoldDetect forwards under the plan.
+func (s *Site) FoldDetect(ctx context.Context, args core.FoldArgs) (out *core.FoldReply, err error) {
+	err = s.call("FoldDetect", func(in core.SiteAPI) error { out, err = in.FoldDetect(ctx, args); return err })
+	return out, err
+}
+
+// DropSession passes through unfaulted (cleanup).
+func (s *Site) DropSession(session string) error { return s.Inner().DropSession(session) }
+
+// DetectParallelism forwards to the inner site when it has the knob
+// (so ServeAPIContext configures a wrapped *core.Site as usual).
+func (s *Site) DetectParallelism() int {
+	if p, ok := s.Inner().(interface{ DetectParallelism() int }); ok {
+		return p.DetectParallelism()
+	}
+	return 0
+}
+
+// SetDetectParallelism forwards to the inner site when it has the knob.
+func (s *Site) SetDetectParallelism(n int) {
+	if p, ok := s.Inner().(interface{ SetDetectParallelism(int) }); ok {
+		p.SetDetectParallelism(n)
+	}
+}
+
+// PendingDeposits forwards to the inner site when it exposes the
+// leak-detection counter (tests assert it is zero after faults).
+func (s *Site) PendingDeposits() int {
+	if p, ok := s.Inner().(interface{ PendingDeposits() int }); ok {
+		return p.PendingDeposits()
+	}
+	return 0
+}
+
+var _ core.SiteAPI = (*Site)(nil)

@@ -27,8 +27,8 @@ type cancellingProxy struct {
 	landed *bool
 }
 
-func (p *cancellingProxy) Deposit(_ context.Context, task string, batch *relation.Relation) error {
-	err := p.SiteAPI.Deposit(context.Background(), task, batch)
+func (p *cancellingProxy) Deposit(_ context.Context, task string, batch *relation.Relation, nonce string) error {
+	err := p.SiteAPI.Deposit(context.Background(), task, batch, nonce)
 	p.once.Do(func() {
 		*p.landed = err == nil
 		p.cancel()
@@ -102,21 +102,21 @@ func TestRemoteCancelTombstonesLateDeposit(t *testing.T) {
 	}
 	ctx := context.Background()
 	batch := workload.EMPData()
-	if err := sites[0].Deposit(ctx, "job/b0", batch); err != nil {
+	if err := sites[0].Deposit(ctx, "job/b0", batch, ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := sites[0].Cancel("job"); err != nil {
 		t.Fatal(err)
 	}
 	// The late deposit: same task, after the cancel.
-	if err := sites[0].Deposit(ctx, "job/b1", batch); err != nil {
+	if err := sites[0].Deposit(ctx, "job/b1", batch, ""); err != nil {
 		t.Fatal(err)
 	}
 	if n := served[0].PendingDeposits(); n != 0 {
 		t.Errorf("late deposit for a cancelled task buffered at the server (%d tasks)", n)
 	}
 	// An unrelated task still lands.
-	if err := sites[0].Deposit(ctx, "job2/b0", batch); err != nil {
+	if err := sites[0].Deposit(ctx, "job2/b0", batch, ""); err != nil {
 		t.Fatal(err)
 	}
 	if n := served[0].PendingDeposits(); n != 1 {

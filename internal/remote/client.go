@@ -20,17 +20,34 @@ import (
 // blocked indefinitely on a hung or black-holed address.
 const DefaultDialTimeout = 10 * time.Second
 
+// DefaultDialAttempts is how many connect attempts a dial (or a
+// redial after a broken connection) makes when DialConfig leaves
+// DialAttempts zero.
+const DefaultDialAttempts = 3
+
+// DefaultDialBackoff is the delay before the second dial attempt,
+// doubling per attempt, when DialConfig leaves DialBackoff zero.
+const DefaultDialBackoff = 150 * time.Millisecond
+
 // DialConfig tunes the client side of the wire.
 type DialConfig struct {
 	// DialTimeout bounds the TCP connect and Info handshake per site;
 	// 0 selects DefaultDialTimeout.
 	DialTimeout time.Duration
+	// DialAttempts bounds connect attempts per site — at Dial and at
+	// every automatic redial of a broken connection. 0 selects
+	// DefaultDialAttempts; handshake rejections (version skew, wrong
+	// site ID) fail immediately, retrying cannot fix them.
+	DialAttempts int
+	// DialBackoff is the delay before the second attempt, doubling per
+	// attempt; 0 selects DefaultDialBackoff.
+	DialBackoff time.Duration
 	// CallTimeout is the per-RPC I/O budget: a call whose response has
 	// not arrived within it fails, and the connection's read deadline
 	// fires so a truly hung site cannot wedge the client's receive
 	// loop. 0 disables per-call timeouts (calls still honor their
 	// context). A site that exceeds the timeout is treated as failed —
-	// its connection is not reused.
+	// its connection is dropped and the next call redials.
 	CallTimeout time.Duration
 }
 
@@ -39,66 +56,55 @@ type DialConfig struct {
 // calls honor their context — a cancelled context abandons the wait
 // (the response, if it ever arrives, is discarded) — and apply the
 // configured per-call I/O timeout via connection deadlines.
+//
+// A transport-level failure (connection reset, timeout, I/O error)
+// marks the connection broken; the next call through the proxy
+// automatically redials and re-runs the Info handshake, so a site that
+// crashed and restarted is picked back up without rebuilding the
+// cluster. Its serving caches re-warm on their own: they are keyed by
+// spec fingerprints, which the unchanged plans re-present. Failed
+// calls surface as core.CodedError with CodeUnavailable, which the
+// core retry layer recognizes as transient.
 type RemoteSite struct {
-	id     int
-	client *rpc.Client
-	conn   net.Conn
-	pred   relation.Predicate
-	size   int
+	id   int
+	addr string
+	cfg  DialConfig
 
 	timeout atomic.Int64 // per-call budget in nanoseconds; 0 = none
+
 	mu      sync.Mutex
+	client  *rpc.Client
+	conn    net.Conn
+	pred    relation.Predicate
+	size    int
 	pending int
+	broken  bool
+	gen     uint64 // bumps per successful redial; stale failures ignore
+	closed  bool
 }
 
 var _ core.SiteAPI = (*RemoteSite)(nil)
 
+// permanentDialError marks a handshake rejection no retry can fix.
+type permanentDialError struct{ error }
+
 // Dial connects to site servers in order; the position in addrs is the
 // site ID the server must report. Returns the proxies and the schema
 // announced by the first site. Connect and handshake are bounded by
-// DefaultDialTimeout per site; use DialWithConfig to tune timeouts.
+// DefaultDialTimeout per site with DefaultDialAttempts attempts; use
+// DialWithConfig to tune.
 func Dial(addrs []string) ([]core.SiteAPI, *relation.Schema, error) {
 	return DialWithConfig(addrs, DialConfig{})
 }
 
-// DialWithConfig is Dial with explicit timeout configuration.
+// DialWithConfig is Dial with explicit timeout and retry configuration.
 func DialWithConfig(addrs []string, cfg DialConfig) ([]core.SiteAPI, *relation.Schema, error) {
-	dialTimeout := cfg.DialTimeout
-	if dialTimeout <= 0 {
-		dialTimeout = DefaultDialTimeout
-	}
 	var schema *relation.Schema
 	sites := make([]core.SiteAPI, len(addrs))
 	for i, addr := range addrs {
-		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+		client, conn, info, err := dialSite(addr, i, cfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("remote: dialing site %d at %s: %w", i, addr, err)
-		}
-		// The handshake runs under the dial budget too: a server that
-		// accepts but never answers Info must not hang the driver.
-		_ = conn.SetDeadline(time.Now().Add(dialTimeout))
-		client := rpc.NewClient(conn)
-		var info InfoReply
-		if err := client.Call(serviceName+".Info", struct{}{}, &info); err != nil {
-			client.Close()
-			return nil, nil, fmt.Errorf("remote: handshake with %s: %w", addr, err)
-		}
-		_ = conn.SetDeadline(time.Time{})
-		if info.Version != WireVersion {
-			client.Close()
-			// Always name both peers' versions: rollout skew (a v4 bump
-			// while v3 sites still run, or the reverse) must be
-			// diagnosable from either side's logs alone.
-			peer := fmt.Sprintf("wire version %d", info.Version)
-			if info.Version == 0 {
-				peer = "wire version 1 (or an unversioned pre-handshake build)"
-			}
-			return nil, nil, fmt.Errorf("remote: version skew: site at %s speaks %s, this driver speaks wire version %d — restart the site with a matching cfdsite build",
-				addr, peer, WireVersion)
-		}
-		if info.ID != i {
-			client.Close()
-			return nil, nil, fmt.Errorf("remote: site at %s reports ID %d, expected %d", addr, info.ID, i)
+			return nil, nil, err
 		}
 		if schema == nil {
 			s, err := SchemaFromWire(info.Schema)
@@ -108,17 +114,139 @@ func DialWithConfig(addrs []string, cfg DialConfig) ([]core.SiteAPI, *relation.S
 			}
 			schema = s
 		}
-		rs := &RemoteSite{id: i, client: client, conn: conn, pred: info.Pred, size: info.NumTuples}
+		rs := &RemoteSite{id: i, addr: addr, cfg: cfg, client: client, conn: conn, pred: info.Pred, size: info.NumTuples}
 		rs.timeout.Store(int64(cfg.CallTimeout))
 		sites[i] = rs
 	}
 	return sites, schema, nil
 }
 
+// dialSite connects and handshakes with bounded retries: transient
+// connect/handshake failures back off and try again, handshake
+// rejections (version skew, wrong ID) fail at once.
+func dialSite(addr string, id int, cfg DialConfig) (*rpc.Client, net.Conn, *InfoReply, error) {
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = DefaultDialTimeout
+	}
+	attempts := cfg.DialAttempts
+	if attempts <= 0 {
+		attempts = DefaultDialAttempts
+	}
+	backoff := cfg.DialBackoff
+	if backoff <= 0 {
+		backoff = DefaultDialBackoff
+	}
+	var last error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		client, conn, info, err := dialOnce(addr, id, dialTimeout)
+		if err == nil {
+			return client, conn, info, nil
+		}
+		last = err
+		if _, permanent := err.(permanentDialError); permanent {
+			break
+		}
+	}
+	return nil, nil, nil, last
+}
+
+func dialOnce(addr string, id int, dialTimeout time.Duration) (*rpc.Client, net.Conn, *InfoReply, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("remote: dialing site %d at %s: %w", id, addr, err)
+	}
+	// The handshake runs under the dial budget too: a server that
+	// accepts but never answers Info must not hang the driver.
+	_ = conn.SetDeadline(time.Now().Add(dialTimeout))
+	client := rpc.NewClient(conn)
+	var info InfoReply
+	if err := client.Call(serviceName+".Info", struct{}{}, &info); err != nil {
+		client.Close()
+		return nil, nil, nil, fmt.Errorf("remote: handshake with %s: %w", addr, err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if info.Version != WireVersion {
+		client.Close()
+		// Always name both peers' versions: rollout skew (a v5 bump
+		// while v4 sites still run, or the reverse) must be
+		// diagnosable from either side's logs alone.
+		peer := fmt.Sprintf("wire version %d", info.Version)
+		if info.Version == 0 {
+			peer = "wire version 1 (or an unversioned pre-handshake build)"
+		}
+		return nil, nil, nil, permanentDialError{fmt.Errorf("remote: version skew: site at %s speaks %s, this driver speaks wire version %d — restart the site with a matching cfdsite build",
+			addr, peer, WireVersion)}
+	}
+	if info.ID != id {
+		client.Close()
+		return nil, nil, nil, permanentDialError{fmt.Errorf("remote: site at %s reports ID %d, expected %d", addr, info.ID, id)}
+	}
+	return client, conn, &info, nil
+}
+
 // SetCallTimeout changes the per-RPC I/O budget (0 disables it). Safe
 // to call concurrently with in-flight calls; it applies from the next
 // call on.
 func (r *RemoteSite) SetCallTimeout(d time.Duration) { r.timeout.Store(int64(d)) }
+
+// live returns the current connection, redialing first when a prior
+// failure broke it. The redial runs under the proxy's lock, so
+// concurrent callers single-flight behind one attempt and all see the
+// fresh connection. A redial failure is a pre-execution unavailable
+// error — nothing was sent, so even non-idempotent calls may retry it.
+func (r *RemoteSite) live(ctx context.Context) (*rpc.Client, net.Conn, uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, nil, 0, &core.CodedError{
+			Code:        core.CodeUnavailable,
+			Msg:         fmt.Sprintf("remote: site %d: client closed", r.id),
+			NotExecuted: true,
+		}
+	}
+	if r.broken {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, 0, err
+		}
+		client, conn, info, err := dialSite(r.addr, r.id, r.cfg)
+		if err != nil {
+			return nil, nil, 0, &core.CodedError{
+				Code:        core.CodeUnavailable,
+				Msg:         fmt.Sprintf("remote: site %d: redial: %v", r.id, err),
+				NotExecuted: true,
+			}
+		}
+		r.client.Close()
+		r.client, r.conn = client, conn
+		// The re-handshake refreshes the cached fragment state: a
+		// restarted site may hold different data, and a stale size would
+		// skew CheckSizes and coverage accounting.
+		r.pred, r.size = info.Pred, info.NumTuples
+		r.broken = false
+		r.pending = 0
+		r.gen++
+	}
+	return r.client, r.conn, r.gen, nil
+}
+
+// markBroken retires the connection a failed call used. The generation
+// guard makes late failures of already-replaced connections harmless.
+// Closing the client fails that connection's other in-flight calls
+// immediately instead of letting each wait out its own deadline.
+func (r *RemoteSite) markBroken(gen uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.broken || r.gen != gen {
+		return
+	}
+	r.broken = true
+	r.client.Close()
+}
 
 // deadlineGrace is how much later than the per-call timer the
 // connection deadline fires: the timer owns failing the call (with a
@@ -131,12 +259,16 @@ const deadlineGrace = 500 * time.Millisecond
 // beginCall arms the connection deadline for an outgoing call. The
 // deadline also covers the receive loop's currently blocked read, so a
 // site that stops responding mid-call unblocks the client within the
-// budget (plus grace) instead of never.
-func (r *RemoteSite) beginCall(d time.Duration) {
+// budget (plus grace) instead of never. conn is the connection the
+// call was issued on; if a redial replaced it in the meantime the
+// bookkeeping is skipped — the old connection is already closed.
+func (r *RemoteSite) beginCall(conn net.Conn, d time.Duration) {
 	r.mu.Lock()
-	r.pending++
-	if d > 0 {
-		_ = r.conn.SetDeadline(time.Now().Add(d + deadlineGrace))
+	if conn == r.conn {
+		r.pending++
+		if d > 0 {
+			_ = conn.SetDeadline(time.Now().Add(d + deadlineGrace))
+		}
 	}
 	r.mu.Unlock()
 }
@@ -145,14 +277,16 @@ func (r *RemoteSite) beginCall(d time.Duration) {
 // an armed deadline on an idle connection would otherwise fire inside
 // the rpc client's standing read and kill a healthy connection — and
 // refreshes it while other calls remain in flight.
-func (r *RemoteSite) endCall() {
+func (r *RemoteSite) endCall(conn net.Conn) {
 	r.mu.Lock()
-	r.pending--
-	if d := time.Duration(r.timeout.Load()); d > 0 {
-		if r.pending == 0 {
-			_ = r.conn.SetDeadline(time.Time{})
-		} else {
-			_ = r.conn.SetDeadline(time.Now().Add(d + deadlineGrace))
+	if conn == r.conn {
+		r.pending--
+		if d := time.Duration(r.timeout.Load()); d > 0 {
+			if r.pending == 0 {
+				_ = conn.SetDeadline(time.Time{})
+			} else {
+				_ = conn.SetDeadline(time.Now().Add(d + deadlineGrace))
+			}
 		}
 	}
 	r.mu.Unlock()
@@ -162,14 +296,20 @@ func (r *RemoteSite) endCall() {
 // cancellation or timeout the wait is abandoned: a goroutine reaps the
 // call's completion so the connection deadline is released if the
 // response eventually arrives, and the conn deadline reaps the
-// connection if it never does.
+// connection if it never does. Server-reported errors come back typed
+// when the peer enveloped them; transport failures break the
+// connection (the next call redials) and surface as CodeUnavailable.
 func (r *RemoteSite) callCtx(ctx context.Context, method string, args, reply any) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	client, conn, gen, err := r.live(ctx)
+	if err != nil {
+		return err
+	}
 	d := time.Duration(r.timeout.Load())
-	r.beginCall(d)
-	call := r.client.Go(method, args, reply, make(chan *rpc.Call, 1))
+	r.beginCall(conn, d)
+	call := client.Go(method, args, reply, make(chan *rpc.Call, 1))
 	var timer <-chan time.Time
 	if d > 0 {
 		t := time.NewTimer(d)
@@ -178,14 +318,40 @@ func (r *RemoteSite) callCtx(ctx context.Context, method string, args, reply any
 	}
 	select {
 	case c := <-call.Done:
-		r.endCall()
-		return c.Error
+		r.endCall(conn)
+		if c.Error == nil {
+			return nil
+		}
+		return r.classify(method, gen, c.Error)
 	case <-ctx.Done():
-		go func() { <-call.Done; r.endCall() }()
+		go func() { <-call.Done; r.endCall(conn) }()
 		return ctx.Err()
 	case <-timer:
-		go func() { <-call.Done; r.endCall() }()
-		return fmt.Errorf("remote: site %d: %s timed out after %v", r.id, method, d)
+		go func() { <-call.Done; r.endCall(conn) }()
+		r.markBroken(gen)
+		return &core.CodedError{
+			Code: core.CodeUnavailable,
+			Msg:  fmt.Sprintf("remote: site %d: %s timed out after %v", r.id, method, d),
+		}
+	}
+}
+
+// classify splits a failed call's error into its two regimes. An
+// rpc.ServerError means the server answered: the connection is healthy
+// and the failure is the handler's — decode the typed envelope if one
+// is present. Anything else (ErrShutdown, I/O, gob) is a transport
+// failure: the connection is done and the next call redials. Whether
+// the request executed at the site is unknowable from here, so
+// NotExecuted stays false and only idempotent or nonce-deduped calls
+// retry through it.
+func (r *RemoteSite) classify(method string, gen uint64, err error) error {
+	if _, ok := err.(rpc.ServerError); ok {
+		return decodeError(err)
+	}
+	r.markBroken(gen)
+	return &core.CodedError{
+		Code: core.CodeUnavailable,
+		Msg:  fmt.Sprintf("remote: site %d: %s: %v", r.id, method, err),
 	}
 }
 
@@ -193,7 +359,7 @@ func (r *RemoteSite) callCtx(ctx context.Context, method string, args, reply any
 func (r *RemoteSite) ID() int { return r.id }
 
 // NumTuples returns the fragment size captured at handshake and
-// refreshed by every ApplyDelta through this proxy.
+// refreshed by every ApplyDelta through this proxy and every redial.
 func (r *RemoteSite) NumTuples() (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -201,7 +367,21 @@ func (r *RemoteSite) NumTuples() (int, error) {
 }
 
 // Predicate returns the fragment predicate captured at handshake.
-func (r *RemoteSite) Predicate() (relation.Predicate, error) { return r.pred, nil }
+func (r *RemoteSite) Predicate() (relation.Predicate, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pred, nil
+}
+
+// Ping is the health probe (wire v5): it round-trips the connection
+// and the server's handler queue without touching fragment data. The
+// circuit breaker's half-open state uses it to test a site before
+// re-admitting real traffic; since it flows through callCtx it also
+// triggers a redial of a broken connection, which is exactly the
+// recovery the probe wants to exercise.
+func (r *RemoteSite) Ping(ctx context.Context) error {
+	return r.callCtx(ctx, serviceName+".Ping", struct{}{}, &struct{}{})
+}
 
 // SigmaStats forwards to the remote site.
 func (r *RemoteSite) SigmaStats(ctx context.Context, spec *core.BlockSpec) ([]int, error) {
@@ -246,9 +426,11 @@ func (r *RemoteSite) ExtractBlocksBatch(ctx context.Context, spec *core.BlockSpe
 	return out, nil
 }
 
-// Deposit forwards a shipped batch to the remote site.
-func (r *RemoteSite) Deposit(ctx context.Context, task string, batch *relation.Relation) error {
-	return r.callCtx(ctx, serviceName+".Deposit", DepositArgs{Task: task, Batch: ToWire(batch)}, &struct{}{})
+// Deposit forwards a shipped batch to the remote site. The nonce rides
+// along (wire v5) so a retried shipment whose first attempt did land
+// is dropped by the site instead of double-buffering.
+func (r *RemoteSite) Deposit(ctx context.Context, task string, batch *relation.Relation, nonce string) error {
+	return r.callCtx(ctx, serviceName+".Deposit", DepositArgs{Task: task, Batch: ToWire(batch), Nonce: nonce}, &struct{}{})
 }
 
 // Abort forwards the failed-run deposit cleanup to the remote site.
@@ -306,12 +488,13 @@ func (r *RemoteSite) DetectConstantsLocal(ctx context.Context, c *cfd.CFD) (*rel
 	return FromWire(&reply)
 }
 
-// ApplyDelta forwards a fragment delta (wire v4). The proxy's cached
-// fragment size is refreshed from the reply, so NumTuples tracks the
-// mutated fragment as long as deltas flow through this driver.
-func (r *RemoteSite) ApplyDelta(ctx context.Context, d relation.Delta) (core.DeltaInfo, error) {
+// ApplyDelta forwards a fragment delta (wire v4; nonce since v5). The
+// proxy's cached fragment size is refreshed from the reply, so
+// NumTuples tracks the mutated fragment as long as deltas flow through
+// this driver.
+func (r *RemoteSite) ApplyDelta(ctx context.Context, d relation.Delta, nonce string) (core.DeltaInfo, error) {
 	var reply ApplyDeltaReply
-	if err := r.callCtx(ctx, serviceName+".ApplyDelta", ApplyDeltaArgs{Delta: DeltaToWire(d)}, &reply); err != nil {
+	if err := r.callCtx(ctx, serviceName+".ApplyDelta", ApplyDeltaArgs{Delta: DeltaToWire(d), Nonce: nonce}, &reply); err != nil {
 		return core.DeltaInfo{}, err
 	}
 	r.mu.Lock()
@@ -386,8 +569,13 @@ func (r *RemoteSite) MineFrequent(ctx context.Context, x []string, theta float64
 	return reply, err
 }
 
-// Close releases the connection.
-func (r *RemoteSite) Close() error { return r.client.Close() }
+// Close releases the connection and disables redial.
+func (r *RemoteSite) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	return r.client.Close()
+}
 
 func fromWireSlice(ws []*WireRelation) ([]*relation.Relation, error) {
 	out := make([]*relation.Relation, len(ws))

@@ -1,0 +1,67 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net/rpc"
+	"strings"
+
+	"distcfd/internal/core"
+)
+
+// net/rpc flattens every handler error to a string before it crosses
+// the wire, so typed errors (core.CodedError, ErrStaleIncremental)
+// would arrive as bare text and force the client into string matching.
+// Wire v5 instead carries a machine-readable envelope in the string
+// itself: "[distcfd:<code>] <message>". The server side encodes it
+// (encodeError), the client side parses it back into a CodedError
+// (decodeError). A v4 peer that predates the envelope sends plain
+// strings; the client passes those through untouched and
+// core.IsStaleIncremental falls back to its marker-substring check, so
+// mixed-version clusters keep working during a rollout.
+
+// codePrefix opens the wire error envelope.
+const codePrefix = "[distcfd:"
+
+// encodeError wraps a handler error in the wire-v5 code envelope when
+// it carries a classification; unclassified errors travel as-is.
+func encodeError(err error) error {
+	if err == nil {
+		return nil
+	}
+	code := core.ErrCodeOf(err)
+	if code == "" && core.IsStaleIncremental(err) {
+		code = core.CodeStale
+	}
+	if code == "" {
+		var te interface{ Transient() bool }
+		if errors.As(err, &te) && te.Transient() {
+			code = core.CodeUnavailable
+		}
+	}
+	if code == "" {
+		return err
+	}
+	return fmt.Errorf("%s%s] %s", codePrefix, code, err.Error())
+}
+
+// decodeError rebuilds the typed error from a server-reported RPC
+// error. Non-enveloped errors (old peers, plain application errors)
+// pass through unchanged.
+func decodeError(err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(rpc.ServerError); !ok {
+		return err
+	}
+	rest, ok := strings.CutPrefix(err.Error(), codePrefix)
+	if !ok {
+		return err
+	}
+	code, msg, ok := strings.Cut(rest, "] ")
+	if !ok {
+		return err
+	}
+	return &core.CodedError{Code: core.ErrCode(code), Msg: msg}
+}

@@ -1,0 +1,340 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/rpc"
+	"sync"
+	"testing"
+	"time"
+
+	"distcfd/internal/core"
+	"distcfd/internal/faulty"
+	"distcfd/internal/relation"
+	"distcfd/internal/workload"
+)
+
+// --- satellite (a): the typed error envelope and its string fallback ---
+
+func TestErrorEnvelopeTypedStale(t *testing.T) {
+	enc := encodeError(core.ErrStaleIncremental)
+	if enc == nil {
+		t.Fatal("stale error must encode")
+	}
+	// net/rpc flattens server-side errors to strings on the wire.
+	dec := decodeError(rpc.ServerError(enc.Error()))
+	var ce *core.CodedError
+	if !errors.As(dec, &ce) || ce.Code != core.CodeStale {
+		t.Fatalf("decoded %T %v, want *CodedError with CodeStale", dec, dec)
+	}
+	if !core.IsStaleIncremental(dec) {
+		t.Error("typed stale error not recognized by IsStaleIncremental")
+	}
+}
+
+// TestErrorEnvelopeStringFallback pins the v4-peer path: an old site
+// returns the bare stale message with no envelope; decode passes it
+// through untouched and the substring fallback still classifies it.
+func TestErrorEnvelopeStringFallback(t *testing.T) {
+	old := rpc.ServerError(core.ErrStaleIncremental.Error())
+	dec := decodeError(old)
+	if dec != old {
+		t.Errorf("un-enveloped server error must pass through unchanged, got %v", dec)
+	}
+	if !core.IsStaleIncremental(dec) {
+		t.Error("string fallback failed: pre-v5 stale error not recognized")
+	}
+	var ce *core.CodedError
+	if errors.As(dec, &ce) {
+		t.Error("fallback path must not invent a typed error")
+	}
+}
+
+func TestErrorEnvelopeTransient(t *testing.T) {
+	enc := encodeError(&core.CodedError{Code: core.CodeUnavailable, Msg: "remote: boom"})
+	dec := decodeError(rpc.ServerError(enc.Error()))
+	if core.ErrCodeOf(dec) != core.CodeUnavailable {
+		t.Errorf("transient code lost across the envelope: %v", dec)
+	}
+	// An injected fault advertises Transient(); the envelope keeps that
+	// property as CodeUnavailable for the driver's retry layer.
+	f := &faulty.Fault{Site: 1, Call: 3, Method: "Deposit", Reason: "rate"}
+	dec = decodeError(rpc.ServerError(encodeError(f).Error()))
+	if core.ErrCodeOf(dec) != core.CodeUnavailable {
+		t.Errorf("injected fault should cross the wire as unavailable, got %v", dec)
+	}
+}
+
+func TestErrorEnvelopePassthrough(t *testing.T) {
+	if encodeError(nil) != nil || decodeError(nil) != nil {
+		t.Error("nil must stay nil")
+	}
+	plain := errors.New("boom")
+	if encodeError(plain) != plain {
+		t.Error("uncoded errors must not grow an envelope")
+	}
+	if got := decodeError(plain); got != plain {
+		t.Error("non-ServerError values must pass through decode")
+	}
+	over := rpc.ServerError("boom")
+	if got := decodeError(over); got != over {
+		t.Error("un-enveloped server errors must pass through decode")
+	}
+}
+
+// --- satellite (b): bounded dial retry ---
+
+// TestDialRetryEventualServer: the server comes up only after the first
+// dial attempts have failed; the bounded retry with backoff reaches it.
+func TestDialRetryEventualServer(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close() // free the port; nothing listens yet
+	data := workload.EMPData()
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		lis2, err := net.Listen("tcp", addr)
+		if err != nil {
+			return
+		}
+		_ = Serve(lis2, core.NewSite(0, data, relation.True()), data.Schema())
+	}()
+	sites, _, err := DialWithConfig([]string{addr},
+		DialConfig{DialAttempts: 8, DialBackoff: 75 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("dial with retry should reach the late server: %v", err)
+	}
+	if err := sites[0].Ping(context.Background()); err != nil {
+		t.Errorf("ping after retried dial: %v", err)
+	}
+	sites[0].(*RemoteSite).Close()
+}
+
+// TestDialRetryStopsOnPermanentError: handshake rejections (wrong site
+// ID, version skew) are configuration errors — retrying cannot fix
+// them, so the retry loop must bail out on the first one instead of
+// burning the whole backoff schedule.
+func TestDialRetryStopsOnPermanentError(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	s := relation.MustSchema("T", []string{"a"})
+	go func() { _ = Serve(lis, core.NewSite(5, relation.New(s), relation.True()), s) }()
+	start := time.Now()
+	_, _, err = DialWithConfig([]string{lis.Addr().String()},
+		DialConfig{DialAttempts: 6, DialBackoff: 400 * time.Millisecond})
+	if err == nil {
+		t.Fatal("ID mismatch should fail the handshake")
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Errorf("permanent handshake error took %v — it retried instead of bailing", elapsed)
+	}
+}
+
+// trackingListener records accepted connections so a test can sever
+// them all at once — the moral equivalent of kill -9 on the server.
+type trackingListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *trackingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *trackingListener) severAll() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.conns {
+		c.Close()
+	}
+	l.conns = nil
+}
+
+// TestRedialAfterServerRestart is the crash-then-restart shape: the
+// server process dies (listener and connections gone), a new one comes
+// up on the same address with different data, and the client's next
+// calls fail once, then transparently redial, re-handshake, and see the
+// restarted site's state.
+func TestRedialAfterServerRestart(t *testing.T) {
+	data := workload.EMPData()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	track := &trackingListener{Listener: lis}
+	ctx1, stop1 := context.WithCancel(context.Background())
+	go func() { _ = ServeAPIContext(ctx1, track, core.NewSite(0, data, relation.True()), data.Schema()) }()
+	sites, _, err := Dial([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sites[0]
+	defer r.(*RemoteSite).Close()
+	if err := r.Ping(context.Background()); err != nil {
+		t.Fatalf("ping against the live server: %v", err)
+	}
+	if n, _ := r.NumTuples(); n != data.Len() {
+		t.Fatalf("NumTuples = %d, want %d", n, data.Len())
+	}
+
+	// Kill the server and bring up a replacement with a smaller
+	// fragment on the same address.
+	stop1()
+	track.severAll()
+	smaller := relation.New(data.Schema())
+	smaller.MustAppend(data.Tuple(0))
+	var lis2 net.Listener
+	for i := 0; i < 50; i++ { // the port frees as the old listener dies
+		lis2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("could not rebind %s: %v", addr, err)
+	}
+	go func() { _ = Serve(lis2, core.NewSite(0, smaller, relation.True()), data.Schema()) }()
+	t.Cleanup(func() { lis2.Close() })
+
+	// The first call on the severed connection fails — transport errors
+	// are not silently retried here; that is the core layer's decision —
+	// and marks the connection broken.
+	err = r.Ping(context.Background())
+	if err == nil {
+		t.Fatal("ping over a severed connection should fail")
+	}
+	if core.ErrCodeOf(err) != core.CodeUnavailable {
+		t.Errorf("transport failure should classify unavailable, got %v", err)
+	}
+	// The next call redials, re-handshakes, and serves — and the
+	// handshake refreshed the cached site size to the restarted state.
+	if err := r.Ping(context.Background()); err != nil {
+		t.Fatalf("ping after redial: %v", err)
+	}
+	if n, _ := r.NumTuples(); n != smaller.Len() {
+		t.Errorf("NumTuples after redial = %d, want %d (re-handshake must refresh)", n, smaller.Len())
+	}
+}
+
+// TestRedialAfterConnReset drives the mid-stream reset fault: every
+// accepted connection dies after its I/O budget, so the client loses
+// its link repeatedly and must redial each time.
+func TestRedialAfterConnReset(t *testing.T) {
+	data := workload.EMPData()
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	lis := faulty.WrapListener(base, faulty.Plan{ConnResetEvery: 1, ConnResetOps: 60})
+	go func() {
+		_ = ServeAPIContext(context.Background(), lis, core.NewSite(0, data, relation.True()), data.Schema())
+	}()
+	sites, _, err := Dial([]string{base.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sites[0]
+	defer r.(*RemoteSite).Close()
+	sawFailure, recovered := false, false
+	for i := 0; i < 80; i++ {
+		if err := r.Ping(context.Background()); err != nil {
+			sawFailure = true
+		} else if sawFailure {
+			recovered = true
+		}
+	}
+	if !sawFailure {
+		t.Fatal("no connection ever reset — the fault injection did not bite")
+	}
+	if !recovered {
+		t.Fatal("client never recovered after a reset — redial is broken")
+	}
+}
+
+// TestRemoteChaosDetectEquivalence is the end-to-end chaos run over
+// real TCP: server-side injected call faults plus periodic connection
+// resets, a FailRetry driver, and the invariant that the answer —
+// violations, shipment, modeled time — is byte-identical to the
+// in-process fault-free run, with zero deposits left anywhere.
+func TestRemoteChaosDetectEquivalence(t *testing.T) {
+	h, err := workload.EMPFig1bPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make([]*core.Site, h.N())
+	addrs := make([]string, h.N())
+	for i := range h.Fragments {
+		base, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { base.Close() })
+		pred := relation.True()
+		if len(h.Predicates) > i {
+			pred = h.Predicates[i]
+		}
+		served[i] = core.NewSite(i, h.Fragments[i], pred)
+		plan := faulty.Plan{Seed: int64(i) + 21, Rate: 0.08, ConnResetEvery: 3, ConnResetOps: 400}
+		api := faulty.Wrap(served[i], plan)
+		lis := faulty.WrapListener(base, plan)
+		go func() { _ = ServeAPIContext(context.Background(), lis, api, h.Schema) }()
+		addrs[i] = base.Addr().String()
+	}
+	sites, schema, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteCl, err := core.NewCluster(schema, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localCl, err := core.FromHorizontal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfds := workload.EMPCFDs()
+	want, err := core.ClustDetect(localCl, cfds, core.PatDetectS, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.ClustDetect(remoteCl, cfds, core.PatDetectS, core.Options{
+		Failure: core.FailRetry,
+		Retry:   core.RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("chaos detect over TCP failed: %v", err)
+	}
+	for ci := range cfds {
+		if !got.PerCFD[ci].SameTuples(want.PerCFD[ci]) {
+			t.Errorf("cfd %d: chaos run's violations differ\n got  %v\n want %v", ci, got.PerCFD[ci], want.PerCFD[ci])
+		}
+	}
+	if got.ShippedTuples != want.ShippedTuples {
+		t.Errorf("shipped %d, fault-free ships %d", got.ShippedTuples, want.ShippedTuples)
+	}
+	if got.ModeledTime != want.ModeledTime {
+		t.Errorf("modeled %v, fault-free %v", got.ModeledTime, want.ModeledTime)
+	}
+	for i, s := range served {
+		if n := s.PendingDeposits(); n != 0 {
+			t.Errorf("site %d still buffers %d deposit tasks", i, n)
+		}
+	}
+}

@@ -249,7 +249,7 @@ func TestRemoteApplyDeltaRefreshesNumTuples(t *testing.T) {
 	}
 	info, err := sites[0].ApplyDelta(context.Background(), relation.Delta{
 		Inserts: []relation.Tuple{{"90", "Zoe", "MTS", "44", "131", "1112223", "Mayfield", "EDI", "EH4 8LE", "80k"}},
-	})
+	}, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -118,7 +118,7 @@ func TestRemoteAbortDrainsDeposits(t *testing.T) {
 	// Deposit the whole EMP instance (it contains violations of φ1)
 	// under a block task of "job", then abort "job".
 	batch := workload.EMPData()
-	if err := sites[0].Deposit(context.Background(), "job/b0", batch); err != nil {
+	if err := sites[0].Deposit(context.Background(), "job/b0", batch, ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := sites[0].Abort("job"); err != nil {
@@ -133,7 +133,7 @@ func TestRemoteAbortDrainsDeposits(t *testing.T) {
 		t.Errorf("aborted deposit still produced %d violation patterns", pats[0].Len())
 	}
 	// Control: without the abort the same deposit does yield patterns.
-	if err := sites[0].Deposit(context.Background(), "job2/b0", batch); err != nil {
+	if err := sites[0].Deposit(context.Background(), "job2/b0", batch, ""); err != nil {
 		t.Fatal(err)
 	}
 	pats, err = sites[0].DetectTask(context.Background(), "job2/b0", core.LocalInput{Block: core.BlockNone}, rules)

@@ -12,7 +12,7 @@ import (
 	"distcfd/internal/relation"
 )
 
-// SiteService exposes a core.Site over net/rpc. Method names mirror
+// SiteService exposes a core.SiteAPI over net/rpc. Method names mirror
 // core.SiteAPI one-to-one. Every handler roots its site work in
 // baseCtx — the server's lifetime context — so a shutting-down
 // cfdsite cancels in-flight detection instead of letting it run to
@@ -20,22 +20,28 @@ import (
 // context, so the server's lifetime is the finest cancellation grain
 // available; per-task cleanup still flows through the Cancel/Abort
 // messages.
+//
+// Serving an interface rather than *core.Site lets the fault-injection
+// harness (internal/faulty) wrap a real site and serve the faulty view
+// over a real socket. Handler errors cross the wire through
+// encodeError, so typed classifications (stale, unavailable) survive
+// net/rpc's string flattening.
 type SiteService struct {
-	site    *core.Site
+	site    core.SiteAPI
 	schema  *relation.Schema
 	baseCtx context.Context
 }
 
 // NewSiteService wraps a site for serving with no lifetime context
 // (handlers never cancel). Prefer NewSiteServiceContext.
-func NewSiteService(site *core.Site, schema *relation.Schema) *SiteService {
+func NewSiteService(site core.SiteAPI, schema *relation.Schema) *SiteService {
 	//distcfd:ctxflow-ok — server boundary: context-free constructor roots at Background
 	return NewSiteServiceContext(context.Background(), site, schema)
 }
 
 // NewSiteServiceContext wraps a site for serving; ctx bounds every
 // handler's site work.
-func NewSiteServiceContext(ctx context.Context, site *core.Site, schema *relation.Schema) *SiteService {
+func NewSiteServiceContext(ctx context.Context, site core.SiteAPI, schema *relation.Schema) *SiteService {
 	return &SiteService{site: site, schema: schema, baseCtx: ctx}
 }
 
@@ -47,22 +53,32 @@ func Serve(lis net.Listener, site *core.Site, schema *relation.Schema) error {
 	return ServeContext(context.Background(), lis, site, schema)
 }
 
-// ServeContext registers the service and accepts connections until the
-// listener closes or ctx is cancelled. It blocks; on cancellation it
-// closes the listener and returns nil (a graceful shutdown, not an
-// error), with every in-flight handler's site work cancelled through
-// the service's base context.
+// ServeContext is Serve for a concrete core.Site under a lifetime
+// context; it delegates to ServeAPIContext.
+func ServeContext(ctx context.Context, lis net.Listener, site *core.Site, schema *relation.Schema) error {
+	return ServeAPIContext(ctx, lis, site, schema)
+}
+
+// ServeAPIContext registers the service for any core.SiteAPI and
+// accepts connections until the listener closes or ctx is cancelled.
+// It blocks; on cancellation it closes the listener and returns nil (a
+// graceful shutdown, not an error), with every in-flight handler's
+// site work cancelled through the service's base context.
 //
-// The driver's intra-unit worker budget does not cross the wire, so a
-// site with no budget configured is given this machine's core count
+// The driver's intra-unit worker budget does not cross the wire, so an
+// api that exposes the parallelism knobs (a *core.Site, wrapped or
+// not) with no budget configured is given this machine's core count
 // before traffic starts; an operator who already called
 // SetDetectParallelism keeps their cap.
-func ServeContext(ctx context.Context, lis net.Listener, site *core.Site, schema *relation.Schema) error {
-	if site.DetectParallelism() == 0 {
-		site.SetDetectParallelism(runtime.GOMAXPROCS(0))
+func ServeAPIContext(ctx context.Context, lis net.Listener, api core.SiteAPI, schema *relation.Schema) error {
+	if p, ok := api.(interface {
+		DetectParallelism() int
+		SetDetectParallelism(int)
+	}); ok && p.DetectParallelism() == 0 {
+		p.SetDetectParallelism(runtime.GOMAXPROCS(0))
 	}
 	srv := rpc.NewServer()
-	if err := srv.RegisterName(serviceName, NewSiteServiceContext(ctx, site, schema)); err != nil {
+	if err := srv.RegisterName(serviceName, NewSiteServiceContext(ctx, api, schema)); err != nil {
 		return err
 	}
 	done := make(chan struct{})
@@ -101,11 +117,11 @@ type InfoReply struct {
 func (s *SiteService) Info(_ struct{}, reply *InfoReply) error {
 	n, err := s.site.NumTuples()
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	pred, err := s.site.Predicate()
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	reply.Version = WireVersion
 	reply.ID = s.site.ID()
@@ -113,6 +129,12 @@ func (s *SiteService) Info(_ struct{}, reply *InfoReply) error {
 	reply.Pred = pred
 	reply.Schema = SchemaToWire(s.schema)
 	return nil
+}
+
+// Ping is the health probe (wire v5): a round trip through the
+// connection and the handler queue, no fragment work.
+func (s *SiteService) Ping(_ struct{}, _ *struct{}) error {
+	return encodeError(s.site.Ping(s.baseCtx))
 }
 
 // SpecArgs carries a σ spec.
@@ -124,7 +146,7 @@ type SpecArgs struct {
 func (s *SiteService) SigmaStats(args SpecArgs, reply *[]int) error {
 	stats, err := s.site.SigmaStats(s.baseCtx, args.Spec)
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	*reply = stats
 	return nil
@@ -142,7 +164,7 @@ type ExtractArgs struct {
 func (s *SiteService) ExtractBlock(args ExtractArgs, reply *WireRelation) error {
 	r, err := s.site.ExtractBlock(s.baseCtx, args.Spec, args.Block, args.Attrs)
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	*reply = *ToWire(r)
 	return nil
@@ -152,7 +174,7 @@ func (s *SiteService) ExtractBlock(args ExtractArgs, reply *WireRelation) error 
 func (s *SiteService) ExtractMatching(args ExtractArgs, reply *WireRelation) error {
 	r, err := s.site.ExtractMatching(s.baseCtx, args.Spec, args.Attrs)
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	*reply = *ToWire(r)
 	return nil
@@ -162,7 +184,7 @@ func (s *SiteService) ExtractMatching(args ExtractArgs, reply *WireRelation) err
 func (s *SiteService) ExtractBlocksBatch(args ExtractArgs, reply *map[int]*WireRelation) error {
 	batches, err := s.site.ExtractBlocksBatch(s.baseCtx, args.Spec, args.Attrs, args.Wanted)
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	out := make(map[int]*WireRelation, len(batches))
 	for l, r := range batches {
@@ -172,19 +194,23 @@ func (s *SiteService) ExtractBlocksBatch(args ExtractArgs, reply *map[int]*WireR
 	return nil
 }
 
-// DepositArgs carries a shipped batch.
+// DepositArgs carries a shipped batch. Nonce (wire v5) keys the site's
+// at-most-once dedup; empty disables it. Gob omits unknown fields, so
+// the added field is compatible in both directions across v4 peers —
+// the version handshake rejects the pairing anyway.
 type DepositArgs struct {
 	Task  string
 	Batch *WireRelation
+	Nonce string
 }
 
 // Deposit buffers a batch under the task key.
 func (s *SiteService) Deposit(args DepositArgs, _ *struct{}) error {
 	r, err := FromWire(args.Batch)
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
-	return s.site.Deposit(s.baseCtx, args.Task, r)
+	return encodeError(s.site.Deposit(s.baseCtx, args.Task, r, args.Nonce))
 }
 
 // AbortArgs names the task whose deposits to drain.
@@ -194,7 +220,7 @@ type AbortArgs struct {
 
 // Abort drains the task's deposit buffers (failed-run cleanup).
 func (s *SiteService) Abort(args AbortArgs, _ *struct{}) error {
-	return s.site.Abort(args.Task)
+	return encodeError(s.site.Abort(args.Task))
 }
 
 // Cancel is the per-task cancel message (wire version 3): it drains
@@ -202,7 +228,7 @@ func (s *SiteService) Abort(args AbortArgs, _ *struct{}) error {
 // Deposit that was still in flight when the driver cancelled is
 // dropped on arrival instead of leaking in this long-lived process.
 func (s *SiteService) Cancel(args AbortArgs, _ *struct{}) error {
-	return s.site.Cancel(args.Task)
+	return encodeError(s.site.Cancel(args.Task))
 }
 
 // DetectTaskArgs parameterizes the CTR-style coordinator step.
@@ -216,7 +242,7 @@ type DetectTaskArgs struct {
 func (s *SiteService) DetectTask(args DetectTaskArgs, reply *[]*WireRelation) error {
 	pats, err := s.site.DetectTask(s.baseCtx, args.Task, args.Local, args.CFDs)
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	out := make([]*WireRelation, len(pats))
 	for i, p := range pats {
@@ -239,7 +265,7 @@ type DetectAssignedArgs struct {
 func (s *SiteService) DetectAssignedSingle(args DetectAssignedArgs, reply *WireRelation) error {
 	pats, err := s.site.DetectAssignedSingle(s.baseCtx, args.TaskPrefix, args.Spec, args.Blocks, args.CFD)
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	*reply = *ToWire(pats)
 	return nil
@@ -249,7 +275,7 @@ func (s *SiteService) DetectAssignedSingle(args DetectAssignedArgs, reply *WireR
 func (s *SiteService) DetectAssignedSet(args DetectAssignedArgs, reply *[]*WireRelation) error {
 	pats, err := s.site.DetectAssignedSet(s.baseCtx, args.TaskPrefix, args.Spec, args.Blocks, args.CFDs)
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	out := make([]*WireRelation, len(pats))
 	for i, p := range pats {
@@ -268,15 +294,17 @@ type ConstantsArgs struct {
 func (s *SiteService) DetectConstantsLocal(args ConstantsArgs, reply *WireRelation) error {
 	pats, err := s.site.DetectConstantsLocal(s.baseCtx, args.CFD)
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	*reply = *ToWire(pats)
 	return nil
 }
 
-// ApplyDeltaArgs carries one fragment delta (wire v4).
+// ApplyDeltaArgs carries one fragment delta (wire v4; Nonce since v5,
+// keying the site's apply-once memo — empty disables it).
 type ApplyDeltaArgs struct {
 	Delta WireDelta
+	Nonce string
 }
 
 // ApplyDeltaReply reports the post-delta site state.
@@ -288,9 +316,9 @@ type ApplyDeltaReply struct {
 // ApplyDelta applies a delta to the local fragment, maintaining the
 // serving caches and the delta log (wire v4).
 func (s *SiteService) ApplyDelta(args ApplyDeltaArgs, reply *ApplyDeltaReply) error {
-	info, err := s.site.ApplyDelta(s.baseCtx, DeltaFromWire(args.Delta))
+	info, err := s.site.ApplyDelta(s.baseCtx, DeltaFromWire(args.Delta), args.Nonce)
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	reply.Gen = info.Gen
 	reply.NumTuples = info.NumTuples
@@ -317,7 +345,7 @@ type DeltaBlocksReply struct {
 func (s *SiteService) ExtractDeltaBlocks(args DeltaBlocksArgs, reply *DeltaBlocksReply) error {
 	db, err := s.site.ExtractDeltaBlocks(s.baseCtx, args.Spec, args.Attrs, args.Wanted, args.FromGen)
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	reply.ToGen = db.ToGen
 	reply.TotalIns, reply.TotalDel = db.TotalIns, db.TotalDel
@@ -361,7 +389,7 @@ func (s *SiteService) FoldDetect(args FoldArgs, reply *FoldReply) error {
 		FromGen:        args.FromGen,
 	})
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	reply.ToGen = rep.ToGen
 	reply.Patterns = make([]*WireRelation, len(rep.Patterns))
@@ -378,7 +406,7 @@ type SessionArgs struct {
 
 // DropSession releases a session's retained fold states (wire v4).
 func (s *SiteService) DropSession(args SessionArgs, _ *struct{}) error {
-	return s.site.DropSession(args.Session)
+	return encodeError(s.site.DropSession(args.Session))
 }
 
 // MineArgs parameterizes frequent-pattern mining.
@@ -391,7 +419,7 @@ type MineArgs struct {
 func (s *SiteService) MineFrequent(args MineArgs, reply *[]mining.Pattern) error {
 	ps, err := s.site.MineFrequent(s.baseCtx, args.X, args.Theta)
 	if err != nil {
-		return err
+		return encodeError(err)
 	}
 	*reply = ps
 	return nil

@@ -22,17 +22,22 @@ import (
 // tombstone, so a deposit in flight across a driver cancellation
 // cannot leak at the site); version 4 added the incremental surface —
 // ApplyDelta, ExtractDeltaBlocks (delta-encoded payloads: only the
-// changed tuples' projections travel), FoldDetect and DropSession.
+// changed tuples' projections travel), FoldDetect and DropSession;
+// version 5 added the fault-tolerance surface — the Ping health probe,
+// at-most-once nonces on Deposit and ApplyDelta (so a retried shipment
+// cannot double-buffer at the site), and the typed error envelope
+// ("[distcfd:<code>] msg") that carries core.ErrCode across net/rpc's
+// string-flattened errors.
 //
-// The rpc service name carries the version too ("SiteV4"), so skew in
+// The rpc service name carries the version too ("SiteV5"), so skew in
 // EITHER direction dies on the first call with a can't-find-service
 // error: an old driver against a new site (which the InfoReply check
 // alone could never catch — that check runs in the new driver) and a
 // new driver against an old site both fail loudly instead of silently
 // exchanging partially-decoded payloads.
-const WireVersion = 4
+const WireVersion = 5
 
-const serviceName = "SiteV4"
+const serviceName = "SiteV5"
 
 // WireRelation is the gob-encodable form of relation.Relation. It
 // carries exactly one of two payloads: the row form (Tuples), or the
