@@ -6,17 +6,91 @@
 //	cfdgen -dataset cust -n 100000 -seed 7 -err 0.01 -o cust.csv [-rules cust.cfd]
 //	cfdgen -dataset xref -n 100000 -o xref.csv
 //	cfdgen -dataset emp -o emp.csv
+//
+// An output of the form store://DIR writes a packed columnar store
+// directory (internal/colstore) instead of CSV, ready for
+// cfdsite -data-dir. For cust and xref the rows stream straight from
+// the generator into the store writer — one dictionary-interned chunk
+// per column in memory, never the whole relation — so instances far
+// bigger than RAM generate in O(1) memory:
+//
+//	cfdgen -dataset cust -n 10000000 -o store://cust.store
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"distcfd/internal/cfd"
+	"distcfd/internal/colstore"
 	"distcfd/internal/relation"
 	"distcfd/internal/workload"
 )
+
+// storeScheme prefixes an -o value that targets a store directory.
+const storeScheme = "store://"
+
+// genStore streams the chosen dataset into a store directory and
+// returns the persisted row count. cust and xref stream row by row;
+// the fixed small datasets materialize first.
+func genStore(dir, dataset string, n int, seed int64, errRate float64) (int, error) {
+	var (
+		schema *relation.Schema
+		stream func(emit func(relation.Tuple) error) error
+	)
+	switch dataset {
+	case "cust":
+		schema = workload.CustSchema()
+		cfg := workload.CustConfig{N: n, Seed: seed, ErrRate: errRate}
+		stream = func(emit func(relation.Tuple) error) error { return workload.CustStream(cfg, emit) }
+	case "xref":
+		schema = workload.XRefSchema()
+		cfg := workload.XRefConfig{N: n, Seed: seed, ErrRate: errRate}
+		stream = func(emit func(relation.Tuple) error) error { return workload.XRefStream(cfg, emit) }
+	case "xrefh":
+		data := workload.XRefHuman(n, seed)
+		schema = data.Schema()
+		stream = func(emit func(relation.Tuple) error) error {
+			for _, t := range data.Tuples() {
+				if err := emit(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	case "emp":
+		data := workload.EMPData()
+		schema = data.Schema()
+		stream = func(emit func(relation.Tuple) error) error {
+			for _, t := range data.Tuples() {
+				if err := emit(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	default:
+		return 0, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	w, err := colstore.CreateDir(dir, schema)
+	if err != nil {
+		return 0, err
+	}
+	defer w.Close()
+	if err := stream(w.Append); err != nil {
+		return 0, err
+	}
+	stats, err := w.Finish()
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(os.Stderr, "store %s: %d rows, %d bytes on disk (raw %d, %.1fx)\n",
+		dir, stats.Rows, stats.BytesOnDisk, stats.RawBytes,
+		float64(stats.RawBytes)/float64(max(stats.BytesOnDisk, 1)))
+	return stats.Rows, nil
+}
 
 func main() {
 	var (
@@ -29,23 +103,30 @@ func main() {
 	)
 	flag.Parse()
 
-	var (
-		data *relation.Relation
-		cfds []*cfd.CFD
-	)
+	if strings.HasPrefix(*out, storeScheme) {
+		dir := strings.TrimPrefix(*out, storeScheme)
+		if dir == "" {
+			fatalf("-o %s needs a directory, e.g. -o store://cust.store", storeScheme)
+		}
+		rows, err := genStore(dir, *dataset, *n, *seed, *errRate)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		writeRules(*rules, *dataset)
+		fmt.Fprintf(os.Stderr, "wrote %d tuples (%s)\n", rows, *dataset)
+		return
+	}
+
+	var data *relation.Relation
 	switch *dataset {
 	case "cust":
 		data = workload.Cust(workload.CustConfig{N: *n, Seed: *seed, ErrRate: *errRate})
-		cfds = append(workload.CustOverlappingCFDs(255, 128), workload.CustStreetCFD())
 	case "xref":
 		data = workload.XRef(workload.XRefConfig{N: *n, Seed: *seed, ErrRate: *errRate})
-		cfds = []*cfd.CFD{workload.XRefCFD(), workload.XRefCFD2()}
 	case "xrefh":
 		data = workload.XRefHuman(*n, *seed)
-		cfds = []*cfd.CFD{workload.XRefMiningFD()}
 	case "emp":
 		data = workload.EMPData()
-		cfds = workload.EMPCFDs()
 	default:
 		fatalf("unknown dataset %q", *dataset)
 	}
@@ -62,17 +143,34 @@ func main() {
 	if err := relation.WriteCSV(w, data); err != nil {
 		fatalf("writing CSV: %v", err)
 	}
-	if *rules != "" {
-		f, err := os.Create(*rules)
-		if err != nil {
-			fatalf("creating %s: %v", *rules, err)
-		}
-		defer f.Close()
-		for _, c := range cfds {
-			fmt.Fprintln(f, cfd.Format(c))
-		}
-	}
+	writeRules(*rules, *dataset)
 	fmt.Fprintf(os.Stderr, "wrote %d tuples (%s)\n", data.Len(), *dataset)
+}
+
+// writeRules writes the dataset's CFD rule file when path is set.
+func writeRules(path, dataset string) {
+	if path == "" {
+		return
+	}
+	var cfds []*cfd.CFD
+	switch dataset {
+	case "cust":
+		cfds = append(workload.CustOverlappingCFDs(255, 128), workload.CustStreetCFD())
+	case "xref":
+		cfds = []*cfd.CFD{workload.XRefCFD(), workload.XRefCFD2()}
+	case "xrefh":
+		cfds = []*cfd.CFD{workload.XRefMiningFD()}
+	case "emp":
+		cfds = workload.EMPCFDs()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("creating %s: %v", path, err)
+	}
+	defer f.Close()
+	for _, c := range cfds {
+		fmt.Fprintln(f, cfd.Format(c))
+	}
 }
 
 func fatalf(format string, args ...any) {

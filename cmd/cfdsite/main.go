@@ -4,6 +4,15 @@
 //
 //	cfdsite -data frag0.csv -key id -id 0 -listen 127.0.0.1:7001
 //
+// Alternatively -data-dir serves a packed columnar store directory
+// (written by cfdgen -o store://DIR or colstore.WriteRelationDir): the
+// fragment file is mapped read-only and served chunk by chunk — the
+// site holds fragments bigger than RAM — and applied deltas persist in
+// the directory's write-ahead log, so a restarted site recovers its
+// exact pre-crash state:
+//
+//	cfdsite -data-dir frag0.store -id 0 -listen 127.0.0.1:7001
+//
 // The optional -pred flag declares the fragment predicate Fi for the
 // Section IV-A pruning, e.g. -pred "title=MTS,CC=44" (conjunction of
 // equalities).
@@ -41,28 +50,33 @@ import (
 func main() {
 	var (
 		dataPath  = flag.String("data", "", "CSV fragment file")
-		key       = flag.String("key", "", "key attribute (optional)")
+		dataDir   = flag.String("data-dir", "", "columnar store directory (cfdgen -o store://DIR); serves out-of-core, persists deltas")
+		key       = flag.String("key", "", "key attribute (optional, -data only)")
 		id        = flag.Int("id", 0, "site ID (must match position in the driver's address list)")
 		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
 		predSpec  = flag.String("pred", "", "fragment predicate, e.g. \"title=MTS,CC=44\"")
 		faultSpec = flag.String("fault-plan", "", "inject deterministic faults (development), e.g. \"seed=7,rate=0.05,err=Deposit@3,crash=20,restart=5,reset=2@40\"")
 	)
 	flag.Parse()
-	if *dataPath == "" {
-		fatalf("-data is required")
+	if (*dataPath == "") == (*dataDir == "") {
+		fatalf("exactly one of -data or -data-dir is required")
 	}
-	f, err := os.Open(*dataPath)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	var keys []string
-	if *key != "" {
-		keys = []string{*key}
-	}
-	data, err := relation.ReadCSV(f, "data", keys...)
-	f.Close()
-	if err != nil {
-		fatalf("reading data: %v", err)
+	var data *relation.Relation
+	if *dataPath != "" {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var keys []string
+		if *key != "" {
+			keys = []string{*key}
+		}
+		var rerr error
+		data, rerr = relation.ReadCSV(f, "data", keys...)
+		f.Close()
+		if rerr != nil {
+			fatalf("reading data: %v", rerr)
+		}
 	}
 	pred := relation.True()
 	if *predSpec != "" {
@@ -76,34 +90,69 @@ func main() {
 		}
 		pred = relation.And(atoms...)
 	}
+	// newSite builds the serving site: in-memory over the CSV fragment,
+	// or opened over the store directory — the latter replays the
+	// directory's delta log, so a restart recovers the exact pre-crash
+	// fragment state (only the serving caches and sessions are lost,
+	// exactly what a process restart must lose).
+	newSite := func() *core.Site {
+		if *dataDir != "" {
+			s, err := core.OpenStoreSite(*id, *dataDir, pred)
+			if err != nil {
+				fatalf("opening store %s: %v", *dataDir, err)
+			}
+			return s
+		}
+		return core.NewSite(*id, data, pred)
+	}
+
+	var plan faulty.Plan
+	if *faultSpec != "" {
+		var perr error
+		plan, perr = faulty.Parse(*faultSpec)
+		if perr != nil {
+			fatalf("-fault-plan: %v", perr)
+		}
+	}
+	var (
+		api    core.SiteAPI
+		schema *relation.Schema
+	)
+	if plan.RestartAfter > 0 {
+		w := faulty.WrapRestartable(func() core.SiteAPI { return newSite() }, plan)
+		schema = w.Inner().(*core.Site).Schema()
+		api = w
+	} else {
+		s := newSite()
+		schema = s.Schema()
+		api = s
+		if *faultSpec != "" {
+			api = faulty.Wrap(api, plan)
+		}
+	}
+	defer func() {
+		inner := api
+		if w, ok := api.(*faulty.Site); ok {
+			inner = w.Inner()
+		}
+		if c, ok := inner.(interface{ Close() error }); ok {
+			c.Close()
+		}
+	}()
+
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("site %d serving %d tuples on %s\n", *id, data.Len(), lis.Addr())
-	var api core.SiteAPI = core.NewSite(*id, data, pred)
+	tuples, _ := api.NumTuples()
+	fmt.Printf("site %d serving %d tuples on %s\n", *id, tuples, lis.Addr())
 	if *faultSpec != "" {
-		plan, err := faulty.Parse(*faultSpec)
-		if err != nil {
-			fatalf("-fault-plan: %v", err)
-		}
-		if plan.RestartAfter > 0 {
-			// A restart rebuilds the site over the same in-memory
-			// fragment — the serving caches, sessions, and pending
-			// deposits are lost (the state a crash loses), while the
-			// data survives as it would on a site reloading from disk.
-			api = faulty.WrapRestartable(func() core.SiteAPI {
-				return core.NewSite(*id, data, pred)
-			}, plan)
-		} else {
-			api = faulty.Wrap(api, plan)
-		}
 		lis = faulty.WrapListener(lis, plan)
 		fmt.Printf("site %d: fault injection active: %s\n", *id, *faultSpec)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := remote.ServeAPIContext(ctx, lis, api, data.Schema()); err != nil {
+	if err := remote.ServeAPIContext(ctx, lis, api, schema); err != nil {
 		fatalf("serve: %v", err)
 	}
 	fmt.Printf("site %d shut down\n", *id)

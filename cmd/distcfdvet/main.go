@@ -10,7 +10,8 @@
 //
 // or just `make lint`. The suite: keyjoin (collision-prone separator
 // keys), ctxflow (fresh context roots inside internal/), poolpair
-// (sync.Pool Get/Put pairing in internal/engine), wirecompat (wire
+// (sync.Pool Get/Put pairing in internal/engine), mmapclose
+// (colstore.Open handles Closed on all paths), wirecompat (wire
 // structs pinned to internal/remote/wire.golden).
 //
 // A standalone mode regenerates the wirecompat golden after a
@@ -39,6 +40,7 @@ import (
 	"distcfd/internal/analysis"
 	"distcfd/internal/analysis/ctxflow"
 	"distcfd/internal/analysis/keyjoin"
+	"distcfd/internal/analysis/mmapclose"
 	"distcfd/internal/analysis/poolpair"
 	"distcfd/internal/analysis/wirecompat"
 )
@@ -47,6 +49,7 @@ var analyzers = []*analysis.Analyzer{
 	keyjoin.Analyzer,
 	ctxflow.Analyzer,
 	poolpair.Analyzer,
+	mmapclose.Analyzer,
 	wirecompat.Analyzer,
 }
 

@@ -1,0 +1,12 @@
+package mmapclose_test
+
+import (
+	"testing"
+
+	"distcfd/internal/analysis/analysistest"
+	"distcfd/internal/analysis/mmapclose"
+)
+
+func TestMmapclose(t *testing.T) {
+	analysistest.Run(t, mmapclose.Analyzer, "distcfd/internal/colstore", "testdata/src/mmapclose")
+}

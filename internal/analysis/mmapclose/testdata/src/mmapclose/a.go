@@ -1,0 +1,119 @@
+// Fixture for the mmapclose analyzer; the harness type-checks it under
+// the internal/colstore import path, so the local Open* constructors
+// resolve as colstore's own and the analyzer treats their results as
+// mapped handles.
+package mmapclosefix
+
+import "errors"
+
+type Fragment struct{ rows int }
+
+func (f *Fragment) Close() error { return nil }
+func (f *Fragment) Rows() int    { return f.rows }
+
+type DeltaLog struct{}
+
+func (l *DeltaLog) Close() error { return nil }
+
+func Open(path string) (*Fragment, error) {
+	if path == "" {
+		return nil, errors.New("empty path")
+	}
+	return &Fragment{}, nil
+}
+
+func OpenDir(dir string) (*Fragment, error) {
+	return Open(dir + "/fragment.col") // hands straight off — fine
+}
+
+func OpenDeltaLog(path string) (*DeltaLog, error) { return &DeltaLog{}, nil }
+
+func paired(path string) (int, error) {
+	f, err := Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return f.Rows(), nil
+}
+
+func leaky(path string) (int, error) {
+	f, err := Open(path) // want `never Closes it`
+	if err != nil {
+		return 0, err
+	}
+	return f.Rows(), nil
+}
+
+func earlyReturnHole(path string, cond bool) error {
+	f, err := Open(path) // want `Closes a colstore handle without defer`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // leaks the mapping
+	}
+	return f.Close()
+}
+
+func leakyLog(path string) error {
+	_, err := OpenDeltaLog(path) // want `never Closes it`
+	return err
+}
+
+type owner struct {
+	frag *Fragment
+	wal  *DeltaLog
+}
+
+func (o *owner) Close() error {
+	if err := o.wal.Close(); err != nil {
+		return err
+	}
+	return o.frag.Close()
+}
+
+// handsOffToOwner transfers both handles into the returned owner; the
+// obligation rides along with it (owner.Close above).
+func handsOffToOwner(dir string) (*owner, error) {
+	f, err := Open(dir + "/fragment.col")
+	if err != nil {
+		return nil, err
+	}
+	l, err := OpenDeltaLog(dir + "/delta.log")
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &owner{frag: f, wal: l}, nil
+}
+
+// handsOffViaField stores the handle into an existing owner.
+func handsOffViaField(o *owner, path string) error {
+	f, err := Open(path)
+	if err != nil {
+		return err
+	}
+	o.frag = f
+	return nil
+}
+
+// handsOffToCall passes the handle to a consumer that owns it now.
+func handsOffToCall(path string) error {
+	f, err := Open(path)
+	if err != nil {
+		return err
+	}
+	consume(f)
+	return nil
+}
+
+func consume(f *Fragment) { defer f.Close() }
+
+// probe is a deliberate leak-until-exit (a one-shot inspection tool);
+// the annotation waives it.
+func probe(path string) int {
+	//distcfd:mmapclose-ok — one-shot probe, process exits immediately
+	f, _ := Open(path)
+	return f.Rows()
+}

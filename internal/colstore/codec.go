@@ -1,0 +1,153 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// The chunk codec: one chunk of up to chunkRows column IDs encodes as
+//
+//	u8 width | run*
+//
+// where width is the bit width of the chunk's largest ID (0 when every
+// ID is 0) and each run is
+//
+//	uvarint h; h&1 == 1: RLE   — n = h>>1 rows of one uvarint ID
+//	           h&1 == 0: packed — n = h>>1 IDs bit-packed at width bits
+//
+// Packed runs lay IDs out LSB-first within little-endian bytes, the
+// usual bit-packing order. The codec is pure: no allocation beyond the
+// caller's destination buffers, so the decode path can run over an
+// mmap'd file without copying anything but the IDs themselves.
+
+// minRLERun is the shortest repeat worth an RLE run. Below it the run
+// header + uvarint value costs more than packing the repeats.
+const minRLERun = 8
+
+// appendChunk encodes vals as one chunk, appending to dst, and returns
+// the extended buffer plus the chunk's min and max ID. vals must be
+// non-empty.
+func appendChunk(dst []byte, vals []uint32) (out []byte, minID, maxID uint32) {
+	minID, maxID = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < minID {
+			minID = v
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	width := uint(bits.Len32(maxID))
+	dst = append(dst, byte(width))
+
+	flushPacked := func(lit []uint32) []byte {
+		if len(lit) == 0 {
+			return dst
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(lit))<<1)
+		var acc uint64
+		var nacc uint
+		for _, v := range lit {
+			acc |= uint64(v) << nacc
+			nacc += width
+			for nacc >= 8 {
+				dst = append(dst, byte(acc))
+				acc >>= 8
+				nacc -= 8
+			}
+		}
+		if nacc > 0 {
+			dst = append(dst, byte(acc))
+		}
+		return dst
+	}
+
+	litStart := 0
+	i := 0
+	for i < len(vals) {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		if j-i >= minRLERun {
+			dst = flushPacked(vals[litStart:i])
+			dst = binary.AppendUvarint(dst, uint64(j-i)<<1|1)
+			dst = binary.AppendUvarint(dst, uint64(vals[i]))
+			litStart = j
+		}
+		i = j
+	}
+	dst = flushPacked(vals[litStart:])
+	return dst, minID, maxID
+}
+
+// decodeChunk decodes one chunk payload into dst, which must be sized
+// to the chunk's row count. It returns an error on any malformed run —
+// the caller has already checksum-verified the segment, so an error
+// here means a format bug or version skew, not silent data loss.
+func decodeChunk(payload []byte, dst []uint32) error {
+	if len(payload) < 1 {
+		return fmt.Errorf("colstore: chunk payload truncated (no width byte)")
+	}
+	width := uint(payload[0])
+	if width > 32 {
+		return fmt.Errorf("colstore: chunk width %d out of range", width)
+	}
+	b := payload[1:]
+	row := 0
+	for row < len(dst) {
+		h, n := binary.Uvarint(b)
+		if n <= 0 {
+			return fmt.Errorf("colstore: chunk run header truncated at row %d", row)
+		}
+		b = b[n:]
+		cnt := int(h >> 1)
+		if cnt <= 0 || row+cnt > len(dst) {
+			return fmt.Errorf("colstore: chunk run of %d rows overflows %d-row chunk at row %d", cnt, len(dst), row)
+		}
+		if h&1 == 1 {
+			v, n := binary.Uvarint(b)
+			if n <= 0 {
+				return fmt.Errorf("colstore: RLE value truncated at row %d", row)
+			}
+			b = b[n:]
+			id := uint32(v)
+			for k := 0; k < cnt; k++ {
+				dst[row+k] = id
+			}
+			row += cnt
+			continue
+		}
+		nbytes := (cnt*int(width) + 7) / 8
+		if len(b) < nbytes {
+			return fmt.Errorf("colstore: packed run truncated at row %d (want %d bytes, have %d)", row, nbytes, len(b))
+		}
+		if width == 0 {
+			for k := 0; k < cnt; k++ {
+				dst[row+k] = 0
+			}
+		} else {
+			var acc uint64
+			var nacc uint
+			src := b
+			mask := uint32(1)<<width - 1
+			for k := 0; k < cnt; k++ {
+				for nacc < width {
+					acc |= uint64(src[0]) << nacc
+					src = src[1:]
+					nacc += 8
+				}
+				dst[row+k] = uint32(acc) & mask
+				acc >>= width
+				nacc -= width
+			}
+		}
+		b = b[nbytes:]
+		row += cnt
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("colstore: %d trailing bytes after chunk rows", len(b))
+	}
+	return nil
+}

@@ -1,0 +1,544 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"distcfd/internal/relation"
+)
+
+// Fragment is an open persisted fragment: one read-only mapping of the
+// file plus the decoded schema and segment table. Column data and
+// dictionaries stay packed in the mapping; ReadColumn decodes only the
+// chunks a scan visits, and each column's dictionary is verified and
+// decoded on its first access, so reads over a few low-cardinality
+// columns never pay the O(rows) dictionaries of unique-valued ones.
+// Fragment is safe for concurrent readers.
+//
+// A Fragment holds an OS mapping (or the file's bytes) until Close;
+// reading after Close returns an error.
+type Fragment struct {
+	path   string
+	data   []byte
+	unmap  func([]byte) error
+	schema *relation.Schema
+	rows   int
+	dicts  []lazyDict
+	stats  Stats
+
+	segs []colSegment
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// colSegment is one column's segment: its table entry plus the chunk
+// directory, parsed (and the payload checksummed) on first access.
+type colSegment struct {
+	entry tableEntry
+
+	once       sync.Once
+	verifyErr  error
+	chunkRows  int
+	dir        []chunkMeta
+	chunkOffs  []uint64 // absolute file offset of each chunk payload
+	payloadOff uint64
+}
+
+// lazyDict is one column's dictionary section, checksummed and decoded
+// on first access.
+type lazyDict struct {
+	entry tableEntry
+
+	once sync.Once
+	d    *relation.Dict
+	err  error
+}
+
+// Fragment is the storage-side implementation of the engine's reader
+// seam.
+var (
+	_ relation.ColumnReader        = (*Fragment)(nil)
+	_ relation.ChunkedColumnReader = (*Fragment)(nil)
+)
+
+// Open maps the fragment file at path and verifies its footer, table,
+// and schema. Dictionaries and column segments are checksum-verified
+// on first access. The caller must Close the returned Fragment.
+func Open(path string) (*Fragment, error) {
+	data, unmap, err := mapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: opening %s: %w", path, err)
+	}
+	f, err := parseFragment(path, data, unmap)
+	if err != nil {
+		unmap(data)
+		return nil, err
+	}
+	return f, nil
+}
+
+// OpenDir opens the fragment file of a store directory.
+func OpenDir(dir string) (*Fragment, error) {
+	return Open(filepath.Join(dir, FragmentFile))
+}
+
+func parseFragment(path string, data []byte, unmap func([]byte) error) (*Fragment, error) {
+	if len(data) < footerSize {
+		return nil, fmt.Errorf("colstore: %s: %d bytes is smaller than the footer", path, len(data))
+	}
+	ft := data[len(data)-footerSize:]
+	if string(ft[:8]) != Magic {
+		return nil, fmt.Errorf("colstore: %s: bad magic %q", path, ft[:8])
+	}
+	version := binary.LittleEndian.Uint32(ft[8:])
+	if version != FormatVersion {
+		return nil, fmt.Errorf("colstore: %s: format version %d, want %d", path, version, FormatVersion)
+	}
+	arity := int(binary.LittleEndian.Uint32(ft[12:]))
+	rows := binary.LittleEndian.Uint64(ft[16:])
+	tableOff := binary.LittleEndian.Uint64(ft[24:])
+	tableLen := binary.LittleEndian.Uint64(ft[32:])
+	tableSum := binary.LittleEndian.Uint64(ft[40:])
+	if arity <= 0 || arity > 1<<16 {
+		return nil, fmt.Errorf("colstore: %s: arity %d out of range", path, arity)
+	}
+	if rows > (1<<32)-1 {
+		// Row references are uint32 throughout (chunk IDs, overlay views),
+		// so a larger count can only be footer corruption.
+		return nil, fmt.Errorf("colstore: %s: row count %d out of range", path, rows)
+	}
+	body := uint64(len(data) - footerSize)
+	if tableOff > body || tableLen > body-tableOff {
+		return nil, fmt.Errorf("colstore: %s: segment table out of bounds", path)
+	}
+	table := data[tableOff : tableOff+tableLen]
+	if checksum(table) != tableSum {
+		return nil, fmt.Errorf("colstore: %s: segment table checksum mismatch", path)
+	}
+	wantEntries := 1 + 2*arity
+	if len(table) != wantEntries*tableEntrySize {
+		return nil, fmt.Errorf("colstore: %s: segment table has %d bytes, want %d entries",
+			path, len(table), wantEntries)
+	}
+	entries := make([]tableEntry, wantEntries)
+	for i := range entries {
+		e := table[i*tableEntrySize:]
+		entries[i] = tableEntry{
+			off:    binary.LittleEndian.Uint64(e),
+			length: binary.LittleEndian.Uint64(e[8:]),
+			minID:  binary.LittleEndian.Uint32(e[16:]),
+			maxID:  binary.LittleEndian.Uint32(e[20:]),
+			sum:    binary.LittleEndian.Uint64(e[24:]),
+		}
+		if entries[i].off > body || entries[i].length > body-entries[i].off {
+			return nil, fmt.Errorf("colstore: %s: segment %d out of bounds", path, i)
+		}
+	}
+
+	f := &Fragment{
+		path:  path,
+		data:  data,
+		unmap: unmap,
+		rows:  int(rows),
+		dicts: make([]lazyDict, arity),
+		segs:  make([]colSegment, arity),
+	}
+	for j := range f.segs {
+		f.dicts[j].entry = entries[1+j]
+		f.segs[j].entry = entries[1+arity+j]
+	}
+
+	sb := f.section(entries[0])
+	if checksum(sb) != entries[0].sum {
+		return nil, fmt.Errorf("colstore: %s: schema section checksum mismatch", path)
+	}
+	schema, err := decodeSchema(sb)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %s: %w", path, err)
+	}
+	if schema.Arity() != arity {
+		return nil, fmt.Errorf("colstore: %s: schema arity %d does not match footer arity %d",
+			path, schema.Arity(), arity)
+	}
+	f.schema = schema
+	f.stats = Stats{Rows: int(rows), BytesOnDisk: int64(len(data))}
+	return f, nil
+}
+
+func (f *Fragment) section(e tableEntry) []byte {
+	return f.data[e.off : e.off+e.length]
+}
+
+// Schema returns the fragment's schema.
+func (f *Fragment) Schema() *relation.Schema { return f.schema }
+
+// Rows returns the persisted row count.
+func (f *Fragment) Rows() int { return f.rows }
+
+// NumColumns returns the fragment's arity.
+func (f *Fragment) NumColumns() int { return len(f.segs) }
+
+// BytesOnDisk returns the fragment file's size.
+func (f *Fragment) BytesOnDisk() int64 { return f.stats.BytesOnDisk }
+
+// Dict returns column i's dictionary, verifying its section checksum
+// and decoding it on the first call. Fragment dictionaries are flat
+// (no overlay chain) and may gain overlay generations via
+// relation.Chain without touching the file.
+func (f *Fragment) Dict(i int) (*relation.Dict, error) {
+	ld := &f.dicts[i]
+	ld.once.Do(func() {
+		f.mu.Lock()
+		closed := f.closed
+		f.mu.Unlock()
+		if closed {
+			ld.err = fmt.Errorf("colstore: read after Close on %s", f.path)
+			return
+		}
+		b := f.section(ld.entry)
+		if checksum(b) != ld.entry.sum {
+			ld.err = fmt.Errorf("colstore: %s: dict %d checksum mismatch", f.path, i)
+			return
+		}
+		vals, rest, err := decodeDict(b)
+		if err != nil {
+			ld.err = fmt.Errorf("colstore: %s: dict %d: %w", f.path, i, err)
+			return
+		}
+		if len(rest) != 0 {
+			ld.err = fmt.Errorf("colstore: %s: dict %d: %d trailing bytes", f.path, i, len(rest))
+			return
+		}
+		d, err := relation.NewDictFromVals(vals)
+		if err != nil {
+			ld.err = fmt.Errorf("colstore: %s: dict %d: %w", f.path, i, err)
+			return
+		}
+		ld.d = d
+	})
+	return ld.d, ld.err
+}
+
+// ColumnDict is the relation.ColumnReader form of Dict. The interface
+// leaves no error channel, so ColumnDict panics if the dictionary
+// fails verification (disk corruption, or a read after Close); callers
+// that must degrade gracefully use Dict.
+func (f *Fragment) ColumnDict(i int) *relation.Dict {
+	d, err := f.Dict(i)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Close releases the file mapping. Close is idempotent.
+func (f *Fragment) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	data := f.data
+	f.data = nil
+	if f.unmap != nil {
+		return f.unmap(data)
+	}
+	return nil
+}
+
+// verify checksums column i's segment and parses its chunk directory,
+// once.
+func (f *Fragment) verify(i int) error {
+	s := &f.segs[i]
+	s.once.Do(func() {
+		f.mu.Lock()
+		closed := f.closed
+		f.mu.Unlock()
+		if closed {
+			s.verifyErr = fmt.Errorf("colstore: read after Close on %s", f.path)
+			return
+		}
+		b := f.section(s.entry)
+		if checksum(b) != s.entry.sum {
+			s.verifyErr = fmt.Errorf("colstore: %s: column %d segment checksum mismatch", f.path, i)
+			return
+		}
+		if len(b) < 8 {
+			s.verifyErr = fmt.Errorf("colstore: %s: column %d segment truncated", f.path, i)
+			return
+		}
+		s.chunkRows = int(binary.LittleEndian.Uint32(b))
+		numChunks := int(binary.LittleEndian.Uint32(b[4:]))
+		if s.chunkRows <= 0 && numChunks > 0 {
+			s.verifyErr = fmt.Errorf("colstore: %s: column %d chunkRows %d", f.path, i, s.chunkRows)
+			return
+		}
+		want := (f.rows + max(s.chunkRows, 1) - 1) / max(s.chunkRows, 1)
+		if numChunks != want {
+			s.verifyErr = fmt.Errorf("colstore: %s: column %d has %d chunks, want %d for %d rows",
+				f.path, i, numChunks, want, f.rows)
+			return
+		}
+		dirLen := numChunks * 12
+		if len(b) < 8+dirLen {
+			s.verifyErr = fmt.Errorf("colstore: %s: column %d chunk directory truncated", f.path, i)
+			return
+		}
+		s.dir = make([]chunkMeta, numChunks)
+		s.chunkOffs = make([]uint64, numChunks)
+		s.payloadOff = s.entry.off + uint64(8+dirLen)
+		off := s.payloadOff
+		total := s.entry.off + s.entry.length
+		for k := range s.dir {
+			d := b[8+k*12:]
+			s.dir[k] = chunkMeta{
+				length: binary.LittleEndian.Uint32(d),
+				minID:  binary.LittleEndian.Uint32(d[4:]),
+				maxID:  binary.LittleEndian.Uint32(d[8:]),
+			}
+			s.chunkOffs[k] = off
+			off += uint64(s.dir[k].length)
+		}
+		if off != total {
+			s.verifyErr = fmt.Errorf("colstore: %s: column %d chunk lengths sum to %d, segment holds %d",
+				f.path, i, off-s.payloadOff, total-s.payloadOff)
+		}
+	})
+	return s.verifyErr
+}
+
+// ColumnChunks returns the number of chunks in column i's segment.
+func (f *Fragment) ColumnChunks(i int) (int, error) {
+	if err := f.verify(i); err != nil {
+		return 0, err
+	}
+	return len(f.segs[i].dir), nil
+}
+
+// ChunkSpan returns the row range [lo, hi) chunk k of column i covers.
+func (f *Fragment) ChunkSpan(i, k int) (lo, hi int) {
+	cr := f.segs[i].chunkRows
+	lo = k * cr
+	hi = lo + cr
+	if hi > f.rows {
+		hi = f.rows
+	}
+	return lo, hi
+}
+
+// ChunkIDBounds returns the min and max ID in chunk k of column i —
+// the σ-block skipping analog: a scan for a constant ID outside
+// [min, max] can skip the chunk without decoding it.
+func (f *Fragment) ChunkIDBounds(i, k int) (minID, maxID uint32) {
+	m := f.segs[i].dir[k]
+	return m.minID, m.maxID
+}
+
+// ColumnIDBounds returns the min and max ID across column i's whole
+// segment (zero for an empty column).
+func (f *Fragment) ColumnIDBounds(i int) (minID, maxID uint32) {
+	return f.segs[i].entry.minID, f.segs[i].entry.maxID
+}
+
+// ReadColumn decodes column i's IDs for rows [lo, lo+len(dst)) into
+// dst. The first call on a column verifies the segment checksum.
+func (f *Fragment) ReadColumn(i, lo int, dst []uint32) error {
+	if err := f.verify(i); err != nil {
+		return err
+	}
+	if lo < 0 || lo+len(dst) > f.rows {
+		return fmt.Errorf("colstore: ReadColumn rows [%d,%d) out of range [0,%d)", lo, lo+len(dst), f.rows)
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	s := &f.segs[i]
+	cr := s.chunkRows
+	var scratch []uint32
+	for len(dst) > 0 {
+		k := lo / cr
+		clo, chi := f.ChunkSpan(i, k)
+		payload := f.data[s.chunkOffs[k] : s.chunkOffs[k]+uint64(s.dir[k].length)]
+		n := chi - lo
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if lo == clo && n == chi-clo {
+			if err := decodeChunk(payload, dst[:n]); err != nil {
+				return err
+			}
+		} else {
+			if scratch == nil {
+				scratch = make([]uint32, cr)
+			}
+			if err := decodeChunk(payload, scratch[:chi-clo]); err != nil {
+				return err
+			}
+			copy(dst[:n], scratch[lo-clo:lo-clo+n])
+		}
+		dst = dst[n:]
+		lo += n
+	}
+	return nil
+}
+
+// ReadChunk decodes exactly chunk k of column i into dst, which must
+// be sized to the chunk's span.
+func (f *Fragment) ReadChunk(i, k int, dst []uint32) error {
+	if err := f.verify(i); err != nil {
+		return err
+	}
+	s := &f.segs[i]
+	clo, chi := f.ChunkSpan(i, k)
+	if len(dst) != chi-clo {
+		return fmt.Errorf("colstore: ReadChunk dst has %d rows, chunk %d spans %d", len(dst), k, chi-clo)
+	}
+	payload := f.data[s.chunkOffs[k] : s.chunkOffs[k]+uint64(s.dir[k].length)]
+	return decodeChunk(payload, dst)
+}
+
+// RowReader decodes single rows through a per-column one-chunk cache —
+// built for the mostly-sequential random access of overlay scans and
+// row projections. Not safe for concurrent use; create one per
+// goroutine.
+type RowReader struct {
+	f     *Fragment
+	bufs  [][]uint32
+	chunk []int
+}
+
+// NewRowReader returns a fresh row reader over f.
+func (f *Fragment) NewRowReader() *RowReader {
+	n := f.NumColumns()
+	r := &RowReader{f: f, bufs: make([][]uint32, n), chunk: make([]int, n)}
+	for i := range r.chunk {
+		r.chunk[i] = -1
+	}
+	return r
+}
+
+// ID returns the dictionary ID at (row, col).
+func (r *RowReader) ID(col, row int) (uint32, error) {
+	f := r.f
+	if err := f.verify(col); err != nil {
+		return 0, err
+	}
+	cr := f.segs[col].chunkRows
+	k := row / cr
+	if r.chunk[col] != k {
+		clo, chi := f.ChunkSpan(col, k)
+		if cap(r.bufs[col]) < chi-clo {
+			r.bufs[col] = make([]uint32, cr)
+		}
+		r.bufs[col] = r.bufs[col][:chi-clo]
+		if err := f.ReadChunk(col, k, r.bufs[col]); err != nil {
+			return 0, err
+		}
+		r.chunk[col] = k
+	}
+	return r.bufs[col][row%f.segs[col].chunkRows], nil
+}
+
+// Value returns the string value at (row, col).
+func (r *RowReader) Value(col, row int) (string, error) {
+	id, err := r.ID(col, row)
+	if err != nil {
+		return "", err
+	}
+	d, err := r.f.Dict(col)
+	if err != nil {
+		return "", err
+	}
+	return d.Val(id), nil
+}
+
+// Row materializes one tuple.
+func (r *RowReader) Row(row int, dst relation.Tuple) (relation.Tuple, error) {
+	if dst == nil {
+		dst = make(relation.Tuple, r.f.NumColumns())
+	}
+	for j := range dst {
+		v, err := r.Value(j, row)
+		if err != nil {
+			return nil, err
+		}
+		dst[j] = v
+	}
+	return dst, nil
+}
+
+// decodeSchema parses the schema section.
+func decodeSchema(b []byte) (*relation.Schema, error) {
+	str := func() (string, error) {
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < n {
+			return "", fmt.Errorf("schema section truncated")
+		}
+		v := string(b[sz : sz+int(n)])
+		b = b[sz+int(n):]
+		return v, nil
+	}
+	count := func() (int, error) {
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || n > uint64(len(b)) {
+			return 0, fmt.Errorf("schema section truncated")
+		}
+		b = b[sz:]
+		return int(n), nil
+	}
+	name, err := str()
+	if err != nil {
+		return nil, err
+	}
+	arity, err := count()
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]string, arity)
+	for i := range attrs {
+		if attrs[i], err = str(); err != nil {
+			return nil, err
+		}
+	}
+	nkey, err := count()
+	if err != nil {
+		return nil, err
+	}
+	key := make([]string, nkey)
+	for i := range key {
+		if key[i], err = str(); err != nil {
+			return nil, err
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes in schema section", len(b))
+	}
+	return relation.NewSchema(name, attrs, key...)
+}
+
+// decodeDict parses one column's dictionary section, returning the
+// values and the remaining bytes.
+func decodeDict(b []byte) ([]string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("dict count truncated")
+	}
+	b = b[sz:]
+	var vals []string
+	if n > 0 {
+		vals = make([]string, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		l, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < l {
+			return nil, nil, fmt.Errorf("dict value truncated")
+		}
+		vals = append(vals, string(b[sz:sz+int(l)]))
+		b = b[sz+int(l):]
+	}
+	return vals, b, nil
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package colstore
+
+import "os"
+
+// mapFile reads the whole file on platforms without mmap support —
+// correctness fallback; the out-of-core memory bound only holds on
+// unix.
+func mapFile(path string) ([]byte, func([]byte) error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func([]byte) error { return nil }, nil
+}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The returned release func unmaps; the
+// file descriptor is closed before returning (the mapping outlives
+// it). Empty files get a plain empty slice — mmap of length 0 is an
+// error on most unixes.
+func mapFile(path string) ([]byte, func([]byte) error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		return nil, func([]byte) error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, syscall.Munmap, nil
+}

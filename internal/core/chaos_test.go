@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"distcfd/internal/cfd"
+	"distcfd/internal/colstore"
 	"distcfd/internal/core"
 	"distcfd/internal/faulty"
 	"distcfd/internal/partition"
@@ -331,6 +332,122 @@ func TestChaosBreakerOpensOnDeadSite(t *testing.T) {
 	}
 	if health[0] != core.BreakerClosed || health[2] != core.BreakerClosed {
 		t.Errorf("healthy sites should stay closed: %v", health)
+	}
+}
+
+// TestChaosStoreRestartByteIdentical pins the disk-backed restart
+// contract: a store-backed site (core.OpenStoreSite) that crashes and
+// restarts mid-run recovers its fragment — base file plus WAL-replayed
+// deltas — from the store directory, and the run's violations are
+// byte-identical to a fault-free run over never-crashed in-memory
+// sites holding the same post-delta data. Contrast with
+// TestCrashRestartLosesState in internal/faulty, where the rebuild
+// closure hands back the *original* fragment and the delta is lost.
+func TestChaosStoreRestartByteIdentical(t *testing.T) {
+	const crashed = 1
+	ctx := context.Background()
+	data := workload.Cust(workload.CustConfig{N: 1_500, Seed: 8, ErrRate: 0.05})
+	h, err := partition.Uniform(data, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One delta per site, fixed up front so both runs apply identical
+	// mutations: drop two rows, insert two rows sampled from elsewhere
+	// in the workload (dirty rows included).
+	deltas := make([]relation.Delta, h.N())
+	for i := range deltas {
+		var ins []relation.Tuple
+		for k := 0; k < 2; k++ {
+			src := data.Tuple((i*211 + k*97) % data.Len())
+			ins = append(ins, append(relation.Tuple(nil), src...))
+		}
+		deltas[i] = relation.Delta{Deletes: []int{0, 5}, Inserts: ins}
+	}
+
+	// Store directories come first: the in-memory baseline mutates the
+	// fragments in place when its deltas apply.
+	dirs := make([]string, h.N())
+	for i, frag := range h.Fragments {
+		dirs[i] = t.TempDir()
+		if _, err := colstore.WriteRelationDir(dirs[i], frag); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fault-free in-memory baseline over the same deltas.
+	memSites := make([]core.SiteAPI, h.N())
+	for i, frag := range h.Fragments {
+		s := core.NewSite(i, frag, relation.True())
+		if _, err := s.ApplyDelta(ctx, deltas[i], "d"+strconv.Itoa(i)); err != nil {
+			t.Fatal(err)
+		}
+		memSites[i] = s
+	}
+	memCl, err := core.NewCluster(h.Schema, memSites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.ClustDetect(memCl, chaosCFDs(), core.PatDetectS, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Store-backed restartable sites. The crashed site's call 1 is its
+	// ApplyDelta — the WAL entry that must survive; call 2 crashes it,
+	// and the retry of that same call finds the site down past
+	// RestartAfter, so the wrapper closes the corpse and the rebuild
+	// closure reopens the store directory.
+	rebuilds := make([]int, h.N())
+	wrappers := make([]*faulty.Site, h.N())
+	sites := make([]core.SiteAPI, h.N())
+	for i := range h.Fragments {
+		var plan faulty.Plan
+		if i == crashed {
+			plan = faulty.Plan{CrashAt: 2, RestartAfter: 1}
+		}
+		w := faulty.WrapRestartable(func() core.SiteAPI {
+			rebuilds[i]++
+			s, err := core.OpenStoreSite(i, dirs[i], relation.True())
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}, plan)
+		wrappers[i], sites[i] = w, w
+	}
+	t.Cleanup(func() {
+		for _, w := range wrappers {
+			w.Inner().(*core.Site).Close()
+		}
+	})
+	for i := range sites {
+		if _, err := sites[i].ApplyDelta(ctx, deltas[i], "d"+strconv.Itoa(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl, err := core.NewCluster(h.Schema, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.ClustDetect(cl, chaosCFDs(), core.PatDetectS,
+		core.Options{Failure: core.FailRetry, Retry: fastRetry})
+	if err != nil {
+		t.Fatalf("store-backed run failed: %v", err)
+	}
+
+	if got.Faults == 0 {
+		t.Error("the crash never bit — the restart path was not exercised")
+	}
+	if rebuilds[crashed] != 2 {
+		t.Errorf("site %d rebuilt %d times, want 2 (construction + restart)", crashed, rebuilds[crashed])
+	}
+	if gen := wrappers[crashed].Inner().(*core.Site).Generation(); gen != 1 {
+		t.Errorf("recovered site is at generation %d, want 1 (the replayed pre-crash delta)", gen)
+	}
+	identicalViolations(t, "store-restart", got, want)
+	if got.Partial || got.Coverage != 1 {
+		t.Errorf("FailRetry must never degrade: %+v", got)
 	}
 }
 

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"distcfd/internal/mining"
+	"distcfd/internal/relation"
+)
+
+// siteFragment is the Site's storage seam: every fragment-touching
+// operation a site performs, abstracted over where the tuples live.
+// memFrag serves them from an in-memory *relation.Relation (the
+// original deployment shape); storeFrag (storefrag.go) serves them
+// from a packed colstore fragment plus an in-memory delta overlay, so
+// a site can hold a fragment bigger than RAM.
+//
+// Read methods must be safe for concurrent callers; Apply follows the
+// single-writer contract every fragment mutation has (the driver
+// serializes ApplyDelta against detection).
+type siteFragment interface {
+	// Schema returns the fragment schema.
+	Schema() *relation.Schema
+	// Len returns the current tuple count |Di|.
+	Len() int
+	// Version returns a comparable token identifying the fragment's
+	// current content state. The token changes on every mutation and is
+	// stable between mutations — the serving caches key on it exactly
+	// as they used to key on the *relation.Encoded identity.
+	Version() any
+	// VersionIfBuilt returns the current token without forcing any
+	// state to be built, or nil when no token exists yet (an in-memory
+	// fragment that was never encoded). Cache-consistency checks use it
+	// so that probing never pays for building a view.
+	VersionIfBuilt() any
+	// AssignAll computes σ for every tuple under spec: the block index
+	// per tuple (-1 = unmatched) and the per-block counts.
+	AssignAll(spec *BlockSpec) (assign []int, counts []int, err error)
+	// ProjectRows materializes the selected rows projected onto attrs,
+	// sharing the fragment's dictionaries (IDs stay valid, merely
+	// sparse) so downstream checks keep the fragment's interning.
+	ProjectRows(name string, attrs []string, rows []int) (*relation.Relation, error)
+	// Scan streams every tuple in row order. The callback must not
+	// retain t — implementations may reuse the buffer between calls
+	// (the strings themselves are stable).
+	Scan(fn func(t relation.Tuple) error) error
+	// Apply applies one delta (deletes by swap-with-last, then inserts
+	// appended), returning the removed tuples in descending pre-delta
+	// index order — the same contract as relation.Apply. The returned
+	// tuples are stable (safe to retain in the delta log).
+	Apply(d relation.Delta) ([]relation.Tuple, error)
+	// Mine runs the closed-frequent-pattern preprocessing over the
+	// X-projection of the fragment.
+	Mine(x []string, theta float64) ([]mining.Pattern, error)
+	// Close releases any resources backing the fragment.
+	Close() error
+}
+
+// memFrag adapts *relation.Relation to the seam. The version token is
+// the relation's encoded-view identity — exactly the invalidation
+// signal the caches used before the seam existed, so in-memory sites
+// behave bit-for-bit as they always did (including the "non-delta
+// mutation resets everything" semantics of Append/SortBy, which
+// invalidate the encoding and thereby change the token).
+type memFrag struct {
+	r *relation.Relation
+}
+
+var _ siteFragment = memFrag{}
+
+func (m memFrag) Schema() *relation.Schema { return m.r.Schema() }
+
+func (m memFrag) Len() int { return m.r.Len() }
+
+func (m memFrag) Version() any { return m.r.Encoded() }
+
+func (m memFrag) VersionIfBuilt() any {
+	// The nil check matters: a typed-nil *Encoded boxed into any would
+	// compare unequal to untyped nil and wedge every consistency check.
+	if e := m.r.EncodedIfBuilt(); e != nil {
+		return e
+	}
+	return nil
+}
+
+func (m memFrag) AssignAll(spec *BlockSpec) ([]int, []int, error) {
+	return spec.AssignAll(m.r)
+}
+
+func (m memFrag) ProjectRows(name string, attrs []string, rows []int) (*relation.Relation, error) {
+	return m.r.ProjectRows(name, attrs, rows)
+}
+
+func (m memFrag) Scan(fn func(relation.Tuple) error) error {
+	for _, t := range m.r.Tuples() {
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m memFrag) Apply(d relation.Delta) ([]relation.Tuple, error) {
+	return m.r.Apply(d)
+}
+
+func (m memFrag) Mine(x []string, theta float64) ([]mining.Pattern, error) {
+	return mining.ClosedPatternsWithSupport(m.r, x, theta)
+}
+
+func (m memFrag) Close() error { return nil }

@@ -320,9 +320,19 @@ func (s *BlockSpec) AssignAll(frag *relation.Relation) ([]int, []int, error) {
 	for j, c := range xi {
 		cols[j], dicts[j] = e.Column(c)
 	}
+	s.assignColumns(cols, dicts, assign, counts)
+	return assign, counts, nil
+}
+
+// assignColumns routes rows already materialized as encoded X-columns
+// (aligned with s.X, IDs from dicts) into assign/counts — the shared
+// inner loop of AssignAll and the store-backed fragment's σ-routing,
+// which reads its columns out of packed segments instead of an Encoded
+// view.
+func (s *BlockSpec) assignColumns(cols [][]uint32, dicts []*relation.Dict, assign []int, counts []int) {
 	egs := s.compileForEncoded(dicts)
 	var kb []byte
-	for i := 0; i < rows; i++ {
+	for i := range assign {
 		best := -1
 		for _, g := range egs {
 			kb = kb[:0]
@@ -338,7 +348,6 @@ func (s *BlockSpec) AssignAll(frag *relation.Relation) ([]int, []int, error) {
 			counts[best]++
 		}
 	}
-	return assign, counts, nil
 }
 
 // PatternPredicate builds Fφ for pattern l: the conjunction of

@@ -209,7 +209,10 @@ func (e *sigmaEntry) applyDelta(delIdx []int, ins []relation.Tuple, xi []int) {
 // the fragment-side routing.
 type Site struct {
 	id   int
-	frag *relation.Relation
+	frag siteFragment
+	// memR is the in-memory relation behind frag when the site is
+	// memory-backed (NewSite); nil for store-backed sites.
+	memR *relation.Relation
 	pred relation.Predicate
 
 	// kern pools the detection-kernel scratch for calls whose context
@@ -227,22 +230,26 @@ type Site struct {
 	nonces    map[string]struct{}
 	nonceLog  []string // insertion order, for bounded eviction
 
+	// The cache-identity fields below hold the fragment's version token
+	// (see siteFragment.Version) — the *relation.Encoded identity for
+	// memory-backed sites, an opaque per-mutation token for store-backed
+	// ones.
 	sigMu  sync.Mutex
-	sigEnc *relation.Encoded
+	sigEnc any
 	sigma  map[string]*sigmaEntry
 
 	constMu  sync.Mutex
-	constEnc *relation.Encoded
+	constEnc any
 	consts   map[string]*constEntry
 
 	// Incremental serving state (see site_delta.go): the fragment
-	// generation, the bounded delta log, the encoded-view identity the
+	// generation, the bounded delta log, the fragment version the
 	// log is consistent with, and the retained fold sessions.
 	deltaMu   sync.Mutex
 	gen       int64
 	dlog      []deltaLogEntry
 	dlogStart int64 // the log covers generations (dlogStart, gen]
-	encAtGen  *relation.Encoded
+	encAtGen  any
 	// deltaNonces remembers recent ApplyDelta replies by nonce so a
 	// retransmitted apply returns the original DeltaInfo (at-most-once).
 	deltaNonces   map[string]DeltaInfo
@@ -254,17 +261,12 @@ type Site struct {
 
 var _ SiteAPI = (*Site)(nil)
 
-// NewSite creates a site holding fragment frag with predicate pred.
+// NewSite creates a site holding the in-memory fragment frag with
+// predicate pred.
 func NewSite(id int, frag *relation.Relation, pred relation.Predicate) *Site {
-	return &Site{
-		id:        id,
-		frag:      frag,
-		pred:      pred,
-		deposits:  make(map[string][]*relation.Relation),
-		cancelled: make(map[string]struct{}),
-		nonces:    make(map[string]struct{}),
-		sessions:  make(map[string]*foldSession),
-	}
+	s := newSiteWith(id, memFrag{r: frag}, pred)
+	s.memR = frag
+	return s
 }
 
 // ID returns the site index.
@@ -276,9 +278,15 @@ func (s *Site) NumTuples() (int, error) { return s.frag.Len(), nil }
 // Predicate returns the fragment predicate.
 func (s *Site) Predicate() (relation.Predicate, error) { return s.pred, nil }
 
-// Fragment exposes the local fragment for in-process tests and local
-// tools; it is deliberately not part of SiteAPI.
-func (s *Site) Fragment() *relation.Relation { return s.frag }
+// Schema returns the fragment schema — the handle a server needs to
+// describe the site regardless of whether the fragment lives in memory
+// or in a store directory.
+func (s *Site) Schema() *relation.Schema { return s.frag.Schema() }
+
+// Fragment exposes the in-memory fragment for in-process tests and
+// local tools; it is deliberately not part of SiteAPI and returns nil
+// for store-backed sites (their tuples have no materialized relation).
+func (s *Site) Fragment() *relation.Relation { return s.memR }
 
 // SetDetectParallelism sets the intra-unit worker budget this site's
 // detection kernel uses when a call's context carries none — the
@@ -306,7 +314,7 @@ func (s *Site) PendingDeposits() int {
 // routed against the current fragment state. The returned entry is
 // shared and read-only.
 func (s *Site) assignAll(spec *BlockSpec) (*sigmaEntry, error) {
-	e := s.frag.Encoded()
+	e := s.frag.Version()
 	fp := spec.Fingerprint()
 	s.sigMu.Lock()
 	if s.sigEnc != e {
@@ -323,7 +331,7 @@ func (s *Site) assignAll(spec *BlockSpec) (*sigmaEntry, error) {
 	// (independent clusters of a parallel run) must not serialize. Two
 	// goroutines racing on the same spec compute identical entries, so
 	// whichever stores first wins.
-	assign, counts, err := spec.AssignAll(s.frag)
+	assign, counts, err := s.frag.AssignAll(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -386,14 +394,13 @@ func (s *Site) ExtractMatching(ctx context.Context, spec *BlockSpec, attrs []str
 
 func (s *Site) projectSelected(assign []int, keep func(int) bool, attrs []string) (*relation.Relation, error) {
 	var rows []int
-	for i := range s.frag.Tuples() {
+	for i, n := 0, s.frag.Len(); i < n; i++ {
 		if keep(assign[i]) {
 			rows = append(rows, i)
 		}
 	}
-	// ProjectRows derives the extract's encoded columns from the
-	// fragment's by remapping, so shipping and coordinator checks keep
-	// the fragment's interning.
+	// ProjectRows shares the fragment's dictionaries, so shipping and
+	// coordinator checks keep the fragment's interning.
 	return s.frag.ProjectRows(s.frag.Schema().Name()+"_ship", attrs, rows)
 }
 
@@ -413,30 +420,73 @@ func (s *Site) ExtractBlocksBatch(ctx context.Context, spec *BlockSpec, attrs []
 	return s.fullBlocks(spec, attrs, wanted, s.frag.Schema().Name()+"_ship")
 }
 
-// fullBlocks σ-routes the fragment once (via the maintained cache) and
-// returns every requested block projected onto attrs, empty blocks
-// included as empty relations — the one extraction shared by
-// ExtractBlocksBatch and the incremental surface's seed paths.
-func (s *Site) fullBlocks(spec *BlockSpec, attrs []string, blocks []int, name string) (map[int]*relation.Relation, error) {
+// blockRows σ-routes the fragment once (via the maintained cache) and
+// returns the row indices of every requested block — the cheap half of
+// an extraction (ints, not materialized tuples), shared by the batch
+// extraction and the coordinator's block-at-a-time detection. The
+// per-block slices share one exactly-sized int32 array (counted, then
+// filled), so routing a fragment of n rows costs 4n bytes with no
+// append churn — the footprint that bounds out-of-core detection.
+func (s *Site) blockRows(spec *BlockSpec, blocks []int) (map[int][]int32, error) {
 	ent, err := s.assignAll(spec)
 	if err != nil {
 		return nil, err
 	}
-	rowsByBlock := make(map[int][]int, len(blocks))
-	for _, l := range blocks {
+	slot := make([]int, spec.K()) // 0 = block not requested, else 1+position
+	for bi, l := range blocks {
 		if l < 0 || l >= spec.K() {
 			return nil, fmt.Errorf("core: site %d: block %d out of range [0,%d)", s.id, l, spec.K())
 		}
-		rowsByBlock[l] = nil
+		slot[l] = bi + 1
 	}
-	for i := range s.frag.Tuples() {
-		if rows, ok := rowsByBlock[ent.assign[i]]; ok {
-			rowsByBlock[ent.assign[i]] = append(rows, i)
+	n := s.frag.Len()
+	counts := make([]int, len(blocks))
+	for i := 0; i < n; i++ {
+		if a := ent.assign[i]; a >= 0 && a < len(slot) && slot[a] != 0 {
+			counts[slot[a]-1]++
 		}
+	}
+	offs := make([]int, len(blocks)+1)
+	for bi, c := range counts {
+		offs[bi+1] = offs[bi] + c
+	}
+	flat := make([]int32, offs[len(blocks)])
+	next := make([]int, len(blocks))
+	copy(next, offs)
+	for i := 0; i < n; i++ {
+		if a := ent.assign[i]; a >= 0 && a < len(slot) && slot[a] != 0 {
+			bi := slot[a] - 1
+			flat[next[bi]] = int32(i)
+			next[bi]++
+		}
+	}
+	rowsByBlock := make(map[int][]int32, len(blocks))
+	for bi, l := range blocks {
+		rowsByBlock[l] = flat[offs[bi]:offs[bi+1]:offs[bi+1]]
+	}
+	return rowsByBlock, nil
+}
+
+// rowsOf widens one block's routed rows for the projection seam.
+func rowsOf(idx []int32) []int {
+	rows := make([]int, len(idx))
+	for i, r := range idx {
+		rows[i] = int(r)
+	}
+	return rows
+}
+
+// fullBlocks returns every requested block projected onto attrs, empty
+// blocks included as empty relations — the one-shot extraction behind
+// ExtractBlocksBatch and the incremental surface's seed paths.
+func (s *Site) fullBlocks(spec *BlockSpec, attrs []string, blocks []int, name string) (map[int]*relation.Relation, error) {
+	rowsByBlock, err := s.blockRows(spec, blocks)
+	if err != nil {
+		return nil, err
 	}
 	out := make(map[int]*relation.Relation, len(blocks))
 	for _, l := range blocks {
-		r, err := s.frag.ProjectRows(name, attrs, rowsByBlock[l])
+		r, err := s.frag.ProjectRows(name, attrs, rowsOf(rowsByBlock[l]))
 		if err != nil {
 			return nil, err
 		}
@@ -450,10 +500,15 @@ func (s *Site) fullBlocks(spec *BlockSpec, attrs []string, blocks []int, name st
 func (s *Site) DetectAssignedSingle(ctx context.Context, taskPrefix string, spec *BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error) {
 	kern, kopts := s.detectResources(ctx)
 	attrs := taskAttrs(spec, []*cfd.CFD{c})
-	locals, err := s.ExtractBlocksBatch(ctx, spec, attrs, blocks)
+	// Project one block at a time instead of materializing every
+	// assigned block up front: the peak footprint is one block plus the
+	// routing indices, which is what lets a store-backed site check a
+	// fragment far bigger than RAM.
+	rowsByBlock, err := s.blockRows(spec, blocks)
 	if err != nil {
 		return nil, err
 	}
+	shipName := s.frag.Schema().Name() + "_ship"
 	ps, err := s.frag.Schema().Project("viopi_"+c.Name, c.X)
 	if err != nil {
 		return nil, err
@@ -464,7 +519,11 @@ func (s *Site) DetectAssignedSingle(ctx context.Context, taskPrefix string, spec
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		merged, err := mergeWithDeposits(locals[l], s.takeDeposits(BlockTask(taskPrefix, l)))
+		local, err := s.frag.ProjectRows(shipName, attrs, rowsOf(rowsByBlock[l]))
+		if err != nil {
+			return nil, err
+		}
+		merged, err := mergeWithDeposits(local, s.takeDeposits(BlockTask(taskPrefix, l)))
 		if err != nil {
 			return nil, err
 		}
@@ -486,10 +545,13 @@ func (s *Site) DetectAssignedSet(ctx context.Context, taskPrefix string, spec *B
 	}
 	kern, kopts := s.detectResources(ctx)
 	attrs := taskAttrs(spec, cfds)
-	locals, err := s.ExtractBlocksBatch(ctx, spec, attrs, blocks)
+	// Block-at-a-time projection, as in DetectAssignedSingle: peak
+	// memory is one block, not the whole matched set.
+	rowsByBlock, err := s.blockRows(spec, blocks)
 	if err != nil {
 		return nil, err
 	}
+	shipName := s.frag.Schema().Name() + "_ship"
 	out := make([]*relation.Relation, len(cfds))
 	seens := make([]map[string]struct{}, len(cfds))
 	for i, c := range cfds {
@@ -504,7 +566,11 @@ func (s *Site) DetectAssignedSet(ctx context.Context, taskPrefix string, spec *B
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		merged, err := mergeWithDeposits(locals[l], s.takeDeposits(BlockTask(taskPrefix, l)))
+		local, err := s.frag.ProjectRows(shipName, attrs, rowsOf(rowsByBlock[l]))
+		if err != nil {
+			return nil, err
+		}
+		merged, err := mergeWithDeposits(local, s.takeDeposits(BlockTask(taskPrefix, l)))
 		if err != nil {
 			return nil, err
 		}
@@ -726,7 +792,7 @@ func (s *Site) DetectConstantsLocal(ctx context.Context, c *cfd.CFD) (*relation.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	e := s.frag.Encoded()
+	e := s.frag.Version()
 	fp := cfdFingerprint(c)
 	s.constMu.Lock()
 	if s.constEnc != e {
@@ -786,8 +852,14 @@ func (s *Site) buildConstState(c *cfd.CFD) (*engine.IncrementalState, error) {
 		return nil, err
 	}
 	if st.HasUnits() {
-		for _, t := range s.frag.Tuples() {
+		// Scan streams tuples (a store-backed fragment decodes them
+		// chunk by chunk); Insert projects what it keeps, so the reused
+		// scan buffer never escapes.
+		if err := s.frag.Scan(func(t relation.Tuple) error {
 			st.Insert(t)
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 	}
 	return st, nil
@@ -799,7 +871,7 @@ func (s *Site) MineFrequent(ctx context.Context, x []string, theta float64) ([]m
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return mining.ClosedPatternsWithSupport(s.frag, x, theta)
+	return s.frag.Mine(x, theta)
 }
 
 // cfdFingerprint returns an unambiguous content key for a CFD: equal

@@ -158,7 +158,7 @@ func (s *Site) ApplyDelta(ctx context.Context, d relation.Delta, nonce string) (
 			return DeltaInfo{}, fmt.Errorf("core: site %d: delta insert %d violates the fragment predicate %v", s.id, i, s.pred)
 		}
 	}
-	pre := s.frag.EncodedIfBuilt()
+	pre := s.frag.VersionIfBuilt()
 	// A mutation that bypassed ApplyDelta (Append/SortBy) left the log
 	// and every retained session blind to it; fence them out before
 	// logging this delta, or later rounds would fold a log suffix that
@@ -168,7 +168,7 @@ func (s *Site) ApplyDelta(ctx context.Context, d relation.Delta, nonce string) (
 	if err != nil {
 		return DeltaInfo{}, err
 	}
-	post := s.frag.Encoded()
+	post := s.frag.Version()
 	s.gen++
 	s.dlog = append(s.dlog, deltaLogEntry{gen: s.gen, ins: d.Inserts, del: removed})
 	if len(s.dlog) > deltaLogCap {
@@ -204,7 +204,7 @@ func (s *Site) Generation() int64 {
 // maintainSigma rolls every cached σ-routing entry forward across one
 // delta when the cache matches the pre-delta view; a cache already
 // stale (non-delta mutation interleaved) is dropped instead.
-func (s *Site) maintainSigma(pre, post *relation.Encoded, delIdx []int, ins []relation.Tuple) {
+func (s *Site) maintainSigma(pre, post any, delIdx []int, ins []relation.Tuple) {
 	s.sigMu.Lock()
 	defer s.sigMu.Unlock()
 	if len(s.sigma) == 0 {
@@ -231,7 +231,7 @@ func (s *Site) maintainSigma(pre, post *relation.Encoded, delIdx []int, ins []re
 
 // maintainConsts folds one delta into every cached constant-unit state
 // when the cache matches the pre-delta view.
-func (s *Site) maintainConsts(pre, post *relation.Encoded, removed, ins []relation.Tuple) {
+func (s *Site) maintainConsts(pre, post any, removed, ins []relation.Tuple) {
 	s.constMu.Lock()
 	defer s.constMu.Unlock()
 	if len(s.consts) == 0 {
@@ -261,7 +261,7 @@ func (s *Site) maintainConsts(pre, post *relation.Encoded, removed, ins []relati
 // fragment: false after a non-delta mutation (Append/SortBy), which
 // the log cannot see.
 func (s *Site) deltaConsistent() bool {
-	return s.encAtGen != nil && s.encAtGen == s.frag.EncodedIfBuilt()
+	return s.encAtGen != nil && s.encAtGen == s.frag.VersionIfBuilt()
 }
 
 // reanchorLocked re-anchors the delta log on the fragment's current
@@ -274,7 +274,7 @@ func (s *Site) deltaConsistent() bool {
 // stale, forcing those sessions to reseed too), and the fold sessions
 // are dropped wholesale. Callers hold deltaMu.
 func (s *Site) reanchorLocked() {
-	cur := s.frag.Encoded()
+	cur := s.frag.Version()
 	s.fenceForeignLocked(cur)
 	s.encAtGen = cur
 }
@@ -286,7 +286,7 @@ func (s *Site) reanchorLocked() {
 // dropped. A nil anchor means no watermark was ever handed out (no
 // ApplyDelta, no seed), so there is nothing to fence. Callers hold
 // deltaMu and re-anchor encAtGen themselves afterwards.
-func (s *Site) fenceForeignLocked(cur *relation.Encoded) {
+func (s *Site) fenceForeignLocked(cur any) {
 	if s.encAtGen == nil || s.encAtGen == cur {
 		return
 	}

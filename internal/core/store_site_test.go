@@ -1,0 +1,344 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/colstore"
+	"distcfd/internal/relation"
+)
+
+// openStoreSiteFor persists frag into a fresh store directory and
+// opens a store-backed site over it, returning the directory so tests
+// can reopen it (restart simulation).
+func openStoreSiteFor(t *testing.T, id int, frag *relation.Relation, pred relation.Predicate) (*Site, string) {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := colstore.WriteRelationDir(dir, frag); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStoreSite(id, dir, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, dir
+}
+
+// sameRelation asserts byte-identical relations: same tuples in the
+// same order.
+func sameRelation(t *testing.T, label string, got, want *relation.Relation) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Tuples(), want.Tuples()) {
+		t.Fatalf("%s: store-backed site diverged:\n got %v\nwant %v", label, got, want)
+	}
+}
+
+// storeTestSpec is a σ-partitioning with constants and wildcards over
+// the random fixture's attributes.
+func storeTestSpec(t *testing.T) *BlockSpec {
+	t.Helper()
+	spec, err := NewBlockSpec([]string{"a", "b"}, [][]string{
+		{"a0", cfd.Wildcard},
+		{"a1", "b1"},
+		{cfd.Wildcard, cfd.Wildcard},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestStoreSiteMatchesMemorySite drives the whole read surface of a
+// store-backed site against an in-memory site over the same fragment:
+// every answer must be byte-identical (same tuples, same order).
+func TestStoreSiteMatchesMemorySite(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(21))
+	frag := randomRelation(rng, 700)
+	mem := NewSite(0, frag.Clone(), relation.True())
+	store, _ := openStoreSiteFor(t, 0, frag, relation.True())
+
+	nm, _ := mem.NumTuples()
+	ns, _ := store.NumTuples()
+	if nm != ns {
+		t.Fatalf("NumTuples: store %d, mem %d", ns, nm)
+	}
+
+	spec := storeTestSpec(t)
+	wantStats, err := mem.SigmaStats(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStats, err := store.SigmaStats(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotStats, wantStats) {
+		t.Fatalf("SigmaStats: store %v, mem %v", gotStats, wantStats)
+	}
+
+	attrs := []string{"a", "b", "c", "d"}
+	blocks := []int{0, 1, 2}
+	wantB, err := mem.ExtractBlocksBatch(ctx, spec, attrs, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := store.ExtractBlocksBatch(ctx, spec, attrs, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range blocks {
+		sameRelation(t, "ExtractBlocksBatch", gotB[l], wantB[l])
+	}
+	wantM, err := mem.ExtractMatching(ctx, spec, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM, err := store.ExtractMatching(ctx, spec, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRelation(t, "ExtractMatching", gotM, wantM)
+
+	for trial := 0; trial < 8; trial++ {
+		c := randomTestCFD(rng)
+		wantPats, err := mem.DetectConstantsLocal(ctx, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPats, err := store.DetectConstantsLocal(ctx, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRelation(t, "DetectConstantsLocal "+c.Name, gotPats, wantPats)
+
+		wantD, err := mem.DetectAssignedSingle(ctx, "t", spec, blocks, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotD, err := store.DetectAssignedSingle(ctx, "t", spec, blocks, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRelation(t, "DetectAssignedSingle "+c.Name, gotD, wantD)
+	}
+
+	wantMine, err := mem.MineFrequent(ctx, []string{"a", "b"}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMine, err := store.MineFrequent(ctx, []string{"a", "b"}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotMine, wantMine) {
+		t.Fatalf("MineFrequent: store %v, mem %v", gotMine, wantMine)
+	}
+}
+
+// randomDelta builds a delta with valid delete indices against n rows
+// and fresh inserts keyed after base.
+func randomDelta(rng *rand.Rand, n int, base int) relation.Delta {
+	var d relation.Delta
+	if n > 0 {
+		seen := map[int]bool{}
+		for k := rng.Intn(3); k > 0; k-- {
+			i := rng.Intn(n)
+			if !seen[i] {
+				seen[i] = true
+				d.Deletes = append(d.Deletes, i)
+			}
+		}
+	}
+	for k := 1 + rng.Intn(3); k > 0; k-- {
+		d.Inserts = append(d.Inserts, relation.Tuple{
+			// Keys continue past the base relation so inserts never
+			// duplicate an existing row.
+			"k" + string(rune('a'+rng.Intn(26))) + string(rune('a'+base%26)),
+			"a" + string(rune('0'+rng.Intn(3))),
+			"b" + string(rune('0'+rng.Intn(3))),
+			"c" + string(rune('0'+rng.Intn(2))),
+			"d" + string(rune('0'+rng.Intn(4))),
+		})
+		base++
+	}
+	return d
+}
+
+// TestStoreSiteDeltasAndRecovery is the crash/recovery pin: the same
+// delta sequence applied to an in-memory and a store-backed site keeps
+// every extraction byte-identical; reopening the store directory
+// replays the WAL and recovers the exact same state (tuple order
+// included), so the recovered site's detection output is byte-equal
+// to the never-crashed one's.
+func TestStoreSiteDeltasAndRecovery(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(33))
+	frag := randomRelation(rng, 300)
+	mem := NewSite(0, frag.Clone(), relation.True())
+	store, dir := openStoreSiteFor(t, 0, frag, relation.True())
+
+	spec := storeTestSpec(t)
+	attrs := []string{"a", "b", "c", "d"}
+	blocks := []int{0, 1, 2}
+	c := cfd.MustParse(`st: [a, b] -> [c] : (_, _ || _), (a0, _ || c0)`)
+
+	// Warm the maintained caches so ApplyDelta exercises the in-place
+	// σ-entry and constant-state maintenance on both backends.
+	if _, err := mem.SigmaStats(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.SigmaStats(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.DetectConstantsLocal(ctx, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.DetectConstantsLocal(ctx, c); err != nil {
+		t.Fatal(err)
+	}
+
+	const deltas = 25
+	for g := 0; g < deltas; g++ {
+		n, _ := mem.NumTuples()
+		d := randomDelta(rng, n, g)
+		im, err := mem.ApplyDelta(ctx, d, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		is, err := store.ApplyDelta(ctx, d, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if im != is {
+			t.Fatalf("delta %d: DeltaInfo store %+v, mem %+v", g, is, im)
+		}
+		gotStats, err := store.SigmaStats(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantStats, err := mem.SigmaStats(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotStats, wantStats) {
+			t.Fatalf("delta %d: SigmaStats store %v, mem %v", g, gotStats, wantStats)
+		}
+	}
+	wantM, err := mem.ExtractMatching(ctx, spec, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM, err := store.ExtractMatching(ctx, spec, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRelation(t, "post-delta ExtractMatching", gotM, wantM)
+	wantC, err := mem.DetectConstantsLocal(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotC, err := store.DetectConstantsLocal(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRelation(t, "post-delta DetectConstantsLocal", gotC, wantC)
+
+	// Crash: drop the store site without any shutdown protocol beyond
+	// what ApplyDelta already synced, and reopen the directory.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	revived, err := OpenStoreSite(0, dir, relation.True())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer revived.Close()
+	if got := revived.Generation(); got != deltas {
+		t.Fatalf("recovered generation %d, want %d", got, deltas)
+	}
+	nm, _ := mem.NumTuples()
+	nr, _ := revived.NumTuples()
+	if nr != nm {
+		t.Fatalf("recovered NumTuples %d, mem %d", nr, nm)
+	}
+	gotM2, err := revived.ExtractMatching(ctx, spec, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRelation(t, "recovered ExtractMatching", gotM2, wantM)
+	gotB, err := revived.ExtractBlocksBatch(ctx, spec, attrs, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := mem.ExtractBlocksBatch(ctx, spec, attrs, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range blocks {
+		sameRelation(t, "recovered ExtractBlocksBatch", gotB[l], wantB[l])
+	}
+	gotC2, err := revived.DetectConstantsLocal(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRelation(t, "recovered DetectConstantsLocal", gotC2, wantC)
+	gotD, err := revived.DetectAssignedSingle(ctx, "t", spec, blocks, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantD, err := mem.DetectAssignedSingle(ctx, "t", spec, blocks, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRelation(t, "recovered DetectAssignedSingle", gotD, wantD)
+
+	// Incremental watermarks from before the crash are not servable —
+	// the retained fold state died with the process — so a non-seed
+	// extraction must report stale (driving the driver to reseed), and
+	// a seed must succeed.
+	if _, err := revived.ExtractDeltaBlocks(ctx, spec, attrs, blocks, 1); !IsStaleIncremental(err) {
+		t.Fatalf("pre-crash watermark: got %v, want stale", err)
+	}
+	if _, err := revived.ExtractDeltaBlocks(ctx, spec, attrs, blocks, -1); err != nil {
+		t.Fatalf("post-crash seed: %v", err)
+	}
+	// After the seed, new deltas flow incrementally again.
+	d := randomDelta(rng, nr, 999)
+	if _, err := revived.ApplyDelta(ctx, d, ""); err != nil {
+		t.Fatal(err)
+	}
+	db, err := revived.ExtractDeltaBlocks(ctx, spec, attrs, blocks, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.ToGen != deltas+1 || db.TotalIns != len(d.Inserts) || db.TotalDel != len(d.Deletes) {
+		t.Fatalf("post-seed delta extraction: %+v (delta %d ins %d del)", db, len(d.Inserts), len(d.Deletes))
+	}
+}
+
+// TestStoreSitePredicateStillEnforced pins that a store-backed site
+// rejects delta inserts violating its fragment predicate, like any
+// site must (Di = σFi(D) is a detection invariant).
+func TestStoreSitePredicateStillEnforced(t *testing.T) {
+	ctx := context.Background()
+	s := relation.MustSchema("R", []string{"id", "a", "b", "c", "d"}, "id")
+	frag := relation.MustFromRows(s, []string{"0", "a0", "b0", "c0", "d0"})
+	pred := relation.And(relation.Eq("a", "a0"))
+	store, _ := openStoreSiteFor(t, 0, frag, pred)
+	bad := relation.Delta{Inserts: []relation.Tuple{{"1", "a1", "b0", "c0", "d0"}}}
+	if _, err := store.ApplyDelta(ctx, bad, ""); err == nil {
+		t.Fatal("predicate-violating insert was accepted")
+	}
+	if got := store.Generation(); got != 0 {
+		t.Fatalf("rejected delta advanced the generation to %d", got)
+	}
+	ok := relation.Delta{Inserts: []relation.Tuple{{"1", "a0", "b1", "c1", "d1"}}}
+	if _, err := store.ApplyDelta(ctx, ok, ""); err != nil {
+		t.Fatal(err)
+	}
+}

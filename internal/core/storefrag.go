@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+
+	"distcfd/internal/colstore"
+	"distcfd/internal/mining"
+	"distcfd/internal/relation"
+)
+
+// storeFrag is the out-of-core siteFragment: the bulk of the fragment
+// lives in a packed colstore file (mapped read-only, decoded chunk by
+// chunk), while deltas applied since the file was written live in an
+// in-memory overlay. Reads see base ∪ overlay through a single row
+// indirection; every applied delta is also appended to an on-disk WAL,
+// so a restarted site replays the log over the same base file and
+// recovers the exact pre-crash tuple order (and therefore byte-equal
+// detection output).
+//
+// The overlay replicates relation.Apply's semantics precisely —
+// swap-with-last deletes, inserts appended, dictionaries grown by
+// chaining a fresh frozen-parent overlay per delta — because the
+// serving caches (σ-entries, constant-unit states) are maintained
+// under exactly those assumptions.
+type storeFrag struct {
+	frag     *colstore.Fragment
+	wal      *colstore.DeltaLog
+	schema   *relation.Schema
+	baseRows int
+
+	// ovDicts[j] is nil until an insert grows column j's dictionary —
+	// until then reads use the fragment's lazily-decoded base dict via
+	// ovDict, so dictionaries of columns no rule touches are never
+	// materialized. Each Apply carrying inserts chains a fresh overlay
+	// before interning, so extracts sharing a previous layer never
+	// observe a mutation.
+	ovDicts []*relation.Dict
+	tail    []relation.Tuple
+	tailIDs [][]uint32
+	// view is nil until the first delete: row i is ref i. Once deletes
+	// happen the indirection materializes (ref < baseRows → base row,
+	// else tail[ref-baseRows]) and replays relation.Apply's exact
+	// swap-with-last moves, keeping σ-entry maintenance valid.
+	view []uint32
+
+	// ver is the content-state token handed to the serving caches: one
+	// fresh pointer per mutation. Atomic for the same reason
+	// Relation.enc is — concurrent readers probe it without locks.
+	ver atomic.Pointer[storeVersion]
+}
+
+// storeVersion tokens must be distinct allocations; the field keeps
+// the struct non-zero-sized so the runtime cannot coalesce them.
+type storeVersion struct{ gen int64 }
+
+var _ siteFragment = (*storeFrag)(nil)
+
+// openStoreFrag maps the packed fragment in dir, opens (creating if
+// absent) its WAL, and replays the logged deltas into the overlay.
+// It returns the number of deltas replayed — the site's recovered
+// generation.
+func openStoreFrag(dir string) (*storeFrag, int, error) {
+	frag, err := colstore.OpenDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	arity := frag.NumColumns()
+	f := &storeFrag{
+		frag:     frag,
+		schema:   frag.Schema(),
+		baseRows: frag.Rows(),
+		ovDicts:  make([]*relation.Dict, arity),
+		tailIDs:  make([][]uint32, arity),
+	}
+	f.ver.Store(&storeVersion{})
+	wal, deltas, err := colstore.OpenDeltaLog(filepath.Join(dir, colstore.DeltaLogFile), arity)
+	if err != nil {
+		frag.Close()
+		return nil, 0, err
+	}
+	// Replay with the WAL detached so recovery does not re-append the
+	// deltas it is reading back.
+	for i, d := range deltas {
+		if _, err := f.Apply(d); err != nil {
+			wal.Close()
+			frag.Close()
+			return nil, 0, fmt.Errorf("colstore: replaying delta %d/%d: %w", i+1, len(deltas), err)
+		}
+	}
+	f.wal = wal
+	return f, len(deltas), nil
+}
+
+func (f *storeFrag) Schema() *relation.Schema { return f.schema }
+
+func (f *storeFrag) Len() int {
+	if f.view != nil {
+		return len(f.view)
+	}
+	return f.baseRows + len(f.tail)
+}
+
+func (f *storeFrag) Version() any { return f.ver.Load() }
+
+func (f *storeFrag) VersionIfBuilt() any { return f.ver.Load() }
+
+// ovDict returns column j's current dictionary: the chained overlay
+// once an insert has grown it, the fragment's base dictionary until
+// then. Reads never populate ovDicts — only Apply writes it — so
+// concurrent readers contend only on the fragment's decode-once.
+func (f *storeFrag) ovDict(j int) (*relation.Dict, error) {
+	if d := f.ovDicts[j]; d != nil {
+		return d, nil
+	}
+	return f.frag.Dict(j)
+}
+
+// ref resolves row i to its storage reference.
+func (f *storeFrag) ref(i int) uint32 {
+	if f.view != nil {
+		return f.view[i]
+	}
+	return uint32(i)
+}
+
+// readColumnAll materializes column c — base segments plus overlay,
+// view indirection applied — into dst (length Len()).
+func (f *storeFrag) readColumnAll(c int, dst []uint32) error {
+	if f.view == nil {
+		if f.baseRows > 0 {
+			if err := f.frag.ReadColumn(c, 0, dst[:f.baseRows]); err != nil {
+				return err
+			}
+		}
+		copy(dst[f.baseRows:], f.tailIDs[c])
+		return nil
+	}
+	rr := f.frag.NewRowReader()
+	base := uint32(f.baseRows)
+	for i, ref := range f.view {
+		if ref < base {
+			id, err := rr.ID(c, int(ref))
+			if err != nil {
+				return err
+			}
+			dst[i] = id
+		} else {
+			dst[i] = f.tailIDs[c][ref-base]
+		}
+	}
+	return nil
+}
+
+func (f *storeFrag) AssignAll(spec *BlockSpec) ([]int, []int, error) {
+	xi, err := f.schema.Indices(spec.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := f.Len()
+	assign := make([]int, rows)
+	counts := make([]int, spec.K())
+	if rows == 0 {
+		return assign, counts, nil
+	}
+	cols := make([][]uint32, len(xi))
+	dicts := make([]*relation.Dict, len(xi))
+	for j, c := range xi {
+		cols[j] = make([]uint32, rows)
+		if err := f.readColumnAll(c, cols[j]); err != nil {
+			return nil, nil, err
+		}
+		if dicts[j], err = f.ovDict(c); err != nil {
+			return nil, nil, err
+		}
+	}
+	spec.assignColumns(cols, dicts, assign, counts)
+	return assign, counts, nil
+}
+
+func (f *storeFrag) ProjectRows(name string, attrs []string, rows []int) (*relation.Relation, error) {
+	idx, err := f.schema.Indices(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := f.schema.Project(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	base := uint32(f.baseRows)
+	dicts := make([]*relation.Dict, len(idx))
+	cols := make([][]uint32, len(idx))
+	rr := f.frag.NewRowReader()
+	for j, c := range idx {
+		if dicts[j], err = f.ovDict(c); err != nil {
+			return nil, err
+		}
+		col := make([]uint32, len(rows))
+		for k, i := range rows {
+			if ref := f.ref(i); ref < base {
+				id, err := rr.ID(c, int(ref))
+				if err != nil {
+					return nil, err
+				}
+				col[k] = id
+			} else {
+				col[k] = f.tailIDs[c][ref-base]
+			}
+		}
+		cols[j] = col
+	}
+	return relation.FromSharedColumns(ps, dicts, cols, len(rows))
+}
+
+func (f *storeFrag) Scan(fn func(relation.Tuple) error) error {
+	rr := f.frag.NewRowReader()
+	buf := make(relation.Tuple, f.schema.Arity())
+	base := uint32(f.baseRows)
+	n := f.Len()
+	for i := 0; i < n; i++ {
+		ref := f.ref(i)
+		t := buf
+		if ref < base {
+			if _, err := rr.Row(int(ref), buf); err != nil {
+				return err
+			}
+		} else {
+			t = f.tail[ref-base]
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tupleAt materializes row i as a stable tuple (strings shared with
+// the dictionaries, safe to retain).
+func (f *storeFrag) tupleAt(rr *colstore.RowReader, i int) (relation.Tuple, error) {
+	ref := f.ref(i)
+	if base := uint32(f.baseRows); ref >= base {
+		return f.tail[ref-base], nil
+	}
+	return rr.Row(int(ref), nil)
+}
+
+func (f *storeFrag) Apply(d relation.Delta) ([]relation.Tuple, error) {
+	for i, t := range d.Inserts {
+		if len(t) != f.schema.Arity() {
+			return nil, fmt.Errorf("relation: delta insert %d has arity %d, schema %s wants %d",
+				i, len(t), f.schema.Name(), f.schema.Arity())
+		}
+	}
+	delIdx, err := relation.NormalizeDeletes(d.Deletes, f.Len())
+	if err != nil {
+		return nil, err
+	}
+	// Durability first: once the WAL holds the delta, a crash at any
+	// later point replays it; a WAL failure leaves the overlay (and the
+	// caller's generation counter) untouched.
+	if f.wal != nil {
+		if err := f.wal.Append(d); err != nil {
+			return nil, err
+		}
+	}
+	var removed []relation.Tuple
+	if len(delIdx) > 0 {
+		if f.view == nil {
+			f.view = make([]uint32, f.Len())
+			for i := range f.view {
+				f.view[i] = uint32(i)
+			}
+		}
+		rr := f.frag.NewRowReader()
+		removed = make([]relation.Tuple, 0, len(delIdx))
+		for _, di := range delIdx {
+			t, err := f.tupleAt(rr, di)
+			if err != nil {
+				return nil, err
+			}
+			removed = append(removed, t)
+			last := len(f.view) - 1
+			f.view[di] = f.view[last]
+			f.view = f.view[:last]
+		}
+	}
+	if len(d.Inserts) > 0 {
+		for j := range f.ovDicts {
+			base, err := f.ovDict(j)
+			if err != nil {
+				return nil, err
+			}
+			f.ovDicts[j] = relation.Chain(base)
+		}
+		for _, t := range d.Inserts {
+			ref := uint32(f.baseRows + len(f.tail))
+			f.tail = append(f.tail, t)
+			for j := range f.ovDicts {
+				f.tailIDs[j] = append(f.tailIDs[j], f.ovDicts[j].ID(t[j]))
+			}
+			if f.view != nil {
+				f.view = append(f.view, ref)
+			}
+		}
+	}
+	f.ver.Store(&storeVersion{gen: f.ver.Load().gen + 1})
+	return removed, nil
+}
+
+// Mine materializes the X-projection (the only part of the fragment
+// the mining lattice walks) and mines it; relative supports are
+// unchanged because the projection keeps every row.
+func (f *storeFrag) Mine(x []string, theta float64) ([]mining.Pattern, error) {
+	rows := make([]int, f.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	proj, err := f.ProjectRows(f.schema.Name()+"_mine", x, rows)
+	if err != nil {
+		return nil, err
+	}
+	return mining.ClosedPatternsWithSupport(proj, x, theta)
+}
+
+func (f *storeFrag) Close() error {
+	var first error
+	if f.wal != nil {
+		if err := f.wal.Close(); err != nil {
+			first = err
+		}
+	}
+	if err := f.frag.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

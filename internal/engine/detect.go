@@ -62,6 +62,11 @@ type detectScratch struct {
 	// path: shard s ∈ [1, workers) uses rows [(s-1)·num, s·num).
 	shardState []uint8
 	shardFirst []uint32
+
+	// Streaming column buffers of the reader path (reader.go): one flat
+	// backing array sliced into per-column chunk windows.
+	readFlat  []uint32
+	readBufsV [][]uint32
 }
 
 func (sc *detectScratch) groupBufs(num int) (state []uint8, first []uint32) {
@@ -145,6 +150,10 @@ func (sc *detectScratch) shrink() {
 	if cap(sc.shardState) > scratchShrinkRows {
 		sc.shardState = nil
 		sc.shardFirst = nil
+	}
+	if cap(sc.readFlat) > scratchShrinkRows {
+		sc.readFlat = nil
+		sc.readBufsV = nil
 	}
 	sc.fold.shrink()
 }

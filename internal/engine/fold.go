@@ -39,6 +39,14 @@ const (
 // scratch it is reused (and rezeroed) across folds; the join index
 // retains one per extra key column so probes can replay the fold
 // lookup-only.
+//
+// A fold runs as begin (pick tier, clear tables) followed by any
+// number of feed calls over consecutive row ranges: the interning
+// counter persists across feeds, so streaming a column chunk by chunk
+// from packed storage interns the same composites to the same dense
+// IDs as one whole-column pass — the reader path's folds are
+// byte-identical to the in-memory ones. foldColumn wraps the pair for
+// single-shot callers.
 type foldStage struct {
 	// Direct tier: key = gid·width + colID, table[key] = id+1 (0 =
 	// absent). width > 0 marks the tier in use.
@@ -50,6 +58,9 @@ type foldStage struct {
 	keys []uint64
 	vals []uint32
 	mask uint64
+
+	// next counts interned composites across the feeds of one fold.
+	next uint32
 }
 
 // hashFold spreads a composite key over the table. The multiplier is
@@ -103,23 +114,62 @@ func (st *foldStage) shrink() {
 // interning relation's row count, so the noGroup sentinel
 // (math.MaxUint32) can never occur as a real ID.
 func foldColumn(gids, col []uint32, num, card int, st *foldStage) int {
-	if prod := uint64(num) * uint64(card); num > 0 && card > 0 &&
-		prod <= directFoldBudget && prod <= uint64(8*len(gids)+1024) {
-		return st.foldDirect(gids, col, uint64(card), int(prod))
-	}
-	return st.foldOpen(gids, col)
+	st.begin(num, card, len(gids))
+	st.feed(gids, col)
+	return st.count()
 }
 
-func (st *foldStage) foldDirect(gids, col []uint32, width uint64, size int) int {
-	if cap(st.table) < size {
-		st.table = make([]uint32, size)
-	} else {
-		st.table = st.table[:size]
-		clear(st.table)
+// begin starts a fold: num bounds the incoming distinct gids, card the
+// folded column's ID space, totalRows the total rows the coming feed
+// calls will cover (the open tier's insertion bound).
+func (st *foldStage) begin(num, card, totalRows int) {
+	st.next = 0
+	if prod := uint64(num) * uint64(card); num > 0 && card > 0 &&
+		prod <= directFoldBudget && prod <= uint64(8*totalRows+1024) {
+		size := int(prod)
+		if cap(st.table) < size {
+			st.table = make([]uint32, size)
+		} else {
+			st.table = st.table[:size]
+			clear(st.table)
+		}
+		st.width = uint64(card)
+		return
 	}
-	st.width = width
-	table := st.table
-	next := uint32(0)
+	// ≤ totalRows entries can be inserted; double for load factor ≤ ½.
+	slots := 16
+	for slots < 2*totalRows {
+		slots <<= 1
+	}
+	if cap(st.vals) < slots {
+		st.keys = make([]uint64, slots)
+		st.vals = make([]uint32, slots)
+	} else {
+		st.keys = st.keys[:slots]
+		st.vals = st.vals[:slots]
+		clear(st.vals)
+	}
+	st.width = 0
+	st.mask = uint64(slots - 1)
+}
+
+// feed merges one consecutive row range: every (gids[i], col[i])
+// composite is interned to a dense ID continuing the fold's counter,
+// rows whose gid is the noGroup sentinel stay excluded.
+func (st *foldStage) feed(gids, col []uint32) {
+	if st.width > 0 {
+		st.feedDirect(gids, col)
+	} else {
+		st.feedOpen(gids, col)
+	}
+}
+
+// count returns the composites interned so far.
+func (st *foldStage) count() int { return int(st.next) }
+
+func (st *foldStage) feedDirect(gids, col []uint32) {
+	table, width := st.table, st.width
+	next := st.next
 	for i, g := range gids {
 		if g == noGroup {
 			continue
@@ -133,27 +183,12 @@ func (st *foldStage) foldDirect(gids, col []uint32, width uint64, size int) int 
 		}
 		gids[i] = v - 1
 	}
-	return int(next)
+	st.next = next
 }
 
-func (st *foldStage) foldOpen(gids, col []uint32) int {
-	// ≤ len(gids) entries can be inserted; double for load factor ≤ ½.
-	slots := 16
-	for slots < 2*len(gids) {
-		slots <<= 1
-	}
-	if cap(st.vals) < slots {
-		st.keys = make([]uint64, slots)
-		st.vals = make([]uint32, slots)
-	} else {
-		st.keys = st.keys[:slots]
-		st.vals = st.vals[:slots]
-		clear(st.vals)
-	}
-	st.width = 0
-	st.mask = uint64(slots - 1)
+func (st *foldStage) feedOpen(gids, col []uint32) {
 	keys, vals, mask := st.keys, st.vals, st.mask
-	next := uint32(0)
+	next := st.next
 	for i, g := range gids {
 		if g == noGroup {
 			continue
@@ -176,5 +211,5 @@ func (st *foldStage) foldOpen(gids, col []uint32) int {
 			slot = (slot + 1) & mask
 		}
 	}
-	return int(next)
+	st.next = next
 }

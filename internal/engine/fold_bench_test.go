@@ -46,7 +46,8 @@ func BenchmarkFoldTiers(b *testing.B) {
 		var st foldStage
 		for i := 0; i < b.N; i++ {
 			copy(gids, base)
-			st.foldDirect(gids, col, card, num*card)
+			st.begin(num, int(card), directFoldBudget)
+			st.feed(gids, col)
 		}
 	})
 	b.Run("open", func(b *testing.B) {
@@ -54,7 +55,8 @@ func BenchmarkFoldTiers(b *testing.B) {
 		var st foldStage
 		for i := 0; i < b.N; i++ {
 			copy(gids, base)
-			st.foldOpen(gids, col)
+			st.begin(0, 0, len(gids))
+			st.feed(gids, col)
 		}
 	})
 }

@@ -1,0 +1,456 @@
+package engine
+
+import (
+	"encoding/binary"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/relation"
+)
+
+// The reader path: the same detector as detect.go, folding directly
+// over a relation.ColumnReader — packed colstore segments, or any
+// other source of dictionary-encoded columns — without materializing
+// []Tuple rows. Columns stream through chunk-sized buffers; the only
+// full-length allocations are the per-row group-ID vector and the
+// violation bitset (≈4.1 bytes/row), so detection over an mmap'd
+// fragment keeps resident memory far below the data size. Chunked
+// readers additionally let constant scans skip chunks whose ID bounds
+// exclude every resolved pattern constant.
+//
+// The fold runs serially in streaming begin/feed form with the same
+// interning order as the in-memory pass, so violations — and the
+// extracted X-patterns — are byte-identical to Detect over the
+// materialized relation. The equivalence tests in reader_test.go and
+// the in-memory oracle pin that.
+
+// readerChunkRows sizes the streaming buffers for readers that do not
+// expose their own chunking.
+const readerChunkRows = 8192
+
+// rowSpan is one streamed row range; chunk is the source chunk index
+// (−1 when the reader is unchunked).
+type rowSpan struct {
+	lo, hi, chunk int
+}
+
+// readerSpans returns the streaming plan for r: the reader's own
+// chunks when uniform chunking is available, fixed-size spans
+// otherwise.
+func readerSpans(r relation.ColumnReader) ([]rowSpan, relation.ChunkedColumnReader, error) {
+	rows := r.Rows()
+	if cc, ok := r.(relation.ChunkedColumnReader); ok && r.NumColumns() > 0 {
+		n, err := cc.ColumnChunks(0)
+		if err != nil {
+			return nil, nil, err
+		}
+		spans := make([]rowSpan, 0, n)
+		for k := 0; k < n; k++ {
+			lo, hi := cc.ChunkSpan(0, k)
+			spans = append(spans, rowSpan{lo: lo, hi: hi, chunk: k})
+		}
+		return spans, cc, nil
+	}
+	var spans []rowSpan
+	for lo := 0; lo < rows; lo += readerChunkRows {
+		hi := lo + readerChunkRows
+		if hi > rows {
+			hi = rows
+		}
+		spans = append(spans, rowSpan{lo: lo, hi: hi, chunk: -1})
+	}
+	return spans, nil, nil
+}
+
+// chunkExcludes reports whether chunk k of column col provably cannot
+// contain id — only when the reader is chunked and the column's chunk
+// k covers exactly span (uniform chunking).
+func chunkExcludes(cc relation.ChunkedColumnReader, col int, sp rowSpan, id uint32) bool {
+	if cc == nil || sp.chunk < 0 {
+		return false
+	}
+	if lo, hi := cc.ChunkSpan(col, sp.chunk); lo != sp.lo || hi != sp.hi {
+		return false
+	}
+	minID, maxID := cc.ChunkIDBounds(col, sp.chunk)
+	return id < minID || id > maxID
+}
+
+// readBufs returns n streaming column buffers of rows capacity each,
+// reusing the scratch's flat backing array.
+func (sc *detectScratch) readBufs(n, rows int) [][]uint32 {
+	need := n * rows
+	if cap(sc.readFlat) < need {
+		sc.readFlat = make([]uint32, need)
+	}
+	flat := sc.readFlat[:need]
+	if cap(sc.readBufsV) < n {
+		sc.readBufsV = make([][]uint32, n)
+	}
+	bufs := sc.readBufsV[:n]
+	for i := range bufs {
+		bufs[i] = flat[i*rows : (i+1)*rows]
+	}
+	return bufs
+}
+
+// constRead is one resolved constant of a pattern on the reader path:
+// the source column index and the ID the constant resolves to.
+type constRead struct {
+	col int
+	id  uint32
+}
+
+// detectUnitReader checks one normalized unit over r, marking
+// violating rows in the scratch bitset. It is the streaming serial
+// counterpart of detectUnit.
+func (sc *detectScratch) detectUnitReader(r relation.ColumnReader, schema *relation.Schema, n *cfd.Normalized) error {
+	xi, err := schema.Indices(n.X)
+	if err != nil {
+		return err
+	}
+	aIdxs, err := schema.Indices([]string{n.A})
+	if err != nil {
+		return err
+	}
+	rows := r.Rows()
+	if rows == 0 {
+		return nil
+	}
+	spans, cc, err := readerSpans(r)
+	if err != nil {
+		return err
+	}
+	spanMax := 0
+	for _, sp := range spans {
+		if w := sp.hi - sp.lo; w > spanMax {
+			spanMax = w
+		}
+	}
+
+	var consts []constRead
+	var varCols []int
+	for j, p := range n.TpX {
+		if p == cfd.Wildcard {
+			varCols = append(varCols, xi[j])
+			continue
+		}
+		id, ok := r.ColumnDict(xi[j]).Lookup(p)
+		if !ok {
+			return nil
+		}
+		consts = append(consts, constRead{col: xi[j], id: id})
+	}
+	aCol := aIdxs[0]
+	adict := r.ColumnDict(aCol)
+
+	if n.IsConstant() {
+		aID, aOK := adict.Lookup(n.TpA)
+		bufs := sc.readBufs(len(consts)+1, spanMax)
+		abuf := bufs[len(consts)]
+	span:
+		for _, sp := range spans {
+			// A chunk that cannot hold some pattern constant has no
+			// matching row: skip it without decoding any column.
+			for _, c := range consts {
+				if chunkExcludes(cc, c.col, sp, c.id) {
+					continue span
+				}
+			}
+			w := sp.hi - sp.lo
+			for ci, c := range consts {
+				if err := r.ReadColumn(c.col, sp.lo, bufs[ci][:w]); err != nil {
+					return err
+				}
+			}
+			if err := r.ReadColumn(aCol, sp.lo, abuf[:w]); err != nil {
+				return err
+			}
+			for i := 0; i < w; i++ {
+				match := true
+				for ci, c := range consts {
+					if bufs[ci][i] != c.id {
+						match = false
+						break
+					}
+				}
+				if match && (!aOK || abuf[i] != aID) {
+					sc.mark(sp.lo + i)
+				}
+			}
+		}
+		return nil
+	}
+
+	// Variable unit: full-length gids, columns streamed.
+	if cap(sc.gids) < rows {
+		sc.gids = make([]uint32, rows)
+	}
+	gids := sc.gids[:rows]
+	num := 0
+	bufs := sc.readBufs(len(consts)+1, spanMax)
+	vbuf := bufs[len(consts)]
+	if len(varCols) == 0 {
+		// All-constant LHS with a variable RHS: one group.
+		for _, sp := range spans {
+			w := sp.hi - sp.lo
+			for ci, c := range consts {
+				if err := r.ReadColumn(c.col, sp.lo, bufs[ci][:w]); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < w; i++ {
+				g := uint32(0)
+				for ci, c := range consts {
+					if bufs[ci][i] != c.id {
+						g = noGroup
+						break
+					}
+				}
+				gids[sp.lo+i] = g
+			}
+		}
+		num = 1
+	} else {
+		for _, sp := range spans {
+			w := sp.hi - sp.lo
+			for ci, c := range consts {
+				if err := r.ReadColumn(c.col, sp.lo, bufs[ci][:w]); err != nil {
+					return err
+				}
+			}
+			if err := r.ReadColumn(varCols[0], sp.lo, vbuf[:w]); err != nil {
+				return err
+			}
+			for i := 0; i < w; i++ {
+				g := vbuf[i]
+				for ci, c := range consts {
+					if bufs[ci][i] != c.id {
+						g = noGroup
+						break
+					}
+				}
+				gids[sp.lo+i] = g
+			}
+		}
+		num = r.ColumnDict(varCols[0]).Len()
+		for _, col := range varCols[1:] {
+			sc.fold.begin(num, r.ColumnDict(col).Len(), rows)
+			for _, sp := range spans {
+				w := sp.hi - sp.lo
+				if err := r.ReadColumn(col, sp.lo, vbuf[:w]); err != nil {
+					return err
+				}
+				sc.fold.feed(gids[sp.lo:sp.hi], vbuf[:w])
+			}
+			num = sc.fold.count()
+		}
+	}
+
+	state, firstA := sc.groupBufs(num)
+	for _, sp := range spans {
+		w := sp.hi - sp.lo
+		if err := r.ReadColumn(aCol, sp.lo, vbuf[:w]); err != nil {
+			return err
+		}
+		for i := 0; i < w; i++ {
+			g := gids[sp.lo+i]
+			if g == noGroup {
+				continue
+			}
+			switch state[g] {
+			case 0:
+				state[g] = 1
+				firstA[g] = vbuf[i]
+			case 1:
+				if vbuf[i] != firstA[g] {
+					state[g] = 2
+				}
+			}
+		}
+	}
+	for i := 0; i < rows; i++ {
+		if g := gids[i]; g != noGroup && state[g] == 2 {
+			sc.mark(i)
+		}
+	}
+	return nil
+}
+
+// violationPatternsReader extracts the distinct X-patterns of the rows
+// set in sc.bits, decoding only the spans that hold set bits. The
+// seen-set keys on encoded column IDs exactly like the in-memory
+// extraction, and rows are visited ascending, so the emitted patterns
+// match it row for row.
+func (sc *detectScratch) violationPatternsReader(r relation.ColumnReader, schema *relation.Schema, c *cfd.CFD) (*relation.Relation, error) {
+	xi, err := schema.Indices(c.X)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := schema.Project("viopi_"+c.Name, c.X)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(ps)
+	spans, _, err := readerSpans(r)
+	if err != nil {
+		return nil, err
+	}
+	dicts := make([]*relation.Dict, len(xi))
+	var bufs [][]uint32
+	var seen map[string]struct{}
+	key := make([]byte, 0, 8*len(xi))
+	pat := make(relation.Tuple, len(xi))
+	for _, sp := range spans {
+		if !sc.anySet(sp.lo, sp.hi) {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[string]struct{}, 16)
+			spanMax := 0
+			for _, s2 := range spans {
+				if w := s2.hi - s2.lo; w > spanMax {
+					spanMax = w
+				}
+			}
+			bufs = sc.readBufs(len(xi), spanMax)
+			for j, col := range xi {
+				dicts[j] = r.ColumnDict(col)
+			}
+		}
+		w := sp.hi - sp.lo
+		for j, col := range xi {
+			if err := r.ReadColumn(col, sp.lo, bufs[j][:w]); err != nil {
+				return nil, err
+			}
+		}
+		for i := sp.lo; i < sp.hi; i++ {
+			if sc.bits[i>>6]&(1<<(uint(i)&63)) == 0 {
+				continue
+			}
+			key = key[:0]
+			for j := range xi {
+				key = binary.AppendUvarint(key, uint64(bufs[j][i-sp.lo]))
+			}
+			if _, dup := seen[string(key)]; dup {
+				continue
+			}
+			seen[string(key)] = struct{}{}
+			for j := range xi {
+				pat[j] = dicts[j].Val(bufs[j][i-sp.lo])
+			}
+			out.MustAppend(pat.Clone())
+		}
+	}
+	return out, nil
+}
+
+// anySet reports whether any bit in rows [lo, hi) is set.
+func (sc *detectScratch) anySet(lo, hi int) bool {
+	wlo, whi := lo>>6, (hi+63)>>6
+	for w := wlo; w < whi; w++ {
+		word := sc.bits[w]
+		if word == 0 {
+			continue
+		}
+		// Mask partial boundary words.
+		if w == wlo && lo&63 != 0 {
+			word &^= (1 << (uint(lo) & 63)) - 1
+		}
+		if w == whi-1 && hi&63 != 0 {
+			word &= (1 << (uint(hi) & 63)) - 1
+		}
+		if word != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectReader returns Vio(φ, r) as sorted row indices, streaming the
+// reader's columns without materializing tuples.
+func DetectReader(r relation.ColumnReader, schema *relation.Schema, c *cfd.CFD) ([]int, error) {
+	return defaultKernel.DetectReader(r, schema, c)
+}
+
+// DetectSetReader returns Vio(Σ, r) as sorted row indices.
+func DetectSetReader(r relation.ColumnReader, schema *relation.Schema, cs []*cfd.CFD) ([]int, error) {
+	return defaultKernel.DetectSetReader(r, schema, cs)
+}
+
+// ViolationPatternsReader returns the distinct violating X-patterns of
+// φ over r as bare X-tuples.
+func ViolationPatternsReader(r relation.ColumnReader, schema *relation.Schema, c *cfd.CFD) (*relation.Relation, error) {
+	return defaultKernel.ViolationPatternsReader(r, schema, c)
+}
+
+// DetectReader returns Vio(φ, r) as sorted row indices.
+func (k *Kernel) DetectReader(r relation.ColumnReader, schema *relation.Schema, c *cfd.CFD) ([]int, error) {
+	if err := c.Validate(schema); err != nil {
+		return nil, err
+	}
+	sc := k.get()
+	defer k.put(sc)
+	sc.resetBits(r.Rows())
+	for _, n := range c.Normalize() {
+		if err := sc.detectUnitReader(r, schema, n); err != nil {
+			return nil, err
+		}
+	}
+	return sc.violations(), nil
+}
+
+// DetectSetReader returns Vio(Σ, r) as sorted row indices.
+func (k *Kernel) DetectSetReader(r relation.ColumnReader, schema *relation.Schema, cs []*cfd.CFD) ([]int, error) {
+	sc := k.get()
+	defer k.put(sc)
+	sc.resetBits(r.Rows())
+	for _, c := range cs {
+		if err := c.Validate(schema); err != nil {
+			return nil, err
+		}
+		for _, n := range c.Normalize() {
+			if err := sc.detectUnitReader(r, schema, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sc.violations(), nil
+}
+
+// ViolationPatternsReader returns the distinct violating X-patterns of
+// φ over r.
+func (k *Kernel) ViolationPatternsReader(r relation.ColumnReader, schema *relation.Schema, c *cfd.CFD) (*relation.Relation, error) {
+	if err := c.Validate(schema); err != nil {
+		return nil, err
+	}
+	sc := k.get()
+	defer k.put(sc)
+	sc.resetBits(r.Rows())
+	for _, n := range c.Normalize() {
+		if err := sc.detectUnitReader(r, schema, n); err != nil {
+			return nil, err
+		}
+	}
+	return sc.violationPatternsReader(r, schema, c)
+}
+
+// ConstantViolationRowsReader marks only the constant units of c —
+// the site-local Proposition 5 phase — returning sorted violating row
+// indices. Chunk skipping applies per unit.
+func ConstantViolationRowsReader(r relation.ColumnReader, schema *relation.Schema, c *cfd.CFD) ([]int, error) {
+	if err := c.Validate(schema); err != nil {
+		return nil, err
+	}
+	sc := defaultKernel.get()
+	defer defaultKernel.put(sc)
+	sc.resetBits(r.Rows())
+	for _, n := range c.Normalize() {
+		if !n.IsConstant() {
+			continue
+		}
+		if err := sc.detectUnitReader(r, schema, n); err != nil {
+			return nil, err
+		}
+	}
+	return sc.violations(), nil
+}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/colstore"
+	"distcfd/internal/relation"
+)
+
+// openFragment persists r and opens it as a packed fragment.
+func openFragment(t *testing.T, r *relation.Relation) *colstore.Fragment {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), colstore.FragmentFile)
+	if _, err := colstore.WriteRelation(path, r); err != nil {
+		t.Fatal(err)
+	}
+	f, err := colstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestDetectReaderMatchesPaperExample(t *testing.T) {
+	d := empD0()
+	f := openFragment(t, d)
+	cases := []struct {
+		c    *cfd.CFD
+		want []int
+	}{
+		{phi1, []int{1, 2, 3, 4, 7, 8}},
+		{phi2, nil},
+		{phi3, []int{1, 2, 5}},
+	}
+	for _, tc := range cases {
+		// Over the packed fragment and, as a second reader, the
+		// in-memory encoded view through the same streaming path.
+		got, err := DetectReader(f, f.Schema(), tc.c)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.c.Name, err)
+		}
+		if !equalInts(got, tc.want) {
+			t.Errorf("%s: DetectReader(fragment) = %v, want %v", tc.c.Name, got, tc.want)
+		}
+		got2, err := DetectReader(d.Encoded(), d.Schema(), tc.c)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.c.Name, err)
+		}
+		if !equalInts(got2, tc.want) {
+			t.Errorf("%s: DetectReader(encoded) = %v, want %v", tc.c.Name, got2, tc.want)
+		}
+	}
+	all, err := DetectSetReader(f, f.Schema(), []*cfd.CFD{phi1, phi2, phi3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(all, []int{1, 2, 3, 4, 5, 7, 8}) {
+		t.Errorf("DetectSetReader = %v", all)
+	}
+}
+
+// TestReaderEquivalenceRandomized pins the tentpole property: detection
+// over packed segments is byte-identical to detection over the
+// materialized relation — same violating rows, same extracted patterns
+// in the same order — across random relations and CFDs. Relations span
+// multiple chunks so the streaming fold crosses chunk boundaries.
+func TestReaderEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := relation.MustSchema("R", []string{"a", "b", "c", "d"})
+	domains := []int{3, 4, 2, 3}
+	for trial := 0; trial < 12; trial++ {
+		n := 1 + rng.Intn(3*8192)
+		d := relation.New(s)
+		for i := 0; i < n; i++ {
+			row := make(relation.Tuple, 4)
+			for j := range row {
+				row[j] = fmt.Sprintf("v%d", rng.Intn(domains[j]))
+			}
+			d.MustAppend(row)
+		}
+		f := openFragment(t, d)
+		for k := 0; k < 5; k++ {
+			c := randomCFD(rng)
+			want, err := Detect(d, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DetectReader(f, f.Schema(), c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalInts(got, want) {
+				t.Fatalf("trial %d: DetectReader disagrees with Detect for %s:\n got %v\nwant %v", trial, c, got, want)
+			}
+			wantPats, err := ViolationPatterns(d, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotPats, err := ViolationPatternsReader(f, f.Schema(), c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotPats.Tuples(), wantPats.Tuples()) {
+				t.Fatalf("trial %d: patterns disagree for %s:\n got %v\nwant %v",
+					trial, c, gotPats.Tuples(), wantPats.Tuples())
+			}
+		}
+	}
+}
+
+// TestReaderHighCardinalityFold pushes a two-wildcard unit into the
+// open-addressing fold tier across chunk boundaries: composite
+// interning must survive streaming feeds.
+func TestReaderHighCardinalityFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := relation.MustSchema("R", []string{"a", "b", "c"})
+	d := relation.New(s)
+	n := 2*8192 + 1000
+	for i := 0; i < n; i++ {
+		d.MustAppend(relation.Tuple{
+			fmt.Sprintf("a%d", rng.Intn(n)), // high cardinality: open tier
+			fmt.Sprintf("b%d", rng.Intn(n)),
+			fmt.Sprintf("c%d", rng.Intn(3)),
+		})
+	}
+	c := cfd.MustParse(`hc: [a, b] -> [c]`)
+	f := openFragment(t, d)
+	want, err := Detect(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DetectReader(f, f.Schema(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(got, want) {
+		t.Fatalf("high-cardinality fold disagrees: got %d rows, want %d", len(got), len(want))
+	}
+}
+
+// TestConstantReaderSkipsAndMatches pins the constant-only entry point
+// against the full detector restricted to constant units.
+func TestConstantReaderSkipsAndMatches(t *testing.T) {
+	d := empD0()
+	f := openFragment(t, d)
+	consts, _ := phi3.SplitConstantVariable()
+	sc := defaultKernel.get()
+	defer defaultKernel.put(sc)
+	sc.resetBits(d.Encoded().Rows())
+	for _, n := range consts {
+		if err := sc.detectUnit(d, n, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := sc.violations()
+	got, err := ConstantViolationRowsReader(f, f.Schema(), phi3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(got, want) {
+		t.Fatalf("constant reader = %v, want %v", got, want)
+	}
+}
+
+func TestReaderEmptyRelation(t *testing.T) {
+	s := relation.MustSchema("R", []string{"a", "b", "c", "d"})
+	d := relation.New(s)
+	f := openFragment(t, d)
+	got, err := DetectReader(f, f.Schema(), phi2Like())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("violations over empty = %v", got)
+	}
+}
+
+func phi2Like() *cfd.CFD {
+	return cfd.MustParse(`e: [a, b] -> [c]`)
+}

@@ -210,6 +210,12 @@ func (s *Site) before(method string) (core.SiteAPI, time.Duration, error) {
 	if s.crashed {
 		s.downFor++
 		if s.rebuild != nil && s.plan.RestartAfter > 0 && s.downFor > s.plan.RestartAfter {
+			// Release the corpse's resources first: a disk-backed site
+			// (core.OpenStoreSite) holds a file mapping and a WAL handle
+			// on the store directory its replacement is about to reopen.
+			if c, ok := s.inner.(interface{ Close() error }); ok {
+				c.Close()
+			}
 			s.inner = s.rebuild()
 			s.crashed = false
 		} else {

@@ -79,6 +79,7 @@ func (r *Relation) Apply(d Delta) ([]Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.materializeForWrite()
 	old := r.enc.Load()
 	tuples := r.tuples
 	var removed []Tuple

@@ -25,7 +25,12 @@ import (
 // AppendAll, SortBy), so a stale snapshot is never observed through
 // Relation.Encoded.
 type Encoded struct {
+	// tuples is the snapshot the view was built from; nil for views over
+	// lazy relations (ProjectRows/Concat/FromColumns/FromSharedColumns
+	// extracts), which pre-build every column, so the tuple fallback in
+	// Column is never needed there. rows carries the count explicitly.
 	tuples []Tuple
+	rows   int
 	arity  int
 	// gen counts the delta generations behind this view: Apply derives
 	// generation g+1 from generation g instead of invalidating, so
@@ -46,6 +51,7 @@ type Encoded struct {
 func newEncoded(tuples []Tuple, arity int) *Encoded {
 	return &Encoded{
 		tuples: tuples,
+		rows:   len(tuples),
 		arity:  arity,
 		cols:   make([][]uint32, arity),
 		dicts:  make([]*Dict, arity),
@@ -54,7 +60,7 @@ func newEncoded(tuples []Tuple, arity int) *Encoded {
 }
 
 // Rows returns the number of rows in the view.
-func (e *Encoded) Rows() int { return len(e.tuples) }
+func (e *Encoded) Rows() int { return e.rows }
 
 // Gen returns the view's delta generation (0 for a freshly built view,
 // incremented every time Relation.Apply derives the next one).
@@ -219,7 +225,7 @@ func (r *Relation) Encoded() *Encoded {
 	if e := r.enc.Load(); e != nil {
 		return e
 	}
-	e := newEncoded(r.tuples, r.schema.Arity())
+	e := newEncoded(r.Tuples(), r.schema.Arity())
 	if r.enc.CompareAndSwap(nil, e) {
 		return e
 	}
@@ -280,10 +286,13 @@ func (m *remapper) remap(src *Dict, id uint32) uint32 {
 }
 
 // ProjectRows returns a new relation holding the given rows of r (in
-// order) projected onto attrs, named name. Tuples are materialized as
-// usual, and the columnar encoded view is derived from r's by row
-// gathering: the extract shares the source dictionaries (IDs stay
-// valid, merely sparse), so extraction does no hashing at all.
+// order) projected onto attrs, named name. The columnar encoded view
+// is derived from r's by row gathering: the extract shares the source
+// dictionaries (IDs stay valid, merely sparse), so extraction does no
+// hashing at all. The result is lazy — extraction runs per shipped
+// block on the serving path, where the string-tuple build was the
+// single largest allocation site of a whole detection run, and the
+// consumers work in ID space.
 func (r *Relation) ProjectRows(name string, attrs []string, rows []int) (*Relation, error) {
 	idx, err := r.schema.Indices(attrs)
 	if err != nil {
@@ -294,22 +303,10 @@ func (r *Relation) ProjectRows(name string, attrs []string, rows []int) (*Relati
 		return nil, err
 	}
 	e := r.Encoded()
-	out := NewWithCapacity(ps, len(rows))
-	// One backing array for every projected tuple: extraction runs per
-	// shipped block on the serving path, where a per-row allocation was
-	// the single largest allocation site of a whole detection run. The
-	// sub-slices are full (len == cap), so growing one can never bleed
-	// into its neighbor.
-	flat := make([]string, len(rows)*len(idx))
-	for k, i := range rows {
-		t := flat[k*len(idx) : (k+1)*len(idx) : (k+1)*len(idx)]
-		src := r.tuples[i]
-		for j, c := range idx {
-			t[j] = src[c]
-		}
-		out.tuples = append(out.tuples, t)
-	}
-	enc := newEncoded(out.tuples, len(idx))
+	out := New(ps)
+	out.lazy = &lazyTuples{rows: len(rows)}
+	enc := newEncoded(nil, len(idx))
+	enc.rows = len(rows)
 	for j, c := range idx {
 		srcCol, srcDict := e.Column(c)
 		col := make([]uint32, len(rows))
@@ -340,11 +337,10 @@ func Concat(parts ...*Relation) (*Relation, error) {
 		}
 		total += p.Len()
 	}
-	out := NewWithCapacity(schema, total)
-	for _, p := range parts {
-		out.tuples = append(out.tuples, p.tuples...)
-	}
-	enc := newEncoded(out.tuples, schema.Arity())
+	out := New(schema)
+	out.lazy = &lazyTuples{rows: total}
+	enc := newEncoded(nil, schema.Arity())
+	enc.rows = total
 	for j := 0; j < schema.Arity(); j++ {
 		d := NewDict()
 		col := make([]uint32, 0, total)
@@ -362,9 +358,10 @@ func Concat(parts ...*Relation) (*Relation, error) {
 }
 
 // FromColumns builds a relation from per-column dictionaries and ID
-// vectors — the columnar wire form — materializing tuples that share
-// the dictionary strings and installing the encoded view directly, so
-// a receiving site keeps working on the sender's interning.
+// vectors — the columnar wire form — installing the encoded view
+// directly, so a receiving site keeps working on the sender's
+// interning. The result is lazy: tuples materialize (sharing the
+// dictionary strings) only if something leaves ID space.
 func FromColumns(s *Schema, dicts [][]string, cols [][]uint32, rows int) (*Relation, error) {
 	arity := s.Arity()
 	if len(cols) != arity || len(dicts) != arity {
@@ -372,6 +369,7 @@ func FromColumns(s *Schema, dicts [][]string, cols [][]uint32, rows int) (*Relat
 			len(cols), len(dicts), s.Name(), arity)
 	}
 	enc := newEncoded(nil, arity)
+	enc.rows = rows
 	for j := range cols {
 		if len(cols[j]) != rows {
 			return nil, fmt.Errorf("relation: column %d has %d rows, header says %d", j, len(cols[j]), rows)
@@ -388,15 +386,8 @@ func FromColumns(s *Schema, dicts [][]string, cols [][]uint32, rows int) (*Relat
 		}
 		enc.cols[j], enc.dicts[j], enc.dense[j] = cols[j], d, true
 	}
-	out := NewWithCapacity(s, rows)
-	for i := 0; i < rows; i++ {
-		t := make(Tuple, arity)
-		for j := 0; j < arity; j++ {
-			t[j] = dicts[j][cols[j][i]]
-		}
-		out.tuples = append(out.tuples, t)
-	}
-	enc.tuples = out.tuples
+	out := New(s)
+	out.lazy = &lazyTuples{rows: rows}
 	out.enc.Store(enc)
 	return out, nil
 }

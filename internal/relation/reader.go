@@ -1,0 +1,95 @@
+package relation
+
+import "fmt"
+
+// ColumnReader is the engine's storage seam: anything that can hand
+// out dictionary-encoded column IDs row-range by row-range. The
+// in-memory Encoded view satisfies it trivially; colstore fragments
+// satisfy it by decoding packed chunks on demand, which is what lets
+// the fold/detect kernels run over data that never materializes as
+// []Tuple.
+//
+// Implementations must be safe for concurrent readers.
+type ColumnReader interface {
+	// Rows returns the row count.
+	Rows() int
+	// NumColumns returns the arity.
+	NumColumns() int
+	// ColumnDict returns column i's dictionary (read-only).
+	ColumnDict(i int) *Dict
+	// ReadColumn fills dst with column i's IDs for rows
+	// [lo, lo+len(dst)).
+	ReadColumn(i, lo int, dst []uint32) error
+}
+
+// ChunkedColumnReader is a ColumnReader whose storage is chunked with
+// per-chunk ID bounds — the hooks constant scans use to stream in
+// chunk-sized pieces and to skip chunks that cannot contain a wanted
+// ID. Chunk boundaries should be uniform across columns (one chunking
+// for the whole relation); consumers verify spans before relying on a
+// chunk's bounds for skipping, so a non-uniform implementation is
+// merely slower, not wrong.
+type ChunkedColumnReader interface {
+	ColumnReader
+	// ColumnChunks returns the chunk count of column i.
+	ColumnChunks(i int) (int, error)
+	// ChunkSpan returns the row range [lo, hi) chunk k covers.
+	ChunkSpan(i, k int) (lo, hi int)
+	// ChunkIDBounds returns the min and max ID present in chunk k.
+	ChunkIDBounds(i, k int) (minID, maxID uint32)
+}
+
+// NumColumns returns the arity; with ColumnDict and ReadColumn it
+// makes *Encoded a ColumnReader.
+func (e *Encoded) NumColumns() int { return e.arity }
+
+// ColumnDict returns column i's dictionary, building the column on
+// first use.
+func (e *Encoded) ColumnDict(i int) *Dict {
+	_, d := e.Column(i)
+	return d
+}
+
+// ReadColumn copies column i's IDs for rows [lo, lo+len(dst)) into
+// dst. Engine code holding a concrete *Encoded should use Column and
+// skip the copy; this exists so the reader path has one shape.
+func (e *Encoded) ReadColumn(i, lo int, dst []uint32) error {
+	col, _ := e.Column(i)
+	if lo < 0 || lo+len(dst) > len(col) {
+		return fmt.Errorf("relation: ReadColumn rows [%d,%d) out of range [0,%d)", lo, lo+len(dst), len(col))
+	}
+	copy(dst, col[lo:])
+	return nil
+}
+
+var _ ColumnReader = (*Encoded)(nil)
+
+// FromSharedColumns builds a relation over already-interned columns:
+// the ID vectors index into the given live dictionaries, which the new
+// relation shares rather than copies (IDs stay valid, merely sparse —
+// the same deal ProjectRows makes). The result is lazy: the check
+// kernels consume it entirely in ID space, so string tuples (sharing
+// the dictionaries' values) materialize only if something asks. This
+// is how a store-backed fragment hands out extracts without re-hashing
+// a single value — or, now, materializing one.
+func FromSharedColumns(s *Schema, dicts []*Dict, cols [][]uint32, rows int) (*Relation, error) {
+	arity := s.Arity()
+	if len(cols) != arity || len(dicts) != arity {
+		return nil, fmt.Errorf("relation: shared-column payload has %d/%d columns, schema %s wants %d",
+			len(cols), len(dicts), s.Name(), arity)
+	}
+	for j := range cols {
+		if len(cols[j]) != rows {
+			return nil, fmt.Errorf("relation: column %d has %d rows, want %d", j, len(cols[j]), rows)
+		}
+	}
+	out := New(s)
+	out.lazy = &lazyTuples{rows: rows}
+	enc := newEncoded(nil, arity)
+	enc.rows = rows
+	for j := range cols {
+		enc.cols[j], enc.dicts[j] = cols[j], dicts[j]
+	}
+	out.enc.Store(enc)
+	return out, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -16,7 +17,73 @@ import (
 type Relation struct {
 	schema *Schema
 	tuples []Tuple
-	enc    atomic.Pointer[Encoded]
+	// lazy, when non-nil, marks a relation whose rows exist only as the
+	// cached encoded view's columns: tuple materialization is deferred
+	// until something actually asks for []Tuple form. Extracts on the
+	// serving path (ProjectRows, FromSharedColumns, the columnar wire
+	// receive) are consumed almost entirely in ID space, so for them the
+	// O(rows·arity) string-tuple build is pure waste. Single-row access
+	// (Tuple) decodes just that row; Tuples and every mutation
+	// materialize the full slice first.
+	lazy *lazyTuples
+	enc  atomic.Pointer[Encoded]
+}
+
+// lazyTuples carries the deferred state: the row count (the encoded
+// view knows it too, but Len must not chase pointers) and the once that
+// guards the build, making concurrent readers safe.
+type lazyTuples struct {
+	rows int
+	once sync.Once
+}
+
+// materialize builds r.tuples from the encoded view's columns. It is
+// the only writer of r.tuples on a lazy relation, serialized by the
+// once; every reader of the field goes through it first.
+func (r *Relation) materialize() {
+	if r.lazy == nil {
+		return
+	}
+	r.lazy.once.Do(func() {
+		e := r.enc.Load()
+		arity := r.schema.Arity()
+		rows := r.lazy.rows
+		flat := make([]string, rows*arity)
+		for j := 0; j < arity; j++ {
+			col, dict := e.Column(j)
+			for i, id := range col {
+				flat[i*arity+j] = dict.Val(id)
+			}
+		}
+		ts := make([]Tuple, rows)
+		for i := range ts {
+			ts[i] = flat[i*arity : (i+1)*arity : (i+1)*arity]
+		}
+		r.tuples = ts
+	})
+}
+
+// materializeForWrite materializes and drops the lazy marker; every
+// mutating method calls it first so Len and the mutation itself see an
+// ordinary tuple-backed relation. Mutation already must not race with
+// reads, so clearing the marker needs no synchronization.
+func (r *Relation) materializeForWrite() {
+	r.materialize()
+	r.lazy = nil
+}
+
+// lazyTuple decodes row i alone from the encoded columns. Callers on
+// the detection path touch only violating rows and group
+// representatives, so per-call allocation beats materializing the
+// whole block.
+func (r *Relation) lazyTuple(i int) Tuple {
+	e := r.enc.Load()
+	t := make(Tuple, r.schema.Arity())
+	for j := range t {
+		col, dict := e.Column(j)
+		t[j] = dict.Val(col[i])
+	}
+	return t
 }
 
 // New creates an empty relation over schema s.
@@ -56,19 +123,36 @@ func MustFromRows(s *Schema, rows ...[]string) *Relation {
 func (r *Relation) Schema() *Schema { return r.schema }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int {
+	if r.lazy != nil {
+		return r.lazy.rows
+	}
+	return len(r.tuples)
+}
 
-// Tuple returns the i-th tuple. The caller must not modify it.
-func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+// Tuple returns the i-th tuple. The caller must not modify it. On a
+// lazy relation each call decodes a fresh tuple, so callers needing
+// the full set should use Tuples.
+func (r *Relation) Tuple(i int) Tuple {
+	if r.lazy != nil {
+		return r.lazyTuple(i)
+	}
+	return r.tuples[i]
+}
 
-// Tuples returns the underlying tuple slice. The caller must not modify it.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// Tuples returns the underlying tuple slice, materializing it first on
+// a lazy relation. The caller must not modify it.
+func (r *Relation) Tuples() []Tuple {
+	r.materialize()
+	return r.tuples
+}
 
 // Append adds a tuple, validating arity.
 func (r *Relation) Append(t Tuple) error {
 	if len(t) != r.schema.Arity() {
 		return fmt.Errorf("relation: tuple arity %d does not match schema %s arity %d", len(t), r.schema.Name(), r.schema.Arity())
 	}
+	r.materializeForWrite()
 	r.tuples = append(r.tuples, t)
 	r.invalidateEncoding()
 	return nil
@@ -87,7 +171,8 @@ func (r *Relation) AppendAll(o *Relation) error {
 		return fmt.Errorf("relation: cannot append %s (arity %d) to %s (arity %d)",
 			o.schema.Name(), o.schema.Arity(), r.schema.Name(), r.schema.Arity())
 	}
-	r.tuples = append(r.tuples, o.tuples...)
+	r.materializeForWrite()
+	r.tuples = append(r.tuples, o.Tuples()...)
 	r.invalidateEncoding()
 	return nil
 }
@@ -95,7 +180,7 @@ func (r *Relation) AppendAll(o *Relation) error {
 // Clone returns a deep copy (tuples copied too).
 func (r *Relation) Clone() *Relation {
 	out := NewWithCapacity(r.schema, r.Len())
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		out.tuples = append(out.tuples, t.Clone())
 	}
 	return out
@@ -105,7 +190,7 @@ func (r *Relation) Clone() *Relation {
 // Tuples are shared, not copied.
 func (r *Relation) Select(pred func(Tuple) bool) *Relation {
 	out := New(r.schema)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		if pred(t) {
 			out.tuples = append(out.tuples, t)
 		}
@@ -125,7 +210,7 @@ func (r *Relation) Project(name string, attrs []string) (*Relation, error) {
 		return nil, err
 	}
 	out := NewWithCapacity(ps, r.Len())
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		out.tuples = append(out.tuples, t.Project(idx))
 	}
 	return out, nil
@@ -144,7 +229,7 @@ func (r *Relation) DistinctProject(name string, attrs []string) (*Relation, erro
 	}
 	out := New(ps)
 	seen := make(map[string]struct{}, r.Len())
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		k := t.Key(idx)
 		if _, dup := seen[k]; dup {
 			continue
@@ -161,6 +246,7 @@ func (r *Relation) SortBy(attrs ...string) error {
 	if err != nil {
 		return err
 	}
+	r.materializeForWrite()
 	sort.SliceStable(r.tuples, func(a, b int) bool {
 		ta, tb := r.tuples[a], r.tuples[b]
 		for _, j := range idx {
@@ -182,10 +268,10 @@ func (r *Relation) SameTuples(o *Relation) bool {
 		return false
 	}
 	counts := make(map[string]int, r.Len())
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		counts[t.canon()]++
 	}
-	for _, t := range o.tuples {
+	for _, t := range o.Tuples() {
 		k := t.canon()
 		counts[k]--
 		if counts[k] < 0 {
@@ -201,7 +287,7 @@ func (r *Relation) String() string {
 	var b strings.Builder
 	b.WriteString(r.schema.String())
 	b.WriteByte('\n')
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		b.WriteString("  ")
 		b.WriteString(t.String())
 		b.WriteByte('\n')

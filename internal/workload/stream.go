@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"math/rand"
+
+	"distcfd/internal/relation"
+)
+
+// Streaming variants of the bulk generators: they emit each tuple to a
+// callback instead of materializing a relation, so a caller can pipe an
+// arbitrarily large instance straight into a colstore writer (cfdgen
+// -o store://dir) in O(1) memory. The row sequence is identical to the
+// bulk generator's for the same config — both draw from the same
+// per-row functions with the same seeded source — which is what lets a
+// streamed store directory stand in for an in-memory instance in the
+// equivalence tests.
+
+// CustStream emits the same tuple sequence as Cust(cfg), one tuple at
+// a time. The emitted tuple is freshly allocated each call and may be
+// retained. A non-nil error from emit aborts the stream and is
+// returned.
+func CustStream(cfg CustConfig, emit func(relation.Tuple) error) error {
+	if cfg.ErrRate == 0 {
+		cfg.ErrRate = 0.01
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.N; i++ {
+		if err := emit(custRow(rng, i, cfg.ErrRate)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// XRefStream emits the same tuple sequence as XRef(cfg), one tuple at
+// a time, under the same contract as CustStream.
+func XRefStream(cfg XRefConfig, emit func(relation.Tuple) error) error {
+	if cfg.ErrRate == 0 {
+		cfg.ErrRate = 0.01
+	}
+	if len(cfg.Organisms) == 0 {
+		cfg.Organisms = []string{"cow", "dog", "zebrafish"}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.N; i++ {
+		if err := emit(xrefRow(rng, i, cfg.ErrRate, cfg.Organisms)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

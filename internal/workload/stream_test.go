@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"distcfd/internal/relation"
+)
+
+// The streaming generators must emit exactly the bulk generators' row
+// sequence — that equivalence is what makes a streamed store directory
+// interchangeable with an in-memory instance.
+func TestStreamMatchesBulk(t *testing.T) {
+	custCfg := CustConfig{N: 500, Seed: 11, ErrRate: 0.05}
+	bulk := Cust(custCfg)
+	i := 0
+	if err := CustStream(custCfg, func(tu relation.Tuple) error {
+		if !tu.Equal(bulk.Tuple(i)) {
+			t.Fatalf("cust row %d: stream %v, bulk %v", i, tu, bulk.Tuple(i))
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != bulk.Len() {
+		t.Fatalf("cust stream emitted %d rows, bulk has %d", i, bulk.Len())
+	}
+
+	xrefCfg := XRefConfig{N: 400, Seed: 3}
+	xbulk := XRef(xrefCfg)
+	i = 0
+	if err := XRefStream(xrefCfg, func(tu relation.Tuple) error {
+		if !tu.Equal(xbulk.Tuple(i)) {
+			t.Fatalf("xref row %d: stream %v, bulk %v", i, tu, xbulk.Tuple(i))
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != xbulk.Len() {
+		t.Fatalf("xref stream emitted %d rows, bulk has %d", i, xbulk.Len())
+	}
+}
+
+func TestStreamEmitErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	n := 0
+	err := CustStream(CustConfig{N: 100, Seed: 1}, func(relation.Tuple) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n != 3 {
+		t.Fatalf("emit ran %d times after abort, want 3", n)
+	}
+}
