@@ -30,46 +30,93 @@ func outOfCoreRules() []*cfd.CFD {
 	return []*cfd.CFD{workload.CustPatternCFD(64), workload.CustStreetCFD()}
 }
 
-// BenchmarkOutOfCore streams a CUST instance into a store directory
-// (never materializing the relation), opens a site over it, and times
-// full detection at three sizes — n/4, n/2, n — so the per-tuple
-// check cost's linearity is visible in one run. The headline size is
-// 10M tuples at DISTCFD_SCALE=1.0 (500K at the smoke default). Custom
-// metrics report the store's footprint (disk-MB vs raw-MB) and the
-// peak resident set across the detection loop (peak-RSS-MB, Linux
-// VmHWM): the counter is reset after setup — generation necessarily
-// holds the O(distinct) interning dictionaries, detection must not —
-// so the metric is the out-of-core claim itself. Where the reset is
-// unsupported the lifetime high-water mark is reported instead;
-// BENCH_storage.json keeps the measured trajectory.
+// outOfCoreSites is the site count of the storage benchmarks: enough
+// fan-out that σ-blocks actually ship between sites, so the
+// packed-vs-v5 shipped-byte comparison measures real traffic.
+const outOfCoreSites = 4
+
+// BenchmarkOutOfCore streams a CUST instance round-robin into
+// outOfCoreSites store directories (never materializing the relation),
+// opens a site over each, and times full clustered detection at three
+// sizes — n/4, n/2, n — so the per-tuple check cost's linearity is
+// visible in one run; each size runs once with packed σ-block shipping
+// (wire v6's payload form) and once forced to the v5 dict+ID form,
+// with the modeled shipment volume reported as shipped-MB. The
+// headline size is 10M tuples at DISTCFD_SCALE=1.0 (500K at the smoke
+// default); `make bench-storage-full` runs the 10⁸-tuple point at
+// DISTCFD_SCALE=10. Custom metrics report the store's footprint
+// (disk-MB vs raw-MB) and the peak resident set across the detection
+// loop (peak-RSS-MB, Linux VmHWM): the counter is reset after setup —
+// generation necessarily holds the O(distinct) interning dictionaries,
+// detection must not — so the metric is the out-of-core claim itself.
+// Where the reset is unsupported the lifetime high-water mark is
+// reported instead; BENCH_storage.json keeps the measured trajectory.
 func BenchmarkOutOfCore(b *testing.B) {
 	base := int(10_000_000 * benchConfig().Scale)
 	for _, div := range []int{4, 2, 1} {
 		n := base / div
-		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) { benchOutOfCore(b, n) })
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			dirs, stats := buildOutOfCoreDirs(b, n)
+			b.Run("ship=packed", func(b *testing.B) {
+				benchOutOfCore(b, dirs, stats, core.Options{})
+			})
+			b.Run("ship=v5", func(b *testing.B) {
+				benchOutOfCore(b, dirs, stats, core.Options{NoPackedShip: true})
+			})
+		})
 	}
 }
 
-func benchOutOfCore(b *testing.B, n int) {
-	dir := b.TempDir()
-	w, err := colstore.CreateDir(dir, workload.CustSchema())
-	if err != nil {
+// buildOutOfCoreDirs streams n CUST tuples round-robin into one store
+// directory per site, returning the directories and the summed store
+// stats. The directories are shared by the ship= sub-benchmarks —
+// detection never mutates them.
+func buildOutOfCoreDirs(b *testing.B, n int) ([]string, colstore.Stats) {
+	b.Helper()
+	dirs := make([]string, outOfCoreSites)
+	ws := make([]*colstore.Writer, outOfCoreSites)
+	for i := range dirs {
+		dirs[i] = b.TempDir()
+		w, err := colstore.CreateDir(dirs[i], workload.CustSchema())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		ws[i] = w
+	}
+	row := 0
+	emit := func(t relation.Tuple) error {
+		w := ws[row%outOfCoreSites]
+		row++
+		return w.Append(t)
+	}
+	if err := workload.CustStream(workload.CustConfig{N: n, Seed: 42, ErrRate: 0.01}, emit); err != nil {
 		b.Fatal(err)
 	}
-	defer w.Close()
-	if err := workload.CustStream(workload.CustConfig{N: n, Seed: 42, ErrRate: 0.01}, w.Append); err != nil {
-		b.Fatal(err)
+	var total colstore.Stats
+	for _, w := range ws {
+		st, err := w.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total.Rows += st.Rows
+		total.BytesOnDisk += st.BytesOnDisk
+		total.RawBytes += st.RawBytes
 	}
-	stats, err := w.Finish()
-	if err != nil {
-		b.Fatal(err)
+	return dirs, total
+}
+
+func benchOutOfCore(b *testing.B, dirs []string, stats colstore.Stats, opt core.Options) {
+	sites := make([]core.SiteAPI, len(dirs))
+	for i, dir := range dirs {
+		site, err := core.OpenStoreSite(i, dir, relation.True())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer site.Close()
+		sites[i] = site
 	}
-	site, err := core.OpenStoreSite(0, dir, relation.True())
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer site.Close()
-	cl, err := core.NewCluster(workload.CustSchema(), []core.SiteAPI{site})
+	cl, err := core.NewCluster(workload.CustSchema(), sites)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -92,12 +139,16 @@ func benchOutOfCore(b *testing.B, n int) {
 	prevLimit := debug.SetMemoryLimit(limit)
 	defer debug.SetMemoryLimit(prevLimit)
 	b.ResetTimer()
+	var shipped int64
 	for i := 0; i < b.N; i++ {
-		if _, err := core.ClustDetect(cl, rules, core.PatDetectS, core.Options{}); err != nil {
+		res, err := core.ClustDetect(cl, rules, core.PatDetectS, opt)
+		if err != nil {
 			b.Fatal(err)
 		}
+		shipped = res.Metrics.TotalBytes()
 	}
 	b.StopTimer()
+	b.ReportMetric(float64(shipped)/(1<<20), "shipped-MB")
 	b.ReportMetric(float64(stats.BytesOnDisk)/(1<<20), "disk-MB")
 	b.ReportMetric(float64(stats.RawBytes)/(1<<20), "raw-MB")
 	if hwm := vmHWMBytes(); hwm > 0 {

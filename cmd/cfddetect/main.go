@@ -62,6 +62,7 @@ func main() {
 		lint      = flag.Bool("lint", false, "statically analyze the rule set (consistency, implied rules, duplicates) and exit; no data needed")
 		sigmaMode = flag.String("sigma", "off", "compile-time Σ analysis: off | check (fail fast on inconsistent Σ) | prune (also collapse duplicate CFDs)")
 		policy    = flag.String("policy", "fast", "site-failure policy: fast (fail on first error) | retry (retry transients with backoff) | degrade (retry, then exclude dead sites and complete partially; partial runs exit 3)")
+		noPacked  = flag.Bool("no-packed-ship", false, "force σ-block shipments into the wire-v5 dict+ID form (disables the packed chunk form; affects only bytes on the wire, never the violations)")
 	)
 	flag.Parse()
 
@@ -182,6 +183,7 @@ func main() {
 		distcfd.WithTimeout(*timeout),
 		distcfd.WithSigmaAnalysis(sigma),
 		distcfd.WithFailurePolicy(failure),
+		distcfd.WithPackedShipping(!*noPacked),
 	)
 	if err != nil {
 		fatalf("compile: %v", err)

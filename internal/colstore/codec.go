@@ -20,15 +20,28 @@ import (
 // usual bit-packing order. The codec is pure: no allocation beyond the
 // caller's destination buffers, so the decode path can run over an
 // mmap'd file without copying anything but the IDs themselves.
+//
+// EncodeChunk, DecodeChunk, and Runs are the codec's stable seam: the
+// wire layer ships chunk payloads verbatim (remote wire v6), and the
+// engine's fold/constant-scan paths consume payloads run by run, so
+// any layout change here is a wire format change and needs a
+// remote.WireVersion bump alongside the colstore FormatVersion bump.
 
 // minRLERun is the shortest repeat worth an RLE run. Below it the run
 // header + uvarint value costs more than packing the repeats.
 const minRLERun = 8
 
-// appendChunk encodes vals as one chunk, appending to dst, and returns
+// maxRunRows caps one run's row count — far above any real chunk
+// (writer chunks are thousands of rows), low enough that count*width
+// arithmetic cannot overflow. Payloads arrive off the wire in v6, so a
+// header past the cap is rejected as malformed rather than trusted
+// into a slice bound.
+const maxRunRows = 1 << 30
+
+// EncodeChunk encodes vals as one chunk, appending to dst, and returns
 // the extended buffer plus the chunk's min and max ID. vals must be
 // non-empty.
-func appendChunk(dst []byte, vals []uint32) (out []byte, minID, maxID uint32) {
+func EncodeChunk(dst []byte, vals []uint32) (out []byte, minID, maxID uint32) {
 	minID, maxID = vals[0], vals[0]
 	for _, v := range vals[1:] {
 		if v < minID {
@@ -82,72 +95,180 @@ func appendChunk(dst []byte, vals []uint32) (out []byte, minID, maxID uint32) {
 	return dst, minID, maxID
 }
 
-// decodeChunk decodes one chunk payload into dst, which must be sized
+// DecodeChunk decodes one chunk payload into dst, which must be sized
 // to the chunk's row count. It returns an error on any malformed run —
 // the caller has already checksum-verified the segment, so an error
 // here means a format bug or version skew, not silent data loss.
-func decodeChunk(payload []byte, dst []uint32) error {
-	if len(payload) < 1 {
-		return fmt.Errorf("colstore: chunk payload truncated (no width byte)")
+func DecodeChunk(payload []byte, dst []uint32) error {
+	it, err := Runs(payload)
+	if err != nil {
+		return err
 	}
-	width := uint(payload[0])
-	if width > 32 {
-		return fmt.Errorf("colstore: chunk width %d out of range", width)
-	}
-	b := payload[1:]
 	row := 0
-	for row < len(dst) {
-		h, n := binary.Uvarint(b)
-		if n <= 0 {
-			return fmt.Errorf("colstore: chunk run header truncated at row %d", row)
-		}
-		b = b[n:]
-		cnt := int(h >> 1)
-		if cnt <= 0 || row+cnt > len(dst) {
+	for it.Next() {
+		cnt := it.Count()
+		if row+cnt > len(dst) {
 			return fmt.Errorf("colstore: chunk run of %d rows overflows %d-row chunk at row %d", cnt, len(dst), row)
 		}
-		if h&1 == 1 {
-			v, n := binary.Uvarint(b)
-			if n <= 0 {
-				return fmt.Errorf("colstore: RLE value truncated at row %d", row)
-			}
-			b = b[n:]
-			id := uint32(v)
+		if it.RLE() {
+			id := it.ID()
 			for k := 0; k < cnt; k++ {
 				dst[row+k] = id
 			}
-			row += cnt
-			continue
+		} else if err := it.Decode(dst[row : row+cnt]); err != nil {
+			return err
 		}
-		nbytes := (cnt*int(width) + 7) / 8
-		if len(b) < nbytes {
-			return fmt.Errorf("colstore: packed run truncated at row %d (want %d bytes, have %d)", row, nbytes, len(b))
-		}
-		if width == 0 {
-			for k := 0; k < cnt; k++ {
-				dst[row+k] = 0
-			}
-		} else {
-			var acc uint64
-			var nacc uint
-			src := b
-			mask := uint32(1)<<width - 1
-			for k := 0; k < cnt; k++ {
-				for nacc < width {
-					acc |= uint64(src[0]) << nacc
-					src = src[1:]
-					nacc += 8
-				}
-				dst[row+k] = uint32(acc) & mask
-				acc >>= width
-				nacc -= width
-			}
-		}
-		b = b[nbytes:]
 		row += cnt
 	}
-	if len(b) != 0 {
-		return fmt.Errorf("colstore: %d trailing bytes after chunk rows", len(b))
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if row != len(dst) {
+		return fmt.Errorf("colstore: chunk decoded %d rows, want %d", row, len(dst))
 	}
 	return nil
+}
+
+// RunIter iterates the runs of one chunk payload without decoding
+// them: RLE runs surface as (count, id) pairs, bit-packed runs as a
+// count plus an on-demand Decode. This is what lets a scan skip a
+// whole non-matching RLE run — or a fold weight one — without ever
+// materializing the rows.
+type RunIter struct {
+	width uint
+	rest  []byte
+	run   []byte // current bit-packed run's bytes
+	count int
+	rle   bool
+	id    uint32
+	row   int
+	err   error
+}
+
+// Runs opens a run iterator over one chunk payload. The payload's
+// leading width byte is validated here; malformed runs surface from
+// Next via Err.
+func Runs(payload []byte) (RunIter, error) {
+	if len(payload) < 1 {
+		return RunIter{}, fmt.Errorf("colstore: chunk payload truncated (no width byte)")
+	}
+	width := uint(payload[0])
+	if width > 32 {
+		return RunIter{}, fmt.Errorf("colstore: chunk width %d out of range", width)
+	}
+	return RunIter{width: width, rest: payload[1:]}, nil
+}
+
+// Next advances to the next run, returning false at the end of the
+// payload or on a malformed run (check Err to tell the two apart).
+func (it *RunIter) Next() bool {
+	if it.err != nil || len(it.rest) == 0 {
+		return false
+	}
+	it.row += it.count
+	h, n := binary.Uvarint(it.rest)
+	if n <= 0 {
+		it.err = fmt.Errorf("colstore: chunk run header truncated at row %d", it.row)
+		return false
+	}
+	it.rest = it.rest[n:]
+	if h>>1 == 0 || h>>1 > maxRunRows {
+		it.err = fmt.Errorf("colstore: chunk run of %d rows at row %d", h>>1, it.row)
+		return false
+	}
+	cnt := int(h >> 1)
+	it.count = cnt
+	if h&1 == 1 {
+		v, n := binary.Uvarint(it.rest)
+		if n <= 0 {
+			it.err = fmt.Errorf("colstore: RLE value truncated at row %d", it.row)
+			return false
+		}
+		it.rest = it.rest[n:]
+		it.rle, it.id, it.run = true, uint32(v), nil
+		return true
+	}
+	nb := (int64(cnt)*int64(it.width) + 7) / 8
+	if int64(len(it.rest)) < nb {
+		it.err = fmt.Errorf("colstore: packed run truncated at row %d (want %d bytes, have %d)", it.row, nb, len(it.rest))
+		return false
+	}
+	nbytes := int(nb)
+	it.rle, it.run = false, it.rest[:nbytes]
+	it.rest = it.rest[nbytes:]
+	return true
+}
+
+// Count returns the current run's row count.
+func (it *RunIter) Count() int { return it.count }
+
+// RLE reports whether the current run is an RLE run.
+func (it *RunIter) RLE() bool { return it.rle }
+
+// ID returns the current RLE run's repeated ID (zero for packed runs).
+func (it *RunIter) ID() uint32 { return it.id }
+
+// Err returns the first malformed-run error, or nil. A fully-consumed
+// payload with leftover bytes is not representable per run, so callers
+// decoding a whole chunk also check the decoded row total (DecodeChunk
+// does).
+func (it *RunIter) Err() error { return it.err }
+
+// Decode unpacks the current bit-packed run into dst, which must be
+// sized to Count. Calling it on an RLE run is a programming error.
+func (it *RunIter) Decode(dst []uint32) error {
+	if it.rle {
+		return fmt.Errorf("colstore: Decode on an RLE run")
+	}
+	if len(dst) != it.count {
+		return fmt.Errorf("colstore: Decode dst has %d rows, run has %d", len(dst), it.count)
+	}
+	width := it.width
+	if width == 0 {
+		for k := range dst {
+			dst[k] = 0
+		}
+		return nil
+	}
+	var acc uint64
+	var nacc uint
+	src := it.run
+	mask := uint32(1)<<width - 1
+	for k := range dst {
+		for nacc < width {
+			acc |= uint64(src[0]) << nacc
+			src = src[1:]
+			nacc += 8
+		}
+		dst[k] = uint32(acc) & mask
+		acc >>= width
+		nacc -= width
+	}
+	return nil
+}
+
+// EncodeDictSection appends one column's dictionary section — the
+// distinct values in ID order, each length-prefixed, after a uvarint
+// count — to dst. It is the writer's on-file dict layout and the wire
+// v6 per-column dictionary form; DecodeDictSection inverts it.
+func EncodeDictSection(dst []byte, vals []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// DecodeDictSection parses one column's dictionary section, rejecting
+// trailing bytes.
+func DecodeDictSection(b []byte) ([]string, error) {
+	vals, rest, err := decodeDict(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("colstore: %d trailing bytes in dict section", len(rest))
+	}
+	return vals, nil
 }

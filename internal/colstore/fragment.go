@@ -368,14 +368,14 @@ func (f *Fragment) ReadColumn(i, lo int, dst []uint32) error {
 			n = len(dst)
 		}
 		if lo == clo && n == chi-clo {
-			if err := decodeChunk(payload, dst[:n]); err != nil {
+			if err := DecodeChunk(payload, dst[:n]); err != nil {
 				return err
 			}
 		} else {
 			if scratch == nil {
 				scratch = make([]uint32, cr)
 			}
-			if err := decodeChunk(payload, scratch[:chi-clo]); err != nil {
+			if err := DecodeChunk(payload, scratch[:chi-clo]); err != nil {
 				return err
 			}
 			copy(dst[:n], scratch[lo-clo:lo-clo+n])
@@ -398,7 +398,7 @@ func (f *Fragment) ReadChunk(i, k int, dst []uint32) error {
 		return fmt.Errorf("colstore: ReadChunk dst has %d rows, chunk %d spans %d", len(dst), k, chi-clo)
 	}
 	payload := f.data[s.chunkOffs[k] : s.chunkOffs[k]+uint64(s.dir[k].length)]
-	return decodeChunk(payload, dst)
+	return DecodeChunk(payload, dst)
 }
 
 // RowReader decodes single rows through a per-column one-chunk cache —

@@ -1,0 +1,174 @@
+package colstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzChunkCodec fuzzes the chunk codec's stable seam from both sides.
+// The input bytes are used three ways:
+//
+//  1. as an ID vector (4 bytes LE per ID): EncodeChunk → DecodeChunk
+//     must round-trip exactly, the reported min/max must bound the IDs,
+//     and a Runs walk must agree with DecodeChunk row for row;
+//  2. as an adversarial chunk payload fed straight to Runs/DecodeChunk —
+//     wire v6 ships payloads verbatim, so arbitrary bytes must error
+//     cleanly, never panic or over-allocate;
+//  3. as a \x1f-joined value list: EncodeDictSection → DecodeDictSection
+//     must round-trip, and the raw bytes fed to DecodeDictSection must
+//     not panic.
+func FuzzChunkCodec(f *testing.F) {
+	f.Add([]byte{})
+	// Width 0: every ID zero.
+	f.Add(make([]byte, 16*4))
+	// Width 32: IDs with the top bit set.
+	f.Add(bytes.Repeat([]byte{0xfe, 0xff, 0xff, 0xff}, 3))
+	// A repeat of exactly minRLERun, flanked by literals: the
+	// RLE/packed boundary.
+	f.Add(seedIDs(append(append([]uint32{1, 9}, repeat(7, minRLERun)...), 2)))
+	// A repeat one short of minRLERun: must stay bit-packed.
+	f.Add(seedIDs(repeat(5, minRLERun-1)))
+	// Dictionary values adjacent to the \x1f separator, including
+	// empties.
+	f.Add([]byte("a\x1fb\x1f\x1f\x1ec\x1f"))
+	// A valid small payload prefix with trailing garbage.
+	enc, _, _ := EncodeChunk(nil, []uint32{3, 1, 4, 1, 5})
+	f.Add(append(enc, 0x81, 0x00))
+	// A malformed header claiming a huge run count.
+	f.Add([]byte{32, 0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzIDRoundTrip(t, data)
+		fuzzAdversarialPayload(t, data)
+		fuzzDictSection(t, data)
+	})
+}
+
+func seedIDs(ids []uint32) []byte {
+	out := make([]byte, 0, 4*len(ids))
+	for _, v := range ids {
+		out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return out
+}
+
+func repeat(v uint32, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func fuzzIDRoundTrip(t *testing.T, data []byte) {
+	n := len(data) / 4
+	if n == 0 {
+		return
+	}
+	if n > 3*DefaultChunkRows {
+		n = 3 * DefaultChunkRows
+	}
+	ids := make([]uint32, n)
+	for i := range ids {
+		b := data[4*i:]
+		ids[i] = uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	}
+	payload, minID, maxID := EncodeChunk(nil, ids)
+	for _, v := range ids {
+		if v < minID || v > maxID {
+			t.Fatalf("EncodeChunk bounds [%d, %d] miss ID %d", minID, maxID, v)
+		}
+	}
+	got := make([]uint32, n)
+	if err := DecodeChunk(payload, got); err != nil {
+		t.Fatalf("DecodeChunk(EncodeChunk(%d IDs)): %v", n, err)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("round trip: row %d = %d, want %d", i, got[i], ids[i])
+		}
+	}
+	// A Runs walk over the same payload must reproduce the decode:
+	// RLE runs by their (count, id), packed runs via Decode.
+	it, err := Runs(payload)
+	if err != nil {
+		t.Fatalf("Runs(EncodeChunk): %v", err)
+	}
+	row := 0
+	for it.Next() {
+		cnt := it.Count()
+		if row+cnt > n {
+			t.Fatalf("runs overflow: row %d + count %d > %d", row, cnt, n)
+		}
+		if it.RLE() {
+			if cnt < minRLERun {
+				t.Fatalf("RLE run of %d rows, below minRLERun %d", cnt, minRLERun)
+			}
+			for k := 0; k < cnt; k++ {
+				if ids[row+k] != it.ID() {
+					t.Fatalf("RLE run mismatch at row %d", row+k)
+				}
+			}
+		} else {
+			seg := make([]uint32, cnt)
+			if err := it.Decode(seg); err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			for k, v := range seg {
+				if ids[row+k] != v {
+					t.Fatalf("packed run mismatch at row %d: %d want %d", row+k, v, ids[row+k])
+				}
+			}
+		}
+		row += cnt
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("Runs walk: %v", err)
+	}
+	if row != n {
+		t.Fatalf("Runs walked %d rows, want %d", row, n)
+	}
+}
+
+func fuzzAdversarialPayload(t *testing.T, data []byte) {
+	// Must never panic; errors are the expected outcome for garbage.
+	dst := make([]uint32, 256)
+	_ = DecodeChunk(data, dst)
+	it, err := Runs(data)
+	if err != nil {
+		return
+	}
+	rows := 0
+	for it.Next() {
+		rows += it.Count()
+		if rows > 4*DefaultChunkRows {
+			return // bounded: a hostile payload cannot force unbounded work
+		}
+		if !it.RLE() {
+			_ = it.Decode(make([]uint32, it.Count()))
+		}
+	}
+	_ = it.Err()
+}
+
+func fuzzDictSection(t *testing.T, data []byte) {
+	vals := strings.Split(string(data), "\x1f")
+	sec := EncodeDictSection(nil, vals)
+	got, err := DecodeDictSection(sec)
+	if err != nil {
+		t.Fatalf("DecodeDictSection(EncodeDictSection(%d vals)): %v", len(vals), err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("dict round trip: %d vals, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("dict round trip: val %d = %q, want %q", i, got[i], vals[i])
+		}
+	}
+	// Raw bytes as a dict section: error or success, never a panic or
+	// an unbounded allocation (the count is validated against the
+	// section's length before allocating).
+	_, _ = DecodeDictSection(data)
+}

@@ -120,7 +120,7 @@ func (w *Writer) Append(t relation.Tuple) error {
 }
 
 func (w *Writer) flushChunk(j int) error {
-	buf, minID, maxID := appendChunk(w.encBuf[:0], w.chunks[j])
+	buf, minID, maxID := EncodeChunk(w.encBuf[:0], w.chunks[j])
 	w.encBuf = buf
 	if _, err := w.spills[j].Write(buf); err != nil {
 		return fmt.Errorf("colstore: spilling column %d: %w", j, err)
@@ -251,12 +251,7 @@ func (w *Writer) assemble() (Stats, error) {
 	for _, d := range w.dicts {
 		sw.begin()
 		start = sw.off
-		vals := d.Vals()
-		db = binary.AppendUvarint(db[:0], uint64(len(vals)))
-		for _, v := range vals {
-			db = binary.AppendUvarint(db, uint64(len(v)))
-			db = append(db, v...)
-		}
+		db = EncodeDictSection(db[:0], d.Vals())
 		if _, err := sw.Write(db); err != nil {
 			return Stats{}, err
 		}

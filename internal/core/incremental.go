@@ -251,6 +251,9 @@ func (st *unitInc) dataRound(ctx context.Context, cl *Cluster, fs *faultState, s
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if opt.NoPackedShip {
+				batch.DropPacked()
+			}
 			if err := cl.shipDelta(ctx, fs, m, i, st.sticky[l], BlockTask(st.session, l)+"/ins", batch); err != nil {
 				return err
 			}
@@ -258,6 +261,9 @@ func (st *unitInc) dataRound(ctx context.Context, cl *Cluster, fs *faultState, s
 		for l, batch := range rep.Del {
 			if err := ctx.Err(); err != nil {
 				return err
+			}
+			if opt.NoPackedShip {
+				batch.DropPacked()
 			}
 			if err := cl.shipDelta(ctx, fs, m, i, st.sticky[l], BlockTask(st.session, l)+"/del", batch); err != nil {
 				return err

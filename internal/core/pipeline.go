@@ -117,6 +117,9 @@ func runBlockPipeline(ctx context.Context, cl *Cluster, fs *faultState, spec *Bl
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if opt.NoPackedShip {
+				batches[l].DropPacked()
+			}
 			if err := cl.ship(ctx, fs, m, i, coords[l], BlockTask(task, l), batches[l]); err != nil {
 				return err
 			}

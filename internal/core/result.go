@@ -70,6 +70,13 @@ type Options struct {
 	// Retry bounds retry/backoff under FailRetry and FailDegrade; zero
 	// fields select defaults.
 	Retry RetryPolicy
+	// NoPackedShip disables the wire v6 packed shipping form: extracted
+	// batches drop any attached packed payload before shipping, so they
+	// travel (and are billed by dist.RelationBytes) in the v5 dict+ID
+	// columnar form. Violations, ShippedTuples, and ModeledTime are
+	// byte-identical either way — packing changes only the byte
+	// accounting and the wire encoding — which the equivalence tests pin.
+	NoPackedShip bool
 	// DeltaFallbackRatio bounds incremental serving: when the deletes
 	// accumulated since the last full fold exceed this fraction of the
 	// current instance size, DetectIncremental falls back to a full

@@ -210,7 +210,39 @@ func (f *storeFrag) ProjectRows(name string, attrs []string, rows []int) (*relat
 		}
 		cols[j] = col
 	}
-	return relation.FromSharedColumns(ps, dicts, cols, len(rows))
+	out, err := relation.FromSharedColumns(ps, dicts, cols, len(rows))
+	if err != nil {
+		return nil, err
+	}
+	// A pure-base extract (no overlay rows, no view indirection) can ship
+	// in packed form — wire v6. The provider defers the packing until a
+	// shipping decision actually wants it, so local detection never pays:
+	// a full-fragment selection slices dict sections and chunk payloads
+	// straight off the mmap; a scattered σ-block selection re-encodes the
+	// gathered IDs under compact first-occurrence dictionaries.
+	if f.view == nil && len(f.tail) == 0 {
+		full := len(rows) == f.baseRows
+		if full {
+			for k, i := range rows {
+				if i != k {
+					full = false
+					break
+				}
+			}
+		}
+		frag := f.frag
+		if full {
+			out.SetPackedProvider(func() (relation.PackedColumnReader, error) {
+				return frag.PackBase(idx)
+			})
+		} else {
+			n := len(rows)
+			out.SetPackedProvider(func() (relation.PackedColumnReader, error) {
+				return colstore.PackColumns(dicts, cols, n)
+			})
+		}
+	}
+	return out, nil
 }
 
 func (f *storeFrag) Scan(fn func(relation.Tuple) error) error {

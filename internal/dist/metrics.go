@@ -377,17 +377,25 @@ func (r Report) String() string {
 }
 
 // RelationBytes estimates the wire payload of shipping a relation as
-// the smaller of its two wire forms — the row form (value bytes plus
-// one separator byte per value) and the columnar dictionary-encoded
-// form (per-column dictionary payload plus four bytes per cell ID) —
-// matching the form remote.ToWire actually puts on the wire. Schema
+// the smallest of its wire forms — the row form (value bytes plus one
+// separator byte per value), the columnar dictionary-encoded form
+// (per-column dictionary payload plus four bytes per cell ID), and,
+// when the relation carries a packed payload, the wire v6 packed form
+// (dictionary sections plus bit-packed/RLE chunk bytes plus eight
+// bounds bytes per chunk) — matching the form remote.ToWire actually
+// puts on the wire. The charge is identical in-process and over RPC:
+// both bill the sender's relation through this one function. Schema
 // metadata is not charged — the task key identifies it.
 func RelationBytes(r *relation.Relation) int64 {
 	if r == nil {
 		return 0
 	}
 	raw, encoded := r.Encoded().PayloadSizes()
-	return min(raw, encoded)
+	best := min(raw, encoded)
+	if pr, err := r.PackedPayload(); err == nil && pr != nil {
+		best = min(best, pr.PackedSize())
+	}
+	return best
 }
 
 func sum64(xs []int64) int64 {

@@ -170,11 +170,21 @@ func (st *foldStage) count() int { return int(st.next) }
 func (st *foldStage) feedDirect(gids, col []uint32) {
 	table, width := st.table, st.width
 	next := st.next
+	// Consecutive rows with the same (gid, colID) composite resolve to
+	// the same dense ID, so an RLE run streamed off packed storage costs
+	// one table access plus per-row compares. Interning is unaffected: a
+	// repeat never interns a fresh ID.
+	lastG, lastC, lastV := uint32(noGroup), uint32(0), uint32(0)
 	for i, g := range gids {
 		if g == noGroup {
 			continue
 		}
-		k := uint64(g)*width + uint64(col[i])
+		c := col[i]
+		if g == lastG && c == lastC {
+			gids[i] = lastV
+			continue
+		}
+		k := uint64(g)*width + uint64(c)
 		v := table[k]
 		if v == 0 {
 			next++
@@ -182,6 +192,7 @@ func (st *foldStage) feedDirect(gids, col []uint32) {
 			table[k] = v
 		}
 		gids[i] = v - 1
+		lastG, lastC, lastV = g, c, v-1
 	}
 	st.next = next
 }
@@ -189,11 +200,20 @@ func (st *foldStage) feedDirect(gids, col []uint32) {
 func (st *foldStage) feedOpen(gids, col []uint32) {
 	keys, vals, mask := st.keys, st.vals, st.mask
 	next := st.next
+	// Same run memo as feedDirect: a repeated composite skips the hash
+	// and probe entirely.
+	lastG, lastC, lastV := uint32(noGroup), uint32(0), uint32(0)
 	for i, g := range gids {
 		if g == noGroup {
 			continue
 		}
-		k := uint64(g)<<32 | uint64(col[i])
+		c := col[i]
+		if g == lastG && c == lastC {
+			gids[i] = lastV
+			continue
+		}
+		lastG, lastC = g, c
+		k := uint64(g)<<32 | uint64(c)
 		slot := hashFold(k) & mask
 		for {
 			v := vals[slot]
@@ -210,6 +230,7 @@ func (st *foldStage) feedOpen(gids, col []uint32) {
 			}
 			slot = (slot + 1) & mask
 		}
+		lastV = gids[i]
 	}
 	st.next = next
 }

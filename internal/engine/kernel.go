@@ -47,7 +47,17 @@ func (k *Kernel) put(sc *detectScratch) {
 }
 
 // Detect returns Vio(φ, d) as sorted tuple indices.
+//
+// A relation whose rows live as a packed payload (a wire v6 receive,
+// see relation.FromPackedReader) routes to the streaming reader path:
+// serial — Opts.Workers does not apply — but byte-identical at every
+// setting, with per-chunk ID-bound skipping, and it never forces the
+// columns to materialize. The same dispatch applies to DetectSet and
+// ViolationPatterns.
 func (k *Kernel) Detect(d *relation.Relation, c *cfd.CFD, o Opts) ([]int, error) {
+	if br := d.BackingReader(); br != nil {
+		return k.DetectReader(br, d.Schema(), c)
+	}
 	if err := c.Validate(d.Schema()); err != nil {
 		return nil, err
 	}
@@ -64,6 +74,9 @@ func (k *Kernel) Detect(d *relation.Relation, c *cfd.CFD, o Opts) ([]int, error)
 
 // DetectSet returns Vio(Σ, d) as sorted tuple indices.
 func (k *Kernel) DetectSet(d *relation.Relation, cs []*cfd.CFD, o Opts) ([]int, error) {
+	if br := d.BackingReader(); br != nil {
+		return k.DetectSetReader(br, d.Schema(), cs)
+	}
 	sc := k.get()
 	defer k.put(sc)
 	sc.resetBits(d.Encoded().Rows())
@@ -83,6 +96,9 @@ func (k *Kernel) DetectSet(d *relation.Relation, cs []*cfd.CFD, o Opts) ([]int, 
 // ViolationPatterns returns the distinct violating X-patterns of φ in
 // d as bare X-tuples — the coordinator-side check primitive.
 func (k *Kernel) ViolationPatterns(d *relation.Relation, c *cfd.CFD, o Opts) (*relation.Relation, error) {
+	if br := d.BackingReader(); br != nil {
+		return k.ViolationPatternsReader(br, d.Schema(), c)
+	}
 	if err := c.Validate(d.Schema()); err != nil {
 		return nil, err
 	}

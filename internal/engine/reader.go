@@ -2,8 +2,10 @@ package engine
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"distcfd/internal/cfd"
+	"distcfd/internal/colstore"
 	"distcfd/internal/relation"
 )
 
@@ -73,6 +75,70 @@ func chunkExcludes(cc relation.ChunkedColumnReader, col int, sp rowSpan, id uint
 	}
 	minID, maxID := cc.ChunkIDBounds(col, sp.chunk)
 	return id < minID || id > maxID
+}
+
+// packedSpanAligned reports whether pp exposes span sp of column col as
+// one raw chunk payload — the precondition for scanning the payload
+// runs in place of a ReadColumn decode.
+func packedSpanAligned(pp relation.PackedColumnReader, col int, sp rowSpan) bool {
+	if pp == nil || sp.chunk < 0 {
+		return false
+	}
+	lo, hi := pp.ChunkSpan(col, sp.chunk)
+	return lo == sp.lo && hi == sp.hi
+}
+
+// constFirstScan decodes chunk sp.chunk of column col from its packed
+// payload into dst while testing for id: an RLE run resolves its whole
+// row range with one comparison, a bit-packed run decodes word-at-a-time
+// through the codec. Returns whether any row matched, so a miss lets the
+// caller skip every other column of the span. dst must have exactly the
+// span's rows.
+func constFirstScan(pp relation.PackedColumnReader, sp rowSpan, col int, id uint32, dst []uint32) (bool, error) {
+	payload, err := pp.ChunkPayload(col, sp.chunk)
+	if err != nil {
+		return false, err
+	}
+	it, err := colstore.Runs(payload)
+	if err != nil {
+		return false, err
+	}
+	any := false
+	row := 0
+	for it.Next() {
+		n := it.Count()
+		if row+n > len(dst) {
+			return false, fmt.Errorf("engine: chunk run overflows %d-row span", len(dst))
+		}
+		seg := dst[row : row+n]
+		if it.RLE() {
+			v := it.ID()
+			for i := range seg {
+				seg[i] = v
+			}
+			any = any || v == id
+		} else {
+			if err := it.Decode(seg); err != nil {
+				return false, err
+			}
+			if !any {
+				for _, v := range seg {
+					if v == id {
+						any = true
+						break
+					}
+				}
+			}
+		}
+		row += n
+	}
+	if err := it.Err(); err != nil {
+		return false, err
+	}
+	if row != len(dst) {
+		return false, fmt.Errorf("engine: chunk decoded %d rows, span has %d", row, len(dst))
+	}
+	return any, nil
 }
 
 // readBufs returns n streaming column buffers of rows capacity each,
@@ -147,6 +213,7 @@ func (sc *detectScratch) detectUnitReader(r relation.ColumnReader, schema *relat
 		aID, aOK := adict.Lookup(n.TpA)
 		bufs := sc.readBufs(len(consts)+1, spanMax)
 		abuf := bufs[len(consts)]
+		pp, _ := r.(relation.PackedColumnReader)
 	span:
 		for _, sp := range spans {
 			// A chunk that cannot hold some pattern constant has no
@@ -157,8 +224,23 @@ func (sc *detectScratch) detectUnitReader(r relation.ColumnReader, schema *relat
 				}
 			}
 			w := sp.hi - sp.lo
-			for ci, c := range consts {
-				if err := r.ReadColumn(c.col, sp.lo, bufs[ci][:w]); err != nil {
+			ci0 := 0
+			if len(consts) > 0 && packedSpanAligned(pp, consts[0].col, sp) {
+				// Packed fast path: scan the first constant's chunk payload
+				// run by run — an RLE run fills (or, mismatching, rules
+				// out) its whole row range at once, and a chunk with no
+				// matching row skips every other column read.
+				any, err := constFirstScan(pp, sp, consts[0].col, consts[0].id, bufs[0][:w])
+				if err != nil {
+					return err
+				}
+				if !any {
+					continue span
+				}
+				ci0 = 1
+			}
+			for ci := ci0; ci < len(consts); ci++ {
+				if err := r.ReadColumn(consts[ci].col, sp.lo, bufs[ci][:w]); err != nil {
 					return err
 				}
 			}
@@ -213,23 +295,26 @@ func (sc *detectScratch) detectUnitReader(r relation.ColumnReader, schema *relat
 	} else {
 		for _, sp := range spans {
 			w := sp.hi - sp.lo
+			// The first variable column IS the initial grouping: read it
+			// straight into the group-ID vector, dropping the per-span
+			// scratch copy; a constant-free LHS then does no per-row work
+			// here at all.
+			if err := r.ReadColumn(varCols[0], sp.lo, gids[sp.lo:sp.hi]); err != nil {
+				return err
+			}
 			for ci, c := range consts {
 				if err := r.ReadColumn(c.col, sp.lo, bufs[ci][:w]); err != nil {
 					return err
 				}
 			}
-			if err := r.ReadColumn(varCols[0], sp.lo, vbuf[:w]); err != nil {
-				return err
-			}
-			for i := 0; i < w; i++ {
-				g := vbuf[i]
-				for ci, c := range consts {
-					if bufs[ci][i] != c.id {
-						g = noGroup
-						break
+			for ci := range consts {
+				cid := consts[ci].id
+				cb := bufs[ci]
+				for i := 0; i < w; i++ {
+					if cb[i] != cid {
+						gids[sp.lo+i] = noGroup
 					}
 				}
-				gids[sp.lo+i] = g
 			}
 		}
 		num = r.ColumnDict(varCols[0]).Len()
@@ -247,6 +332,7 @@ func (sc *detectScratch) detectUnitReader(r relation.ColumnReader, schema *relat
 	}
 
 	state, firstA := sc.groupBufs(num)
+	lastG, lastV := uint32(noGroup), uint32(0)
 	for _, sp := range spans {
 		w := sp.hi - sp.lo
 		if err := r.ReadColumn(aCol, sp.lo, vbuf[:w]); err != nil {
@@ -257,12 +343,20 @@ func (sc *detectScratch) detectUnitReader(r relation.ColumnReader, schema *relat
 			if g == noGroup {
 				continue
 			}
+			v := vbuf[i]
+			if g == lastG && v == lastV {
+				// The previous row applied this exact (group, A) update;
+				// the state machine is idempotent under repeats, so an RLE
+				// run costs one transition.
+				continue
+			}
+			lastG, lastV = g, v
 			switch state[g] {
 			case 0:
 				state[g] = 1
-				firstA[g] = vbuf[i]
+				firstA[g] = v
 			case 1:
-				if vbuf[i] != firstA[g] {
+				if v != firstA[g] {
 					state[g] = 2
 				}
 			}

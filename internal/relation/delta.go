@@ -102,5 +102,7 @@ func (r *Relation) Apply(d Delta) ([]Tuple, error) {
 	if old != nil {
 		r.enc.Store(old.applyDelta(tuples, delIdx, d.Inserts))
 	}
+	// Any attached packed payload described the pre-delta rows.
+	r.packed.Store(nil)
 	return removed, nil
 }

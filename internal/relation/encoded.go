@@ -32,6 +32,11 @@ type Encoded struct {
 	tuples []Tuple
 	rows   int
 	arity  int
+	// reader, when non-nil, is the packed storage backing this view
+	// (FromPackedReader): Column decodes from it on first use instead
+	// of the tuple fallback, so a received packed block materializes
+	// only the columns something actually reads.
+	reader ColumnReader
 	// gen counts the delta generations behind this view: Apply derives
 	// generation g+1 from generation g instead of invalidating, so
 	// serving caches can tell "same data, maintained" from "unrelated
@@ -140,12 +145,26 @@ func (e *Encoded) Column(i int) ([]uint32, *Dict) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.cols[i] == nil {
-		d := NewDict()
-		c := make([]uint32, len(e.tuples))
-		for j, t := range e.tuples {
-			c[j] = d.ID(t[i])
+		if e.reader != nil {
+			c := make([]uint32, e.rows)
+			if err := e.reader.ReadColumn(i, 0, c); err != nil {
+				// Mirrors ColumnDict's posture: the payload was adopted as
+				// storage, so a malformed chunk is storage corruption, not
+				// an input error the interface could surface.
+				panic(fmt.Errorf("relation: decoding packed column %d: %w", i, err))
+			}
+			// The payload's dictionary may hold values the selection no
+			// longer uses (a whole-fragment dict shipped raw), so the wire
+			// form must recompact: not dense.
+			e.cols[i], e.dicts[i] = c, e.reader.ColumnDict(i)
+		} else {
+			d := NewDict()
+			c := make([]uint32, len(e.tuples))
+			for j, t := range e.tuples {
+				c[j] = d.ID(t[i])
+			}
+			e.cols[i], e.dicts[i], e.dense[i] = c, d, true
 		}
-		e.cols[i], e.dicts[i], e.dense[i] = c, d, true
 	}
 	return e.cols[i], e.dicts[i]
 }
@@ -243,11 +262,12 @@ func (r *Relation) EncodedIfBuilt() *Encoded {
 	return r.enc.Load()
 }
 
-// invalidateEncoding drops the cached columnar view; every
-// non-delta mutation of the tuple set calls it (Apply maintains the
-// view instead — see applyDelta).
+// invalidateEncoding drops the cached columnar view and any attached
+// packed payload; every non-delta mutation of the tuple set calls it
+// (Apply maintains the view instead — see applyDelta).
 func (r *Relation) invalidateEncoding() {
 	r.enc.Store(nil)
+	r.packed.Store(nil)
 }
 
 // remapper re-encodes one source column's IDs into a fresh dense

@@ -1,0 +1,110 @@
+package relation
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PackedColumnReader is the packed-payload seam: a chunked reader
+// whose chunks additionally exist as raw encoded bytes (the colstore
+// chunk codec), so shippers can put the stored form on the wire
+// verbatim and receivers can detect over it without materializing
+// columns. PackedSize is the payload's modeled wire size; it is what
+// the shipment accounting charges when packed shipping beats the
+// dict+ID form.
+type PackedColumnReader interface {
+	ChunkedColumnReader
+	// ChunkPayload returns chunk k of column i's raw encoded bytes.
+	ChunkPayload(i, k int) ([]byte, error)
+	// PackedSize returns the payload's modeled wire size.
+	PackedSize() int64
+}
+
+// packedState carries a relation's packed-payload attachment: either
+// a lazily-invoked provider (sender side — a store-backed extract
+// that can produce its packed form on demand) or an already-built
+// reader that IS the relation's storage (receiver side — a payload
+// adopted off the wire).
+type packedState struct {
+	mu       sync.Mutex
+	provider func() (PackedColumnReader, error)
+	pr       PackedColumnReader
+	err      error
+	done     bool
+	// backing marks a relation whose row storage is the packed reader
+	// itself (FromPackedReader): the encoded view decodes columns from
+	// it on demand, and the detect kernels may stream straight off it.
+	backing bool
+}
+
+// SetPackedProvider attaches a deferred packed-payload builder to r:
+// fn runs at most once, on the first PackedPayload call, so a block
+// that is extracted but detected locally never pays for packing. Any
+// mutation of r detaches the provider (see invalidateEncoding).
+func (r *Relation) SetPackedProvider(fn func() (PackedColumnReader, error)) {
+	r.packed.Store(&packedState{provider: fn})
+}
+
+// PackedPayload returns the relation's packed payload, invoking the
+// attached provider on first call (the result, or its error, is
+// cached). It returns (nil, nil) when no packed form is attached —
+// the common case for in-memory relations — and shippers then fall
+// back to the dict+ID wire form.
+func (r *Relation) PackedPayload() (PackedColumnReader, error) {
+	ps := r.packed.Load()
+	if ps == nil {
+		return nil, nil
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if !ps.done {
+		ps.pr, ps.err = ps.provider()
+		ps.provider = nil
+		ps.done = true
+	}
+	return ps.pr, ps.err
+}
+
+// DropPacked detaches any packed payload or provider, forcing every
+// downstream shipper and accountant back onto the v5 dict+ID form.
+// It is the Options.NoPackedShip hook and the explicit form of what
+// mutation does implicitly.
+func (r *Relation) DropPacked() {
+	r.packed.Store(nil)
+}
+
+// BackingReader returns the packed reader that stores r's rows, or
+// nil when r's rows live as tuples or materialized columns. Only
+// relations built by FromPackedReader have one; the detect kernels
+// use it to stream over shipped chunks (with per-chunk skipping)
+// instead of forcing column materialization.
+func (r *Relation) BackingReader() ColumnReader {
+	ps := r.packed.Load()
+	if ps == nil || !ps.backing {
+		return nil
+	}
+	return ps.pr
+}
+
+// FromPackedReader adopts a packed payload as a relation's storage —
+// the wire v6 receive path. The result is doubly lazy: columns decode
+// from the payload's chunks only when a consumer leaves the reader
+// seam, and tuples materialize only if something leaves ID space.
+// Structural shape is validated here; chunk payloads are opaque until
+// decoded, so a corrupt chunk surfaces as an error (reader paths) or
+// a panic (Column materialization, mirroring ColumnDict's posture on
+// storage corruption).
+func FromPackedReader(s *Schema, pr PackedColumnReader) (*Relation, error) {
+	if pr.NumColumns() != s.Arity() {
+		return nil, fmt.Errorf("relation: packed payload has %d columns, schema %s wants %d",
+			pr.NumColumns(), s.Name(), s.Arity())
+	}
+	out := New(s)
+	out.lazy = &lazyTuples{rows: pr.Rows()}
+	enc := newEncoded(nil, s.Arity())
+	enc.rows = pr.Rows()
+	enc.reader = pr
+	out.enc.Store(enc)
+	out.packed.Store(&packedState{pr: pr, done: true, backing: true})
+	return out, nil
+}

@@ -27,6 +27,11 @@ type Relation struct {
 	// materialize the full slice first.
 	lazy *lazyTuples
 	enc  atomic.Pointer[Encoded]
+	// packed, when non-nil, attaches a packed chunk payload (or a
+	// deferred builder for one) to the relation — the wire v6 shipping
+	// form. See packed.go; mutation detaches it alongside the encoded
+	// view.
+	packed atomic.Pointer[packedState]
 }
 
 // lazyTuples carries the deferred state: the row count (the encoded

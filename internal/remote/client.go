@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,12 @@ type RemoteSite struct {
 	broken  bool
 	gen     uint64 // bumps per successful redial; stale failures ignore
 	closed  bool
+	// svc is the rpc service name the handshake negotiated ("SiteV6",
+	// or legacyServiceName after the v5 fallback); legacy marks the
+	// fallback, under which deposits must use the v5 wire forms. Both
+	// re-negotiate on every redial.
+	svc    string
+	legacy bool
 }
 
 var _ core.SiteAPI = (*RemoteSite)(nil)
@@ -102,7 +109,7 @@ func DialWithConfig(addrs []string, cfg DialConfig) ([]core.SiteAPI, *relation.S
 	var schema *relation.Schema
 	sites := make([]core.SiteAPI, len(addrs))
 	for i, addr := range addrs {
-		client, conn, info, err := dialSite(addr, i, cfg)
+		client, conn, info, svc, err := dialSite(addr, i, cfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -114,7 +121,8 @@ func DialWithConfig(addrs []string, cfg DialConfig) ([]core.SiteAPI, *relation.S
 			}
 			schema = s
 		}
-		rs := &RemoteSite{id: i, addr: addr, cfg: cfg, client: client, conn: conn, pred: info.Pred, size: info.NumTuples}
+		rs := &RemoteSite{id: i, addr: addr, cfg: cfg, client: client, conn: conn, pred: info.Pred, size: info.NumTuples,
+			svc: svc, legacy: svc == legacyServiceName}
 		rs.timeout.Store(int64(cfg.CallTimeout))
 		sites[i] = rs
 	}
@@ -124,7 +132,7 @@ func DialWithConfig(addrs []string, cfg DialConfig) ([]core.SiteAPI, *relation.S
 // dialSite connects and handshakes with bounded retries: transient
 // connect/handshake failures back off and try again, handshake
 // rejections (version skew, wrong ID) fail at once.
-func dialSite(addr string, id int, cfg DialConfig) (*rpc.Client, net.Conn, *InfoReply, error) {
+func dialSite(addr string, id int, cfg DialConfig) (*rpc.Client, net.Conn, *InfoReply, string, error) {
 	dialTimeout := cfg.DialTimeout
 	if dialTimeout <= 0 {
 		dialTimeout = DefaultDialTimeout
@@ -143,50 +151,72 @@ func dialSite(addr string, id int, cfg DialConfig) (*rpc.Client, net.Conn, *Info
 			time.Sleep(backoff)
 			backoff *= 2
 		}
-		client, conn, info, err := dialOnce(addr, id, dialTimeout)
+		client, conn, info, svc, err := dialOnce(addr, id, dialTimeout)
 		if err == nil {
-			return client, conn, info, nil
+			return client, conn, info, svc, nil
 		}
 		last = err
 		if _, permanent := err.(permanentDialError); permanent {
 			break
 		}
 	}
-	return nil, nil, nil, last
+	return nil, nil, nil, "", last
 }
 
-func dialOnce(addr string, id int, dialTimeout time.Duration) (*rpc.Client, net.Conn, *InfoReply, error) {
+// isNoService reports a server reply saying the requested rpc service
+// is not registered — the signal that the peer speaks an older protocol
+// (its service name carries its version).
+func isNoService(err error) bool {
+	_, ok := err.(rpc.ServerError)
+	return ok && strings.Contains(err.Error(), "can't find service")
+}
+
+func dialOnce(addr string, id int, dialTimeout time.Duration) (*rpc.Client, net.Conn, *InfoReply, string, error) {
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("remote: dialing site %d at %s: %w", id, addr, err)
+		return nil, nil, nil, "", fmt.Errorf("remote: dialing site %d at %s: %w", id, addr, err)
 	}
 	// The handshake runs under the dial budget too: a server that
 	// accepts but never answers Info must not hang the driver.
 	_ = conn.SetDeadline(time.Now().Add(dialTimeout))
 	client := rpc.NewClient(conn)
+	svc := serviceName
 	var info InfoReply
-	if err := client.Call(serviceName+".Info", struct{}{}, &info); err != nil {
+	err = client.Call(svc+".Info", struct{}{}, &info)
+	if err != nil && isNoService(err) {
+		// The site does not serve this protocol version. A
+		// can't-find-service reply means the connection itself is healthy,
+		// so retry the handshake as the legacy service on the same
+		// connection; success pins this proxy to the v5 surface.
+		svc = legacyServiceName
+		err = client.Call(svc+".Info", struct{}{}, &info)
+	}
+	if err != nil {
 		client.Close()
-		return nil, nil, nil, fmt.Errorf("remote: handshake with %s: %w", addr, err)
+		return nil, nil, nil, "", fmt.Errorf("remote: handshake with %s: %w", addr, err)
 	}
 	_ = conn.SetDeadline(time.Time{})
-	if info.Version != WireVersion {
+	wantVersion := WireVersion
+	if svc == legacyServiceName {
+		wantVersion = LegacyWireVersion
+	}
+	if info.Version != wantVersion {
 		client.Close()
-		// Always name both peers' versions: rollout skew (a v5 bump
-		// while v4 sites still run, or the reverse) must be
+		// Always name both peers' versions: rollout skew (a v6 bump
+		// while v5 sites still run, or the reverse) must be
 		// diagnosable from either side's logs alone.
 		peer := fmt.Sprintf("wire version %d", info.Version)
 		if info.Version == 0 {
 			peer = "wire version 1 (or an unversioned pre-handshake build)"
 		}
-		return nil, nil, nil, permanentDialError{fmt.Errorf("remote: version skew: site at %s speaks %s, this driver speaks wire version %d — restart the site with a matching cfdsite build",
+		return nil, nil, nil, "", permanentDialError{fmt.Errorf("remote: version skew: site at %s speaks %s, this driver speaks wire version %d — restart the site with a matching cfdsite build",
 			addr, peer, WireVersion)}
 	}
 	if info.ID != id {
 		client.Close()
-		return nil, nil, nil, permanentDialError{fmt.Errorf("remote: site at %s reports ID %d, expected %d", addr, info.ID, id)}
+		return nil, nil, nil, "", permanentDialError{fmt.Errorf("remote: site at %s reports ID %d, expected %d", addr, info.ID, id)}
 	}
-	return client, conn, &info, nil
+	return client, conn, &info, svc, nil
 }
 
 // SetCallTimeout changes the per-RPC I/O budget (0 disables it). Safe
@@ -199,11 +229,11 @@ func (r *RemoteSite) SetCallTimeout(d time.Duration) { r.timeout.Store(int64(d))
 // concurrent callers single-flight behind one attempt and all see the
 // fresh connection. A redial failure is a pre-execution unavailable
 // error — nothing was sent, so even non-idempotent calls may retry it.
-func (r *RemoteSite) live(ctx context.Context) (*rpc.Client, net.Conn, uint64, error) {
+func (r *RemoteSite) live(ctx context.Context) (*rpc.Client, net.Conn, uint64, string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
-		return nil, nil, 0, &core.CodedError{
+		return nil, nil, 0, "", &core.CodedError{
 			Code:        core.CodeUnavailable,
 			Msg:         fmt.Sprintf("remote: site %d: client closed", r.id),
 			NotExecuted: true,
@@ -211,11 +241,11 @@ func (r *RemoteSite) live(ctx context.Context) (*rpc.Client, net.Conn, uint64, e
 	}
 	if r.broken {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, "", err
 		}
-		client, conn, info, err := dialSite(r.addr, r.id, r.cfg)
+		client, conn, info, svc, err := dialSite(r.addr, r.id, r.cfg)
 		if err != nil {
-			return nil, nil, 0, &core.CodedError{
+			return nil, nil, 0, "", &core.CodedError{
 				Code:        core.CodeUnavailable,
 				Msg:         fmt.Sprintf("remote: site %d: redial: %v", r.id, err),
 				NotExecuted: true,
@@ -225,13 +255,16 @@ func (r *RemoteSite) live(ctx context.Context) (*rpc.Client, net.Conn, uint64, e
 		r.client, r.conn = client, conn
 		// The re-handshake refreshes the cached fragment state: a
 		// restarted site may hold different data, and a stale size would
-		// skew CheckSizes and coverage accounting.
+		// skew CheckSizes and coverage accounting. The protocol
+		// negotiation refreshes too — a site restarted on a different
+		// build may have changed surface.
 		r.pred, r.size = info.Pred, info.NumTuples
+		r.svc, r.legacy = svc, svc == legacyServiceName
 		r.broken = false
 		r.pending = 0
 		r.gen++
 	}
-	return r.client, r.conn, r.gen, nil
+	return r.client, r.conn, r.gen, r.svc, nil
 }
 
 // markBroken retires the connection a failed call used. The generation
@@ -292,21 +325,25 @@ func (r *RemoteSite) endCall(conn net.Conn) {
 	r.mu.Unlock()
 }
 
-// callCtx performs one RPC under ctx and the per-call timeout. On
-// cancellation or timeout the wait is abandoned: a goroutine reaps the
-// call's completion so the connection deadline is released if the
-// response eventually arrives, and the conn deadline reaps the
-// connection if it never does. Server-reported errors come back typed
-// when the peer enveloped them; transport failures break the
-// connection (the next call redials) and surface as CodeUnavailable.
+// callCtx performs one RPC under ctx and the per-call timeout. method
+// is the bare method name; the negotiated service name (which carries
+// the protocol version, and may change across a redial) is prepended
+// after the connection is live. On cancellation or timeout the wait is
+// abandoned: a goroutine reaps the call's completion so the connection
+// deadline is released if the response eventually arrives, and the
+// conn deadline reaps the connection if it never does. Server-reported
+// errors come back typed when the peer enveloped them; transport
+// failures break the connection (the next call redials) and surface as
+// CodeUnavailable.
 func (r *RemoteSite) callCtx(ctx context.Context, method string, args, reply any) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	client, conn, gen, err := r.live(ctx)
+	client, conn, gen, svc, err := r.live(ctx)
 	if err != nil {
 		return err
 	}
+	method = svc + "." + method
 	d := time.Duration(r.timeout.Load())
 	r.beginCall(conn, d)
 	call := client.Go(method, args, reply, make(chan *rpc.Call, 1))
@@ -380,20 +417,20 @@ func (r *RemoteSite) Predicate() (relation.Predicate, error) {
 // triggers a redial of a broken connection, which is exactly the
 // recovery the probe wants to exercise.
 func (r *RemoteSite) Ping(ctx context.Context) error {
-	return r.callCtx(ctx, serviceName+".Ping", struct{}{}, &struct{}{})
+	return r.callCtx(ctx, "Ping", struct{}{}, &struct{}{})
 }
 
 // SigmaStats forwards to the remote site.
 func (r *RemoteSite) SigmaStats(ctx context.Context, spec *core.BlockSpec) ([]int, error) {
 	var reply []int
-	err := r.callCtx(ctx, serviceName+".SigmaStats", SpecArgs{Spec: spec}, &reply)
+	err := r.callCtx(ctx, "SigmaStats", SpecArgs{Spec: spec}, &reply)
 	return reply, err
 }
 
 // ExtractBlock forwards to the remote site.
 func (r *RemoteSite) ExtractBlock(ctx context.Context, spec *core.BlockSpec, l int, attrs []string) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.callCtx(ctx, serviceName+".ExtractBlock", ExtractArgs{Spec: spec, Attrs: attrs, Block: l}, &reply); err != nil {
+	if err := r.callCtx(ctx, "ExtractBlock", ExtractArgs{Spec: spec, Attrs: attrs, Block: l}, &reply); err != nil {
 		return nil, err
 	}
 	return FromWire(&reply)
@@ -402,7 +439,7 @@ func (r *RemoteSite) ExtractBlock(ctx context.Context, spec *core.BlockSpec, l i
 // ExtractMatching forwards to the remote site.
 func (r *RemoteSite) ExtractMatching(ctx context.Context, spec *core.BlockSpec, attrs []string) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.callCtx(ctx, serviceName+".ExtractMatching", ExtractArgs{Spec: spec, Attrs: attrs}, &reply); err != nil {
+	if err := r.callCtx(ctx, "ExtractMatching", ExtractArgs{Spec: spec, Attrs: attrs}, &reply); err != nil {
 		return nil, err
 	}
 	return FromWire(&reply)
@@ -411,7 +448,7 @@ func (r *RemoteSite) ExtractMatching(ctx context.Context, spec *core.BlockSpec, 
 // ExtractBlocksBatch forwards to the remote site.
 func (r *RemoteSite) ExtractBlocksBatch(ctx context.Context, spec *core.BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error) {
 	var reply map[int]*WireRelation
-	if err := r.callCtx(ctx, serviceName+".ExtractBlocksBatch",
+	if err := r.callCtx(ctx, "ExtractBlocksBatch",
 		ExtractArgs{Spec: spec, Attrs: attrs, Wanted: wanted}, &reply); err != nil {
 		return nil, err
 	}
@@ -428,9 +465,19 @@ func (r *RemoteSite) ExtractBlocksBatch(ctx context.Context, spec *core.BlockSpe
 
 // Deposit forwards a shipped batch to the remote site. The nonce rides
 // along (wire v5) so a retried shipment whose first attempt did land
-// is dropped by the site instead of double-buffering.
+// is dropped by the site instead of double-buffering. On a connection
+// negotiated down to a v5 peer the batch is encoded with ToWireLegacy:
+// gob drops fields the peer does not know, so a packed payload sent to
+// a v5 site would silently decode as an empty relation.
 func (r *RemoteSite) Deposit(ctx context.Context, task string, batch *relation.Relation, nonce string) error {
-	return r.callCtx(ctx, serviceName+".Deposit", DepositArgs{Task: task, Batch: ToWire(batch), Nonce: nonce}, &struct{}{})
+	r.mu.Lock()
+	legacy := r.legacy
+	r.mu.Unlock()
+	w := ToWire(batch)
+	if legacy {
+		w = ToWireLegacy(batch)
+	}
+	return r.callCtx(ctx, "Deposit", DepositArgs{Task: task, Batch: w, Nonce: nonce}, &struct{}{})
 }
 
 // Abort forwards the failed-run deposit cleanup to the remote site.
@@ -438,7 +485,7 @@ func (r *RemoteSite) Deposit(ctx context.Context, task string, batch *relation.R
 // the per-call timeout.
 func (r *RemoteSite) Abort(taskKey string) error {
 	//distcfd:ctxflow-ok — survive-cancel cleanup: must run when the request ctx is already dead
-	return r.callCtx(context.Background(), serviceName+".Abort", AbortArgs{Task: taskKey}, &struct{}{})
+	return r.callCtx(context.Background(), "Abort", AbortArgs{Task: taskKey}, &struct{}{})
 }
 
 // Cancel forwards the per-task cancel message: the site drains the
@@ -446,13 +493,13 @@ func (r *RemoteSite) Abort(taskKey string) error {
 // when the driver cancelled is dropped on arrival.
 func (r *RemoteSite) Cancel(taskKey string) error {
 	//distcfd:ctxflow-ok — survive-cancel cleanup: must run when the request ctx is already dead
-	return r.callCtx(context.Background(), serviceName+".Cancel", AbortArgs{Task: taskKey}, &struct{}{})
+	return r.callCtx(context.Background(), "Cancel", AbortArgs{Task: taskKey}, &struct{}{})
 }
 
 // DetectTask forwards to the remote site.
 func (r *RemoteSite) DetectTask(ctx context.Context, task string, local core.LocalInput, cfds []*cfd.CFD) ([]*relation.Relation, error) {
 	var reply []*WireRelation
-	if err := r.callCtx(ctx, serviceName+".DetectTask",
+	if err := r.callCtx(ctx, "DetectTask",
 		DetectTaskArgs{Task: task, Local: local, CFDs: cfds}, &reply); err != nil {
 		return nil, err
 	}
@@ -462,7 +509,7 @@ func (r *RemoteSite) DetectTask(ctx context.Context, task string, local core.Loc
 // DetectAssignedSingle forwards to the remote site.
 func (r *RemoteSite) DetectAssignedSingle(ctx context.Context, taskPrefix string, spec *core.BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.callCtx(ctx, serviceName+".DetectAssignedSingle",
+	if err := r.callCtx(ctx, "DetectAssignedSingle",
 		DetectAssignedArgs{TaskPrefix: taskPrefix, Spec: spec, Blocks: blocks, CFD: c}, &reply); err != nil {
 		return nil, err
 	}
@@ -472,7 +519,7 @@ func (r *RemoteSite) DetectAssignedSingle(ctx context.Context, taskPrefix string
 // DetectAssignedSet forwards to the remote site.
 func (r *RemoteSite) DetectAssignedSet(ctx context.Context, taskPrefix string, spec *core.BlockSpec, blocks []int, cfds []*cfd.CFD) ([]*relation.Relation, error) {
 	var reply []*WireRelation
-	if err := r.callCtx(ctx, serviceName+".DetectAssignedSet",
+	if err := r.callCtx(ctx, "DetectAssignedSet",
 		DetectAssignedArgs{TaskPrefix: taskPrefix, Spec: spec, Blocks: blocks, CFDs: cfds}, &reply); err != nil {
 		return nil, err
 	}
@@ -482,7 +529,7 @@ func (r *RemoteSite) DetectAssignedSet(ctx context.Context, taskPrefix string, s
 // DetectConstantsLocal forwards to the remote site.
 func (r *RemoteSite) DetectConstantsLocal(ctx context.Context, c *cfd.CFD) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.callCtx(ctx, serviceName+".DetectConstantsLocal", ConstantsArgs{CFD: c}, &reply); err != nil {
+	if err := r.callCtx(ctx, "DetectConstantsLocal", ConstantsArgs{CFD: c}, &reply); err != nil {
 		return nil, err
 	}
 	return FromWire(&reply)
@@ -494,7 +541,7 @@ func (r *RemoteSite) DetectConstantsLocal(ctx context.Context, c *cfd.CFD) (*rel
 // this driver.
 func (r *RemoteSite) ApplyDelta(ctx context.Context, d relation.Delta, nonce string) (core.DeltaInfo, error) {
 	var reply ApplyDeltaReply
-	if err := r.callCtx(ctx, serviceName+".ApplyDelta", ApplyDeltaArgs{Delta: DeltaToWire(d), Nonce: nonce}, &reply); err != nil {
+	if err := r.callCtx(ctx, "ApplyDelta", ApplyDeltaArgs{Delta: DeltaToWire(d), Nonce: nonce}, &reply); err != nil {
 		return core.DeltaInfo{}, err
 	}
 	r.mu.Lock()
@@ -506,7 +553,7 @@ func (r *RemoteSite) ApplyDelta(ctx context.Context, d relation.Delta, nonce str
 // ExtractDeltaBlocks forwards to the remote site (wire v4).
 func (r *RemoteSite) ExtractDeltaBlocks(ctx context.Context, spec *core.BlockSpec, attrs []string, wanted []int, fromGen int64) (*core.DeltaBlocks, error) {
 	var reply DeltaBlocksReply
-	if err := r.callCtx(ctx, serviceName+".ExtractDeltaBlocks",
+	if err := r.callCtx(ctx, "ExtractDeltaBlocks",
 		DeltaBlocksArgs{Spec: spec, Attrs: attrs, Wanted: wanted, FromGen: fromGen}, &reply); err != nil {
 		return nil, err
 	}
@@ -537,7 +584,7 @@ func (r *RemoteSite) ExtractDeltaBlocks(ctx context.Context, spec *core.BlockSpe
 // FoldDetect forwards to the remote site (wire v4).
 func (r *RemoteSite) FoldDetect(ctx context.Context, args core.FoldArgs) (*core.FoldReply, error) {
 	var reply FoldReply
-	if err := r.callCtx(ctx, serviceName+".FoldDetect", FoldArgs{
+	if err := r.callCtx(ctx, "FoldDetect", FoldArgs{
 		Session:        args.Session,
 		Spec:           args.Spec,
 		Blocks:         args.Blocks,
@@ -559,13 +606,13 @@ func (r *RemoteSite) FoldDetect(ctx context.Context, args core.FoldArgs) (*core.
 // it is cleanup and runs even without a live driver context.
 func (r *RemoteSite) DropSession(session string) error {
 	//distcfd:ctxflow-ok — survive-cancel cleanup: must run when the request ctx is already dead
-	return r.callCtx(context.Background(), serviceName+".DropSession", SessionArgs{Session: session}, &struct{}{})
+	return r.callCtx(context.Background(), "DropSession", SessionArgs{Session: session}, &struct{}{})
 }
 
 // MineFrequent forwards to the remote site.
 func (r *RemoteSite) MineFrequent(ctx context.Context, x []string, theta float64) ([]mining.Pattern, error) {
 	var reply []mining.Pattern
-	err := r.callCtx(ctx, serviceName+".MineFrequent", MineArgs{X: x, Theta: theta}, &reply)
+	err := r.callCtx(ctx, "MineFrequent", MineArgs{X: x, Theta: theta}, &reply)
 	return reply, err
 }
 

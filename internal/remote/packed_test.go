@@ -1,0 +1,252 @@
+package remote
+
+import (
+	"context"
+	"net"
+	"net/rpc"
+	"sync"
+	"testing"
+
+	"distcfd/internal/cfd"
+	"distcfd/internal/colstore"
+	"distcfd/internal/core"
+	"distcfd/internal/partition"
+	"distcfd/internal/relation"
+	"distcfd/internal/workload"
+)
+
+// attachPacked gives r a packed provider built from its own encoded
+// columns, the way a store-backed extract would.
+func attachPacked(t *testing.T, r *relation.Relation) {
+	t.Helper()
+	e := r.Encoded()
+	n := r.Len()
+	nc := e.NumColumns()
+	dicts := make([]*relation.Dict, nc)
+	cols := make([][]uint32, nc)
+	for j := 0; j < nc; j++ {
+		dicts[j] = e.ColumnDict(j)
+		cols[j] = make([]uint32, n)
+		if err := e.ReadColumn(j, 0, cols[j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.SetPackedProvider(func() (relation.PackedColumnReader, error) {
+		return colstore.PackColumns(dicts, cols, n)
+	})
+}
+
+// TestWirePackedRoundTrip pins the v6 form end to end: a relation
+// carrying a packed payload that models smaller than both v5 forms
+// ships as WirePackedRelation, round-trips tuple for tuple, and stays
+// chunk-backed on the receiver; ToWireLegacy never emits it.
+func TestWirePackedRoundTrip(t *testing.T) {
+	d := workload.Cust(workload.CustConfig{N: 5000, Seed: 7})
+	attachPacked(t, d)
+	w := ToWire(d)
+	if w.Packed == nil {
+		t.Fatal("repetitive packed-backed relation should ship in the packed form")
+	}
+	if w.Tuples != nil || w.Cols != nil {
+		t.Fatal("packed wire form must not also carry a v5 payload")
+	}
+	if w.Rows != d.Len() {
+		t.Errorf("wire rows = %d, want %d", w.Rows, d.Len())
+	}
+	back, err := FromWire(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.BackingReader() == nil {
+		t.Error("receiver should adopt the packed payload as a backing reader")
+	}
+	if pr, err := back.PackedPayload(); err != nil || pr == nil {
+		t.Errorf("adopted payload should re-ship packed (pr=%v err=%v)", pr, err)
+	}
+	if !back.SameTuples(d) || !back.Schema().Equal(d.Schema()) {
+		t.Error("packed round trip lost data")
+	}
+
+	wl := ToWireLegacy(d)
+	if wl.Packed != nil {
+		t.Fatal("ToWireLegacy must never emit the packed form")
+	}
+	backL, err := FromWire(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !backL.SameTuples(d) {
+		t.Error("legacy round trip lost data")
+	}
+
+	// Corrupt packed payloads must be rejected at FromWire.
+	bad := *w
+	bad.Packed = &WirePackedRelation{Rows: w.Packed.Rows, ChunkRows: w.Packed.ChunkRows}
+	if _, err := FromWire(&bad); err == nil {
+		t.Error("column-free packed payload for a non-empty schema should fail")
+	}
+}
+
+// legacySiteService mimics a v5 cfdsite: it answers only under the
+// legacy service name and records the Deposit payloads it receives.
+type legacySiteService struct {
+	schema   *relation.Schema
+	mu       sync.Mutex
+	deposits []*WireRelation
+}
+
+func (s *legacySiteService) Info(_ struct{}, reply *InfoReply) error {
+	reply.ID = 0
+	reply.Pred = relation.True()
+	reply.Schema = SchemaToWire(s.schema)
+	reply.Version = LegacyWireVersion
+	return nil
+}
+
+func (s *legacySiteService) Deposit(args DepositArgs, _ *struct{}) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deposits = append(s.deposits, args.Batch)
+	return nil
+}
+
+// TestLegacyFallbackNeverShipsPacked pins the sanctioned downgrade: a
+// v6 driver dialing a site that serves only SiteV5 falls back to the
+// legacy surface, and deposits to it travel without the Packed field —
+// gob on the old peer would silently drop it and decode an empty
+// relation.
+func TestLegacyFallbackNeverShipsPacked(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	svc := &legacySiteService{schema: workload.CustSchema()}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(legacyServiceName, svc); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+
+	sites, schema, err := Dial([]string{lis.Addr().String()})
+	if err != nil {
+		t.Fatalf("dial with legacy fallback: %v", err)
+	}
+	if !schema.Equal(workload.CustSchema()) {
+		t.Fatal("fallback handshake lost the schema")
+	}
+
+	batch := workload.Cust(workload.CustConfig{N: 2000, Seed: 3})
+	attachPacked(t, batch)
+	if w := ToWire(batch); w.Packed == nil {
+		t.Fatal("precondition: batch should prefer the packed form on a v6 link")
+	}
+	if err := sites[0].Deposit(context.Background(), "job/b0", batch, ""); err != nil {
+		t.Fatal(err)
+	}
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	if len(svc.deposits) != 1 {
+		t.Fatalf("legacy site recorded %d deposits, want 1", len(svc.deposits))
+	}
+	got := svc.deposits[0]
+	if got.Packed != nil {
+		t.Fatal("deposit on a legacy connection carried the Packed field")
+	}
+	back, err := FromWire(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameTuples(batch) {
+		t.Error("legacy-form deposit lost data")
+	}
+}
+
+// startStoreSites persists each fragment as a colstore directory and
+// serves it out-of-core over loopback TCP.
+func startStoreSites(t *testing.T, h *partition.Horizontal) []string {
+	t.Helper()
+	addrs := make([]string, h.N())
+	for i := range h.Fragments {
+		dir := t.TempDir()
+		if _, err := colstore.WriteRelationDir(dir, h.Fragments[i]); err != nil {
+			t.Fatal(err)
+		}
+		pred := relation.True()
+		if len(h.Predicates) > i {
+			pred = h.Predicates[i]
+		}
+		site, err := core.OpenStoreSite(i, dir, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { site.Close() })
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = Serve(lis, site, h.Schema) }()
+		t.Cleanup(func() { lis.Close() })
+		addrs[i] = lis.Addr().String()
+	}
+	return addrs
+}
+
+// TestRemotePackedShipEquivalence runs clustered detection over real
+// TCP store-backed sites with and without packed shipping: violations,
+// tuple accounting, and modeled time must be byte-identical — packed
+// shipping changes bytes on the wire, nothing else — and the packed
+// run must ship strictly fewer bytes.
+func TestRemotePackedShipEquivalence(t *testing.T) {
+	d := workload.Cust(workload.CustConfig{N: 12000, Seed: 11, ErrRate: 0.02})
+	h, err := partition.Uniform(d, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startStoreSites(t, h)
+	rules := []*cfd.CFD{workload.CustPatternCFD(64), workload.CustStreetCFD()}
+
+	run := func(opt core.Options) *core.SetResult {
+		sites, schema, err := Dial(addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := core.NewCluster(schema, sites)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.ClustDetect(cl, rules, core.PatDetectS, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	packed := run(core.Options{})
+	plain := run(core.Options{NoPackedShip: true})
+
+	for i := range rules {
+		if !packed.PerCFD[i].SameTuples(plain.PerCFD[i]) {
+			t.Errorf("%s: packed and v5 runs disagree on violation patterns", rules[i].Name)
+		}
+	}
+	if packed.ShippedTuples != plain.ShippedTuples {
+		t.Errorf("ShippedTuples: packed %d, v5 %d", packed.ShippedTuples, plain.ShippedTuples)
+	}
+	if packed.ModeledTime != plain.ModeledTime {
+		t.Errorf("ModeledTime: packed %v, v5 %v", packed.ModeledTime, plain.ModeledTime)
+	}
+	pb, vb := packed.Metrics.TotalBytes(), plain.Metrics.TotalBytes()
+	if pb >= vb {
+		t.Errorf("packed shipping moved %d bytes, v5 %d — packed should be strictly smaller", pb, vb)
+	}
+	t.Logf("shipped bytes: packed %d, v5 %d (%.2fx)", pb, vb, float64(pb)/float64(vb))
+}

@@ -10,6 +10,7 @@ package remote
 import (
 	"fmt"
 
+	"distcfd/internal/colstore"
 	"distcfd/internal/relation"
 )
 
@@ -27,17 +28,33 @@ import (
 // at-most-once nonces on Deposit and ApplyDelta (so a retried shipment
 // cannot double-buffer at the site), and the typed error envelope
 // ("[distcfd:<code>] msg") that carries core.ErrCode across net/rpc's
-// string-flattened errors.
+// string-flattened errors; version 6 added the packed relation form —
+// WirePackedRelation ships a batch as per-column dictionary sections
+// plus raw bit-packed/RLE chunk payloads (the colstore chunk codec,
+// now a stable cross-layer seam) with per-chunk ID bounds, chosen by
+// ToWire when it models smaller than both v5 forms.
 //
-// The rpc service name carries the version too ("SiteV5"), so skew in
+// The rpc service name carries the version too ("SiteV6"), so skew in
 // EITHER direction dies on the first call with a can't-find-service
 // error: an old driver against a new site (which the InfoReply check
 // alone could never catch — that check runs in the new driver) and a
 // new driver against an old site both fail loudly instead of silently
-// exchanging partially-decoded payloads.
-const WireVersion = 5
+// exchanging partially-decoded payloads. The one sanctioned fallback is
+// client-side: a v6 driver whose SiteV6.Info probe draws a
+// can't-find-service reply retries the handshake as SiteV5 on the same
+// connection and, when the site answers with Version 5 exactly, drives
+// it over the legacy surface — deposits then always travel in the v5
+// forms (ToWireLegacy), because gob drops unknown fields silently and a
+// packed payload sent to a v5 site would decode as an empty relation.
+const WireVersion = 6
 
-const serviceName = "SiteV5"
+const serviceName = "SiteV6"
+
+// LegacyWireVersion is the newest prior protocol the client can fall
+// back to; legacyServiceName is its rpc service name.
+const LegacyWireVersion = 5
+
+const legacyServiceName = "SiteV5"
 
 // WireRelation is the gob-encodable form of relation.Relation. It
 // carries exactly one of two payloads: the row form (Tuples), or the
@@ -58,11 +75,59 @@ type WireRelation struct {
 	Dicts [][]string
 	Cols  [][]uint32
 	Rows  int
+	// Packed form (wire v6): dictionary sections and chunk payloads in
+	// the colstore codec, shipped byte-for-byte. Never set on a
+	// connection negotiated down to a v5 peer — gob would silently drop
+	// the field and the peer would decode an empty relation.
+	Packed *WirePackedRelation
 }
 
-// ToWire converts a relation for transport, choosing the smaller of
-// the row and dictionary-encoded forms.
+// WirePackedRelation is the v6 packed payload of a WireRelation.
+type WirePackedRelation struct {
+	Rows      int
+	ChunkRows int
+	Cols      []WirePackedColumn
+}
+
+// WirePackedColumn carries one column: its dictionary section (the
+// colstore uvarint-framed value list) and its chunk payloads (the
+// colstore chunk codec) with per-chunk ID bounds, so the receiver can
+// σ-skip chunks without decoding them.
+type WirePackedColumn struct {
+	Dict   []byte
+	Chunks [][]byte
+	MinIDs []uint32
+	MaxIDs []uint32
+}
+
+// ToWire converts a relation for transport, choosing the smallest of
+// the row, dictionary-encoded, and (when the relation carries one)
+// packed forms — the same choice dist.RelationBytes charges.
 func ToWire(r *relation.Relation) *WireRelation {
+	if r == nil {
+		return nil
+	}
+	raw, enc := r.Encoded().PayloadSizes()
+	if pr, err := r.PackedPayload(); err == nil && pr != nil {
+		if p, ok := pr.(*colstore.Packed); ok && p.PackedSize() < min(raw, enc) {
+			w := &WireRelation{
+				Name:   r.Schema().Name(),
+				Attrs:  r.Schema().Attrs(),
+				Key:    r.Schema().Key(),
+				Rows:   r.Len(),
+				Packed: packedToWire(p),
+			}
+			return w
+		}
+	}
+	return ToWireLegacy(r)
+}
+
+// ToWireLegacy converts a relation for transport using only the wire
+// v5 forms (row or dictionary-encoded columnar) — required on
+// connections negotiated down to a v5 peer, where a Packed field would
+// be silently dropped by gob.
+func ToWireLegacy(r *relation.Relation) *WireRelation {
 	if r == nil {
 		return nil
 	}
@@ -84,7 +149,28 @@ func ToWire(r *relation.Relation) *WireRelation {
 	return w
 }
 
-// FromWire rebuilds the relation from either wire form.
+func packedToWire(p *colstore.Packed) *WirePackedRelation {
+	out := &WirePackedRelation{
+		Rows:      p.Rows(),
+		ChunkRows: p.ChunkRows(),
+		Cols:      make([]WirePackedColumn, p.NumColumns()),
+	}
+	for j := range out.Cols {
+		pc := p.Column(j)
+		out.Cols[j] = WirePackedColumn{
+			Dict:   pc.Dict,
+			Chunks: pc.Chunks,
+			MinIDs: pc.MinIDs,
+			MaxIDs: pc.MaxIDs,
+		}
+	}
+	return out
+}
+
+// FromWire rebuilds the relation from any wire form. A packed payload
+// is adopted as the relation's backing reader — columns stay in chunk
+// form until (unless) something materializes them; the detection kernel
+// streams them directly.
 func FromWire(w *WireRelation) (*relation.Relation, error) {
 	if w == nil {
 		return nil, nil
@@ -92,6 +178,26 @@ func FromWire(w *WireRelation) (*relation.Relation, error) {
 	schema, err := relation.NewSchema(w.Name, w.Attrs, w.Key...)
 	if err != nil {
 		return nil, fmt.Errorf("remote: rebuilding schema: %w", err)
+	}
+	if w.Packed != nil {
+		cols := make([]colstore.PackedColumn, len(w.Packed.Cols))
+		for j, c := range w.Packed.Cols {
+			cols[j] = colstore.PackedColumn{
+				Dict:   c.Dict,
+				Chunks: c.Chunks,
+				MinIDs: c.MinIDs,
+				MaxIDs: c.MaxIDs,
+			}
+		}
+		p, err := colstore.NewPacked(w.Packed.Rows, w.Packed.ChunkRows, cols)
+		if err != nil {
+			return nil, fmt.Errorf("remote: packed payload: %w", err)
+		}
+		rel, err := relation.FromPackedReader(schema, p)
+		if err != nil {
+			return nil, fmt.Errorf("remote: %w", err)
+		}
+		return rel, nil
 	}
 	if w.Cols != nil {
 		// The receiver adopts the shipped dictionaries as the

@@ -10,8 +10,12 @@
 #   BENCHTIME  go test -benchtime value (default: 1x)
 #   COUNT      go test -count value (default: 1)
 #
-# Always exits 0 apart from infrastructure failures on the HEAD run:
-# the comparison is advisory (CI wires it in as a non-blocking step).
+# Timing deltas are advisory (1x runs are noisy), but allocs/op is
+# deterministic: a >10% allocs/op regression on a gated benchmark
+# (BenchmarkKernel, BenchmarkOutOfCore) exits 1, and CI wires the
+# target in as a blocking step. Benchmarks absent from the baseline
+# (renamed or newly added) are skipped, so the gate degrades
+# gracefully across restructurings.
 set -e
 
 BENCH="${BENCH:-.}"
@@ -64,4 +68,32 @@ else
     echo "(benchstat not installed; plain per-benchmark diff)"
     grep '^Benchmark' "$OUT_DIR/old.txt" | sed 's/^/OLD  /' || true
     grep '^Benchmark' "$OUT_DIR/new.txt" | sed 's/^/NEW  /' || true
+fi
+
+echo "== bench-compare: allocs/op gate (BenchmarkKernel, BenchmarkOutOfCore; >10% fails)"
+if ! awk '
+    FNR == 1 { f++ }
+    /^Benchmark(Kernel|OutOfCore)/ {
+        v = ""
+        for (i = 2; i < NF; i++) if ($(i + 1) == "allocs/op") v = $i
+        if (v == "") next
+        if (f == 1) oldv[$1] = v
+        else        newv[$1] = v
+    }
+    END {
+        bad = 0
+        for (n in newv) {
+            if (!(n in oldv)) { printf "  %s: no baseline (new or renamed); skipped\n", n; continue }
+            if (oldv[n] + 0 > 0 && newv[n] + 0 > oldv[n] * 1.10) {
+                printf "  REGRESSION %s: %d -> %d allocs/op (+%.1f%%)\n", n, oldv[n], newv[n], (newv[n] / oldv[n] - 1) * 100
+                bad = 1
+            } else {
+                printf "  ok %s: %d -> %d allocs/op\n", n, oldv[n], newv[n]
+            }
+        }
+        exit bad
+    }
+' "$OUT_DIR/old.txt" "$OUT_DIR/new.txt"; then
+    echo "bench-compare: FAIL — allocs/op regressed >10% on a gated benchmark"
+    exit 1
 fi
