@@ -25,7 +25,8 @@ type config struct {
 	algo      Algorithm
 	opt       core.Options
 	clustered bool
-	timeout   *time.Duration // nil: leave the sites' budgets untouched
+	timeout   *time.Duration        // nil: leave the sites' budgets untouched
+	admission *core.AdmissionPolicy // nil: no admission wrapping
 }
 
 func defaultConfig() config {
@@ -140,6 +141,22 @@ func WithPackedShipping(on bool) Option { return func(c *config) { c.opt.NoPacke
 // context.WithTimeout/WithDeadline ctx to Detect.
 func WithTimeout(d time.Duration) Option { return func(c *config) { c.timeout = &d } }
 
+// WithAdmissionPolicy interposes an admission controller in front of
+// every site of the cluster: at most MaxConcurrent work calls execute
+// per site at once, a bounded queue absorbs short bursts, and a call
+// past either bound fails fast with the typed overloaded error whose
+// retry-after hint the WithFailurePolicy backoff honors — so an
+// oversubscribed cluster sheds load predictably instead of queueing
+// without bound. The controller also gives each site the graceful
+// drain surface (see Drainer and Detector.HealthDetail). Like
+// WithTimeout, the wrapper installs on the cluster itself and is
+// shared by everything using the cluster; sites that already carry a
+// controller are left untouched. Remote sites normally run their
+// controller on the serving side (cfdsite -admit); applying the option
+// to a remote cluster bounds the driver's outstanding calls per
+// connection instead.
+func WithAdmissionPolicy(p AdmissionPolicy) Option { return func(c *config) { c.admission = &p } }
+
 // Detector is a compiled, long-lived detection session over a cluster
 // and a CFD set. It is immutable after Compile and safe for concurrent
 // use: every Detect call owns its run state, and the sites cache the
@@ -187,6 +204,14 @@ func CompileContext(ctx context.Context, cl *Cluster, cfds []*CFD, opts ...Optio
 				s.SetCallTimeout(*cfg.timeout)
 			}
 		}
+	}
+	if cfg.admission != nil {
+		cl.WrapSites(func(_ int, s core.SiteAPI) core.SiteAPI {
+			if _, ok := s.(*core.Admission); ok {
+				return nil // already controlled; never stack controllers
+			}
+			return core.WithAdmission(s, *cfg.admission)
+		})
 	}
 	plan, err := core.CompileSet(ctx, cl, cfds, cfg.algo, cfg.opt, cfg.clustered)
 	if err != nil {
@@ -397,6 +422,44 @@ func (d *Detector) DetectOne(ctx context.Context, name string) (*Result, error) 
 // BreakerHalfOpen while a single probe is testing recovery. Sites a
 // FailFast session never retried report BreakerClosed.
 func (d *Detector) Health() []BreakerState { return d.cl.Health() }
+
+// HealthDetail reports each site's health snapshot: the circuit-breaker
+// state plus whether the site is known to be draining — for local
+// admission-controlled sites the controller's own state, for remote
+// sites the last drain signal seen on the wire. The snapshot never
+// probes: a site that drained without this driver ever calling it
+// reports Draining=false until a call observes the rejection.
+func (d *Detector) HealthDetail() []SiteHealth { return d.cl.HealthDetail() }
+
+// Drain asks one site to retire gracefully: in-flight work finishes
+// (bounded by the site's DrainTimeout), new work is refused with the
+// typed draining error until Resume. The site must expose the drain
+// surface — a WithAdmissionPolicy session, a site wrapped in
+// core.WithAdmission, or a remote site served with cfdsite -admit;
+// anything else rejects the call. Under FailDegrade the drained site
+// is excluded and assignment re-runs over the rest; its circuit
+// breaker stays closed — draining is not death.
+func (d *Detector) Drain(ctx context.Context, site int) error {
+	if site < 0 || site >= d.cl.N() {
+		return fmt.Errorf("distcfd: Drain site %d of %d", site, d.cl.N())
+	}
+	dr, ok := d.cl.Site(site).(Drainer)
+	if !ok {
+		return fmt.Errorf("distcfd: site %d has no admission controller to drain (compile with WithAdmissionPolicy, or serve it with cfdsite -admit)", site)
+	}
+	return dr.Drain(ctx)
+}
+
+// Resume re-opens admission on a drained site (operator rollback). A
+// site with no drain surface is left alone.
+func (d *Detector) Resume(site int) {
+	if site < 0 || site >= d.cl.N() {
+		return
+	}
+	if dr, ok := d.cl.Site(site).(Drainer); ok {
+		dr.Resume()
+	}
+}
 
 func (d *Detector) singlePlan(ctx context.Context, idx int) (*core.SinglePlan, error) {
 	if sp := d.plan.SinglePlanFor(idx); sp != nil {

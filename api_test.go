@@ -260,3 +260,69 @@ func TestDetectorIncrementalServing(t *testing.T) {
 	}
 	samePatternSets(t, "detectdelta vs detect", res.PerCFD, full2.PerCFD)
 }
+
+// TestDetectorAdmissionDrain pins the facade's overload surface:
+// WithAdmissionPolicy installs a controller on every site, Drain
+// latches (HealthDetail reports it; FailDegrade answers partially
+// without the drained site), and Resume restores byte-identical full
+// results.
+func TestDetectorAdmissionDrain(t *testing.T) {
+	cl, rules := compileTestCluster(t)
+	det, err := Compile(cl, rules,
+		WithAdmissionPolicy(AdmissionPolicy{}),
+		WithFailurePolicy(FailDegrade))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want, err := det.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Partial {
+		t.Fatal("healthy run reported partial")
+	}
+
+	if err := det.Drain(ctx, 1); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	hd := det.HealthDetail()
+	if !hd[1].Draining || hd[0].Draining || hd[2].Draining {
+		t.Fatalf("drain state after Drain(1): %+v", hd)
+	}
+	res, err := det.Detect(ctx)
+	if err != nil {
+		t.Fatalf("degrade run: %v", err)
+	}
+	if !res.Partial || len(res.ExcludedSites) != 1 || res.ExcludedSites[0] != 1 {
+		t.Fatalf("draining site not excluded: partial=%v excluded=%v", res.Partial, res.ExcludedSites)
+	}
+	if hd = det.HealthDetail(); hd[1].Breaker != BreakerClosed {
+		t.Fatalf("breaker %v for a draining site; draining is not death", hd[1].Breaker)
+	}
+
+	det.Resume(1)
+	if det.HealthDetail()[1].Draining {
+		t.Fatal("Resume did not clear the drain state")
+	}
+	after, err := det.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Partial {
+		t.Fatal("post-resume run still partial")
+	}
+	samePatternSets(t, "post-resume vs pre-drain", after.PerCFD, want.PerCFD)
+
+	if err := det.Drain(ctx, 99); err == nil {
+		t.Fatal("Drain must reject an out-of-range site")
+	}
+	cl2, rules2 := compileTestCluster(t)
+	bare, err := Compile(cl2, rules2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.Drain(ctx, 0); err == nil || !strings.Contains(err.Error(), "no admission controller") {
+		t.Fatalf("a session without WithAdmissionPolicy has no drain surface: %v", err)
+	}
+}

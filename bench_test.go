@@ -17,7 +17,9 @@ import (
 	"net"
 	"os"
 	"strconv"
+	"sync"
 	"testing"
+	"time"
 
 	"distcfd/internal/cfd"
 	"distcfd/internal/core"
@@ -219,6 +221,85 @@ func BenchmarkAblationMiningShipment(b *testing.B) {
 	}
 	b.ReportMetric(float64(plain), "shipped-plain")
 	b.ReportMetric(float64(mined), "shipped-mined")
+}
+
+// BenchmarkAblationAdmission (ablation 17) prices the admission
+// controller on both sides of its bargain. "serial" is the zero-fault
+// overhead question: one driver against idle controllers, so every
+// site call pays the semaphore handshake and nothing ever queues —
+// the delta between admission=false and admission=true is the pure
+// bookkeeping cost. "oversub2x" is the protection question: 16
+// concurrent compiled Detect sessions against controllers that admit
+// 8 — 2× oversubscribed — with FailRetry honoring the retry-after
+// hints, versus the same storm running unthrottled; sessions/sec is
+// the headline metric.
+func BenchmarkAblationAdmission(b *testing.B) {
+	data := workload.Cust(workload.CustConfig{N: 20_000, Seed: 1, ErrRate: 0.01})
+	h, err := partition.Uniform(data, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rules := multiCFDBenchRules()
+	build := func(b *testing.B, admit bool) *Detector {
+		b.Helper()
+		cl, err := core.FromHorizontal(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := []Option{WithAlgorithm(PatDetectRT), WithFailurePolicy(FailRetry)}
+		if admit {
+			// Default concurrency cap, but queue room for the whole
+			// storm: the bench measures throughput under backpressure,
+			// not rejection rates.
+			opts = append(opts, WithAdmissionPolicy(AdmissionPolicy{
+				MaxConcurrent: 8, MaxQueue: 32, MaxWait: time.Second,
+			}))
+		}
+		det, err := Compile(cl, rules, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return det
+	}
+	ctx := context.Background()
+	for _, admit := range []bool{false, true} {
+		b.Run(fmt.Sprintf("serial/admission=%v", admit), func(b *testing.B) {
+			det := build(b, admit)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.Detect(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	const sessions = 16 // 2× the per-site MaxConcurrent of 8
+	for _, admit := range []bool{false, true} {
+		b.Run(fmt.Sprintf("oversub2x/admission=%v", admit), func(b *testing.B) {
+			det := build(b, admit)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, sessions)
+				for s := 0; s < sessions; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						_, errs[s] = det.Detect(ctx)
+					}(s)
+				}
+				wg.Wait()
+				for s, err := range errs {
+					if err != nil {
+						b.Fatalf("session %d: %v", s, err)
+					}
+				}
+			}
+			b.ReportMetric(float64(sessions*b.N)/b.Elapsed().Seconds(), "sessions/sec")
+		})
+	}
 }
 
 // multiCFDBenchRules is the disjoint-LHS CFD set both multi-CFD

@@ -22,6 +22,19 @@
 // server's base context, so a dying site stops burning cycles on
 // detection work whose driver will never hear the answer.
 //
+// The -admit flag puts an admission controller in front of the site:
+// at most -admit-max work calls execute at once, a bounded queue
+// (-admit-queue, -admit-wait) absorbs short bursts, and calls beyond
+// either bound are rejected with the typed overloaded error carrying a
+// retry-after hint the driver's backoff honors. An admitted site also
+// serves the Drain RPC, and its signal handling upgrades: the first
+// SIGINT/SIGTERM drains — in-flight work finishes (bounded by
+// -drain-timeout) while new work is rejected with the typed draining
+// error, which a FailDegrade driver treats as "reroute or exclude",
+// never as a dead site — and a second signal exits immediately:
+//
+//	cfdsite -data frag0.csv -id 0 -admit -admit-max 4 -drain-timeout 10s
+//
 // The -fault-plan flag (development only) injects deterministic faults
 // into the site — scheduled or random call errors, latency spikes,
 // crash-then-restart with serving-state loss, connection resets
@@ -56,6 +69,12 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
 		predSpec  = flag.String("pred", "", "fragment predicate, e.g. \"title=MTS,CC=44\"")
 		faultSpec = flag.String("fault-plan", "", "inject deterministic faults (development), e.g. \"seed=7,rate=0.05,err=Deposit@3,crash=20,restart=5,reset=2@40\"")
+
+		admit        = flag.Bool("admit", false, "bound concurrent work with an admission controller (typed overloaded/draining rejections, Drain RPC, drain-on-signal)")
+		admitMax     = flag.Int("admit-max", 0, "admission: work calls allowed to execute at once (0 = default 8; implies -admit)")
+		admitQueue   = flag.Int("admit-queue", 0, "admission: bounded wait-queue length (0 = default 16; implies -admit)")
+		admitWait    = flag.Duration("admit-wait", 0, "admission: max time a queued call waits for a slot (0 = default 50ms; implies -admit)")
+		drainTimeout = flag.Duration("drain-timeout", 0, "admission: bound on the graceful drain at SIGTERM or Drain RPC (0 = default 5s; implies -admit)")
 	)
 	flag.Parse()
 	if (*dataPath == "") == (*dataDir == "") {
@@ -130,9 +149,26 @@ func main() {
 			api = faulty.Wrap(api, plan)
 		}
 	}
+	// The admission controller is the outermost layer — the Drain RPC
+	// type-asserts core.Drainer on the served API, and drain must gate
+	// real and injected-fault traffic alike.
+	var adm *core.Admission
+	if *admit || *admitMax > 0 || *admitQueue > 0 || *admitWait > 0 || *drainTimeout > 0 {
+		adm = core.WithAdmission(api, core.AdmissionPolicy{
+			MaxConcurrent: *admitMax,
+			MaxQueue:      *admitQueue,
+			MaxWait:       *admitWait,
+			DrainTimeout:  *drainTimeout,
+		})
+		api = adm
+	}
 	defer func() {
 		inner := api
-		if w, ok := api.(*faulty.Site); ok {
+		for {
+			w, ok := inner.(interface{ Inner() core.SiteAPI })
+			if !ok {
+				break
+			}
 			inner = w.Inner()
 		}
 		if c, ok := inner.(interface{ Close() error }); ok {
@@ -150,8 +186,41 @@ func main() {
 		lis = faulty.WrapListener(lis, plan)
 		fmt.Printf("site %d: fault injection active: %s\n", *id, *faultSpec)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if adm != nil {
+		p := adm.Policy()
+		fmt.Printf("site %d: admission control: %d concurrent, queue %d, wait %v, drain %v\n",
+			*id, p.MaxConcurrent, p.MaxQueue, p.MaxWait, p.DrainTimeout)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		if adm == nil {
+			cancel()
+			return
+		}
+		// First signal: graceful drain. New work is rejected with the
+		// typed draining error from this moment; in-flight work gets
+		// until the policy's DrainTimeout to finish. A second signal
+		// skips the wait and exits immediately.
+		fmt.Printf("site %d: draining (second signal exits immediately)\n", *id)
+		done := make(chan struct{})
+		go func() {
+			//distcfd:ctxflow-ok — the drain wait is bounded internally by the policy's DrainTimeout
+			if err := adm.Drain(context.Background()); err != nil {
+				fmt.Printf("site %d: %v\n", *id, err)
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-sigc:
+		}
+		cancel()
+	}()
 	if err := remote.ServeAPIContext(ctx, lis, api, schema); err != nil {
 		fatalf("serve: %v", err)
 	}

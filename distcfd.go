@@ -145,6 +145,17 @@ type (
 	// BreakerState is a per-site circuit-breaker state (see
 	// Detector.Health).
 	BreakerState = core.BreakerState
+	// AdmissionPolicy bounds concurrent work at a site (see
+	// WithAdmissionPolicy); zero fields take defaults.
+	AdmissionPolicy = core.AdmissionPolicy
+	// Drainer is the graceful-retirement surface of an
+	// admission-controlled site: Drain finishes in-flight work and
+	// rejects new work with the typed draining error. Obtain it by
+	// type-asserting a cluster's Site.
+	Drainer = core.Drainer
+	// SiteHealth is one site's health snapshot (breaker state + drain
+	// status; see Detector.HealthDetail).
+	SiteHealth = core.SiteHealth
 	// CostModel is the paper's response-time model cost(D,Σ,M).
 	CostModel = dist.CostModel
 	// Metrics records tuple shipments.

@@ -88,6 +88,20 @@ func (cl *Cluster) Site(i int) SiteAPI { return cl.sites[i] }
 // Predicates returns the fragment predicates (cached).
 func (cl *Cluster) Predicates() []relation.Predicate { return cl.preds }
 
+// WrapSites replaces every site with wrap(i, site) — the interposition
+// hook WithAdmissionPolicy uses to put an admission controller in
+// front of each site. A nil return keeps the site as-is. It must run
+// before the cluster serves traffic (sites are read without
+// synchronization by running detections); the fragment predicates were
+// cached at construction, so wrapping never re-fetches them.
+func (cl *Cluster) WrapSites(wrap func(i int, s SiteAPI) SiteAPI) {
+	for i, s := range cl.sites {
+		if w := wrap(i, s); w != nil {
+			cl.sites[i] = w
+		}
+	}
+}
+
 // newTask mints a globally unique task prefix: the cluster nonce keeps
 // keys from different driver processes (or Cluster instances) against
 // the same long-lived sites from ever colliding.

@@ -117,6 +117,15 @@ const (
 	// CodeUnavailable marks a transport- or injection-level failure —
 	// the site may be fine, the call did not get through. Retryable.
 	CodeUnavailable ErrCode = "unavailable"
+	// CodeOverloaded marks an admission-control rejection: the site is
+	// alive but its work queue is full. The call never ran. Retryable
+	// after the RetryAfter hint; never fed to circuit breakers — an
+	// overloaded site answered, so it must not look dead.
+	CodeOverloaded ErrCode = "overloaded"
+	// CodeDraining marks a site that is finishing in-flight work and
+	// refuses new tasks (graceful shutdown). The call never ran. Not
+	// worth per-call retries: FailDegrade reroutes or excludes instead.
+	CodeDraining ErrCode = "draining"
 )
 
 // CodedError carries an ErrCode across process boundaries. The remote
@@ -129,6 +138,10 @@ type CodedError struct {
 	// call ran at the site (breaker rejection, dial failure, send-side
 	// transport error), making even a non-idempotent call safe to retry.
 	NotExecuted bool
+	// RetryAfter is the site's backpressure hint (CodeOverloaded): do
+	// not retry this site sooner. Zero means no hint. The remote layer
+	// carries it in the wire-v7 error envelope.
+	RetryAfter time.Duration
 }
 
 func (e *CodedError) Error() string { return e.Msg }
@@ -140,6 +153,15 @@ func ErrCodeOf(err error) ErrCode {
 		return ce.Code
 	}
 	return ""
+}
+
+// retryAfterOf extracts the backpressure hint of err (zero if none).
+func retryAfterOf(err error) time.Duration {
+	var ce *CodedError
+	if errors.As(err, &ce) {
+		return ce.RetryAfter
+	}
+	return 0
 }
 
 // transientErr is implemented by errors that classify themselves as
@@ -158,7 +180,7 @@ func isTransient(err error) bool {
 		return false
 	}
 	if ce := (*CodedError)(nil); errors.As(err, &ce) {
-		return ce.Code == CodeUnavailable
+		return ce.Code == CodeUnavailable || ce.Code == CodeOverloaded || ce.Code == CodeDraining
 	}
 	if te := transientErr(nil); errors.As(err, &te) {
 		return te.Transient()
@@ -498,8 +520,18 @@ func (fs *faultState) coverage(fragSizes []int) float64 {
 	return float64(reach) / float64(total)
 }
 
-// sleepCtx sleeps d or until ctx dies, whichever is first.
+// sleepCtx sleeps d or until ctx dies, whichever is first. A sleep
+// that provably cannot complete within the ctx deadline fails fast
+// with DeadlineExceeded instead of burning the remaining budget — a
+// retry-after hint longer than what's left of the run means the run
+// is over now, not after the deadline has silently passed.
 func sleepCtx(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < d {
+		return context.DeadlineExceeded
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -529,16 +561,22 @@ func (cl *Cluster) callSite(ctx context.Context, fs *faultState, site int, idem 
 	rp := fs.retry
 	b := &cl.breakers[site]
 	var last error
+	var floor time.Duration // backpressure floor on the next backoff (retry-after hint)
 	for attempt := 0; attempt < rp.Attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		if attempt > 0 {
 			fs.countRetry(site)
-			if err := sleepCtx(ctx, rp.backoff(attempt)); err != nil {
+			d := rp.backoff(attempt)
+			if d < floor {
+				d = floor
+			}
+			if err := sleepCtx(ctx, d); err != nil {
 				return err
 			}
 		}
+		floor = 0
 		if err := b.admit(ctx, site, cl.sites[site]); err != nil {
 			fs.countFault(site)
 			last = err
@@ -554,6 +592,23 @@ func (cl *Cluster) callSite(ctx context.Context, fs *faultState, site int, idem 
 		}
 		if !isTransient(err) {
 			return err
+		}
+		switch ErrCodeOf(err) {
+		case CodeOverloaded:
+			// The site answered — it is alive, just saturated. Keep the
+			// breaker out of it (an overloaded site must not look dead)
+			// and honor its backpressure hint before the next attempt.
+			fs.countFault(site)
+			last = err
+			floor = retryAfterOf(err)
+			continue
+		case CodeDraining:
+			// Draining won't pass within this call's budget; escalate
+			// immediately so FailDegrade reroutes the assignment via the
+			// eligible mask instead of hammering a retiring site.
+			fs.countFault(site)
+			last = err
+			return &SiteFailure{Site: site, Err: last}
 		}
 		b.observe(false)
 		fs.countFault(site)
@@ -573,6 +628,33 @@ func (cl *Cluster) Health() []BreakerState {
 	out := make([]BreakerState, len(cl.breakers))
 	for i := range cl.breakers {
 		out[i] = cl.breakers[i].currentState()
+	}
+	return out
+}
+
+// SiteHealth is one site's health snapshot: the circuit-breaker state
+// plus whether the site is known to be draining.
+type SiteHealth struct {
+	Site     int
+	Breaker  BreakerState
+	Draining bool
+}
+
+// drainStatus is implemented by sites that expose their drain state
+// cheaply: the admission wrapper reports it directly, the remote proxy
+// reports the last drain signal seen on the wire. The check must not
+// block — HealthDetail is a snapshot, not a probe.
+type drainStatus interface{ Draining() bool }
+
+// HealthDetail reports breaker state and drain status for every site.
+// Sites that don't expose a drain state report Draining=false.
+func (cl *Cluster) HealthDetail() []SiteHealth {
+	out := make([]SiteHealth, len(cl.breakers))
+	for i := range cl.breakers {
+		out[i] = SiteHealth{Site: i, Breaker: cl.breakers[i].currentState()}
+		if d, ok := cl.sites[i].(drainStatus); ok {
+			out[i].Draining = d.Draining()
+		}
 	}
 	return out
 }

@@ -1,0 +1,109 @@
+// Internal tests for the overload plumbing: the fast-fail sleep that
+// refuses to outlive its context, and the breaker flap regime a
+// healthy Ping produces against failing work calls.
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSleepCtxFailsFastPastDeadline pins the retry-after-vs-deadline
+// contract: a sleep that provably cannot finish within the context
+// deadline returns DeadlineExceeded immediately instead of burning the
+// remaining budget — a 10s backpressure hint against a 50ms budget
+// means the run is over now, not in 50ms and certainly not in 10s.
+func TestSleepCtxFailsFastPastDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := sleepCtx(ctx, 10*time.Second)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("sleepCtx = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("sleepCtx took %v to refuse an unfinishable sleep", d)
+	}
+}
+
+func TestSleepCtxCompletesWithinBudget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sleepCtx(ctx, time.Millisecond); err != nil {
+		t.Fatalf("sleepCtx = %v for a sleep well within budget", err)
+	}
+}
+
+// probeSite answers Ping with a fixed error and panics on everything
+// else — the breaker's admit path touches nothing but Ping.
+type probeSite struct {
+	SiteAPI
+	pingErr error
+}
+
+func (p probeSite) Ping(context.Context) error { return p.pingErr }
+
+// TestBreakerPingFlap pins the flap regime of satellite note fame: a
+// site whose work calls keep failing while its Ping stays healthy
+// closes its breaker on every post-cooldown probe (the flap), whereas
+// a site whose Ping fails too (err=Ping@n in the fault harness, or a
+// true corpse) stays open probe after probe.
+func TestBreakerPingFlap(t *testing.T) {
+	ctx := context.Background()
+
+	b := &breaker{}
+	for i := 0; i < breakerThreshold; i++ {
+		b.observe(false)
+	}
+	if b.currentState() != BreakerOpen {
+		t.Fatalf("breaker %v after %d consecutive failures, want open", b.currentState(), breakerThreshold)
+	}
+
+	// Within the cooldown: rejected pre-execution, no probe issued.
+	err := b.admit(ctx, 0, probeSite{pingErr: errors.New("must not be called")})
+	if ErrCodeOf(err) != CodeUnavailable || !preExecution(err) {
+		t.Fatalf("open-breaker rejection = %v, want pre-execution CodeUnavailable", err)
+	}
+
+	// Past the cooldown with a healthy Ping: the half-open probe
+	// succeeds and the breaker closes — the "up" stroke of the flap.
+	b.mu.Lock()
+	b.openedAt = time.Now().Add(-2 * breakerCooldown)
+	b.mu.Unlock()
+	if err := b.admit(ctx, 0, probeSite{}); err != nil {
+		t.Fatalf("healthy probe must close the breaker and admit: %v", err)
+	}
+	if b.currentState() != BreakerClosed {
+		t.Fatalf("breaker %v after healthy probe, want closed", b.currentState())
+	}
+
+	// The admitted work call fails again: the failure count restarts
+	// from the close, so the breaker flaps — threshold more failures
+	// re-open it.
+	for i := 0; i < breakerThreshold-1; i++ {
+		b.observe(false)
+		if b.currentState() != BreakerClosed {
+			t.Fatalf("breaker opened after %d post-flap failures, want %d", i+1, breakerThreshold)
+		}
+	}
+	b.observe(false)
+	if b.currentState() != BreakerOpen {
+		t.Fatalf("breaker %v after %d post-flap failures, want open", b.currentState(), breakerThreshold)
+	}
+
+	// Past the cooldown with a failing Ping (the scheduled err=Ping@n
+	// fault, or a dead site): the probe fails, the breaker re-opens
+	// immediately, and the caller sees a pre-execution rejection.
+	b.mu.Lock()
+	b.openedAt = time.Now().Add(-2 * breakerCooldown)
+	b.mu.Unlock()
+	err = b.admit(ctx, 0, probeSite{pingErr: errors.New("probe down")})
+	if ErrCodeOf(err) != CodeUnavailable || !preExecution(err) {
+		t.Fatalf("failed probe = %v, want pre-execution CodeUnavailable", err)
+	}
+	if b.currentState() != BreakerOpen {
+		t.Fatalf("breaker %v after failed probe, want open (no flap without a healthy Ping)", b.currentState())
+	}
+}

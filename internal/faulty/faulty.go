@@ -35,8 +35,12 @@ type Plan struct {
 	// inject the same fault sequence for the same call sequence.
 	Seed int64
 	// Rate is the per-call probability of an injected failure over the
-	// faultable methods (everything but identity accessors and the
-	// cleanup messages).
+	// faultable methods (everything but identity accessors, the cleanup
+	// messages, and Ping). Ping is exempt by design: rate faults model
+	// load-dependent work failures, and the production regime the
+	// breaker must survive is exactly a cheap liveness probe succeeding
+	// while every work call fails. Fault Ping explicitly (err=Ping@n)
+	// or kill the whole site (crash) instead.
 	Rate float64
 	// ErrOn schedules exact failures: method name → 1-based per-method
 	// call ordinals that fail. "Deposit":[3] fails the third Deposit.
@@ -58,6 +62,23 @@ type Plan struct {
 	// after ConnResetOps reads+writes.
 	ConnResetEvery int
 	ConnResetOps   int
+
+	// Overload fault classes (the wire-v7 robustness surface). These
+	// inject typed admission rejections rather than *Fault transport
+	// failures, exercising the coordinator's backpressure handling:
+	// OverloadEvery > 0 rejects every OverloadEvery-th work call with a
+	// core.CodeOverloaded error carrying OverloadRetryAfter as its
+	// retry-after hint (a full wait queue); DrainAfter > 0 flips the
+	// site into a draining state once the global faultable-call counter
+	// reaches it — every later work call is rejected with
+	// core.CodeDraining (drain-mid-detect) while Ping keeps answering,
+	// exactly like a site retiring gracefully; SlowOn adds a per-call
+	// latency to the named methods (a slow consumer, distinct from the
+	// periodic LatencyEvery spikes).
+	OverloadEvery      int
+	OverloadRetryAfter time.Duration
+	DrainAfter         int
+	SlowOn             map[string]time.Duration
 }
 
 // Parse builds a Plan from the compact flag syntax used by
@@ -65,8 +86,14 @@ type Plan struct {
 //
 //	seed=7,rate=0.1,err=Deposit@3,lat=5ms@10,crash=20,restart=5,reset=2@40
 //
+// plus the overload classes:
+//
+//	over=50ms@4,drain=30,slow=DetectTask@20ms
+//
 // err may repeat for several methods or ordinals; lat is
-// <duration>@<every>; reset is <every>@<ops>. Unknown keys fail.
+// <duration>@<every>; reset is <every>@<ops>; over is
+// <retry-after>@<every>; drain is a global call ordinal; slow is
+// <method>@<duration> and may repeat. Unknown keys fail.
 func Parse(s string) (Plan, error) {
 	p := Plan{}
 	if strings.TrimSpace(s) == "" {
@@ -118,6 +145,30 @@ func Parse(s string) (Plan, error) {
 			if err == nil {
 				p.ConnResetOps, err = strconv.Atoi(ops)
 			}
+		case "over":
+			after, every, ok := strings.Cut(v, "@")
+			if !ok {
+				return Plan{}, fmt.Errorf("faulty: over=%q wants retry-after@every", v)
+			}
+			p.OverloadRetryAfter, err = time.ParseDuration(after)
+			if err == nil {
+				p.OverloadEvery, err = strconv.Atoi(every)
+			}
+		case "drain":
+			p.DrainAfter, err = strconv.Atoi(v)
+		case "slow":
+			method, dur, ok := strings.Cut(v, "@")
+			if !ok {
+				return Plan{}, fmt.Errorf("faulty: slow=%q wants method@duration", v)
+			}
+			var d time.Duration
+			d, err = time.ParseDuration(dur)
+			if err == nil {
+				if p.SlowOn == nil {
+					p.SlowOn = make(map[string]time.Duration)
+				}
+				p.SlowOn[method] = d
+			}
 		default:
 			return Plan{}, fmt.Errorf("faulty: unknown key %q", k)
 		}
@@ -152,10 +203,14 @@ func (f *Fault) PreExecution() bool { return true }
 // DropSession) pass through unfaulted: identity must stay coherent for
 // the cluster to exist at all, and cleanup is best-effort by contract
 // — faulting it would only test the harness, not the detection layer.
-// Everything else, Ping included, draws from the plan. Safe for
-// concurrent use (-race clean); note that under concurrency the
-// interleaving decides which call a rate-draw fault lands on, while
-// the number of draws stays deterministic.
+// Ping is faultable but exempt from the rate draws and the overload
+// classes: a crashed site fails its probe and err=Ping@n faults it on
+// schedule, but a merely flaky or overloaded site answers Ping while
+// its work calls fail — the flap regime half-open breakers live in.
+// Everything else draws from the full plan. Safe for concurrent use
+// (-race clean); note that under concurrency the interleaving decides
+// which call a rate-draw fault lands on, while the number of draws
+// stays deterministic.
 type Site struct {
 	plan    Plan
 	rebuild func() core.SiteAPI
@@ -227,12 +282,36 @@ func (s *Site) before(method string) (core.SiteAPI, time.Duration, error) {
 			return nil, 0, &Fault{Site: s.inner.ID(), Call: call, Method: method, Reason: "scheduled"}
 		}
 	}
-	if s.plan.Rate > 0 && s.rng.Float64() < s.plan.Rate {
-		return nil, 0, &Fault{Site: s.inner.ID(), Call: call, Method: method, Reason: "rate"}
+	// The rate draws and the overload classes model load-dependent work
+	// failures; Ping is exempt — an overloaded, draining or flaky site
+	// still answers its liveness probe (crash and err=Ping@n above are
+	// how a dead probe is injected).
+	if method != "Ping" {
+		if s.plan.DrainAfter > 0 && call >= s.plan.DrainAfter {
+			return nil, 0, &core.CodedError{
+				Code:        core.CodeDraining,
+				Msg:         fmt.Sprintf("faulty: injected draining rejection at site %d, call %d (%s)", s.inner.ID(), call, method),
+				NotExecuted: true,
+			}
+		}
+		if s.plan.OverloadEvery > 0 && call%s.plan.OverloadEvery == 0 {
+			return nil, 0, &core.CodedError{
+				Code:        core.CodeOverloaded,
+				Msg:         fmt.Sprintf("faulty: injected overload rejection at site %d, call %d (%s)", s.inner.ID(), call, method),
+				NotExecuted: true,
+				RetryAfter:  s.plan.OverloadRetryAfter,
+			}
+		}
+		if s.plan.Rate > 0 && s.rng.Float64() < s.plan.Rate {
+			return nil, 0, &Fault{Site: s.inner.ID(), Call: call, Method: method, Reason: "rate"}
+		}
 	}
 	var lat time.Duration
 	if s.plan.LatencyEvery > 0 && call%s.plan.LatencyEvery == 0 {
 		lat = s.plan.Latency
+	}
+	if d := s.plan.SlowOn[method]; d > lat {
+		lat = d
 	}
 	return s.inner, lat, nil
 }
@@ -257,8 +336,11 @@ func (s *Site) NumTuples() (int, error) { return s.Inner().NumTuples() }
 // Predicate passes through.
 func (s *Site) Predicate() (relation.Predicate, error) { return s.Inner().Predicate() }
 
-// Ping draws from the plan like any work call: a crashed or flaky site
-// must look crashed or flaky to the health probe.
+// Ping draws from the plan's crash and scheduled faults only: a
+// crashed site must look crashed to the health probe, but rate and
+// overload faults never hit Ping — the probe of a loaded-but-alive
+// site succeeds while its work calls fail, which is the flap regime
+// the breaker tests pin (fault the probe explicitly with err=Ping@n).
 func (s *Site) Ping(ctx context.Context) error {
 	return s.call("Ping", func(in core.SiteAPI) error { return in.Ping(ctx) })
 }

@@ -17,20 +17,24 @@ import (
 func newInner() *core.Site { return core.NewSite(3, workload.EMPData(), relation.True()) }
 
 func TestParseFullSyntax(t *testing.T) {
-	got, err := Parse("seed=7, rate=0.1, err=Deposit@3, err=Deposit@5, err=Ping@1, lat=5ms@10, crash=20, restart=5, reset=2@40")
+	got, err := Parse("seed=7, rate=0.1, err=Deposit@3, err=Deposit@5, err=Ping@1, lat=5ms@10, crash=20, restart=5, reset=2@40, over=50ms@4, drain=30, slow=DetectTask@20ms")
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := Plan{
-		Seed:           7,
-		Rate:           0.1,
-		ErrOn:          map[string][]int{"Deposit": {3, 5}, "Ping": {1}},
-		Latency:        5 * time.Millisecond,
-		LatencyEvery:   10,
-		CrashAt:        20,
-		RestartAfter:   5,
-		ConnResetEvery: 2,
-		ConnResetOps:   40,
+		Seed:               7,
+		Rate:               0.1,
+		ErrOn:              map[string][]int{"Deposit": {3, 5}, "Ping": {1}},
+		Latency:            5 * time.Millisecond,
+		LatencyEvery:       10,
+		CrashAt:            20,
+		RestartAfter:       5,
+		ConnResetEvery:     2,
+		ConnResetOps:       40,
+		OverloadEvery:      4,
+		OverloadRetryAfter: 50 * time.Millisecond,
+		DrainAfter:         30,
+		SlowOn:             map[string]time.Duration{"DetectTask": 20 * time.Millisecond},
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("Parse:\n got  %+v\n want %+v", got, want)
@@ -50,6 +54,10 @@ func TestParseRejectsMalformedSpecs(t *testing.T) {
 		"lat=5ms",       // missing @every
 		"reset=2",       // missing @ops
 		"crash=twenty",  // bad number
+		"over=50ms",     // missing @every
+		"over=x@4",      // bad duration
+		"drain=soon",    // bad number
+		"slow=Deposit",  // missing @duration
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) should fail", bad)
@@ -87,15 +95,17 @@ func TestScheduledFaults(t *testing.T) {
 
 // TestRateFaultsDeterministic pins the seeding contract: two wrappers
 // with equal plans inject the same fault sequence for the same call
-// sequence.
+// sequence. Rate draws charge work methods (Ping is exempt), so the
+// sequence is driven through Deposit.
 func TestRateFaultsDeterministic(t *testing.T) {
 	ctx := context.Background()
 	plan := Plan{Seed: 42, Rate: 0.5}
+	batch := workload.EMPData()
 	run := func() []bool {
 		s := Wrap(newInner(), plan)
 		out := make([]bool, 100)
 		for i := range out {
-			out[i] = s.Ping(ctx) != nil
+			out[i] = s.Deposit(ctx, "t", batch, "") != nil
 		}
 		return out
 	}
@@ -112,6 +122,105 @@ func TestRateFaultsDeterministic(t *testing.T) {
 	if faults == 0 || faults == len(a) {
 		t.Errorf("rate 0.5 over 100 calls injected %d faults — draw is not working", faults)
 	}
+}
+
+// TestRateNeverFaultsPing pins the probe exemption: a rate-1.0 plan
+// fails every work call yet never the liveness probe, while an
+// explicit err=Ping@n schedule still does — the opt-in contract.
+func TestRateNeverFaultsPing(t *testing.T) {
+	ctx := context.Background()
+	s := Wrap(newInner(), Plan{Seed: 7, Rate: 1.0})
+	for i := 0; i < 50; i++ {
+		if err := s.Ping(ctx); err != nil {
+			t.Fatalf("Ping %d faulted under a pure rate plan: %v", i, err)
+		}
+	}
+	if err := s.Deposit(ctx, "t", workload.EMPData(), ""); err == nil {
+		t.Fatal("rate 1.0 must fault every work call")
+	}
+
+	sched := Wrap(newInner(), Plan{ErrOn: map[string][]int{"Ping": {2}}})
+	if err := sched.Ping(ctx); err != nil {
+		t.Fatalf("first Ping should pass: %v", err)
+	}
+	var f *Fault
+	if err := sched.Ping(ctx); !errors.As(err, &f) || f.Reason != "scheduled" {
+		t.Fatalf("second Ping should draw the scheduled fault, got %v", err)
+	}
+}
+
+// TestOverloadFaults: every OverloadEvery-th work call is rejected
+// with the typed overloaded error carrying the retry-after hint, and
+// the rejection is transient + pre-execution so retries absorb it.
+func TestOverloadFaults(t *testing.T) {
+	ctx := context.Background()
+	inner := newInner()
+	s := Wrap(inner, Plan{OverloadEvery: 2, OverloadRetryAfter: 25 * time.Millisecond})
+	batch := workload.EMPData()
+	if err := s.Deposit(ctx, "t1", batch, ""); err != nil { // call 1 passes
+		t.Fatal(err)
+	}
+	err := s.Deposit(ctx, "t2", batch, "") // call 2 rejected
+	var ce *core.CodedError
+	if !errors.As(err, &ce) || ce.Code != core.CodeOverloaded {
+		t.Fatalf("want a CodeOverloaded rejection, got %v", err)
+	}
+	if ce.RetryAfter != 25*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want 25ms", ce.RetryAfter)
+	}
+	if !ce.NotExecuted {
+		t.Error("an admission rejection provably never ran")
+	}
+	if err := s.Ping(ctx); err != nil { // overload never hits the probe
+		t.Fatalf("Ping under overload: %v", err)
+	}
+	if n := inner.PendingDeposits(); n != 1 {
+		t.Errorf("inner buffers %d tasks, want 1 (the rejected deposit must not land)", n)
+	}
+}
+
+// TestDrainFaults: once the call counter passes DrainAfter every work
+// call is rejected with the typed draining error while Ping keeps
+// answering — a gracefully retiring site, not a dead one.
+func TestDrainFaults(t *testing.T) {
+	ctx := context.Background()
+	s := Wrap(newInner(), Plan{DrainAfter: 2})
+	batch := workload.EMPData()
+	if err := s.Deposit(ctx, "t1", batch, ""); err != nil { // call 1 passes
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		err := s.Deposit(ctx, "t2", batch, "")
+		var ce *core.CodedError
+		if !errors.As(err, &ce) || ce.Code != core.CodeDraining {
+			t.Fatalf("post-drain deposit %d: want CodeDraining, got %v", i, err)
+		}
+		if !ce.NotExecuted {
+			t.Fatal("a drain rejection provably never ran")
+		}
+	}
+	if err := s.Ping(ctx); err != nil {
+		t.Fatalf("a draining site must still answer Ping: %v", err)
+	}
+}
+
+// TestSlowConsumer: SlowOn adds per-method latency without failing the
+// call.
+func TestSlowConsumer(t *testing.T) {
+	ctx := context.Background()
+	s := Wrap(newInner(), Plan{SlowOn: map[string]time.Duration{"Deposit": 30 * time.Millisecond}})
+	start := time.Now()
+	if err := s.Deposit(ctx, "t", workload.EMPData(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("slow-consumer Deposit took %v, want ≥ 30ms", d)
+	}
+	start = time.Now()
+	if err := s.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_ = start // Ping latency is timing-dependent; only the slow path is asserted
 }
 
 func TestCrashHoldsSiteDownWithoutRebuild(t *testing.T) {

@@ -73,6 +73,12 @@ type RemoteSite struct {
 
 	timeout atomic.Int64 // per-call budget in nanoseconds; 0 = none
 
+	// drainSeen latches the last drain signal observed on the wire: a
+	// CodeDraining rejection, or this client's own Drain call. Cleared
+	// by Resume and by a successful redial (a reconnected site is a
+	// fresh process). HealthDetail reads it without a probe.
+	drainSeen atomic.Bool
+
 	mu      sync.Mutex
 	client  *rpc.Client
 	conn    net.Conn
@@ -82,11 +88,12 @@ type RemoteSite struct {
 	broken  bool
 	gen     uint64 // bumps per successful redial; stale failures ignore
 	closed  bool
-	// svc is the rpc service name the handshake negotiated ("SiteV6",
-	// or legacyServiceName after the v5 fallback); legacy marks the
-	// fallback, under which deposits must use the v5 wire forms. Both
-	// re-negotiate on every redial.
+	// svc is the rpc service name the handshake negotiated and level
+	// its wire version ("SiteV7"/7, or an older pair after the chain
+	// fallback); legacy marks a v5 link, under which deposits must use
+	// the v5 wire forms. All re-negotiate on every redial.
 	svc    string
+	level  int
 	legacy bool
 }
 
@@ -122,7 +129,7 @@ func DialWithConfig(addrs []string, cfg DialConfig) ([]core.SiteAPI, *relation.S
 			schema = s
 		}
 		rs := &RemoteSite{id: i, addr: addr, cfg: cfg, client: client, conn: conn, pred: info.Pred, size: info.NumTuples,
-			svc: svc, legacy: svc == legacyServiceName}
+			svc: svc, level: serviceVersion(svc), legacy: svc == legacyServiceName}
 		rs.timeout.Store(int64(cfg.CallTimeout))
 		sites[i] = rs
 	}
@@ -171,6 +178,24 @@ func isNoService(err error) bool {
 	return ok && strings.Contains(err.Error(), "can't find service")
 }
 
+// handshakeChain lists the protocols this driver can speak, newest
+// first. dialOnce walks it on can't-find-service replies, so one
+// connection negotiates the newest level the peer serves.
+var handshakeChain = []string{serviceName, prevServiceName, legacyServiceName}
+
+// serviceVersion maps a negotiated service name back to its wire
+// version (the name carries it: "SiteV7" → 7).
+func serviceVersion(svc string) int {
+	switch svc {
+	case prevServiceName:
+		return PrevWireVersion
+	case legacyServiceName:
+		return LegacyWireVersion
+	default:
+		return WireVersion
+	}
+}
+
 func dialOnce(addr string, id int, dialTimeout time.Duration) (*rpc.Client, net.Conn, *InfoReply, string, error) {
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
@@ -180,26 +205,26 @@ func dialOnce(addr string, id int, dialTimeout time.Duration) (*rpc.Client, net.
 	// accepts but never answers Info must not hang the driver.
 	_ = conn.SetDeadline(time.Now().Add(dialTimeout))
 	client := rpc.NewClient(conn)
-	svc := serviceName
 	var info InfoReply
-	err = client.Call(svc+".Info", struct{}{}, &info)
-	if err != nil && isNoService(err) {
-		// The site does not serve this protocol version. A
-		// can't-find-service reply means the connection itself is healthy,
-		// so retry the handshake as the legacy service on the same
-		// connection; success pins this proxy to the v5 surface.
-		svc = legacyServiceName
+	var svc string
+	for i, s := range handshakeChain {
+		// A can't-find-service reply means the connection itself is
+		// healthy and the site just predates this service name, so the
+		// next handshake runs on the same connection; success pins the
+		// proxy to the negotiated surface.
+		svc = s
+		info = InfoReply{}
 		err = client.Call(svc+".Info", struct{}{}, &info)
+		if err == nil || !isNoService(err) || i == len(handshakeChain)-1 {
+			break
+		}
 	}
 	if err != nil {
 		client.Close()
 		return nil, nil, nil, "", fmt.Errorf("remote: handshake with %s: %w", addr, err)
 	}
 	_ = conn.SetDeadline(time.Time{})
-	wantVersion := WireVersion
-	if svc == legacyServiceName {
-		wantVersion = LegacyWireVersion
-	}
+	wantVersion := serviceVersion(svc)
 	if info.Version != wantVersion {
 		client.Close()
 		// Always name both peers' versions: rollout skew (a v6 bump
@@ -223,6 +248,65 @@ func dialOnce(addr string, id int, dialTimeout time.Duration) (*rpc.Client, net.
 // to call concurrently with in-flight calls; it applies from the next
 // call on.
 func (r *RemoteSite) SetCallTimeout(d time.Duration) { r.timeout.Store(int64(d)) }
+
+// deadlineNano flattens ctx's deadline into the absolute unix-nano
+// budget stamp every work Args struct carries at wire v7 — the site
+// re-derives a context from it and abandons work the driver already
+// gave up on. Zero when ctx has no deadline, or when the negotiated
+// level predates the field: older peers must never be sent v7 fields
+// (gob would drop them silently, but the contract is that a v6 peer
+// never sees them at all).
+func (r *RemoteSite) deadlineNano(ctx context.Context) int64 {
+	r.mu.Lock()
+	lvl := r.level
+	r.mu.Unlock()
+	if lvl < WireVersion {
+		return 0
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		return dl.UnixNano()
+	}
+	return 0
+}
+
+// Level returns the negotiated wire version of the current connection
+// (it can change across a redial).
+func (r *RemoteSite) Level() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.level
+}
+
+// Drain asks the site to retire gracefully (wire v7): stop admitting
+// work, finish what's in flight. The site must serve an admission
+// controller (cfdsite -admit); peers negotiated below v7 cannot be
+// drained over the wire.
+func (r *RemoteSite) Drain(ctx context.Context) error {
+	if r.Level() < WireVersion {
+		return fmt.Errorf("remote: site %d speaks wire version %d; Drain needs %d", r.id, r.Level(), WireVersion)
+	}
+	if err := r.callCtx(ctx, "Drain", DrainArgs{}, &DrainReply{}); err != nil {
+		return err
+	}
+	r.drainSeen.Store(true)
+	return nil
+}
+
+// Resume re-opens admission at the site after a drain (wire v7).
+func (r *RemoteSite) Resume() {
+	if r.Level() < WireVersion {
+		return
+	}
+	//distcfd:ctxflow-ok — operator rollback, not request work: runs without a driver context
+	if err := r.callCtx(context.Background(), "Drain", DrainArgs{Resume: true}, &DrainReply{}); err == nil {
+		r.drainSeen.Store(false)
+	}
+}
+
+// Draining reports the last drain signal seen on this connection — a
+// CodeDraining rejection or this client's own Drain call — without
+// probing the site. Cleared by Resume and by reconnection.
+func (r *RemoteSite) Draining() bool { return r.drainSeen.Load() }
 
 // live returns the current connection, redialing first when a prior
 // failure broke it. The redial runs under the proxy's lock, so
@@ -259,10 +343,13 @@ func (r *RemoteSite) live(ctx context.Context) (*rpc.Client, net.Conn, uint64, s
 		// negotiation refreshes too — a site restarted on a different
 		// build may have changed surface.
 		r.pred, r.size = info.Pred, info.NumTuples
-		r.svc, r.legacy = svc, svc == legacyServiceName
+		r.svc, r.level, r.legacy = svc, serviceVersion(svc), svc == legacyServiceName
 		r.broken = false
 		r.pending = 0
 		r.gen++
+		// A reconnected site is a fresh process: whatever drain state
+		// the old one advertised no longer applies.
+		r.drainSeen.Store(false)
 	}
 	return r.client, r.conn, r.gen, r.svc, nil
 }
@@ -383,7 +470,11 @@ func (r *RemoteSite) callCtx(ctx context.Context, method string, args, reply any
 // retry through it.
 func (r *RemoteSite) classify(method string, gen uint64, err error) error {
 	if _, ok := err.(rpc.ServerError); ok {
-		return decodeError(err)
+		derr := decodeError(err)
+		if core.ErrCodeOf(derr) == core.CodeDraining {
+			r.drainSeen.Store(true)
+		}
+		return derr
 	}
 	r.markBroken(gen)
 	return &core.CodedError{
@@ -423,14 +514,14 @@ func (r *RemoteSite) Ping(ctx context.Context) error {
 // SigmaStats forwards to the remote site.
 func (r *RemoteSite) SigmaStats(ctx context.Context, spec *core.BlockSpec) ([]int, error) {
 	var reply []int
-	err := r.callCtx(ctx, "SigmaStats", SpecArgs{Spec: spec}, &reply)
+	err := r.callCtx(ctx, "SigmaStats", SpecArgs{Spec: spec, Deadline: r.deadlineNano(ctx)}, &reply)
 	return reply, err
 }
 
 // ExtractBlock forwards to the remote site.
 func (r *RemoteSite) ExtractBlock(ctx context.Context, spec *core.BlockSpec, l int, attrs []string) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.callCtx(ctx, "ExtractBlock", ExtractArgs{Spec: spec, Attrs: attrs, Block: l}, &reply); err != nil {
+	if err := r.callCtx(ctx, "ExtractBlock", ExtractArgs{Spec: spec, Attrs: attrs, Block: l, Deadline: r.deadlineNano(ctx)}, &reply); err != nil {
 		return nil, err
 	}
 	return FromWire(&reply)
@@ -439,7 +530,7 @@ func (r *RemoteSite) ExtractBlock(ctx context.Context, spec *core.BlockSpec, l i
 // ExtractMatching forwards to the remote site.
 func (r *RemoteSite) ExtractMatching(ctx context.Context, spec *core.BlockSpec, attrs []string) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.callCtx(ctx, "ExtractMatching", ExtractArgs{Spec: spec, Attrs: attrs}, &reply); err != nil {
+	if err := r.callCtx(ctx, "ExtractMatching", ExtractArgs{Spec: spec, Attrs: attrs, Deadline: r.deadlineNano(ctx)}, &reply); err != nil {
 		return nil, err
 	}
 	return FromWire(&reply)
@@ -449,7 +540,7 @@ func (r *RemoteSite) ExtractMatching(ctx context.Context, spec *core.BlockSpec, 
 func (r *RemoteSite) ExtractBlocksBatch(ctx context.Context, spec *core.BlockSpec, attrs []string, wanted []int) (map[int]*relation.Relation, error) {
 	var reply map[int]*WireRelation
 	if err := r.callCtx(ctx, "ExtractBlocksBatch",
-		ExtractArgs{Spec: spec, Attrs: attrs, Wanted: wanted}, &reply); err != nil {
+		ExtractArgs{Spec: spec, Attrs: attrs, Wanted: wanted, Deadline: r.deadlineNano(ctx)}, &reply); err != nil {
 		return nil, err
 	}
 	out := make(map[int]*relation.Relation, len(reply))
@@ -477,7 +568,7 @@ func (r *RemoteSite) Deposit(ctx context.Context, task string, batch *relation.R
 	if legacy {
 		w = ToWireLegacy(batch)
 	}
-	return r.callCtx(ctx, "Deposit", DepositArgs{Task: task, Batch: w, Nonce: nonce}, &struct{}{})
+	return r.callCtx(ctx, "Deposit", DepositArgs{Task: task, Batch: w, Nonce: nonce, Deadline: r.deadlineNano(ctx)}, &struct{}{})
 }
 
 // Abort forwards the failed-run deposit cleanup to the remote site.
@@ -500,7 +591,7 @@ func (r *RemoteSite) Cancel(taskKey string) error {
 func (r *RemoteSite) DetectTask(ctx context.Context, task string, local core.LocalInput, cfds []*cfd.CFD) ([]*relation.Relation, error) {
 	var reply []*WireRelation
 	if err := r.callCtx(ctx, "DetectTask",
-		DetectTaskArgs{Task: task, Local: local, CFDs: cfds}, &reply); err != nil {
+		DetectTaskArgs{Task: task, Local: local, CFDs: cfds, Deadline: r.deadlineNano(ctx)}, &reply); err != nil {
 		return nil, err
 	}
 	return fromWireSlice(reply)
@@ -510,7 +601,7 @@ func (r *RemoteSite) DetectTask(ctx context.Context, task string, local core.Loc
 func (r *RemoteSite) DetectAssignedSingle(ctx context.Context, taskPrefix string, spec *core.BlockSpec, blocks []int, c *cfd.CFD) (*relation.Relation, error) {
 	var reply WireRelation
 	if err := r.callCtx(ctx, "DetectAssignedSingle",
-		DetectAssignedArgs{TaskPrefix: taskPrefix, Spec: spec, Blocks: blocks, CFD: c}, &reply); err != nil {
+		DetectAssignedArgs{TaskPrefix: taskPrefix, Spec: spec, Blocks: blocks, CFD: c, Deadline: r.deadlineNano(ctx)}, &reply); err != nil {
 		return nil, err
 	}
 	return FromWire(&reply)
@@ -520,7 +611,7 @@ func (r *RemoteSite) DetectAssignedSingle(ctx context.Context, taskPrefix string
 func (r *RemoteSite) DetectAssignedSet(ctx context.Context, taskPrefix string, spec *core.BlockSpec, blocks []int, cfds []*cfd.CFD) ([]*relation.Relation, error) {
 	var reply []*WireRelation
 	if err := r.callCtx(ctx, "DetectAssignedSet",
-		DetectAssignedArgs{TaskPrefix: taskPrefix, Spec: spec, Blocks: blocks, CFDs: cfds}, &reply); err != nil {
+		DetectAssignedArgs{TaskPrefix: taskPrefix, Spec: spec, Blocks: blocks, CFDs: cfds, Deadline: r.deadlineNano(ctx)}, &reply); err != nil {
 		return nil, err
 	}
 	return fromWireSlice(reply)
@@ -529,7 +620,7 @@ func (r *RemoteSite) DetectAssignedSet(ctx context.Context, taskPrefix string, s
 // DetectConstantsLocal forwards to the remote site.
 func (r *RemoteSite) DetectConstantsLocal(ctx context.Context, c *cfd.CFD) (*relation.Relation, error) {
 	var reply WireRelation
-	if err := r.callCtx(ctx, "DetectConstantsLocal", ConstantsArgs{CFD: c}, &reply); err != nil {
+	if err := r.callCtx(ctx, "DetectConstantsLocal", ConstantsArgs{CFD: c, Deadline: r.deadlineNano(ctx)}, &reply); err != nil {
 		return nil, err
 	}
 	return FromWire(&reply)
@@ -541,7 +632,7 @@ func (r *RemoteSite) DetectConstantsLocal(ctx context.Context, c *cfd.CFD) (*rel
 // this driver.
 func (r *RemoteSite) ApplyDelta(ctx context.Context, d relation.Delta, nonce string) (core.DeltaInfo, error) {
 	var reply ApplyDeltaReply
-	if err := r.callCtx(ctx, "ApplyDelta", ApplyDeltaArgs{Delta: DeltaToWire(d), Nonce: nonce}, &reply); err != nil {
+	if err := r.callCtx(ctx, "ApplyDelta", ApplyDeltaArgs{Delta: DeltaToWire(d), Nonce: nonce, Deadline: r.deadlineNano(ctx)}, &reply); err != nil {
 		return core.DeltaInfo{}, err
 	}
 	r.mu.Lock()
@@ -554,7 +645,7 @@ func (r *RemoteSite) ApplyDelta(ctx context.Context, d relation.Delta, nonce str
 func (r *RemoteSite) ExtractDeltaBlocks(ctx context.Context, spec *core.BlockSpec, attrs []string, wanted []int, fromGen int64) (*core.DeltaBlocks, error) {
 	var reply DeltaBlocksReply
 	if err := r.callCtx(ctx, "ExtractDeltaBlocks",
-		DeltaBlocksArgs{Spec: spec, Attrs: attrs, Wanted: wanted, FromGen: fromGen}, &reply); err != nil {
+		DeltaBlocksArgs{Spec: spec, Attrs: attrs, Wanted: wanted, FromGen: fromGen, Deadline: r.deadlineNano(ctx)}, &reply); err != nil {
 		return nil, err
 	}
 	out := &core.DeltaBlocks{
@@ -592,6 +683,7 @@ func (r *RemoteSite) FoldDetect(ctx context.Context, args core.FoldArgs) (*core.
 		RestrictSingle: args.RestrictSingle,
 		Seed:           args.Seed,
 		FromGen:        args.FromGen,
+		Deadline:       r.deadlineNano(ctx),
 	}, &reply); err != nil {
 		return nil, err
 	}
@@ -612,7 +704,7 @@ func (r *RemoteSite) DropSession(session string) error {
 // MineFrequent forwards to the remote site.
 func (r *RemoteSite) MineFrequent(ctx context.Context, x []string, theta float64) ([]mining.Pattern, error) {
 	var reply []mining.Pattern
-	err := r.callCtx(ctx, "MineFrequent", MineArgs{X: x, Theta: theta}, &reply)
+	err := r.callCtx(ctx, "MineFrequent", MineArgs{X: x, Theta: theta, Deadline: r.deadlineNano(ctx)}, &reply)
 	return reply, err
 }
 

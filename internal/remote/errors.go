@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/rpc"
 	"strings"
+	"time"
 
 	"distcfd/internal/core"
 )
@@ -19,12 +20,23 @@ import (
 // strings; the client passes those through untouched and
 // core.IsStaleIncremental falls back to its marker-substring check, so
 // mixed-version clusters keep working during a rollout.
+//
+// Wire v7 extends the envelope with optional comma-separated params
+// after the code: "[distcfd:overloaded,retry-after=50ms] <message>"
+// carries the site's backpressure hint. Params are only ever emitted
+// alongside the codes introduced at v7 (overloaded, draining), so a
+// pre-v7 peer never sees an envelope it cannot parse exactly; a v7
+// client facing a param-free envelope just reads a zero hint.
 
 // codePrefix opens the wire error envelope.
 const codePrefix = "[distcfd:"
 
-// encodeError wraps a handler error in the wire-v5 code envelope when
-// it carries a classification; unclassified errors travel as-is.
+// retryAfterParam is the wire-v7 envelope param carrying the
+// backpressure hint of an overloaded site.
+const retryAfterParam = "retry-after="
+
+// encodeError wraps a handler error in the wire code envelope when it
+// carries a classification; unclassified errors travel as-is.
 func encodeError(err error) error {
 	if err == nil {
 		return nil
@@ -42,7 +54,12 @@ func encodeError(err error) error {
 	if code == "" {
 		return err
 	}
-	return fmt.Errorf("%s%s] %s", codePrefix, code, err.Error())
+	var params string
+	var ce *core.CodedError
+	if errors.As(err, &ce) && ce.RetryAfter > 0 {
+		params = "," + retryAfterParam + ce.RetryAfter.String()
+	}
+	return fmt.Errorf("%s%s%s] %s", codePrefix, code, params, err.Error())
 }
 
 // decodeError rebuilds the typed error from a server-reported RPC
@@ -59,9 +76,23 @@ func decodeError(err error) error {
 	if !ok {
 		return err
 	}
-	code, msg, ok := strings.Cut(rest, "] ")
+	head, msg, ok := strings.Cut(rest, "] ")
 	if !ok {
 		return err
 	}
-	return &core.CodedError{Code: core.ErrCode(code), Msg: msg}
+	code, params, _ := strings.Cut(head, ",")
+	ce := &core.CodedError{Code: core.ErrCode(code), Msg: msg}
+	for _, p := range strings.Split(params, ",") {
+		if v, ok := strings.CutPrefix(p, retryAfterParam); ok {
+			if d, perr := time.ParseDuration(v); perr == nil {
+				ce.RetryAfter = d
+			}
+		}
+	}
+	// The admission codes reject strictly before the call runs, so the
+	// decoded error keeps even non-idempotent calls retryable.
+	if ce.Code == core.CodeOverloaded || ce.Code == core.CodeDraining {
+		ce.NotExecuted = true
+	}
+	return ce
 }

@@ -1,0 +1,349 @@
+// Overload and drain across the wire: the v7 envelope's retry-after
+// param, the per-task deadline stamp, the Drain RPC end to end, and
+// the v6-peer fallback that must never see any of them.
+package remote
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distcfd/internal/core"
+	"distcfd/internal/relation"
+	"distcfd/internal/workload"
+)
+
+// --- wire v7 envelope params ---
+
+// TestErrorEnvelopeRetryAfter pins the backpressure hint round trip:
+// an overloaded rejection crosses net/rpc's string flattening with its
+// retry-after intact, typed, and marked not-executed so even
+// non-idempotent calls stay retryable.
+func TestErrorEnvelopeRetryAfter(t *testing.T) {
+	enc := encodeError(&core.CodedError{
+		Code: core.CodeOverloaded, Msg: "site 2: queue full",
+		NotExecuted: true, RetryAfter: 50 * time.Millisecond,
+	})
+	if s := enc.Error(); s != "[distcfd:overloaded,retry-after=50ms] site 2: queue full" {
+		t.Fatalf("envelope = %q", s)
+	}
+	dec := decodeError(rpc.ServerError(enc.Error()))
+	var ce *core.CodedError
+	if !errors.As(dec, &ce) || ce.Code != core.CodeOverloaded {
+		t.Fatalf("decoded %T %v, want *CodedError with CodeOverloaded", dec, dec)
+	}
+	if ce.RetryAfter != 50*time.Millisecond {
+		t.Errorf("retry-after hint lost across the envelope: %v", ce.RetryAfter)
+	}
+	if !ce.NotExecuted {
+		t.Error("admission rejections must decode as pre-execution")
+	}
+}
+
+// TestErrorEnvelopeParamFree: a v7 code with no params (or a peer that
+// never filled the hint) decodes to a zero hint, not a parse error.
+func TestErrorEnvelopeParamFree(t *testing.T) {
+	for _, raw := range []string{
+		"[distcfd:overloaded] site busy",
+		"[distcfd:draining] going away",
+	} {
+		dec := decodeError(rpc.ServerError(raw))
+		var ce *core.CodedError
+		if !errors.As(dec, &ce) {
+			t.Fatalf("%q did not decode to a CodedError: %v", raw, dec)
+		}
+		if ce.RetryAfter != 0 {
+			t.Errorf("%q invented a retry-after hint: %v", raw, ce.RetryAfter)
+		}
+		if !ce.NotExecuted {
+			t.Errorf("%q must decode as pre-execution", raw)
+		}
+	}
+	// Draining carries the hint too when the site sets one.
+	enc := encodeError(&core.CodedError{
+		Code: core.CodeDraining, Msg: "retiring", NotExecuted: true, RetryAfter: time.Second,
+	})
+	dec := decodeError(rpc.ServerError(enc.Error()))
+	var ce *core.CodedError
+	if !errors.As(dec, &ce) || ce.Code != core.CodeDraining || ce.RetryAfter != time.Second {
+		t.Errorf("draining hint lost: %v", dec)
+	}
+}
+
+// --- deadline propagation ---
+
+// TestWorkCtxDeadlineStamp pins the server half of deadline
+// propagation: a zero stamp serves under the base context alone, a
+// future stamp bounds it exactly, and an already-elapsed stamp cancels
+// before the site work starts.
+func TestWorkCtxDeadlineStamp(t *testing.T) {
+	s := NewSiteServiceContext(context.Background(), nil, nil)
+
+	ctx, cancel := s.workCtx(0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero stamp must not invent a deadline")
+	}
+
+	want := time.Now().Add(time.Hour)
+	ctx, cancel = s.workCtx(want.UnixNano())
+	defer cancel()
+	if dl, ok := ctx.Deadline(); !ok || !dl.Equal(time.Unix(0, want.UnixNano())) {
+		t.Errorf("stamped deadline = %v %v, want %v", dl, ok, want)
+	}
+
+	ctx, cancel = s.workCtx(time.Now().Add(-time.Second).UnixNano())
+	defer cancel()
+	if ctx.Err() == nil {
+		t.Error("an elapsed stamp must cancel before the work starts")
+	}
+}
+
+// recordingSiteService answers the handshake at the given version and
+// records every DepositArgs it receives — the fixture for pinning what
+// a driver actually stamps on the wire at each negotiated level.
+type recordingSiteService struct {
+	schema   *relation.Schema
+	version  int
+	mu       sync.Mutex
+	deposits []DepositArgs
+}
+
+func (s *recordingSiteService) Info(_ struct{}, reply *InfoReply) error {
+	reply.ID = 0
+	reply.Pred = relation.True()
+	reply.Schema = SchemaToWire(s.schema)
+	reply.Version = s.version
+	return nil
+}
+
+func (s *recordingSiteService) Deposit(args DepositArgs, _ *struct{}) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deposits = append(s.deposits, args)
+	return nil
+}
+
+func (s *recordingSiteService) recorded(t *testing.T, i int) DepositArgs {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.deposits) <= i {
+		t.Fatalf("recorded %d deposits, want at least %d", len(s.deposits), i+1)
+	}
+	return s.deposits[i]
+}
+
+// startRecordingSite serves svc under the given rpc service name on a
+// loopback listener and returns its address.
+func startRecordingSite(t *testing.T, rpcName string, svc *recordingSiteService) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(rpcName, svc); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return lis.Addr().String()
+}
+
+// TestDeadlineStampedAtV7 pins the client half: against a v7 peer the
+// driver's context deadline crosses the wire as the absolute per-task
+// stamp, and a deadline-free context stamps zero.
+func TestDeadlineStampedAtV7(t *testing.T) {
+	svc := &recordingSiteService{schema: workload.CustSchema(), version: WireVersion}
+	addr := startRecordingSite(t, serviceName, svc)
+	sites, _, err := Dial([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sites[0].(*RemoteSite)
+	defer r.Close()
+	if r.Level() != WireVersion {
+		t.Fatalf("negotiated level %d, want %d", r.Level(), WireVersion)
+	}
+
+	batch := workload.Cust(workload.CustConfig{N: 20, Seed: 2})
+	dl := time.Now().Add(time.Minute)
+	ctx, cancel := context.WithDeadline(context.Background(), dl)
+	defer cancel()
+	if err := r.Deposit(ctx, "job/d0", batch, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.recorded(t, 0).Deadline; got != dl.UnixNano() {
+		t.Errorf("stamped deadline %d, want %d", got, dl.UnixNano())
+	}
+
+	if err := r.Deposit(context.Background(), "job/d1", batch, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.recorded(t, 1).Deadline; got != 0 {
+		t.Errorf("deadline-free context stamped %d, want 0", got)
+	}
+}
+
+// --- v6-peer interop ---
+
+// TestV6FallbackInterop pins the sanctioned downgrade for the v7
+// additions: against a site that serves only SiteV6, the handshake
+// falls back one step, packed σ-block payloads still ship (they are a
+// v6 feature), the Deadline field is never stamped (a v6 peer has no
+// workCtx to honor it), and the Drain surface fails typed instead of
+// sending an RPC the peer cannot answer.
+func TestV6FallbackInterop(t *testing.T) {
+	svc := &recordingSiteService{schema: workload.CustSchema(), version: PrevWireVersion}
+	addr := startRecordingSite(t, prevServiceName, svc)
+	sites, schema, err := Dial([]string{addr})
+	if err != nil {
+		t.Fatalf("dial with v6 fallback: %v", err)
+	}
+	if !schema.Equal(workload.CustSchema()) {
+		t.Fatal("fallback handshake lost the schema")
+	}
+	r := sites[0].(*RemoteSite)
+	defer r.Close()
+	if r.Level() != PrevWireVersion {
+		t.Fatalf("negotiated level %d, want %d", r.Level(), PrevWireVersion)
+	}
+
+	batch := workload.Cust(workload.CustConfig{N: 2000, Seed: 3})
+	attachPacked(t, batch)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := r.Deposit(ctx, "job/b0", batch, ""); err != nil {
+		t.Fatal(err)
+	}
+	got := svc.recorded(t, 0)
+	if got.Deadline != 0 {
+		t.Errorf("v6 peer saw a deadline stamp %d; the field is v7-only", got.Deadline)
+	}
+	if got.Batch.Packed == nil {
+		t.Error("packed payloads are v6 — the one-step fallback must keep them")
+	}
+
+	if err := r.Drain(ctx); err == nil {
+		t.Fatal("Drain against a v6 peer must fail typed, not send the RPC")
+	} else if !strings.Contains(err.Error(), "wire version") {
+		t.Errorf("Drain rejection should name the wire versions: %v", err)
+	}
+	if r.Draining() {
+		t.Error("a refused Drain must not latch the drain state")
+	}
+	r.Resume() // must be a no-op below v7, not an RPC the peer rejects
+	if r.Draining() {
+		t.Error("Resume below v7 must leave the state alone")
+	}
+}
+
+// --- Drain RPC end to end ---
+
+// drainFixture serves an admission-wrapped core site over loopback TCP
+// and returns the negotiated client proxy plus the server-side
+// controller.
+func drainFixture(t *testing.T, wrap bool) (*RemoteSite, *core.Admission) {
+	t.Helper()
+	frag := workload.Cust(workload.CustConfig{N: 50, Seed: 1})
+	var api core.SiteAPI = core.NewSite(0, frag, relation.True())
+	var adm *core.Admission
+	if wrap {
+		adm = core.WithAdmission(api, core.AdmissionPolicy{DrainTimeout: 2 * time.Second})
+		api = adm
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go func() { _ = ServeAPIContext(ctx, lis, api, frag.Schema()) }()
+
+	sites, _, err := Dial([]string{lis.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sites[0].(*RemoteSite)
+	t.Cleanup(func() { r.Close() })
+	if r.Level() != WireVersion {
+		t.Fatalf("negotiated level %d, want %d", r.Level(), WireVersion)
+	}
+	return r, adm
+}
+
+// TestRemoteDrainRoundTrip walks the operator surface over real TCP:
+// Drain latches on both ends, work is refused with the typed draining
+// error (decoded through the envelope, pre-execution), liveness stays
+// open, and Resume restores service.
+func TestRemoteDrainRoundTrip(t *testing.T) {
+	r, adm := drainFixture(t, true)
+	ctx := context.Background()
+	batch := workload.Cust(workload.CustConfig{N: 20, Seed: 4})
+	if err := r.Deposit(ctx, "job/t0", batch, ""); err != nil {
+		t.Fatalf("deposit before drain: %v", err)
+	}
+
+	if err := r.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if !r.Draining() || !adm.Draining() {
+		t.Fatalf("drain did not latch on both ends: client=%v server=%v", r.Draining(), adm.Draining())
+	}
+	err := r.Deposit(ctx, "job/t0", batch, "")
+	var ce *core.CodedError
+	if !errors.As(err, &ce) || ce.Code != core.CodeDraining || !ce.NotExecuted {
+		t.Fatalf("work during drain = %v, want pre-execution CodeDraining", err)
+	}
+	if err := r.Ping(ctx); err != nil {
+		t.Errorf("Ping must stay open during a drain: %v", err)
+	}
+	if err := r.Abort("job/t0"); err != nil {
+		t.Errorf("cleanup must stay open during a drain: %v", err)
+	}
+
+	r.Resume()
+	if r.Draining() || adm.Draining() {
+		t.Fatalf("Resume did not clear the drain state: client=%v server=%v", r.Draining(), adm.Draining())
+	}
+	if err := r.Deposit(ctx, "job/t1", batch, ""); err != nil {
+		t.Fatalf("deposit after Resume: %v", err)
+	}
+	if err := r.Abort("job/t1"); err != nil {
+		t.Fatal(err)
+	}
+	if n := adm.PendingDeposits(); n != 0 {
+		t.Errorf("%d deposits left buffered after cleanup", n)
+	}
+}
+
+// TestRemoteDrainNeedsAdmission: a site served without the admission
+// wrapper has no drain surface; the RPC reports that in operator terms
+// and the client latches nothing.
+func TestRemoteDrainNeedsAdmission(t *testing.T) {
+	r, _ := drainFixture(t, false)
+	err := r.Drain(context.Background())
+	if err == nil {
+		t.Fatal("Drain against an unwrapped site must fail")
+	}
+	if !strings.Contains(err.Error(), "no admission controller") {
+		t.Errorf("rejection should tell the operator how to fix it: %v", err)
+	}
+	if r.Draining() {
+		t.Error("a failed Drain must not latch the drain state")
+	}
+}

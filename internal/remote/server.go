@@ -2,9 +2,11 @@ package remote
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"net/rpc"
 	"runtime"
+	"time"
 
 	"distcfd/internal/cfd"
 	"distcfd/internal/core"
@@ -137,14 +139,63 @@ func (s *SiteService) Ping(_ struct{}, _ *struct{}) error {
 	return encodeError(s.site.Ping(s.baseCtx))
 }
 
-// SpecArgs carries a σ spec.
+// workCtx derives one handler's context: the server's lifetime context
+// bounded by the driver's absolute per-task deadline stamp (wire v7),
+// so the site abandons work the driver already gave up on. A zero
+// stamp (no driver deadline, or a pre-v7 peer whose Args never carry
+// the field) serves under baseCtx alone; an already-elapsed stamp
+// cancels before the site work starts.
+func (s *SiteService) workCtx(deadlineNano int64) (context.Context, context.CancelFunc) {
+	if deadlineNano == 0 {
+		return s.baseCtx, func() {}
+	}
+	return context.WithDeadline(s.baseCtx, time.Unix(0, deadlineNano))
+}
+
+// DrainArgs drives the drain state machine (wire v7). Resume=false
+// asks the site to retire gracefully: stop admitting work, finish
+// in-flight tasks (bounded by the site's DrainTimeout). Resume=true
+// re-opens admission (operator rollback).
+type DrainArgs struct {
+	Resume bool
+}
+
+// DrainReply reports the site's drain state after the call.
+type DrainReply struct {
+	Draining bool
+}
+
+// Drain enters or leaves the drain state (wire v7). The served site
+// must expose the drain surface (core.Drainer — the admission wrapper
+// does); a site served without one rejects the call.
+func (s *SiteService) Drain(args DrainArgs, reply *DrainReply) error {
+	d, ok := s.site.(core.Drainer)
+	if !ok {
+		return encodeError(fmt.Errorf("remote: site %d has no admission controller to drain (serve it with cfdsite -admit)", s.site.ID()))
+	}
+	if args.Resume {
+		d.Resume()
+		reply.Draining = d.Draining()
+		return nil
+	}
+	err := d.Drain(s.baseCtx)
+	reply.Draining = d.Draining()
+	return encodeError(err)
+}
+
+// SpecArgs carries a σ spec. Deadline (wire v7; zero = none) is the
+// driver's absolute per-task budget as unix nanoseconds — every work
+// Args struct carries the same stamp.
 type SpecArgs struct {
-	Spec *core.BlockSpec
+	Spec     *core.BlockSpec
+	Deadline int64
 }
 
 // SigmaStats returns lstat for the spec.
 func (s *SiteService) SigmaStats(args SpecArgs, reply *[]int) error {
-	stats, err := s.site.SigmaStats(s.baseCtx, args.Spec)
+	ctx, cancel := s.workCtx(args.Deadline)
+	defer cancel()
+	stats, err := s.site.SigmaStats(ctx, args.Spec)
 	if err != nil {
 		return encodeError(err)
 	}
@@ -154,15 +205,18 @@ func (s *SiteService) SigmaStats(args SpecArgs, reply *[]int) error {
 
 // ExtractArgs selects blocks and projection attributes.
 type ExtractArgs struct {
-	Spec   *core.BlockSpec
-	Attrs  []string
-	Block  int
-	Wanted []int
+	Spec     *core.BlockSpec
+	Attrs    []string
+	Block    int
+	Wanted   []int
+	Deadline int64
 }
 
 // ExtractBlock returns one σ-block.
 func (s *SiteService) ExtractBlock(args ExtractArgs, reply *WireRelation) error {
-	r, err := s.site.ExtractBlock(s.baseCtx, args.Spec, args.Block, args.Attrs)
+	ctx, cancel := s.workCtx(args.Deadline)
+	defer cancel()
+	r, err := s.site.ExtractBlock(ctx, args.Spec, args.Block, args.Attrs)
 	if err != nil {
 		return encodeError(err)
 	}
@@ -172,7 +226,9 @@ func (s *SiteService) ExtractBlock(args ExtractArgs, reply *WireRelation) error 
 
 // ExtractMatching returns all matching tuples.
 func (s *SiteService) ExtractMatching(args ExtractArgs, reply *WireRelation) error {
-	r, err := s.site.ExtractMatching(s.baseCtx, args.Spec, args.Attrs)
+	ctx, cancel := s.workCtx(args.Deadline)
+	defer cancel()
+	r, err := s.site.ExtractMatching(ctx, args.Spec, args.Attrs)
 	if err != nil {
 		return encodeError(err)
 	}
@@ -182,7 +238,9 @@ func (s *SiteService) ExtractMatching(args ExtractArgs, reply *WireRelation) err
 
 // ExtractBlocksBatch returns several blocks in one pass.
 func (s *SiteService) ExtractBlocksBatch(args ExtractArgs, reply *map[int]*WireRelation) error {
-	batches, err := s.site.ExtractBlocksBatch(s.baseCtx, args.Spec, args.Attrs, args.Wanted)
+	ctx, cancel := s.workCtx(args.Deadline)
+	defer cancel()
+	batches, err := s.site.ExtractBlocksBatch(ctx, args.Spec, args.Attrs, args.Wanted)
 	if err != nil {
 		return encodeError(err)
 	}
@@ -199,9 +257,10 @@ func (s *SiteService) ExtractBlocksBatch(args ExtractArgs, reply *map[int]*WireR
 // the added field is compatible in both directions across v4 peers —
 // the version handshake rejects the pairing anyway.
 type DepositArgs struct {
-	Task  string
-	Batch *WireRelation
-	Nonce string
+	Task     string
+	Batch    *WireRelation
+	Nonce    string
+	Deadline int64
 }
 
 // Deposit buffers a batch under the task key.
@@ -210,7 +269,9 @@ func (s *SiteService) Deposit(args DepositArgs, _ *struct{}) error {
 	if err != nil {
 		return encodeError(err)
 	}
-	return encodeError(s.site.Deposit(s.baseCtx, args.Task, r, args.Nonce))
+	ctx, cancel := s.workCtx(args.Deadline)
+	defer cancel()
+	return encodeError(s.site.Deposit(ctx, args.Task, r, args.Nonce))
 }
 
 // AbortArgs names the task whose deposits to drain.
@@ -233,14 +294,17 @@ func (s *SiteService) Cancel(args AbortArgs, _ *struct{}) error {
 
 // DetectTaskArgs parameterizes the CTR-style coordinator step.
 type DetectTaskArgs struct {
-	Task  string
-	Local core.LocalInput
-	CFDs  []*cfd.CFD
+	Task     string
+	Local    core.LocalInput
+	CFDs     []*cfd.CFD
+	Deadline int64
 }
 
 // DetectTask runs detection for the task.
 func (s *SiteService) DetectTask(args DetectTaskArgs, reply *[]*WireRelation) error {
-	pats, err := s.site.DetectTask(s.baseCtx, args.Task, args.Local, args.CFDs)
+	ctx, cancel := s.workCtx(args.Deadline)
+	defer cancel()
+	pats, err := s.site.DetectTask(ctx, args.Task, args.Local, args.CFDs)
 	if err != nil {
 		return encodeError(err)
 	}
@@ -259,11 +323,14 @@ type DetectAssignedArgs struct {
 	Blocks     []int
 	CFD        *cfd.CFD
 	CFDs       []*cfd.CFD
+	Deadline   int64
 }
 
 // DetectAssignedSingle runs the PatDetect coordinator step.
 func (s *SiteService) DetectAssignedSingle(args DetectAssignedArgs, reply *WireRelation) error {
-	pats, err := s.site.DetectAssignedSingle(s.baseCtx, args.TaskPrefix, args.Spec, args.Blocks, args.CFD)
+	ctx, cancel := s.workCtx(args.Deadline)
+	defer cancel()
+	pats, err := s.site.DetectAssignedSingle(ctx, args.TaskPrefix, args.Spec, args.Blocks, args.CFD)
 	if err != nil {
 		return encodeError(err)
 	}
@@ -273,7 +340,9 @@ func (s *SiteService) DetectAssignedSingle(args DetectAssignedArgs, reply *WireR
 
 // DetectAssignedSet runs the ClustDetect coordinator step.
 func (s *SiteService) DetectAssignedSet(args DetectAssignedArgs, reply *[]*WireRelation) error {
-	pats, err := s.site.DetectAssignedSet(s.baseCtx, args.TaskPrefix, args.Spec, args.Blocks, args.CFDs)
+	ctx, cancel := s.workCtx(args.Deadline)
+	defer cancel()
+	pats, err := s.site.DetectAssignedSet(ctx, args.TaskPrefix, args.Spec, args.Blocks, args.CFDs)
 	if err != nil {
 		return encodeError(err)
 	}
@@ -287,12 +356,15 @@ func (s *SiteService) DetectAssignedSet(args DetectAssignedArgs, reply *[]*WireR
 
 // ConstantsArgs carries the CFD whose constant units to check.
 type ConstantsArgs struct {
-	CFD *cfd.CFD
+	CFD      *cfd.CFD
+	Deadline int64
 }
 
 // DetectConstantsLocal checks constant units locally (Prop. 5).
 func (s *SiteService) DetectConstantsLocal(args ConstantsArgs, reply *WireRelation) error {
-	pats, err := s.site.DetectConstantsLocal(s.baseCtx, args.CFD)
+	ctx, cancel := s.workCtx(args.Deadline)
+	defer cancel()
+	pats, err := s.site.DetectConstantsLocal(ctx, args.CFD)
 	if err != nil {
 		return encodeError(err)
 	}
@@ -303,8 +375,9 @@ func (s *SiteService) DetectConstantsLocal(args ConstantsArgs, reply *WireRelati
 // ApplyDeltaArgs carries one fragment delta (wire v4; Nonce since v5,
 // keying the site's apply-once memo — empty disables it).
 type ApplyDeltaArgs struct {
-	Delta WireDelta
-	Nonce string
+	Delta    WireDelta
+	Nonce    string
+	Deadline int64
 }
 
 // ApplyDeltaReply reports the post-delta site state.
@@ -316,7 +389,9 @@ type ApplyDeltaReply struct {
 // ApplyDelta applies a delta to the local fragment, maintaining the
 // serving caches and the delta log (wire v4).
 func (s *SiteService) ApplyDelta(args ApplyDeltaArgs, reply *ApplyDeltaReply) error {
-	info, err := s.site.ApplyDelta(s.baseCtx, DeltaFromWire(args.Delta), args.Nonce)
+	ctx, cancel := s.workCtx(args.Deadline)
+	defer cancel()
+	info, err := s.site.ApplyDelta(ctx, DeltaFromWire(args.Delta), args.Nonce)
 	if err != nil {
 		return encodeError(err)
 	}
@@ -327,10 +402,11 @@ func (s *SiteService) ApplyDelta(args ApplyDeltaArgs, reply *ApplyDeltaReply) er
 
 // DeltaBlocksArgs selects the σ-routed delta view of the log suffix.
 type DeltaBlocksArgs struct {
-	Spec    *core.BlockSpec
-	Attrs   []string
-	Wanted  []int
-	FromGen int64
+	Spec     *core.BlockSpec
+	Attrs    []string
+	Wanted   []int
+	FromGen  int64
+	Deadline int64
 }
 
 // DeltaBlocksReply is the delta-encoded payload: only the changed
@@ -343,7 +419,9 @@ type DeltaBlocksReply struct {
 
 // ExtractDeltaBlocks returns the σ-routed delta blocks (wire v4).
 func (s *SiteService) ExtractDeltaBlocks(args DeltaBlocksArgs, reply *DeltaBlocksReply) error {
-	db, err := s.site.ExtractDeltaBlocks(s.baseCtx, args.Spec, args.Attrs, args.Wanted, args.FromGen)
+	ctx, cancel := s.workCtx(args.Deadline)
+	defer cancel()
+	db, err := s.site.ExtractDeltaBlocks(ctx, args.Spec, args.Attrs, args.Wanted, args.FromGen)
 	if err != nil {
 		return encodeError(err)
 	}
@@ -369,6 +447,7 @@ type FoldArgs struct {
 	RestrictSingle bool
 	Seed           bool
 	FromGen        int64
+	Deadline       int64
 }
 
 // FoldReply carries the coordinator's per-CFD violating patterns.
@@ -379,7 +458,9 @@ type FoldReply struct {
 
 // FoldDetect runs the coordinator's incremental step (wire v4).
 func (s *SiteService) FoldDetect(args FoldArgs, reply *FoldReply) error {
-	rep, err := s.site.FoldDetect(s.baseCtx, core.FoldArgs{
+	ctx, cancel := s.workCtx(args.Deadline)
+	defer cancel()
+	rep, err := s.site.FoldDetect(ctx, core.FoldArgs{
 		Session:        args.Session,
 		Spec:           args.Spec,
 		Blocks:         args.Blocks,
@@ -411,13 +492,16 @@ func (s *SiteService) DropSession(args SessionArgs, _ *struct{}) error {
 
 // MineArgs parameterizes frequent-pattern mining.
 type MineArgs struct {
-	X     []string
-	Theta float64
+	X        []string
+	Theta    float64
+	Deadline int64
 }
 
 // MineFrequent mines closed frequent patterns at the site.
 func (s *SiteService) MineFrequent(args MineArgs, reply *[]mining.Pattern) error {
-	ps, err := s.site.MineFrequent(s.baseCtx, args.X, args.Theta)
+	ctx, cancel := s.workCtx(args.Deadline)
+	defer cancel()
+	ps, err := s.site.MineFrequent(ctx, args.X, args.Theta)
 	if err != nil {
 		return encodeError(err)
 	}

@@ -32,26 +32,44 @@ import (
 // WirePackedRelation ships a batch as per-column dictionary sections
 // plus raw bit-packed/RLE chunk payloads (the colstore chunk codec,
 // now a stable cross-layer seam) with per-chunk ID bounds, chosen by
-// ToWire when it models smaller than both v5 forms.
+// ToWire when it models smaller than both v5 forms; version 7 added
+// the overload-robustness surface — an absolute per-task deadline
+// stamp on every work Args struct (the driver's ctx deadline crossing
+// the wire, so a site abandons work the driver already gave up on),
+// the Drain RPC (graceful retirement: finish in-flight, reject new),
+// and the envelope params carrying retry-after hints for the typed
+// overloaded/draining rejections.
 //
-// The rpc service name carries the version too ("SiteV6"), so skew in
+// The rpc service name carries the version too ("SiteV7"), so skew in
 // EITHER direction dies on the first call with a can't-find-service
 // error: an old driver against a new site (which the InfoReply check
 // alone could never catch — that check runs in the new driver) and a
 // new driver against an old site both fail loudly instead of silently
-// exchanging partially-decoded payloads. The one sanctioned fallback is
-// client-side: a v6 driver whose SiteV6.Info probe draws a
-// can't-find-service reply retries the handshake as SiteV5 on the same
-// connection and, when the site answers with Version 5 exactly, drives
-// it over the legacy surface — deposits then always travel in the v5
-// forms (ToWireLegacy), because gob drops unknown fields silently and a
-// packed payload sent to a v5 site would decode as an empty relation.
-const WireVersion = 6
+// exchanging partially-decoded payloads. The one sanctioned fallback
+// is client-side: a driver whose Info probe draws a can't-find-service
+// reply walks the handshake chain (SiteV7 → SiteV6 → SiteV5) on the
+// same connection and drives the site at the negotiated level —
+// deadline stamps, Drain and envelope params only at v7 (gob drops
+// unknown fields silently, so a v6 peer must never be sent v7 fields
+// it would ignore and never honor), packed payloads at v6 and above,
+// and on a v5 link deposits always travel in the legacy forms
+// (ToWireLegacy), because a packed payload sent to a v5 site would
+// decode as an empty relation.
+const WireVersion = 7
 
-const serviceName = "SiteV6"
+const serviceName = "SiteV7"
 
-// LegacyWireVersion is the newest prior protocol the client can fall
-// back to; legacyServiceName is its rpc service name.
+// PrevWireVersion is the immediately preceding protocol (packed
+// shipping, no deadline/drain surface); prevServiceName is its rpc
+// service name. A peer negotiated here gets packed payloads but never
+// sees the v7 envelope fields.
+const PrevWireVersion = 6
+
+const prevServiceName = "SiteV6"
+
+// LegacyWireVersion is the oldest protocol the client can fall back
+// to; legacyServiceName is its rpc service name. Deposits on such a
+// link always use the v5 wire forms.
 const LegacyWireVersion = 5
 
 const legacyServiceName = "SiteV5"
